@@ -1,0 +1,207 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/chen"
+	"repro/internal/cll"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/yds"
+)
+
+// benchScale keeps the per-iteration work of the experiment benchmarks
+// moderate; cmd/experiments runs the full default scale.
+var benchScale = experiments.Scale{Seeds: 2, N: 24}
+
+// --- One benchmark per table/figure (T1-T7, F2, F3) ---
+
+func benchExperiment(b *testing.B, fn func(experiments.Scale) (*stats.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := fn(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1CertifiedRatio(b *testing.B) {
+	benchExperiment(b, experiments.T1CertifiedRatio)
+}
+
+func BenchmarkT2LowerBound(b *testing.B) {
+	benchExperiment(b, experiments.T2LowerBound)
+}
+
+func BenchmarkT3VsCLL(b *testing.B) {
+	benchExperiment(b, experiments.T3VsCLL)
+}
+
+func BenchmarkT4Multiproc(b *testing.B) {
+	benchExperiment(b, experiments.T4Multiproc)
+}
+
+func BenchmarkT5DeltaAblation(b *testing.B) {
+	benchExperiment(b, experiments.T5DeltaAblation)
+}
+
+func BenchmarkT6ValueSweep(b *testing.B) {
+	benchExperiment(b, experiments.T6ValueSweep)
+}
+
+func BenchmarkT7RejectionPolicy(b *testing.B) {
+	benchExperiment(b, experiments.T7RejectionEquivalence)
+}
+
+func BenchmarkT8VsMultiOA(b *testing.B) {
+	benchExperiment(b, experiments.T8VsMultiOA)
+}
+
+func BenchmarkT9DualTightening(b *testing.B) {
+	benchExperiment(b, experiments.T9DualTightening)
+}
+
+func BenchmarkT10Latency(b *testing.B) {
+	benchExperiment(b, experiments.T10Latency)
+}
+
+func BenchmarkF2ChenStructure(b *testing.B) {
+	benchExperiment(b, experiments.F2ChenStructure)
+}
+
+func BenchmarkF3PDvsOA(b *testing.B) {
+	benchExperiment(b, experiments.F3PDvsOA)
+}
+
+// --- Microbenchmarks of the load-bearing primitives ---
+
+func BenchmarkPDOnlineArrivals(b *testing.B) {
+	in := workload.Uniform(workload.Config{N: 100, M: 4, Alpha: 2.5, Seed: 5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPDScalingN measures how PD's runtime scales with the number
+// of jobs (the partition grows with every arrival, so per-arrival work
+// is superlinear in n).
+func BenchmarkPDScalingN(b *testing.B) {
+	for _, n := range []int{50, 100, 200, 400} {
+		in := workload.Uniform(workload.Config{N: n, M: 4, Alpha: 2.5, Seed: 5})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPDScalingM measures sensitivity to the processor count at
+// fixed n (the Chen partition and capacity inversion touch every job in
+// an interval regardless of m).
+func BenchmarkPDScalingM(b *testing.B) {
+	for _, m := range []int{1, 4, 16, 64} {
+		in := workload.Uniform(workload.Config{N: 150, M: m, Alpha: 2.5, Seed: 6})
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkChenPartition(b *testing.B) {
+	sys := chen.System{M: 8, Power: power.New(3)}
+	items := make([]chen.Item, 32)
+	for i := range items {
+		items[i] = chen.Item{ID: i, Work: float64(1+i%7) * 0.37}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Partition(1, items)
+	}
+}
+
+func BenchmarkChenWorkAtSpeed(b *testing.B) {
+	sys := chen.System{M: 8, Power: power.New(3)}
+	items := make([]chen.Item, 32)
+	for i := range items {
+		items[i] = chen.Item{ID: i, Work: float64(1+i%7) * 0.37}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.WorkAtSpeed(1, items, 2.5)
+	}
+}
+
+func BenchmarkYDSOffline(b *testing.B) {
+	in := workload.Uniform(workload.Config{N: 40, M: 1, Alpha: 2, Seed: 6, ValueScale: math.Inf(1)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := yds.YDS(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOAOnline(b *testing.B) {
+	in := workload.Uniform(workload.Config{N: 60, M: 1, Alpha: 2, Seed: 7, ValueScale: math.Inf(1)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := yds.OA(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCLL(b *testing.B) {
+	pm := power.New(2)
+	in := workload.Uniform(workload.Config{N: 60, M: 1, Alpha: 2, Seed: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cll.Run(in, pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvexSolver(b *testing.B) {
+	in := workload.Uniform(workload.Config{N: 20, M: 4, Alpha: 2.5, Seed: 9, ValueScale: math.Inf(1)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.SolveAccepted(in, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntegralOPT(b *testing.B) {
+	in := workload.Uniform(workload.Config{N: 8, M: 2, Alpha: 2, Seed: 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Integral(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

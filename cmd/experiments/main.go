@@ -1,0 +1,35 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (T1-T9, F2, F3 — see DESIGN.md for the index) and
+// prints them to stdout.
+//
+// Usage:
+//
+//	experiments [-seeds N] [-n JOBS] [-parallel W]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seeds := flag.Int("seeds", experiments.Default.Seeds, "random repetitions per configuration")
+	n := flag.Int("n", experiments.Default.N, "jobs per random instance")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	flag.Parse()
+
+	sc := experiments.Scale{Seeds: *seeds, N: *n}
+	var err error
+	if *parallel == 1 {
+		err = experiments.RunAll(os.Stdout, sc)
+	} else {
+		err = experiments.RunAllParallel(os.Stdout, sc, *parallel)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+// Command profsched runs a scheduling algorithm over a JSON job trace
+// and reports cost, energy, lost value and (for PD) the certified
+// competitive ratio. The produced schedule is verified against the
+// model constraints before anything is reported.
+//
+// Usage:
+//
+//	profsched -algo pd|cll|oa|moa|yds|avr|bkp|qoa|opt [-trace file] [-delta δ]
+//
+// The trace is read from -trace or stdin. Algorithms oa/yds/avr/bkp/qoa
+// ignore job values and require every job to be finished (single
+// processor); moa is the multiprocessor OA (finish-all, any m); opt enumerates accept-sets (exponential, small traces
+// only); pd handles values and any number of processors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cll"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/moa"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/yds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "profsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	algo := flag.String("algo", "pd", "algorithm: pd, cll, oa, moa, yds, avr, bkp, qoa, opt")
+	trace := flag.String("trace", "", "JSON trace file (default stdin)")
+	delta := flag.Float64("delta", 0, "override PD's δ (default α^{1-α})")
+	profile := flag.Bool("profile", false, "render an ASCII total-speed profile")
+	dump := flag.Bool("dump", false, "dump per-interval assignments (PD only)")
+	gantt := flag.Bool("gantt", false, "render a per-processor ASCII Gantt chart")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	in, err := job.ReadTrace(r)
+	if err != nil {
+		return err
+	}
+	pm := power.Model{Alpha: in.Alpha}
+
+	var (
+		schedule *sched.Schedule
+		extra    string
+	)
+	switch *algo {
+	case "pd":
+		var opts []core.Option
+		if *delta > 0 {
+			opts = append(opts, core.WithDelta(*delta))
+		}
+		s := core.New(in.M, pm, opts...)
+		inst := in.Clone()
+		inst.Normalize()
+		for _, j := range inst.Jobs {
+			if _, err := s.Arrive(j); err != nil {
+				return err
+			}
+		}
+		schedule = s.Schedule()
+		dualV := s.DualValue()
+		extra = fmt.Sprintf("dual lower bound   %12.6g\ncertified ratio    %12.6g (bound α^α = %.6g)",
+			dualV, s.Cost()/dualV, pm.CompetitiveBound())
+		if *dump {
+			extra += "\n\nper-interval assignment:"
+			for _, st := range s.Snapshot() {
+				extra += fmt.Sprintf("\n  [%.4g, %.4g) energy %.4g loads %v", st.T0, st.T1, st.Energy, st.Load)
+			}
+		}
+	case "cll":
+		res, err := cll.Run(in, pm)
+		if err != nil {
+			return err
+		}
+		schedule = res.Schedule
+	case "oa":
+		schedule, err = yds.OA(in)
+	case "moa":
+		schedule, err = moa.Run(in)
+	case "yds":
+		schedule, err = yds.YDS(in)
+	case "avr":
+		schedule, err = yds.AVR(in)
+	case "bkp":
+		schedule, err = yds.BKP(in)
+	case "qoa":
+		schedule, err = yds.QOA(in, pm)
+	case "opt":
+		sol, err2 := opt.Integral(in)
+		if err2 != nil {
+			return err2
+		}
+		schedule = sol.Schedule
+		extra = fmt.Sprintf("certified opt gap  %12.6g", sol.Cost-sol.LowerBound)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := sched.Verify(in, schedule); err != nil {
+		return fmt.Errorf("schedule failed verification: %w", err)
+	}
+	energy := schedule.Energy(pm)
+	lost := schedule.LostValue(in)
+	fmt.Printf("algorithm          %12s\njobs               %12d\nprocessors         %12d\nalpha              %12g\n",
+		*algo, len(in.Jobs), in.M, in.Alpha)
+	fmt.Printf("energy             %12.6g\nlost value         %12.6g\ncost               %12.6g\n",
+		energy, lost, energy+lost)
+	fmt.Printf("rejected jobs      %12d\nmax speed          %12.6g\nverified           %12s\n",
+		len(schedule.Rejected), schedule.MaxSpeed(), "yes")
+	if extra != "" {
+		fmt.Println(extra)
+	}
+	if *profile {
+		fmt.Println(schedule.RenderProfile(72))
+	}
+	if *gantt {
+		fmt.Println(schedule.RenderGantt(72))
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command tracegen generates workload traces as JSON instances for use
+// with cmd/profsched.
+//
+// Usage:
+//
+//	tracegen -kind uniform|poisson|diurnal|bursty|lowerbound \
+//	         [-n 50] [-m 2] [-alpha 2] [-seed 1] [-scale 1] [-o trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "uniform", "workload kind: uniform, poisson, diurnal, bursty, lowerbound")
+	n := flag.Int("n", 50, "number of jobs")
+	m := flag.Int("m", 2, "number of processors")
+	alpha := flag.Float64("alpha", 2, "energy exponent")
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 1, "value scale γ (use 'inf' semantics with -finish-all)")
+	finishAll := flag.Bool("finish-all", false, "infinite job values (classical model)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	vs := *scale
+	if *finishAll {
+		vs = math.Inf(1)
+	}
+	cfg := workload.Config{N: *n, M: *m, Alpha: *alpha, Seed: *seed, ValueScale: vs}
+
+	var in *job.Instance
+	switch *kind {
+	case "uniform":
+		in = workload.Uniform(cfg)
+	case "poisson":
+		in = workload.Poisson(cfg)
+	case "diurnal":
+		in = workload.Diurnal(cfg)
+	case "bursty":
+		in = workload.Bursty(cfg)
+	case "lowerbound":
+		in = workload.LowerBound(*n, *alpha)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := in.WriteTrace(w); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Kling & Pietrzyk, "Profitable Scheduling on Multiple Speed-Scalable
+//	Processors", SPAA 2013 (arXiv:1209.3868).
+//
+// The paper's contribution — the online greedy primal-dual algorithm PD
+// with a tight α^α competitive ratio for profit-oriented scheduling on
+// m speed-scalable processors — lives in internal/core. Everything it
+// depends on is built here as well: Chen et al.'s per-interval optimal
+// multiprocessor assignment (internal/chen), the atomic-interval
+// machinery (internal/interval), the dual certificate (internal/dual),
+// the classical single-processor algorithms YDS/OA/AVR/BKP/qOA
+// (internal/yds), the Chan-Lam-Li profitable baseline (internal/cll),
+// offline reference solvers (internal/opt) and the experiment harness
+// (internal/experiments) that regenerates every table and figure of the
+// reproduction.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each experiment.
+package repro

@@ -1,0 +1,73 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro/internal/chen"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/power"
+)
+
+// ExampleRun schedules two jobs with PD and prints the certified
+// competitive ratio — the machine-checked form of Theorem 3.
+func Example_run() {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 2, Work: 1, Value: 100},
+		{ID: 1, Release: 0, Deadline: 1, Work: 10, Value: 0.5},
+	}}
+	res, err := core.Run(in)
+	if err != nil {
+		panic(err)
+	}
+	// Decisions are in arrival order (ties broken by deadline), so the
+	// tight job 1 is decided first.
+	for _, d := range res.Decisions {
+		fmt.Printf("job %d accepted: %v\n", d.JobID, d.Accepted)
+	}
+	fmt.Printf("cost %.2f, certified ratio ≤ %.2f (bound 4)\n",
+		res.Cost, res.CertifiedRatio())
+	// Output:
+	// job 1 accepted: false
+	// job 0 accepted: true
+	// cost 1.00, certified ratio ≤ 1.14 (bound 4)
+}
+
+// Example_partition shows Chen et al.'s dedicated/pool split on one
+// atomic interval: the big job gets its own processor, the small ones
+// share the other at their average speed.
+func Example_partition() {
+	sys := chen.System{M: 2, Power: power.New(2)}
+	p := sys.Partition(1, []chen.Item{
+		{ID: 0, Work: 10}, {ID: 1, Work: 1}, {ID: 2, Work: 1},
+	})
+	fmt.Printf("dedicated: job %d at speed %.0f\n", p.Dedicated[0].ID, p.Dedicated[0].Work/p.L)
+	fmt.Printf("pool: %d jobs at speed %.0f\n", len(p.Pool), p.PoolSpeed)
+	// Output:
+	// dedicated: job 0 at speed 10
+	// pool: 2 jobs at speed 2
+}
+
+// Example_online drives PD one arrival at a time, the way a datacenter
+// front-end would use it.
+func Example_online() {
+	pm := power.New(2)
+	s := core.New(2, pm)
+	for _, j := range []job.Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 10},
+		{ID: 1, Release: 0, Deadline: 1, Work: 1, Value: 10},
+		{ID: 2, Release: 0.5, Deadline: 1, Work: 5, Value: 0.1},
+	} {
+		d, err := s.Arrive(j)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("job %d accepted=%v\n", d.JobID, d.Accepted)
+	}
+	fmt.Printf("energy %.0f, lost %.1f\n", s.Energy(), s.LostValue())
+	// Output:
+	// job 0 accepted=true
+	// job 1 accepted=true
+	// job 2 accepted=false
+	// energy 2, lost 0.1
+}

@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chen"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// FuzzPDCertificate feeds arbitrary (decoded) instances to PD and
+// asserts the full invariant set: no crash, feasible schedule, and the
+// Theorem 3 certificate. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzPDCertificate` explores further.
+func FuzzPDCertificate(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(1), 2.0)
+	f.Add(int64(2), uint8(10), uint8(4), 3.0)
+	f.Add(int64(3), uint8(1), uint8(2), 1.1)
+	f.Add(int64(4), uint8(25), uint8(3), 2.7)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, mRaw uint8, alphaRaw float64) {
+		n := int(nRaw%24) + 1
+		m := int(mRaw%6) + 1
+		if math.IsNaN(alphaRaw) || math.IsInf(alphaRaw, 0) {
+			alphaRaw = 2
+		}
+		alpha := 1.05 + math.Mod(math.Abs(alphaRaw), 3)
+		in := fuzzInstance(seed, n, m, alpha)
+		res, err := core.Run(in)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if err := sched.Verify(in, res.Schedule); err != nil {
+			t.Fatalf("verify: %v", err)
+		}
+		bound := math.Pow(alpha, alpha)
+		if res.Dual > 0 && !numeric.LessEqual(res.Cost, bound*res.Dual, 1e-5) {
+			t.Fatalf("certificate: cost %v > α^α·dual %v", res.Cost, bound*res.Dual)
+		}
+	})
+}
+
+// FuzzWorkAtSpeedInverts fuzzes the capacity-inversion primitive: any
+// positive capacity must insert back at exactly the requested speed,
+// and capacity must be monotone in speed.
+func FuzzWorkAtSpeedInverts(f *testing.F) {
+	f.Add(int64(1), uint8(2), 1.0, 2.0)
+	f.Add(int64(9), uint8(5), 0.25, 7.5)
+	f.Fuzz(func(t *testing.T, seed int64, mRaw uint8, l, sp float64) {
+		if !(l > 1e-9 && l < 1e9) || !(sp >= 0 && sp < 1e9) {
+			t.Skip()
+		}
+		m := int(mRaw%6) + 1
+		sys := chen.System{M: m, Power: power.New(2)}
+		k := int(seed % 7)
+		if k < 0 {
+			k = -k
+		}
+		others := fuzzItems(seed, k+1)
+		z := sys.WorkAtSpeed(l, others, sp)
+		if z < 0 || math.IsNaN(z) {
+			t.Fatalf("invalid capacity %v", z)
+		}
+		if z > 0 {
+			p := sys.Partition(l, append(append([]chen.Item{}, others...), chen.Item{ID: 999, Work: z}))
+			if got := p.SpeedOf(999); math.Abs(got-sp) > 1e-6*(1+sp) {
+				t.Fatalf("inserted z=%v, speed %v want %v", z, got, sp)
+			}
+		}
+		if z2 := sys.WorkAtSpeed(l, others, sp*1.5+1e-9); z2 < z-1e-9 {
+			t.Fatalf("capacity not monotone: z(%v)=%v z(%v)=%v", sp, z, sp*1.5, z2)
+		}
+	})
+}
+
+func fuzzInstance(seed int64, n, m int, alpha float64) *job.Instance {
+	// xorshift-style deterministic stream, no rand dependency needed.
+	s := uint64(seed)*2654435761 + 1
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%1_000_000) / 1_000_000
+	}
+	in := &job.Instance{M: m, Alpha: alpha}
+	for i := 0; i < n; i++ {
+		r := next() * 10
+		span := 0.05 + next()*4
+		w := 0.01 + next()*3
+		v := next() * next() * 20
+		in.Jobs = append(in.Jobs, job.Job{ID: i, Release: r, Deadline: r + span, Work: w, Value: v})
+	}
+	in.Normalize()
+	return in
+}
+
+func fuzzItems(seed int64, n int) []chen.Item {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	items := make([]chen.Item, n)
+	for i := range items {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		items[i] = chen.Item{ID: i, Work: float64(s%10_000) / 1_000}
+	}
+	return items
+}

@@ -1,0 +1,179 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cll"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/moa"
+	"repro/internal/numeric"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/workload"
+	"repro/internal/yds"
+)
+
+// TestAlgorithmMatrix is the end-to-end integration test: every
+// algorithm × every workload generator, every produced schedule
+// verified, every cost sandwiched between the dual lower bound and the
+// reject-everything upper bound.
+func TestAlgorithmMatrix(t *testing.T) {
+	gens := map[string]func(workload.Config) *job.Instance{
+		"uniform": workload.Uniform,
+		"poisson": workload.Poisson,
+		"diurnal": workload.Diurnal,
+		"bursty":  workload.Bursty,
+	}
+	for genName, gen := range gens {
+		for _, m := range []int{1, 3} {
+			cfg := workload.Config{N: 25, M: m, Alpha: 2.2, Seed: 77, ValueScale: 2}
+			in := gen(cfg)
+			pm := power.Model{Alpha: in.Alpha}
+
+			// PD: values respected, certificate must hold.
+			res, err := core.Run(in)
+			if err != nil {
+				t.Fatalf("%s m=%d PD: %v", genName, m, err)
+			}
+			if err := sched.Verify(in, res.Schedule); err != nil {
+				t.Fatalf("%s m=%d PD verify: %v", genName, m, err)
+			}
+			bound := math.Pow(in.Alpha, in.Alpha)
+			if !numeric.LessEqual(res.Cost, bound*res.Dual, 1e-6) {
+				t.Fatalf("%s m=%d: certificate violated", genName, m)
+			}
+			if !numeric.LessEqual(res.Cost, in.TotalValue(), 1e-6) && res.Cost > in.TotalValue() {
+				t.Fatalf("%s m=%d: PD cost %v above reject-everything %v",
+					genName, m, res.Cost, in.TotalValue())
+			}
+
+			// CLL on single processor.
+			if m == 1 {
+				cl, err := cll.Run(in, pm)
+				if err != nil {
+					t.Fatalf("%s CLL: %v", genName, err)
+				}
+				if err := sched.Verify(in, cl.Schedule); err != nil {
+					t.Fatalf("%s CLL verify: %v", genName, err)
+				}
+				if !numeric.LessEqual(res.Dual, cl.Cost, 1e-6) {
+					t.Fatalf("%s: dual bound above CLL cost", genName)
+				}
+			}
+
+			// Finish-all variants for the classical algorithms.
+			fa := in.Clone()
+			for i := range fa.Jobs {
+				fa.Jobs[i].Value = math.Inf(1)
+			}
+			ms, err := moa.Run(fa)
+			if err != nil {
+				t.Fatalf("%s m=%d MOA: %v", genName, m, err)
+			}
+			if err := sched.Verify(fa, ms); err != nil {
+				t.Fatalf("%s m=%d MOA verify: %v", genName, m, err)
+			}
+			sol, err := opt.SolveAccepted(fa, nil)
+			if err != nil {
+				t.Fatalf("%s m=%d OPT: %v", genName, m, err)
+			}
+			if ms.Energy(pm) < sol.Energy*(1-1e-6) {
+				t.Fatalf("%s m=%d: MOA beat the offline optimum", genName, m)
+			}
+			if m == 1 {
+				for algName, alg := range map[string]func(*job.Instance) (*sched.Schedule, error){
+					"yds": yds.YDS, "oa": yds.OA, "avr": yds.AVR,
+				} {
+					s, err := alg(fa)
+					if err != nil {
+						t.Fatalf("%s %s: %v", genName, algName, err)
+					}
+					if err := sched.Verify(fa, s); err != nil {
+						t.Fatalf("%s %s verify: %v", genName, algName, err)
+					}
+					if s.Energy(pm) < sol.Energy*(1-1e-5) {
+						t.Fatalf("%s %s: energy %v below optimum %v",
+							genName, algName, s.Energy(pm), sol.Energy)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraceRoundTripThroughScheduler exercises the full CLI data path:
+// generate → serialize → parse → schedule → verify, in both formats.
+func TestTraceRoundTripThroughScheduler(t *testing.T) {
+	in := workload.Bursty(workload.Config{N: 20, M: 2, Alpha: 2, Seed: 123})
+
+	var jsonBuf bytes.Buffer
+	if err := in.WriteTrace(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := job.ReadTrace(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := in.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := job.ReadCSV(&csvBuf, in.M, in.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := core.Run(fromJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Run(fromCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := core.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.Close(r0.Cost, r1.Cost, 1e-9) || !numeric.Close(r0.Cost, r2.Cost, 1e-9) {
+		t.Fatalf("costs diverge across formats: %v json=%v csv=%v", r0.Cost, r1.Cost, r2.Cost)
+	}
+}
+
+// TestDualCertificateChain checks the full inequality chain on one
+// instance: g(λ̃) ≤ g(tightened) ≤ OPT ≤ cost(PD) ≤ α^α·g(λ̃).
+func TestDualCertificateChain(t *testing.T) {
+	in := workload.Uniform(workload.Config{N: 9, M: 2, Alpha: 2, Seed: 5})
+	res, err := core.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := map[int]float64{}
+	for _, d := range res.Decisions {
+		lam[d.JobID] = d.Lambda
+	}
+	_, g1 := opt.TightenDual(in, lam, 5)
+	best, err := opt.Integral(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := []struct {
+		name string
+		a, b float64
+	}{
+		{"g(λ̃) ≤ g(tight)", res.Dual, g1},
+		{"g(tight) ≤ OPT", g1, best.Cost},
+		{"OPT ≤ cost(PD)", best.Cost, res.Cost},
+		{"cost(PD) ≤ α^α·g(λ̃)", res.Cost, 4 * res.Dual},
+	}
+	for _, c := range chain {
+		if !numeric.LessEqual(c.a, c.b, 1e-6) {
+			t.Fatalf("%s violated: %v > %v", c.name, c.a, c.b)
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package chen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+func sys(m int, alpha float64) System {
+	return System{M: m, Power: power.New(alpha)}
+}
+
+func items(ws ...float64) []Item {
+	out := make([]Item, len(ws))
+	for i, w := range ws {
+		out[i] = Item{ID: i, Work: w}
+	}
+	return out
+}
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	out := make([]Item, n)
+	for i := range out {
+		out[i] = Item{ID: i, Work: rng.Float64() * 10}
+	}
+	return out
+}
+
+func TestPartitionSingleProcessorPoolsEverything(t *testing.T) {
+	s := sys(1, 2)
+	p := s.Partition(2, items(3, 1, 2))
+	if len(p.Dedicated) != 0 || len(p.Pool) != 3 {
+		t.Fatalf("m=1 with 3 jobs must be all-pool: %+v", p)
+	}
+	if math.Abs(p.PoolSpeed-3) > 1e-12 { // (3+1+2)/2
+		t.Fatalf("pool speed %v want 3", p.PoolSpeed)
+	}
+}
+
+func TestPartitionFewJobsAllDedicated(t *testing.T) {
+	s := sys(4, 2)
+	p := s.Partition(1, items(5, 1))
+	if len(p.Dedicated) != 2 || len(p.Pool) != 0 {
+		t.Fatalf("2 jobs on 4 procs must all be dedicated: %+v", p)
+	}
+	if p.Dedicated[0].Work != 5 {
+		t.Fatal("dedicated not sorted desc")
+	}
+	if p.PoolSpeed != 0 {
+		t.Fatalf("no pool work but pool speed %v", p.PoolSpeed)
+	}
+}
+
+func TestPartitionMixed(t *testing.T) {
+	// m=2, workloads 10, 1, 1: job 10 dominates (10 ≥ (1+1)/1), the
+	// two small jobs pool on the second processor.
+	s := sys(2, 2)
+	p := s.Partition(1, items(10, 1, 1))
+	if len(p.Dedicated) != 1 || p.Dedicated[0].Work != 10 {
+		t.Fatalf("want one dedicated job of 10: %+v", p)
+	}
+	if math.Abs(p.PoolSpeed-2) > 1e-12 {
+		t.Fatalf("pool speed %v want 2", p.PoolSpeed)
+	}
+}
+
+func TestPartitionBalancedJobsAllPool(t *testing.T) {
+	// Equal workloads never satisfy the strict majority condition
+	// unless they fit one per processor.
+	s := sys(2, 2)
+	p := s.Partition(1, items(3, 3, 3))
+	if len(p.Dedicated) != 1 {
+		// 3 ≥ (3+3)/(2-1)=6? No. So zero dedicated.
+		if len(p.Dedicated) != 0 {
+			t.Fatalf("unexpected dedicated set: %+v", p)
+		}
+	}
+	if math.Abs(p.PoolSpeed-4.5) > 1e-12 {
+		t.Fatalf("pool speed %v want 4.5", p.PoolSpeed)
+	}
+}
+
+func TestPartitionEmptyAndZeroWork(t *testing.T) {
+	s := sys(3, 2)
+	p := s.Partition(1, nil)
+	if len(p.Dedicated) != 0 || len(p.Pool) != 0 || p.PoolSpeed != 0 {
+		t.Fatalf("empty partition wrong: %+v", p)
+	}
+	if e := s.Energy(1, nil); e != 0 {
+		t.Fatalf("P_k(0)=%v want 0 (Proposition 1a)", e)
+	}
+	p = s.Partition(1, items(0, 0))
+	if p.PoolSpeed != 0 {
+		t.Fatalf("zero work pool speed %v", p.PoolSpeed)
+	}
+}
+
+func TestEnergyKnownValue(t *testing.T) {
+	// m=2, l=2, workloads 8 and 2: 8/2=4 vs rem 2: 8 ≥ 2 dedicated;
+	// pool speed 2/2=1. E = 2·4^2 + 2·1^2 = 34 for α=2.
+	s := sys(2, 2)
+	got := s.Energy(2, items(8, 2))
+	if math.Abs(got-34) > 1e-12 {
+		t.Fatalf("energy %v want 34", got)
+	}
+}
+
+func TestEnergyEqualSplitBeatsImbalance(t *testing.T) {
+	// With convex power, balancing identical total work across
+	// processors is optimal; Partition must find that for pool jobs.
+	s := sys(2, 3)
+	balanced := s.Energy(1, items(2, 2))
+	if math.Abs(balanced-2*8) > 1e-12 { // two procs at speed 2: 2·2^3
+		t.Fatalf("balanced energy %v want 16", balanced)
+	}
+	// Same total as one job: must cost more (single job cannot split).
+	single := s.Energy(1, items(4))
+	if single <= balanced {
+		t.Fatalf("single job %v should cost more than split %v", single, balanced)
+	}
+}
+
+func TestSpeedOfAndMinProcessorSpeed(t *testing.T) {
+	s := sys(2, 2)
+	p := s.Partition(1, items(10, 1, 1))
+	if p.SpeedOf(0) != 10 {
+		t.Fatalf("dedicated speed %v", p.SpeedOf(0))
+	}
+	if p.SpeedOf(1) != 2 || p.SpeedOf(2) != 2 {
+		t.Fatalf("pool speeds %v %v", p.SpeedOf(1), p.SpeedOf(2))
+	}
+	if p.SpeedOf(99) != 0 {
+		t.Fatal("absent job must have speed 0")
+	}
+	if got := s.MinProcessorSpeed(p); got != 2 {
+		t.Fatalf("min proc speed %v want 2", got)
+	}
+	// All processors dedicated: min = slowest dedicated.
+	p = s.Partition(1, items(10, 4))
+	if got := s.MinProcessorSpeed(p); got != 4 {
+		t.Fatalf("min proc speed %v want 4", got)
+	}
+	// Idle processor: min speed 0.
+	p = s.Partition(1, items(10))
+	if got := s.MinProcessorSpeed(p); got != 0 {
+		t.Fatalf("min proc speed %v want 0", got)
+	}
+}
+
+// TestDerivativeMatchesFiniteDifference verifies Proposition 1(b):
+// ∂E/∂W_j = α·s_j^{α-1}, including across partition-type boundaries.
+func TestDerivativeMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(4)
+		alpha := 1.3 + 2.5*rng.Float64()
+		s := sys(m, alpha)
+		l := 0.2 + 2*rng.Float64()
+		n := 1 + rng.Intn(6)
+		it := randomItems(rng, n)
+		j := rng.Intn(n)
+
+		p := s.Partition(l, it)
+		analytic := s.Marginal(p, it[j].ID)
+
+		h := 1e-7 * (1 + it[j].Work)
+		plus := make([]Item, n)
+		minus := make([]Item, n)
+		copy(plus, it)
+		copy(minus, it)
+		plus[j].Work += h
+		minus[j].Work = math.Max(0, minus[j].Work-h)
+		fd := (s.Energy(l, plus) - s.Energy(l, minus)) / (plus[j].Work - minus[j].Work)
+		if math.Abs(fd-analytic) > 1e-3*(1+math.Abs(analytic)) {
+			t.Fatalf("trial %d (m=%d α=%.2f): analytic %v vs fd %v (items %+v, j=%d)",
+				trial, m, alpha, analytic, fd, it, j)
+		}
+	}
+}
+
+// TestEnergyConvexity samples Proposition 1(a): P_k is convex. We check
+// midpoint convexity along random segments in assignment space.
+func TestEnergyConvexity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		m := 1 + rng.Intn(4)
+		s := sys(m, 1.2+3*rng.Float64())
+		l := 0.5 + rng.Float64()
+		n := 1 + rng.Intn(6)
+		a := randomItems(rng, n)
+		b := randomItems(rng, n)
+		mid := make([]Item, n)
+		for i := range mid {
+			mid[i] = Item{ID: i, Work: 0.5 * (a[i].Work + b[i].Work)}
+		}
+		ea, eb, em := s.Energy(l, a), s.Energy(l, b), s.Energy(l, mid)
+		if em > 0.5*(ea+eb)+1e-9*(1+ea+eb) {
+			t.Fatalf("convexity violated: E(mid)=%v > (E(a)+E(b))/2=%v", em, 0.5*(ea+eb))
+		}
+	}
+}
+
+// TestProposition2 verifies 0 ≤ L'_i − L_i ≤ z: adding a new job of
+// workload z never decreases any processor's load and never increases
+// one by more than z (loads compared in sorted order).
+func TestProposition2(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	loadsOf := func(s System, l float64, it []Item) []float64 {
+		p := s.Partition(l, it)
+		loads := make([]float64, s.M)
+		for i, d := range p.Dedicated {
+			loads[i] = d.Work
+		}
+		var pool float64
+		for _, q := range p.Pool {
+			pool += q.Work
+		}
+		free := s.M - len(p.Dedicated)
+		for i := 0; i < free; i++ {
+			loads[len(p.Dedicated)+i] = pool / float64(free)
+		}
+		return loads // already sorted descending by construction
+	}
+	for trial := 0; trial < 500; trial++ {
+		m := 1 + rng.Intn(5)
+		s := sys(m, 2)
+		l := 0.5 + rng.Float64()
+		n := rng.Intn(7)
+		it := randomItems(rng, n)
+		z := rng.Float64() * 12
+		before := loadsOf(s, l, it)
+		after := loadsOf(s, l, append(append([]Item{}, it...), Item{ID: 99, Work: z}))
+		for i := 0; i < m; i++ {
+			d := after[i] - before[i]
+			if d < -1e-9 || d > z+1e-9 {
+				t.Fatalf("Prop 2 violated at proc %d: before %v after %v z=%v", i, before, after, z)
+			}
+		}
+	}
+}
+
+// TestWorkAtSpeedInverts checks the central capacity-inversion
+// primitive: if z = WorkAtSpeed(l, others, s) is positive, inserting a
+// new job with workload z yields speed exactly s for it.
+func TestWorkAtSpeedInverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 1000; trial++ {
+		m := 1 + rng.Intn(5)
+		s := sys(m, 2.3)
+		l := 0.3 + 2*rng.Float64()
+		others := randomItems(rng, rng.Intn(7))
+		sp := rng.Float64() * 15
+		z := s.WorkAtSpeed(l, others, sp)
+		if z < 0 {
+			t.Fatalf("negative capacity %v", z)
+		}
+		if z == 0 {
+			continue
+		}
+		p := s.Partition(l, append(append([]Item{}, others...), Item{ID: 42, Work: z}))
+		got := p.SpeedOf(42)
+		if math.Abs(got-sp) > 1e-9*(1+sp) {
+			t.Fatalf("trial %d: inserted z=%v, wanted speed %v got %v (m=%d l=%v others=%+v)",
+				trial, z, sp, got, m, l, others)
+		}
+	}
+}
+
+// TestWorkAtSpeedMonotoneContinuous checks z_k(s) is nondecreasing and
+// has no jumps (samples on a fine grid).
+func TestWorkAtSpeedMonotoneContinuous(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(4)
+		s := sys(m, 2)
+		l := 0.5 + rng.Float64()
+		others := randomItems(rng, rng.Intn(6))
+		prev := 0.0
+		prevS := 0.0
+		for i := 0; i <= 4000; i++ {
+			sp := float64(i) * 0.005
+			z := s.WorkAtSpeed(l, others, sp)
+			if z < prev-1e-9 {
+				t.Fatalf("z(s) decreased: z(%v)=%v z(%v)=%v", prevS, prev, sp, z)
+			}
+			// Lipschitz in s with constant m·l: a jump violates this.
+			if z-prev > float64(m)*l*(sp-prevS)+1e-9 {
+				t.Fatalf("z(s) jumped: z(%v)=%v z(%v)=%v", prevS, prev, sp, z)
+			}
+			prev, prevS = z, sp
+		}
+	}
+}
+
+// TestWorkAtSpeedBelowFloor: at or below the current slowest-processor
+// speed there is no capacity.
+func TestWorkAtSpeedBelowFloor(t *testing.T) {
+	s := sys(2, 2)
+	others := items(10, 4) // both dedicated; min speed 4 at l=1
+	if z := s.WorkAtSpeed(1, others, 3.9); z != 0 {
+		t.Fatalf("capacity below floor must be 0, got %v", z)
+	}
+	if z := s.WorkAtSpeed(1, others, 4.5); z <= 0 {
+		t.Fatalf("capacity just above floor must be positive, got %v", z)
+	}
+}
+
+func TestWorkAtSpeedZeroOrNegativeSpeed(t *testing.T) {
+	s := sys(2, 2)
+	if s.WorkAtSpeed(1, items(1), 0) != 0 || s.WorkAtSpeed(1, items(1), -1) != 0 {
+		t.Fatal("nonpositive speed must have zero capacity")
+	}
+}
+
+func TestWorkAtSpeedEmptyMachine(t *testing.T) {
+	s := sys(3, 2)
+	// Empty machine at speed s: capacity m·l·s but capped at cutoff
+	// s·l (the new job cannot use more than one processor).
+	if z := s.WorkAtSpeed(2, nil, 1.5); math.Abs(z-3) > 1e-12 {
+		t.Fatalf("empty machine capacity %v want 3 (=s·l)", z)
+	}
+}
+
+// TestMarginalForNewMatchesLimit: the marginal cost of the first unit
+// of a new job equals the derivative of energy in the direction of a
+// new job at z→0.
+func TestMarginalForNewMatchesLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(4)
+		s := sys(m, 2)
+		l := 0.5 + rng.Float64()
+		others := randomItems(rng, rng.Intn(6))
+		p := s.Partition(l, others)
+		analytic := s.MarginalForNew(p)
+		h := 1e-8
+		e0 := s.Energy(l, others)
+		e1 := s.Energy(l, append(append([]Item{}, others...), Item{ID: 77, Work: h}))
+		fd := (e1 - e0) / h
+		if math.Abs(fd-analytic) > 1e-4*(1+analytic) {
+			t.Fatalf("marginal-for-new %v vs fd %v (others %+v m=%d)", analytic, fd, others, m)
+		}
+	}
+}
+
+func TestTimelineConservesWorkAndEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(5)
+		s := sys(m, 2.7)
+		t0 := rng.Float64() * 5
+		l := 0.2 + 2*rng.Float64()
+		n := rng.Intn(8)
+		it := randomItems(rng, n)
+		segs := s.Timeline(t0, t0+l, it)
+
+		done := map[int]float64{}
+		var energy float64
+		for _, seg := range segs {
+			if seg.T0 < t0-1e-12 || seg.T1 > t0+l+1e-12 {
+				t.Fatalf("segment outside interval: %+v", seg)
+			}
+			if seg.Proc < 0 || seg.Proc >= m {
+				t.Fatalf("segment on bad processor: %+v", seg)
+			}
+			done[seg.Job] += seg.Work()
+			energy += s.Power.Energy(seg.Speed, seg.T1-seg.T0)
+		}
+		for _, item := range it {
+			if math.Abs(done[item.ID]-item.Work) > 1e-9*(1+item.Work) {
+				t.Fatalf("work not conserved for job %d: got %v want %v", item.ID, done[item.ID], item.Work)
+			}
+		}
+		want := s.Energy(l, it)
+		if !numeric.Close(energy, want, 1e-9) {
+			t.Fatalf("timeline energy %v != P_k %v", energy, want)
+		}
+	}
+}
+
+// TestTimelineNoParallelism: McNaughton wrap-around must never run one
+// job on two processors at once.
+func TestTimelineNoParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(5)
+		s := sys(m, 2)
+		l := 0.2 + 2*rng.Float64()
+		it := randomItems(rng, rng.Intn(9))
+		segs := s.Timeline(0, l, it)
+		byJob := map[int][][2]float64{}
+		byProc := map[int][][2]float64{}
+		for _, seg := range segs {
+			byJob[seg.Job] = append(byJob[seg.Job], [2]float64{seg.T0, seg.T1})
+			byProc[seg.Proc] = append(byProc[seg.Proc], [2]float64{seg.T0, seg.T1})
+		}
+		check := func(spans [][2]float64, what string) {
+			for i := range spans {
+				for k := i + 1; k < len(spans); k++ {
+					lo := math.Max(spans[i][0], spans[k][0])
+					hi := math.Min(spans[i][1], spans[k][1])
+					if hi-lo > 1e-9*l {
+						t.Fatalf("%s overlaps: %v and %v", what, spans[i], spans[k])
+					}
+				}
+			}
+		}
+		for id, spans := range byJob {
+			check(spans, "job "+string(rune('0'+id%10)))
+		}
+		for p, spans := range byProc {
+			check(spans, "proc "+string(rune('0'+p%10)))
+		}
+	}
+}
+
+// TestTimelineWrapAround pins down McNaughton's rule on a concrete
+// case: 3 pool jobs of 2 units each on 2 processors (l=3, speed 1).
+// Job B must wrap from processor 0 to processor 1 without overlapping
+// itself.
+func TestTimelineWrapAround(t *testing.T) {
+	s := sys(2, 2)
+	segs := s.Timeline(0, 3, items(2, 2, 2))
+	if len(segs) != 4 {
+		t.Fatalf("want 4 segments (one job wraps), got %+v", segs)
+	}
+	// All at pool speed 1.
+	for _, seg := range segs {
+		if math.Abs(seg.Speed-1) > 1e-12 {
+			t.Fatalf("pool speed %v want 1", seg.Speed)
+		}
+	}
+	// The wrapped job: its two pieces are [2,3) on cpu0 and [0,1) on
+	// cpu1 — disjoint in time.
+	var wrapped int = -1
+	count := map[int]int{}
+	for _, seg := range segs {
+		count[seg.Job]++
+	}
+	for id, c := range count {
+		if c == 2 {
+			wrapped = id
+		}
+	}
+	if wrapped == -1 {
+		t.Fatalf("no job wrapped: %+v", segs)
+	}
+	var pieces []sched.Segment
+	for _, seg := range segs {
+		if seg.Job == wrapped {
+			pieces = append(pieces, seg)
+		}
+	}
+	if pieces[0].Proc == pieces[1].Proc {
+		t.Fatalf("wrap stayed on one processor: %+v", pieces)
+	}
+	lo := math.Max(pieces[0].T0, pieces[1].T0)
+	hi := math.Min(pieces[0].T1, pieces[1].T1)
+	if hi > lo+1e-12 {
+		t.Fatalf("wrapped pieces overlap in time: %+v", pieces)
+	}
+}
+
+// TestPartitionOptimality cross-checks Chen's assignment against a
+// brute-force water-filling: for small cases the energy must match the
+// true minimum over all ways to balance work across processors,
+// computed here by convex search over pool/dedicated splits.
+func TestPartitionOptimality(t *testing.T) {
+	// For two processors and two jobs (a ≥ b), the optimal energy is:
+	// separate processors (speeds a/l, b/l). For three jobs the choice
+	// is which single job (if any) gets a dedicated processor.
+	s := sys(2, 2)
+	l := 1.0
+	cases := [][]float64{
+		{4, 1, 1}, {2, 2, 2}, {9, 5, 4}, {1, 0.2, 0.1}, {6, 3, 3},
+	}
+	for _, ws := range cases {
+		got := s.Energy(l, items(ws...))
+		best := math.Inf(1)
+		total := ws[0] + ws[1] + ws[2]
+		mx := math.Max(ws[0], math.Max(ws[1], ws[2]))
+		// Perfectly balanced split is feasible only if no single job
+		// needs more than one processor's worth of time (McNaughton).
+		if mx <= total/2 {
+			best = math.Min(best, 2*math.Pow(total/2, 2))
+		}
+		// Job i alone on processor 0, the rest sequential on processor
+		// 1 — always feasible.
+		for i := 0; i < 3; i++ {
+			rest := total - ws[i]
+			best = math.Min(best, math.Pow(ws[i], 2)+math.Pow(rest, 2))
+		}
+		if math.Abs(got-best) > 1e-9*(1+best) {
+			t.Fatalf("ws=%v: Chen %v != feasible optimum %v", ws, got, best)
+		}
+	}
+}
+
+func TestPartitionQuickNeverWorseThanBalanced(t *testing.T) {
+	// Property: Chen's energy is never worse than the "perfectly
+	// balanced" lower bound (total/m)^α·m·l, and never better than the
+	// single-processor upper bound — basic sanity envelope.
+	err := quick.Check(func(raw []float64, mRaw uint8) bool {
+		m := int(mRaw%4) + 1
+		s := sys(m, 2)
+		var it []Item
+		var total float64
+		for i, w := range raw {
+			if len(it) == 8 {
+				break
+			}
+			w = math.Abs(w)
+			if math.IsNaN(w) || math.IsInf(w, 0) || w > 1e6 {
+				continue
+			}
+			it = append(it, Item{ID: i, Work: w})
+			total += w
+		}
+		e := s.Energy(1, it)
+		lower := float64(m) * math.Pow(total/float64(m), 2)
+		upper := math.Pow(total, 2)
+		return e >= lower-1e-9*(1+lower) && e <= upper+1e-9*(1+upper)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package cll implements the profitable single-processor scheduler of
+// Chan, Lam and Li (WAOA 2010), the (αα + 2e^α)-competitive algorithm
+// that the paper's PD improves upon.
+//
+// CLL is OA plus an admission test. When a job j arrives, the scheduler
+// tentatively inserts it into the current OA plan (all remaining work
+// available now). If j's planned speed s exceeds the threshold
+//
+//	s > α^{(α-2)/(α-1)} · (v_j/w_j)^{1/(α-1)}
+//
+// — equivalently, if the energy the plan would invest into j exceeds
+// α^{α-2}·v_j — the job is rejected outright and its value is lost.
+// Otherwise j is admitted permanently and the plan proceeds as in OA.
+// Section 3 of the paper shows PD's rejection policy for m = 1
+// coincides with this threshold.
+package cll
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/yds"
+)
+
+// Threshold returns the admission speed threshold
+// α^{(α-2)/(α-1)}·(v/w)^{1/(α-1)} for a job with workload w and value v.
+func Threshold(pm power.Model, w, v float64) float64 {
+	if w <= 0 || v <= 0 {
+		return 0
+	}
+	a := pm.Alpha
+	return math.Pow(a, (a-2)/(a-1)) * math.Pow(v/w, 1/(a-1))
+}
+
+// Result is the outcome of a CLL run.
+type Result struct {
+	Schedule  *sched.Schedule
+	Energy    float64
+	LostValue float64
+	Cost      float64
+	Rejected  []int
+}
+
+// Run executes CLL over the instance (which must have M = 1 semantics;
+// extra processors are left idle, matching the original single-
+// processor algorithm).
+func Run(in *job.Instance, pm power.Model) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	inst := in.Clone()
+	inst.Normalize()
+
+	out := &sched.Schedule{M: 1}
+	rem := map[int]float64{}
+	meta := map[int]job.Job{}
+	var rejected []int
+	var lost float64
+
+	times := make([]float64, 0)
+	groups := map[float64][]job.Job{}
+	for _, j := range inst.Jobs {
+		if _, ok := groups[j.Release]; !ok {
+			times = append(times, j.Release)
+		}
+		groups[j.Release] = append(groups[j.Release], j)
+	}
+	sort.Float64s(times)
+
+	for i, t := range times {
+		for _, j := range groups[t] {
+			// Tentative plan with j included.
+			pend := pendingAt(rem, meta, j)
+			blocks, err := yds.Staircase(t, pend)
+			if err != nil {
+				return nil, err
+			}
+			s := yds.PlannedSpeedOf(blocks, j.ID)
+			if s > Threshold(pm, j.Work, j.Value) {
+				rejected = append(rejected, j.ID)
+				lost += j.Value
+				continue
+			}
+			rem[j.ID] = j.Work
+			meta[j.ID] = j
+		}
+		// Re-plan with the admitted set and execute to the next arrival.
+		pend := pendingAt(rem, meta, job.Job{ID: -1})
+		blocks, err := yds.Staircase(t, pend)
+		if err != nil {
+			return nil, err
+		}
+		horizon := math.Inf(1)
+		if i+1 < len(times) {
+			horizon = times[i+1]
+		}
+		yds.ExecutePlan(blocks, horizon, rem, &out.Segments)
+	}
+
+	out.Rejected = rejected
+	res := &Result{
+		Schedule:  out,
+		Energy:    out.Energy(pm),
+		LostValue: lost,
+		Rejected:  rejected,
+	}
+	res.Cost = res.Energy + res.LostValue
+	return res, nil
+}
+
+// pendingAt builds the pending list from remaining work, optionally
+// including a tentative job (ID ≥ 0).
+func pendingAt(rem map[int]float64, meta map[int]job.Job, tentative job.Job) []yds.Pending {
+	var pend []yds.Pending
+	for id, r := range rem {
+		if r > 0 {
+			pend = append(pend, yds.Pending{ID: id, Deadline: meta[id].Deadline, Rem: r})
+		}
+	}
+	if tentative.ID >= 0 {
+		pend = append(pend, yds.Pending{ID: tentative.ID, Deadline: tentative.Deadline, Rem: tentative.Work})
+	}
+	return pend
+}

@@ -1,0 +1,134 @@
+package cll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+func TestThresholdFormula(t *testing.T) {
+	pm := power.New(2)
+	// α=2: threshold = 2^0·(v/w)^1 = v/w.
+	if got := Threshold(pm, 2, 6); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("threshold %v want 3", got)
+	}
+	if Threshold(pm, 0, 1) != 0 || Threshold(pm, 1, 0) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}
+
+func TestThresholdEqualsPDRejectionSpeed(t *testing.T) {
+	// The Section 3 equivalence, checked at formula level across α.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		alpha := 1.2 + 3*rng.Float64()
+		pm := power.Model{Alpha: alpha}
+		w := 0.01 + rng.Float64()*10
+		v := 0.01 + rng.Float64()*10
+		pd := pm.RejectionSpeed(pm.DefaultDelta(), w, v)
+		th := Threshold(pm, w, v)
+		if math.Abs(pd-th) > 1e-9*(1+th) {
+			t.Fatalf("alpha=%v w=%v v=%v: PD %v vs CLL %v", alpha, w, v, pd, th)
+		}
+	}
+}
+
+func TestAdmitAndReject(t *testing.T) {
+	pm := power.New(2)
+	// Solitary job with density 2: threshold v/w; admitted iff v ≥ 2w.
+	mk := func(v float64) *job.Instance {
+		return &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+			{ID: 0, Release: 0, Deadline: 1, Work: 2, Value: v},
+		}}
+	}
+	res, err := Run(mk(100), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 0 || math.Abs(res.Cost-4) > 1e-9 {
+		t.Fatalf("valuable job: rejected=%v cost=%v", res.Rejected, res.Cost)
+	}
+	res, err = Run(mk(0.1), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 1 || math.Abs(res.Cost-0.1) > 1e-12 {
+		t.Fatalf("worthless job: rejected=%v cost=%v", res.Rejected, res.Cost)
+	}
+}
+
+func TestCLLFeasibleOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pm := power.New(2)
+	for trial := 0; trial < 30; trial++ {
+		in := &job.Instance{M: 1, Alpha: 2}
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			r := rng.Float64() * 8
+			span := 0.3 + rng.Float64()*2
+			w := 0.1 + rng.Float64()*2
+			solo := span * pm.Power(w/span)
+			in.Jobs = append(in.Jobs, job.Job{
+				ID: i, Release: r, Deadline: r + span, Work: w,
+				Value: solo * math.Exp(rng.NormFloat64()),
+			})
+		}
+		in.Normalize()
+		res, err := Run(in, pm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Verify(in, res.Schedule); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !numeric.Close(res.Cost, res.Energy+res.LostValue, 1e-12) {
+			t.Fatalf("trial %d: cost inconsistency", trial)
+		}
+	}
+}
+
+// TestCLLAboveDualBound: PD's dual certificate lower-bounds every
+// schedule's cost, including CLL's.
+func TestCLLAboveDualBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pm := power.New(2)
+	for trial := 0; trial < 20; trial++ {
+		in := &job.Instance{M: 1, Alpha: 2}
+		n := 1 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			r := rng.Float64() * 6
+			span := 0.3 + rng.Float64()*2
+			w := 0.1 + rng.Float64()
+			solo := span * pm.Power(w/span)
+			in.Jobs = append(in.Jobs, job.Job{
+				ID: i, Release: r, Deadline: r + span, Work: w,
+				Value: solo * math.Exp(rng.NormFloat64()),
+			})
+		}
+		in.Normalize()
+		cllRes, err := Run(in, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pdRes, err := core.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.LessEqual(pdRes.Dual, cllRes.Cost, 1e-6) {
+			t.Fatalf("trial %d: dual %v above CLL cost %v (dual must lower-bound every schedule)",
+				trial, pdRes.Dual, cllRes.Cost)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(&job.Instance{M: 0, Alpha: 2}, power.New(2)); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}

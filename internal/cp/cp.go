@@ -1,0 +1,156 @@
+// Package cp materialises the mathematical programs of Section 2.1 of
+// the paper — the integral program (IMP) and its convex relaxation
+// (CP) — as evaluatable code:
+//
+//	min  Σ_k P_k(x_1k,...,x_nk) + Σ_j (1-y_j)·v_j
+//	s.t. y_j - Σ_k c_jk·x_jk ≤ 0          for all j
+//	     x ⪰ 0,  y_j ∈ [0,1]  (CP)  /  y_j ∈ {0,1}  (IMP)
+//
+// together with the Lagrangian L(x, y, λ) (Eq. 3). The package exists
+// to make the duality story testable end to end: PD's output is a
+// feasible primal point whose objective is PD's cost, and for any
+// feasible point and any λ ⪰ 0 the chain
+//
+//	g(λ) ≤ L(x, y, λ) ≤ objective(x, y)
+//
+// must hold — weak duality, the inequality Theorem 3 stands on.
+package cp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chen"
+	"repro/internal/interval"
+	"repro/internal/job"
+	"repro/internal/numeric"
+	"repro/internal/power"
+)
+
+// Program is the (CP) instance induced by a job set: atomic intervals
+// from all releases and deadlines, and the per-interval power function
+// P_k evaluated through Chen et al.'s algorithm.
+type Program struct {
+	Sys    chen.System
+	Jobs   []job.Job
+	Bounds []float64 // τ_0 < ... < τ_N
+	jobsBy map[int]job.Job
+}
+
+// New builds the program for the given environment and job set.
+func New(pm power.Model, m int, jobs []job.Job) *Program {
+	windows := make([][2]float64, len(jobs))
+	byID := make(map[int]job.Job, len(jobs))
+	for i, j := range jobs {
+		windows[i] = [2]float64{j.Release, j.Deadline}
+		byID[j.ID] = j
+	}
+	return &Program{
+		Sys:    chen.System{M: m, Power: pm},
+		Jobs:   jobs,
+		Bounds: interval.BoundariesOf(windows),
+		jobsBy: byID,
+	}
+}
+
+// Intervals returns the number N of atomic intervals.
+func (p *Program) Intervals() int { return len(p.Bounds) - 1 }
+
+// Covers reports c_jk: whether atomic interval k lies inside job j's
+// feasibility window.
+func (p *Program) Covers(j job.Job, k int) bool {
+	return j.Release <= p.Bounds[k] && j.Deadline >= p.Bounds[k+1]
+}
+
+// Assignment is a primal point: per-job workloads z_jk = x_jk·w_j in
+// each atomic interval, and the completion indicators y_j.
+type Assignment struct {
+	// Z maps job ID to its per-interval workload vector (length N).
+	Z map[int][]float64
+	// Y maps job ID to y_j; (CP) allows [0,1], (IMP) requires {0,1}.
+	Y map[int]float64
+}
+
+// XFraction returns x_jk = z_jk / w_j for job id in interval k.
+func (p *Program) XFraction(a Assignment, id, k int) float64 {
+	zs, ok := a.Z[id]
+	if !ok || k >= len(zs) {
+		return 0
+	}
+	return zs[k] / p.jobsBy[id].Work
+}
+
+// Residual returns the constraint value y_j − Σ_k c_jk·x_jk for job j;
+// feasibility requires it to be ≤ 0.
+func (p *Program) Residual(a Assignment, j job.Job) float64 {
+	var sum float64
+	for k := 0; k < p.Intervals(); k++ {
+		if p.Covers(j, k) {
+			sum += p.XFraction(a, j.ID, k)
+		}
+	}
+	return a.Y[j.ID] - sum
+}
+
+// CheckFeasible verifies the point against (CP)'s constraint set: all
+// z ⪰ 0 and only where c_jk = 1, y ∈ [0,1], residuals ≤ tol.
+func (p *Program) CheckFeasible(a Assignment, tol float64) error {
+	for id, zs := range a.Z {
+		j, ok := p.jobsBy[id]
+		if !ok {
+			return fmt.Errorf("cp: assignment references unknown job %d", id)
+		}
+		if len(zs) != p.Intervals() {
+			return fmt.Errorf("cp: job %d has %d interval entries, want %d", id, len(zs), p.Intervals())
+		}
+		for k, z := range zs {
+			if z < -tol || math.IsNaN(z) {
+				return fmt.Errorf("cp: job %d has negative load %v in interval %d", id, z, k)
+			}
+			if z > tol*math.Max(1, j.Work) && !p.Covers(j, k) {
+				return fmt.Errorf("cp: job %d loaded outside its window (interval %d)", id, k)
+			}
+		}
+	}
+	for _, j := range p.Jobs {
+		y := a.Y[j.ID]
+		if y < -tol || y > 1+tol {
+			return fmt.Errorf("cp: y_%d = %v outside [0,1]", j.ID, y)
+		}
+		if r := p.Residual(a, j); r > tol {
+			return fmt.Errorf("cp: constraint of job %d violated by %v", j.ID, r)
+		}
+	}
+	return nil
+}
+
+// Objective evaluates Σ_k P_k + Σ_j (1-y_j)·v_j at the point.
+func (p *Program) Objective(a Assignment) float64 {
+	var acc numeric.Accumulator
+	for k := 0; k < p.Intervals(); k++ {
+		l := p.Bounds[k+1] - p.Bounds[k]
+		var items []chen.Item
+		for id, zs := range a.Z {
+			if zs[k] > 0 {
+				items = append(items, chen.Item{ID: id, Work: zs[k]})
+			}
+		}
+		if len(items) > 0 {
+			acc.Add(p.Sys.Energy(l, items))
+		}
+	}
+	for _, j := range p.Jobs {
+		acc.Add((1 - a.Y[j.ID]) * j.Value)
+	}
+	return acc.Value()
+}
+
+// Lagrangian evaluates L(x, y, λ) = objective + Σ_j λ_j·residual_j
+// (Eq. 3 of the paper).
+func (p *Program) Lagrangian(a Assignment, lambda map[int]float64) float64 {
+	v := p.Objective(a)
+	for _, j := range p.Jobs {
+		v += lambda[j.ID] * p.Residual(a, j)
+	}
+	return v
+}

@@ -1,0 +1,202 @@
+package cp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dual"
+	"repro/internal/job"
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// fromPD converts a finished PD scheduler's state into a primal point
+// of the program. The scheduler's online partition has exactly the
+// program's boundaries once all jobs have arrived.
+func fromPD(t *testing.T, p *Program, s *core.Scheduler, in *job.Instance) Assignment {
+	t.Helper()
+	a := Assignment{Z: map[int][]float64{}, Y: map[int]float64{}}
+	for _, j := range in.Jobs {
+		a.Z[j.ID] = make([]float64, p.Intervals())
+	}
+	snap := s.Snapshot()
+	if len(snap) != p.Intervals() {
+		t.Fatalf("partition mismatch: scheduler has %d intervals, program %d", len(snap), p.Intervals())
+	}
+	for k, st := range snap {
+		if st.T0 != p.Bounds[k] || st.T1 != p.Bounds[k+1] {
+			t.Fatalf("interval %d bounds mismatch: [%v,%v) vs [%v,%v)",
+				k, st.T0, st.T1, p.Bounds[k], p.Bounds[k+1])
+		}
+		for id, z := range st.Load {
+			a.Z[id][k] = z
+		}
+	}
+	for _, j := range in.Jobs {
+		a.Y[j.ID] = 0
+	}
+	for _, d := range decisionsOf(s, in) {
+		if d.Accepted {
+			a.Y[d.JobID] = 1
+		}
+	}
+	return a
+}
+
+func decisionsOf(s *core.Scheduler, in *job.Instance) []core.Decision {
+	var out []core.Decision
+	rej := map[int]bool{}
+	for _, id := range s.Rejected() {
+		rej[id] = true
+	}
+	for _, j := range in.Jobs {
+		out = append(out, core.Decision{JobID: j.ID, Accepted: !rej[j.ID]})
+	}
+	return out
+}
+
+func runPD(t *testing.T, in *job.Instance) (*Program, *core.Scheduler, Assignment) {
+	t.Helper()
+	pm := power.Model{Alpha: in.Alpha}
+	s := core.New(in.M, pm)
+	inst := in.Clone()
+	inst.Normalize()
+	for _, j := range inst.Jobs {
+		if _, err := s.Arrive(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(pm, in.M, inst.Jobs)
+	return p, s, fromPD(t, p, s, inst)
+}
+
+// TestPDIsFeasiblePrimalPoint: PD's final variables satisfy (CP)'s
+// constraints and its objective value is exactly PD's cost.
+func TestPDIsFeasiblePrimalPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		in := workload.Uniform(workload.Config{
+			N: 1 + rng.Intn(15), M: 1 + rng.Intn(3), Alpha: 2 + rng.Float64(),
+			Seed: int64(trial),
+		})
+		p, s, a := runPD(t, in)
+		if err := p.CheckFeasible(a, 1e-7); err != nil {
+			t.Fatalf("trial %d: PD's point infeasible: %v", trial, err)
+		}
+		if !numeric.Close(p.Objective(a), s.Cost(), 1e-7) {
+			t.Fatalf("trial %d: objective %v != PD cost %v", trial, p.Objective(a), s.Cost())
+		}
+	}
+}
+
+// TestWeakDualityChain: for PD's multipliers λ̃ and any feasible point,
+// g(λ̃) ≤ L(x, y, λ̃) ≤ objective(x, y). Checked at PD's own point and
+// at randomly perturbed feasible points.
+func TestWeakDualityChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 15; trial++ {
+		in := workload.Uniform(workload.Config{
+			N: 1 + rng.Intn(10), M: 1 + rng.Intn(2), Alpha: 2.3,
+			Seed: int64(100 + trial),
+		})
+		p, s, a := runPD(t, in)
+		lam := s.Lambdas()
+		pm := power.Model{Alpha: in.Alpha}
+		g := dual.Value(pm, in.M, p.Jobs, lam)
+
+		points := []Assignment{a}
+		// Perturb: scale up loads (stays feasible: y unchanged,
+		// residual only decreases) and flip accepted y downward.
+		perturbed := Assignment{Z: map[int][]float64{}, Y: map[int]float64{}}
+		for id, zs := range a.Z {
+			cp := make([]float64, len(zs))
+			for k, z := range zs {
+				cp[k] = z * (1 + rng.Float64())
+			}
+			perturbed.Z[id] = cp
+		}
+		for id, y := range a.Y {
+			perturbed.Y[id] = y * rng.Float64()
+		}
+		points = append(points, perturbed)
+
+		for i, pt := range points {
+			if err := p.CheckFeasible(pt, 1e-7); err != nil {
+				t.Fatalf("trial %d point %d infeasible: %v", trial, i, err)
+			}
+			l := p.Lagrangian(pt, lam)
+			obj := p.Objective(pt)
+			if !numeric.LessEqual(g, l, 1e-6) {
+				t.Fatalf("trial %d point %d: g=%v > L=%v", trial, i, g, l)
+			}
+			if !numeric.LessEqual(l, obj, 1e-6) {
+				t.Fatalf("trial %d point %d: L=%v > obj=%v (λ ⪰ 0, residual ≤ 0)", trial, i, l, obj)
+			}
+		}
+	}
+}
+
+// TestObjectiveHandComputed pins the objective on a tiny instance.
+func TestObjectiveHandComputed(t *testing.T) {
+	pm := power.New(2)
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 2, Value: 5},
+		{ID: 1, Release: 0, Deadline: 2, Work: 1, Value: 3},
+	}
+	p := New(pm, 1, jobs)
+	if p.Intervals() != 2 {
+		t.Fatalf("want 2 intervals, got %d", p.Intervals())
+	}
+	a := Assignment{
+		Z: map[int][]float64{
+			0: {2, 0}, // job 0 fully in [0,1)
+			1: {0, 1}, // job 1 fully in [1,2)
+		},
+		Y: map[int]float64{0: 1, 1: 0}, // job 1 declared unfinished
+	}
+	if err := p.CheckFeasible(a, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	// Energy: 1·2² + 1·1² = 5; lost value: (1-0)·3 = 3.
+	if got := p.Objective(a); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("objective %v want 8", got)
+	}
+	// Residuals: job 0: 1-1 = 0; job 1: 0-1 = -1.
+	if r := p.Residual(a, jobs[0]); math.Abs(r) > 1e-12 {
+		t.Fatalf("residual 0: %v", r)
+	}
+	if r := p.Residual(a, jobs[1]); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("residual 1: %v", r)
+	}
+	// Lagrangian with λ = (2, 4): 8 + 2·0 + 4·(-1) = 4.
+	if l := p.Lagrangian(a, map[int]float64{0: 2, 1: 4}); math.Abs(l-4) > 1e-12 {
+		t.Fatalf("lagrangian %v want 4", l)
+	}
+}
+
+// TestCheckFeasibleCatchesViolations exercises each constraint check.
+func TestCheckFeasibleCatchesViolations(t *testing.T) {
+	pm := power.New(2)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 1}}
+	p := New(pm, 1, jobs)
+	ok := Assignment{Z: map[int][]float64{0: {1}}, Y: map[int]float64{0: 1}}
+	if err := p.CheckFeasible(ok, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]Assignment{
+		"negative load": {Z: map[int][]float64{0: {-1}}, Y: map[int]float64{0: 0}},
+		"y above one":   {Z: map[int][]float64{0: {1}}, Y: map[int]float64{0: 1.5}},
+		"y below zero":  {Z: map[int][]float64{0: {1}}, Y: map[int]float64{0: -0.5}},
+		"short vector":  {Z: map[int][]float64{0: {}}, Y: map[int]float64{0: 0}},
+		"violated":      {Z: map[int][]float64{0: {0.5}}, Y: map[int]float64{0: 1}},
+		"unknown job":   {Z: map[int][]float64{9: {1}}, Y: map[int]float64{}},
+	}
+	for name, a := range cases {
+		if err := p.CheckFeasible(a, 1e-9); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

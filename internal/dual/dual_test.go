@@ -1,0 +1,87 @@
+package dual
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/power"
+)
+
+func TestValueSingleJobHandComputed(t *testing.T) {
+	// One job on [0,1), w=1, v=5, α=2, λ=2: ŝ = (2/(2·1))^{1/1} = 1.
+	// g = min(2,5) + (1-2)·1·1^2 = 2 - 1 = 1.
+	pm := power.New(2)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 5}}
+	got := Value(pm, 1, jobs, map[int]float64{0: 2})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("g = %v want 1", got)
+	}
+}
+
+func TestValueCapsAtJobValue(t *testing.T) {
+	// λ above v contributes only v to the linear term (ŷ_j = 0 case).
+	pm := power.New(2)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 0.5}}
+	got := Value(pm, 1, jobs, map[int]float64{0: 2})
+	want := 0.5 - 1.0 // min(2, 0.5) + (1-2)·ŝ^2 with ŝ = 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("g = %v want %v", got, want)
+	}
+}
+
+func TestValueZeroLambdaIsZero(t *testing.T) {
+	pm := power.New(3)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 2, Work: 1, Value: 4}}
+	if got := Value(pm, 2, jobs, map[int]float64{}); got != 0 {
+		t.Fatalf("g(0) = %v want 0", got)
+	}
+}
+
+func TestInfeasibleEnergyTopMSelection(t *testing.T) {
+	// Three identical-window jobs, m=2: only the two largest ŝ count.
+	pm := power.New(2)
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 100},
+		{ID: 1, Release: 0, Deadline: 1, Work: 1, Value: 100},
+		{ID: 2, Release: 0, Deadline: 1, Work: 1, Value: 100},
+	}
+	lam := map[int]float64{0: 2, 1: 4, 2: 6} // ŝ = λ/(α·w) = 1, 2, 3 for α=2, w=1
+	got := InfeasibleEnergy(pm, 2, jobs, lam)
+	want := 1.0 * (9 + 4) // top two: 3^2 + 2^2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("energy %v want %v", got, want)
+	}
+	// With m=3 all three contribute.
+	got = InfeasibleEnergy(pm, 3, jobs, lam)
+	want = 9 + 4 + 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("energy %v want %v", got, want)
+	}
+}
+
+func TestInfeasibleEnergyRespectsAvailability(t *testing.T) {
+	// Job 1 is only available in [1,2); its ŝ must not contribute in
+	// [0,1) even if it is the largest.
+	pm := power.New(2)
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 2, Work: 1, Value: 1},
+		{ID: 1, Release: 1, Deadline: 2, Work: 1, Value: 1},
+	}
+	lam := map[int]float64{0: 2, 1: 10} // ŝ0 = 1, ŝ1 = 5
+	got := InfeasibleEnergy(pm, 1, jobs, lam)
+	want := 1.0*1 + 1.0*25 // [0,1): job 0 alone; [1,2): job 1 wins top-1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("energy %v want %v", got, want)
+	}
+}
+
+func TestValueInfiniteJobValues(t *testing.T) {
+	// min(λ, +Inf) = λ; finish-all instances work unchanged.
+	pm := power.New(2)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: math.Inf(1)}}
+	got := Value(pm, 1, jobs, map[int]float64{0: 2})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("g = %v want 1", got)
+	}
+}

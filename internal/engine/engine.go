@@ -1,0 +1,155 @@
+// Package engine provides the online replay driver: it feeds a job
+// trace to any scheduling policy in release order, measures per-arrival
+// decision latency, verifies the produced schedule independently, and
+// reports a uniform result. It is the seam where downstream users plug
+// in their own policies next to the built-in ones (PD, CLL, OA,
+// multiprocessor OA, ...).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cll"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/moa"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/yds"
+)
+
+// Policy is an online scheduling algorithm: it receives jobs one by one
+// in release order and finally emits a schedule. Implementations may
+// reject jobs (profit model) or must finish everything (classical
+// model) — the engine only cares that the final schedule verifies.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Arrive hands the policy the next job; jobs arrive in
+	// nondecreasing release order.
+	Arrive(j job.Job) error
+	// Close finalises the run and returns the complete schedule.
+	Close() (*sched.Schedule, error)
+}
+
+// Result is the uniform outcome of one replay.
+type Result struct {
+	Policy    string
+	Schedule  *sched.Schedule
+	Energy    float64
+	LostValue float64
+	Cost      float64
+	Rejected  int
+	// MaxArrive and TotalArrive measure the policy's decision latency
+	// (wall clock) — the online algorithm's own overhead.
+	MaxArrive, TotalArrive time.Duration
+}
+
+// Replay drives the policy over the instance and verifies the result.
+func Replay(in *job.Instance, p Policy) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	inst := in.Clone()
+	inst.Normalize()
+	res := &Result{Policy: p.Name()}
+	for _, j := range inst.Jobs {
+		start := time.Now()
+		if err := p.Arrive(j); err != nil {
+			return nil, fmt.Errorf("engine: %s rejected arrival of job %d: %w", p.Name(), j.ID, err)
+		}
+		d := time.Since(start)
+		res.TotalArrive += d
+		if d > res.MaxArrive {
+			res.MaxArrive = d
+		}
+	}
+	s, err := p.Close()
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s close: %w", p.Name(), err)
+	}
+	if err := sched.Verify(inst, s); err != nil {
+		return nil, fmt.Errorf("engine: %s produced an infeasible schedule: %w", p.Name(), err)
+	}
+	pm := power.Model{Alpha: inst.Alpha}
+	res.Schedule = s
+	res.Energy = s.Energy(pm)
+	res.LostValue = s.LostValue(inst)
+	res.Cost = res.Energy + res.LostValue
+	res.Rejected = len(s.Rejected)
+	return res, nil
+}
+
+// --- Built-in policy adapters ---
+
+// pdPolicy adapts core.Scheduler.
+type pdPolicy struct {
+	s *core.Scheduler
+}
+
+// PD returns the paper's algorithm as an engine policy.
+func PD(m int, pm power.Model, opts ...core.Option) Policy {
+	return &pdPolicy{s: core.New(m, pm, opts...)}
+}
+
+func (p *pdPolicy) Name() string { return "pd" }
+
+func (p *pdPolicy) Arrive(j job.Job) error {
+	_, err := p.s.Arrive(j)
+	return err
+}
+
+func (p *pdPolicy) Close() (*sched.Schedule, error) { return p.s.Schedule(), nil }
+
+// batchPolicy adapts whole-instance algorithms (they see arrivals only
+// through the recorded instance and plan at Close). Their per-arrival
+// latency is not meaningful; Replay still measures the buffering cost.
+type batchPolicy struct {
+	name string
+	m    int
+	pm   power.Model
+	jobs []job.Job
+	run  func(*job.Instance, power.Model) (*sched.Schedule, error)
+}
+
+func (b *batchPolicy) Name() string { return b.name }
+
+func (b *batchPolicy) Arrive(j job.Job) error {
+	b.jobs = append(b.jobs, j)
+	return nil
+}
+
+func (b *batchPolicy) Close() (*sched.Schedule, error) {
+	in := &job.Instance{M: b.m, Alpha: b.pm.Alpha, Jobs: b.jobs}
+	return b.run(in, b.pm)
+}
+
+// CLL returns the Chan-Lam-Li policy (single processor).
+func CLL(pm power.Model) Policy {
+	return &batchPolicy{name: "cll", m: 1, pm: pm,
+		run: func(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
+			r, err := cll.Run(in, pm)
+			if err != nil {
+				return nil, err
+			}
+			return r.Schedule, nil
+		}}
+}
+
+// OA returns the classical Optimal Available policy (single processor,
+// finish-all: all values must be +Inf or completion is still enforced).
+func OA(pm power.Model) Policy {
+	return &batchPolicy{name: "oa", m: 1, pm: pm,
+		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
+			return yds.OA(in)
+		}}
+}
+
+// MOA returns the multiprocessor Optimal Available policy (finish-all).
+func MOA(m int, pm power.Model) Policy {
+	return &batchPolicy{name: "moa", m: m, pm: pm,
+		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
+			return moa.Run(in)
+		}}
+}

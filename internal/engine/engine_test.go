@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestReplayPD(t *testing.T) {
+	in := workload.Uniform(workload.Config{N: 20, M: 2, Alpha: 2, Seed: 1})
+	pm := power.New(2)
+	res, err := Replay(in, PD(2, pm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "pd" {
+		t.Fatalf("policy name %q", res.Policy)
+	}
+	if res.Cost <= 0 || res.Cost != res.Energy+res.LostValue {
+		t.Fatalf("inconsistent result %+v", res)
+	}
+	if res.TotalArrive < res.MaxArrive {
+		t.Fatal("latency accounting broken")
+	}
+}
+
+func TestReplayMatchesDirectRun(t *testing.T) {
+	// The engine must not change algorithm behaviour: PD through the
+	// engine equals core.Run.
+	in := workload.Bursty(workload.Config{N: 30, M: 3, Alpha: 2.5, Seed: 2})
+	pm := power.New(2.5)
+	res, err := Replay(in, PD(3, pm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := directPDCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.Close(res.Cost, direct, 1e-9) {
+		t.Fatalf("engine cost %v vs direct %v", res.Cost, direct)
+	}
+}
+
+func TestReplayAllPolicies(t *testing.T) {
+	pm := power.New(2)
+	in := workload.Poisson(workload.Config{N: 15, M: 1, Alpha: 2, Seed: 3, ValueScale: math.Inf(1)})
+	for _, p := range []Policy{PD(1, pm), CLL(pm), OA(pm), MOA(1, pm)} {
+		res, err := Replay(in, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.LostValue != 0 {
+			t.Fatalf("%s lost value on an infinite-value instance", p.Name())
+		}
+	}
+}
+
+func TestReplayRejectsInvalidInstance(t *testing.T) {
+	if _, err := Replay(&job.Instance{M: 0, Alpha: 2}, PD(1, power.New(2))); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+// failingPolicy produces an infeasible schedule to prove the engine's
+// verification actually bites.
+type failingPolicy struct{}
+
+func (failingPolicy) Name() string         { return "broken" }
+func (failingPolicy) Arrive(job.Job) error { return nil }
+func (failingPolicy) Close() (*sched.Schedule, error) {
+	return &sched.Schedule{M: 1}, nil // finishes nothing, rejects nothing
+}
+
+func TestReplayCatchesInfeasiblePolicy(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 5},
+	}}
+	if _, err := Replay(in, failingPolicy{}); err == nil {
+		t.Fatal("infeasible policy passed verification")
+	}
+}
+
+func directPDCost(in *job.Instance) (float64, error) {
+	r, err := core.Run(in)
+	if err != nil {
+		return 0, err
+	}
+	return r.Cost, nil
+}

@@ -1,0 +1,364 @@
+// Package experiments regenerates every table and figure of the
+// reproduction. The paper is a theory paper without an evaluation
+// section, so each experiment operationalises one of its quantitative
+// claims (see DESIGN.md §4 for the index):
+//
+//	T1  Theorem 3 upper bound: certified ratio ≤ α^α on random loads
+//	T2  Theorem 3 tightness: the adversarial instance approaches α^α
+//	T3  PD vs Chan-Lam-Li vs exact OPT (single processor)
+//	T4  Multiprocessor scaling: the certificate holds for all m
+//	T5  δ ablation around the optimal δ = α^{1-α}
+//	T6  Rejection economics: energy vs lost value vs value scale
+//	T7  Rejection-policy equivalence with CLL (Section 3 claim)
+//	T8  PD vs multiprocessor OA vs offline OPT (finish-all)
+//	T9  Dual-certificate tightening by coordinate ascent
+//	T10 Scheduler runtime overhead per job
+//	F2  Figure 2: dedicated/pool structure before/after an arrival
+//	F3  Figure 3: PD schedules more conservatively than OA
+//
+// Every experiment is deterministic (fixed seeds) and returns a
+// stats.Table; RunAll renders all of them to a writer.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cll"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/yds"
+)
+
+// Scale tunes how much work the experiments do (number of seeds and
+// instance sizes). 1 is the default used by cmd/experiments; tests use
+// smaller values for speed.
+type Scale struct {
+	Seeds int // random repetitions per configuration
+	N     int // jobs per random instance
+}
+
+// Default is the scale used by cmd/experiments.
+var Default = Scale{Seeds: 5, N: 48}
+
+func (s Scale) withDefaults() Scale {
+	if s.Seeds <= 0 {
+		s.Seeds = Default.Seeds
+	}
+	if s.N <= 0 {
+		s.N = Default.N
+	}
+	return s
+}
+
+// T1CertifiedRatio measures cost(PD)/g(λ̃) across α and m on uniform
+// random workloads. Theorem 3 promises the ratio never exceeds α^α.
+func T1CertifiedRatio(sc Scale) (*stats.Table, error) {
+	sc = sc.withDefaults()
+	t := &stats.Table{
+		Title:   "T1: certified competitive ratio of PD vs the α^α bound (Theorem 3)",
+		Headers: []string{"alpha", "m", "n", "seeds", "cost(PD)", "g(dual)", "ratio(max)", "ratio(geo)", "bound α^α", "headroom×"},
+		Notes: []string{
+			"ratio = cost(PD)/g(λ̃) upper-bounds the true competitive ratio by weak duality",
+			"headroom = bound / max ratio; > 1 everywhere confirms Theorem 3 on these instances",
+		},
+	}
+	for _, alpha := range []float64{1.5, 2, 2.5, 3} {
+		for _, m := range []int{1, 2, 4, 8} {
+			var ratios []float64
+			var lastCost, lastDual float64
+			for seed := 0; seed < sc.Seeds; seed++ {
+				in := workload.Uniform(workload.Config{
+					N: sc.N, M: m, Alpha: alpha, Seed: int64(1000*m + seed),
+				})
+				res, err := core.Run(in)
+				if err != nil {
+					return nil, fmt.Errorf("T1 α=%v m=%d seed=%d: %w", alpha, m, seed, err)
+				}
+				ratios = append(ratios, res.CertifiedRatio())
+				lastCost, lastDual = res.Cost, res.Dual
+			}
+			bound := math.Pow(alpha, alpha)
+			mx := stats.Summarize(ratios).Max
+			t.AddRow(alpha, m, sc.N, sc.Seeds, lastCost, lastDual, mx, stats.GeoMean(ratios), bound, bound/mx)
+		}
+	}
+	return t, nil
+}
+
+// T2LowerBound replays the adversarial instance from the tightness half
+// of Theorem 3 and reports cost(PD)/cost(YDS) as n grows: the series
+// climbs towards α^α.
+func T2LowerBound(sc Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "T2: tightness — adversarial instance drives PD towards α^α (Theorem 3, lower bound)",
+		Headers: []string{"alpha", "n", "cost(PD)", "cost(OPT=YDS)", "ratio", "bound α^α", "fraction of bound"},
+		Notes: []string{
+			"instance: job j arrives at j-1, work (n-j+1)^{-1/α}, deadline n, values ∞ (finish-all)",
+			"the ratio approaches α^α only in the limit; the fraction column shows convergence",
+		},
+	}
+	for _, alpha := range []float64{2, 3} {
+		pm := power.New(alpha)
+		for _, n := range []int{5, 10, 20, 40, 80, 160} {
+			in := workload.LowerBound(n, alpha)
+			res, err := core.Run(in)
+			if err != nil {
+				return nil, fmt.Errorf("T2 α=%v n=%d: %w", alpha, n, err)
+			}
+			optS, err := yds.YDS(in)
+			if err != nil {
+				return nil, fmt.Errorf("T2 α=%v n=%d YDS: %w", alpha, n, err)
+			}
+			optE := optS.Energy(pm)
+			ratio := res.Cost / optE
+			bound := pm.CompetitiveBound()
+			t.AddRow(alpha, n, res.Cost, optE, ratio, bound, ratio/bound)
+		}
+	}
+	return t, nil
+}
+
+// T3VsCLL compares PD against Chan-Lam-Li and the exact integral
+// optimum on single-processor value-calibrated workloads — the paper's
+// headline improvement (α^α vs α^α + 2e^α).
+func T3VsCLL(sc Scale) (*stats.Table, error) {
+	sc = sc.withDefaults()
+	t := &stats.Table{
+		Title:   "T3: PD vs Chan-Lam-Li vs exact OPT (m = 1)",
+		Headers: []string{"alpha", "seeds", "n", "PD/OPT(geo)", "CLL/OPT(geo)", "PD/OPT(max)", "CLL/OPT(max)", "PD bound", "CLL bound"},
+		Notes: []string{
+			"OPT is the exact integral optimum by accept-set enumeration (small n)",
+			"both algorithms sit far below their worst-case bounds on random loads;",
+			"the bounds columns show the guarantee gap the paper closes: α^α vs α^α + 2e^α",
+		},
+	}
+	n := 10
+	for _, alpha := range []float64{2, 3} {
+		pm := power.New(alpha)
+		var pdR, cllR []float64
+		for seed := 0; seed < sc.Seeds; seed++ {
+			in := workload.Uniform(workload.Config{
+				N: n, M: 1, Alpha: alpha, Seed: int64(7000 + seed),
+			})
+			res, err := core.Run(in)
+			if err != nil {
+				return nil, fmt.Errorf("T3 PD: %w", err)
+			}
+			cl, err := cll.Run(in, pm)
+			if err != nil {
+				return nil, fmt.Errorf("T3 CLL: %w", err)
+			}
+			best, err := opt.Integral(in)
+			if err != nil {
+				return nil, fmt.Errorf("T3 OPT: %w", err)
+			}
+			pdR = append(pdR, res.Cost/best.Cost)
+			cllR = append(cllR, cl.Cost/best.Cost)
+		}
+		t.AddRow(alpha, sc.Seeds, n,
+			stats.GeoMean(pdR), stats.GeoMean(cllR),
+			stats.Summarize(pdR).Max, stats.Summarize(cllR).Max,
+			pm.CompetitiveBound(), pm.CLLBound())
+	}
+	return t, nil
+}
+
+// T4Multiproc scales the processor count on bursty workloads and shows
+// the certificate holds for every m (the paper's generalisation claim:
+// first constant-competitive algorithm for multiple processors).
+func T4Multiproc(sc Scale) (*stats.Table, error) {
+	sc = sc.withDefaults()
+	alpha := 2.5
+	bound := math.Pow(alpha, alpha)
+	t := &stats.Table{
+		Title:   "T4: multiprocessor scaling of PD (bursty workload, α = 2.5)",
+		Headers: []string{"m", "n", "cost", "energy", "lost value", "rejected", "certified ratio", "bound α^α"},
+		Notes: []string{
+			"the certified ratio stays below the m-independent bound α^α ≈ " + fmt.Sprintf("%.3f", bound),
+			"more processors absorb bursts: energy and rejections fall as m grows",
+		},
+	}
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		in := workload.Bursty(workload.Config{
+			N: sc.N, M: m, Alpha: alpha, Seed: 4242,
+		})
+		res, err := core.Run(in)
+		if err != nil {
+			return nil, fmt.Errorf("T4 m=%d: %w", m, err)
+		}
+		t.AddRow(m, sc.N, res.Cost, res.Energy, res.LostValue,
+			len(res.Schedule.Rejected), res.CertifiedRatio(), bound)
+	}
+	return t, nil
+}
+
+// T5DeltaAblation sweeps PD's parameter δ around the analytically
+// optimal α^{1-α} and reports the realised cost: the default is the
+// right choice (Section 4).
+func T5DeltaAblation(sc Scale) (*stats.Table, error) {
+	sc = sc.withDefaults()
+	alpha := 2.0
+	pm := power.New(alpha)
+	t := &stats.Table{
+		Title:   "T5: ablation of PD's parameter δ (α = 2, δ* = α^{1-α} = 0.5)",
+		Headers: []string{"δ/δ*", "δ", "mean cost", "mean energy", "mean lost", "mean rejected", "cost vs δ*"},
+		Notes: []string{
+			"small δ accepts too much (energy explodes); large δ rejects too much (value lost)",
+			"the certificate of Theorem 3 is only valid for δ ≤ δ*",
+		},
+	}
+	var base float64
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+		var costs, energies, losts, rejs []float64
+		for seed := 0; seed < sc.Seeds; seed++ {
+			in := workload.Uniform(workload.Config{
+				N: sc.N, M: 2, Alpha: alpha, Seed: int64(9000 + seed), ValueScale: 0.8,
+			})
+			res, err := core.Run(in, core.WithDelta(mult*pm.DefaultDelta()))
+			if err != nil {
+				return nil, fmt.Errorf("T5 mult=%v: %w", mult, err)
+			}
+			costs = append(costs, res.Cost)
+			energies = append(energies, res.Energy)
+			losts = append(losts, res.LostValue)
+			rejs = append(rejs, float64(len(res.Schedule.Rejected)))
+		}
+		mean := stats.Summarize(costs).Mean
+		if mult == 1 {
+			base = mean
+		}
+		t.AddRow(mult, mult*pm.DefaultDelta(), mean,
+			stats.Summarize(energies).Mean, stats.Summarize(losts).Mean,
+			stats.Summarize(rejs).Mean, "")
+	}
+	// Fill the relative column now that the δ* row is known.
+	for i, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+		var mean float64
+		fmt.Sscanf(t.Rows[i][2], "%g", &mean)
+		t.Rows[i][6] = fmt.Sprintf("%.3f", mean/base)
+		_ = mult
+	}
+	return t, nil
+}
+
+// T6ValueSweep varies the value scale γ: cheap values mean mass
+// rejection (cost ≈ lost value), expensive values recover the
+// finish-all model (cost ≈ energy) — the trade-off of Eq. (1).
+func T6ValueSweep(sc Scale) (*stats.Table, error) {
+	sc = sc.withDefaults()
+	t := &stats.Table{
+		Title:   "T6: rejection economics under the value scale γ (α = 2, m = 2)",
+		Headers: []string{"γ", "cost", "energy", "lost value", "rejected frac", "certified ratio"},
+		Notes: []string{
+			"γ multiplies each job's solo-energy value; γ→∞ recovers the classical model",
+		},
+	}
+	for _, gamma := range []float64{0.1, 0.3, 1, 3, 10, math.Inf(1)} {
+		var cost, energy, lost, rej, ratio float64
+		for seed := 0; seed < sc.Seeds; seed++ {
+			in := workload.Uniform(workload.Config{
+				N: sc.N, M: 2, Alpha: 2, Seed: int64(11000 + seed),
+				ValueScale: gamma, ValueSigma: 0.5,
+			})
+			res, err := core.Run(in)
+			if err != nil {
+				return nil, fmt.Errorf("T6 γ=%v: %w", gamma, err)
+			}
+			cost += res.Cost
+			energy += res.Energy
+			lost += res.LostValue
+			rej += float64(len(res.Schedule.Rejected)) / float64(len(in.Jobs))
+			ratio = math.Max(ratio, res.CertifiedRatio())
+		}
+		k := float64(sc.Seeds)
+		t.AddRow(fmt.Sprintf("%v", gamma), cost/k, energy/k, lost/k, rej/k, ratio)
+	}
+	return t, nil
+}
+
+// T7RejectionEquivalence runs PD and CLL on solitary-job instances
+// around the rejection threshold and counts decision agreement — the
+// Section 3 claim that PD's policy reduces to Chan-Lam-Li's for m = 1.
+func T7RejectionEquivalence(sc Scale) (*stats.Table, error) {
+	sc = sc.withDefaults()
+	t := &stats.Table{
+		Title:   "T7: PD's m=1 rejection policy coincides with Chan-Lam-Li's threshold (Section 3)",
+		Headers: []string{"alpha", "cases", "agree", "disagree", "knife-edge", "max |Δthreshold|"},
+		Notes: []string{
+			"each case: a solitary job with value swept across the threshold; knife-edge = within 1e-9",
+		},
+	}
+	for _, alpha := range []float64{1.5, 2, 2.5, 3} {
+		pm := power.New(alpha)
+		agree, disagree, knife := 0, 0, 0
+		maxDiff := 0.0
+		cases := 40 * sc.Seeds
+		for i := 0; i < cases; i++ {
+			frac := 0.5 + float64(i)/float64(cases) // value from 0.5× to 1.5× threshold
+			w, span := 1.0+float64(i%7)*0.3, 0.5+float64(i%5)*0.4
+			density := w / span
+			// Value that puts the threshold exactly at `density/frac`.
+			vAtThreshold := pm.DefaultDelta() * w * pm.Marginal(density) / 1.0
+			v := vAtThreshold * frac
+			in := &job.Instance{M: 1, Alpha: alpha, Jobs: []job.Job{
+				{ID: 0, Release: 0, Deadline: span, Work: w, Value: v},
+			}}
+			res, err := core.Run(in)
+			if err != nil {
+				return nil, err
+			}
+			cl, err := cll.Run(in, pm)
+			if err != nil {
+				return nil, err
+			}
+			pdAccept := res.Decisions[0].Accepted
+			cllAccept := len(cl.Rejected) == 0
+			thPD := pm.RejectionSpeed(pm.DefaultDelta(), w, v)
+			thCLL := cll.Threshold(pm, w, v)
+			maxDiff = math.Max(maxDiff, math.Abs(thPD-thCLL))
+			switch {
+			case pdAccept == cllAccept:
+				agree++
+			case math.Abs(density-thPD) < 1e-6*thPD:
+				knife++
+			default:
+				disagree++
+			}
+		}
+		t.AddRow(alpha, cases, agree, disagree, knife, maxDiff)
+	}
+	return t, nil
+}
+
+// All returns every experiment in presentation order.
+func All(sc Scale) ([]func(Scale) (*stats.Table, error), []string) {
+	fns := []func(Scale) (*stats.Table, error){
+		T1CertifiedRatio, T2LowerBound, T3VsCLL, T4Multiproc,
+		T5DeltaAblation, T6ValueSweep, T7RejectionEquivalence,
+		T8VsMultiOA, T9DualTightening, T10Latency, F2ChenStructure, F3PDvsOA,
+	}
+	names := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "F2", "F3"}
+	return fns, names
+}
+
+// RunAll executes every experiment at the given scale and renders the
+// tables to w.
+func RunAll(w io.Writer, sc Scale) error {
+	fns, names := All(sc)
+	for i, fn := range fns {
+		t, err := fn(sc)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", names[i], err)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

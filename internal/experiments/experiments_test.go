@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick is a reduced scale for test speed.
+var quick = Scale{Seeds: 2, N: 16}
+
+func TestT1BoundHolds(t *testing.T) {
+	tab, err := T1CertifiedRatio(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 16 { // 4 alphas × 4 machine counts
+		t.Fatalf("want 16 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ratio := parse(t, row[6])
+		bound := parse(t, row[8])
+		if ratio > bound*(1+1e-6) {
+			t.Fatalf("certified ratio %v exceeds bound %v in row %v", ratio, bound, row)
+		}
+		if ratio < 1-1e-9 {
+			t.Fatalf("certified ratio %v below 1 in row %v", ratio, row)
+		}
+	}
+}
+
+func TestT2RatioMonotoneAndBounded(t *testing.T) {
+	tab, err := T2LowerBound(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	var prevAlpha string
+	for _, row := range tab.Rows {
+		if row[0] != prevAlpha {
+			prev, prevAlpha = 0, row[0]
+		}
+		ratio := parse(t, row[4])
+		bound := parse(t, row[5])
+		if ratio < prev-1e-9 {
+			t.Fatalf("tightness series not monotone: %v after %v", ratio, prev)
+		}
+		if ratio > bound+1e-9 {
+			t.Fatalf("ratio %v above bound %v", ratio, bound)
+		}
+		prev = ratio
+	}
+	// The largest-n α=2 row should be well on its way towards 4.
+	last := parse(t, tab.Rows[5][4])
+	if last < 2.4 {
+		t.Fatalf("α=2, n=160 ratio %v; expected > 2.4 on the adversarial instance", last)
+	}
+}
+
+func TestT3BothAboveOne(t *testing.T) {
+	tab, err := T3VsCLL(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for _, col := range []int{3, 4, 5, 6} {
+			if r := parse(t, row[col]); r < 1-1e-6 {
+				t.Fatalf("ratio below 1 in row %v", row)
+			}
+		}
+	}
+}
+
+func TestT4CertificateAllM(t *testing.T) {
+	tab, err := T4Multiproc(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if parse(t, row[6]) > parse(t, row[7])*(1+1e-6) {
+			t.Fatalf("certificate violated in row %v", row)
+		}
+	}
+}
+
+func TestT5DefaultDeltaCompetitive(t *testing.T) {
+	tab, err := T5DeltaAblation(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(tab.Rows))
+	}
+	// The δ* row must have relative cost 1 by construction.
+	if tab.Rows[2][6] != "1.000" {
+		t.Fatalf("δ* relative cost %q", tab.Rows[2][6])
+	}
+}
+
+func TestT6RejectionMonotone(t *testing.T) {
+	tab, err := T6ValueSweep(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rejected fraction must (weakly) fall as values grow.
+	prev := 2.0
+	for _, row := range tab.Rows {
+		frac := parse(t, row[4])
+		if frac > prev+0.15 { // allow sampling noise
+			t.Fatalf("rejected fraction grew sharply with value scale: %v after %v", frac, prev)
+		}
+		prev = frac
+	}
+	// Infinite values: nothing rejected.
+	if last := parse(t, tab.Rows[len(tab.Rows)-1][4]); last != 0 {
+		t.Fatalf("γ=∞ still rejected %v", last)
+	}
+}
+
+func TestT7NoDisagreements(t *testing.T) {
+	tab, err := T7RejectionEquivalence(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "0" {
+			t.Fatalf("PD and CLL disagreed beyond knife-edge: row %v", row)
+		}
+	}
+}
+
+func TestT8BothWithinBound(t *testing.T) {
+	tab, err := T8VsMultiOA(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		bound := parse(t, row[6])
+		for _, col := range []int{2, 3, 4, 5} {
+			r := parse(t, row[col])
+			if r < 1-1e-6 || r > bound*(1+1e-6) {
+				t.Fatalf("ratio %v outside [1, αα] in row %v", r, row)
+			}
+		}
+	}
+}
+
+func TestT9TighteningValid(t *testing.T) {
+	tab, err := T9DualTightening(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		g0, g1 := parse(t, row[3]), parse(t, row[4])
+		r0, r1 := parse(t, row[5]), parse(t, row[6])
+		if g1 < g0*(1-1e-6) {
+			t.Fatalf("tightened bound below original: row %v", row)
+		}
+		if r1 > r0*(1+1e-6) {
+			t.Fatalf("tightened ratio above original: row %v", row)
+		}
+		if r1 < 1-1e-6 {
+			t.Fatalf("tightened ratio below 1 (bound above OPT?): row %v", row)
+		}
+	}
+}
+
+func TestT10AllPoliciesRun(t *testing.T) {
+	tab, err := T10Latency(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want 5 policies, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if parse(t, row[4]) <= 0 {
+			t.Fatalf("nonpositive cost in row %v", row)
+		}
+	}
+}
+
+func TestF2ShowsStructureChange(t *testing.T) {
+	tab, err := F2ChenStructure(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beforeDedicated, afterDedicated int
+	for _, row := range tab.Rows {
+		if row[2] == "dedicated" {
+			if row[0] == "before" {
+				beforeDedicated++
+			} else {
+				afterDedicated++
+			}
+		}
+	}
+	// The figure's structural event: the arrival shrinks the dedicated
+	// set (a dedicated processor is absorbed into the pool).
+	if beforeDedicated != 2 || afterDedicated != 1 {
+		t.Fatalf("expected dedicated count 2 → 1 across the arrival, got %d → %d",
+			beforeDedicated, afterDedicated)
+	}
+}
+
+func TestF3Conservativeness(t *testing.T) {
+	tab, err := F3PDvsOA(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Fatalf("conservativeness failed: %s", n)
+		}
+	}
+	// Last interval: PD strictly slower than OA.
+	last := tab.Rows[len(tab.Rows)-1]
+	if parse(t, last[1]) >= parse(t, last[2]) {
+		t.Fatalf("PD %v not slower than OA %v in last interval", last[1], last[2])
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T1:", "T2:", "T3:", "T4:", "T5:", "T6:", "T7:", "T8:", "T9:", "T10:", "F2:", "F3:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RunAll output missing %s", want)
+		}
+	}
+}
+
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := RunAll(&seq, quick); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAllParallel(&par, quick, 4); err != nil {
+		t.Fatal(err)
+	}
+	// T10 reports wall-clock timings, which legitimately differ between
+	// runs; every other table is deterministic and must match exactly.
+	if maskT10(seq.String()) != maskT10(par.String()) {
+		t.Fatal("parallel output differs from sequential")
+	}
+}
+
+// maskT10 removes the body of the (timing-dependent) T10 table.
+func maskT10(s string) string {
+	start := strings.Index(s, "T10:")
+	if start < 0 {
+		return s
+	}
+	end := strings.Index(s[start:], "\n\n")
+	if end < 0 {
+		return s[:start]
+	}
+	return s[:start] + s[start+end:]
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,52 @@
+// Parallel execution of the experiment suite. Every experiment is
+// deterministic and independent, so they fan out across a bounded
+// worker pool; tables are still rendered in presentation order.
+
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// RunAllParallel executes every experiment concurrently on up to
+// workers goroutines (≤ 0 means GOMAXPROCS) and renders the tables to w
+// in the canonical order. Output is identical to RunAll; only wall
+// clock differs.
+func RunAllParallel(w io.Writer, sc Scale, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fns, names := All(sc)
+	tables := make([]*stats.Table, len(fns))
+	errs := make([]error, len(fns))
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range fns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tables[i], errs[i] = fns[i](sc)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", names[i], err)
+		}
+	}
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// T10: scheduler runtime overhead.
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// T10Latency measures each policy's end-to-end wall-clock cost per job
+// (planning plus schedule materialisation). Absolute numbers are
+// machine-dependent; the *relative* picture is the result: PD's
+// incremental water-filling is cheap, OA-family policies pay for full
+// replans, and MOA additionally pays for the convex solver.
+func T10Latency(sc Scale) (*stats.Table, error) {
+	sc = sc.withDefaults()
+	pm := power.New(2)
+	n := sc.N * 4
+	t := &stats.Table{
+		Title:   "T10: scheduler runtime per job (n = " + fmt.Sprint(n) + ", α = 2)",
+		Headers: []string{"policy", "m", "runtime/job", "total", "cost"},
+		Notes: []string{
+			"absolute numbers are machine-dependent; compare policies relative to each other",
+		},
+	}
+	in1 := workload.Poisson(workload.Config{N: n, M: 1, Alpha: 2, Seed: 314, ValueScale: 5})
+	in4 := workload.Poisson(workload.Config{N: n, M: 4, Alpha: 2, Seed: 314, ValueScale: 5})
+	cases := []struct {
+		mk func() engine.Policy
+		m  int
+	}{
+		{func() engine.Policy { return engine.PD(1, pm) }, 1},
+		{func() engine.Policy { return engine.CLL(pm) }, 1},
+		{func() engine.Policy { return engine.OA(pm) }, 1},
+		{func() engine.Policy { return engine.PD(4, pm) }, 4},
+		{func() engine.Policy { return engine.MOA(4, pm) }, 4},
+	}
+	for _, c := range cases {
+		in := in1
+		if c.m == 4 {
+			in = in4
+		}
+		p := c.mk()
+		start := time.Now()
+		res, err := engine.Replay(in, p)
+		total := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("T10 %s: %w", p.Name(), err)
+		}
+		t.AddRow(p.Name(), c.m, (total / time.Duration(n)).String(), total.Round(time.Millisecond).String(), res.Cost)
+	}
+	return t, nil
+}

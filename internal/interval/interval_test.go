@@ -1,0 +1,187 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestObserveBuildsPartition(t *testing.T) {
+	var p Partition
+	if err := p.Observe(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || p.At(0).T0 != 0 || p.At(0).T1 != 2 {
+		t.Fatalf("unexpected partition: %+v", p.ivs)
+	}
+}
+
+func TestObserveRejectsEmptyWindow(t *testing.T) {
+	var p Partition
+	if err := p.Observe(1, 1); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestRefinementSplitsLoadProportionally(t *testing.T) {
+	var p Partition
+	if err := p.Observe(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	p.At(0).Load[7] = 8 // job 7 carries 8 units on [0,4)
+	if err := p.Observe(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("want 2 intervals, got %d", p.Len())
+	}
+	if got := p.At(0).Load[7]; math.Abs(got-2) > 1e-12 {
+		t.Fatalf("left split got %v want 2", got)
+	}
+	if got := p.At(1).Load[7]; math.Abs(got-6) > 1e-12 {
+		t.Fatalf("right split got %v want 6", got)
+	}
+}
+
+func TestObserveExtendsCoverage(t *testing.T) {
+	var p Partition
+	if err := p.Observe(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	bs := p.Boundaries()
+	want := []float64{0, 2, 4, 6}
+	if len(bs) != len(want) {
+		t.Fatalf("boundaries %v want %v", bs, want)
+	}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("boundaries %v want %v", bs, want)
+		}
+	}
+}
+
+func TestCovering(t *testing.T) {
+	var p Partition
+	if err := p.Observe(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	// intervals: [0,2) [2,5) [5,10)
+	ks := p.Covering(2, 5)
+	if len(ks) != 1 || p.At(ks[0]).T0 != 2 {
+		t.Fatalf("covering [2,5): %v", ks)
+	}
+	ks = p.Covering(0, 10)
+	if len(ks) != 3 {
+		t.Fatalf("covering [0,10): %v", ks)
+	}
+	ks = p.Covering(3, 4) // strictly inside an atomic interval
+	if len(ks) != 0 {
+		t.Fatalf("covering [3,4) should be empty before refinement: %v", ks)
+	}
+}
+
+func TestRandomizedConservation(t *testing.T) {
+	// Property: total load per job is preserved by arbitrary sequences
+	// of refinements, and intervals stay contiguous.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var p Partition
+		totals := map[int]float64{}
+		if err := p.Observe(0, 100); err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 40; step++ {
+			// add load for a random job on a random interval
+			k := rng.Intn(p.Len())
+			id := rng.Intn(5)
+			w := rng.Float64()
+			p.At(k).Load[id] += w
+			totals[id] += w
+			// refine with a random window
+			a := rng.Float64() * 100
+			b := a + rng.Float64()*(100-a) + 1e-3
+			if err := p.Observe(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// contiguity
+		for i := 1; i < p.Len(); i++ {
+			if p.At(i).T0 != p.At(i-1).T1 {
+				t.Fatalf("gap between intervals %d and %d", i-1, i)
+			}
+		}
+		// conservation
+		got := map[int]float64{}
+		for _, iv := range p.All() {
+			for id, w := range iv.Load {
+				got[id] += w
+			}
+		}
+		for id, want := range totals {
+			if math.Abs(got[id]-want) > 1e-9*(1+want) {
+				t.Fatalf("job %d load drifted: got %v want %v", id, got[id], want)
+			}
+		}
+	}
+}
+
+func TestObserveWindowBeyondCoverage(t *testing.T) {
+	// Regression: a job window starting past current coverage must
+	// still get boundaries at both endpoints (a dropped release
+	// boundary makes Covering come back empty and the scheduler
+	// reject the job unconditionally).
+	var p Partition
+	if err := p.Observe(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(7, 9); err != nil {
+		t.Fatal(err)
+	}
+	ks := p.Covering(7, 9)
+	if len(ks) != 1 || p.At(ks[0]).T0 != 7 || p.At(ks[0]).T1 != 9 {
+		t.Fatalf("covering [7,9) after gap: %v (boundaries %v)", ks, p.Boundaries())
+	}
+	// And before coverage:
+	if err := p.Observe(-3, -1); err != nil {
+		t.Fatal(err)
+	}
+	ks = p.Covering(-3, -1)
+	if len(ks) != 1 || p.At(ks[0]).T0 != -3 || p.At(ks[0]).T1 != -1 {
+		t.Fatalf("covering [-3,-1): %v (boundaries %v)", ks, p.Boundaries())
+	}
+}
+
+func TestFromBoundaries(t *testing.T) {
+	p, err := FromBoundaries([]float64{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.At(1).Len() != 2 {
+		t.Fatalf("bad partition: %+v", p.ivs)
+	}
+	if _, err := FromBoundaries([]float64{0}); err == nil {
+		t.Fatal("single boundary accepted")
+	}
+	if _, err := FromBoundaries([]float64{0, 0, 1}); err == nil {
+		t.Fatal("non-increasing boundaries accepted")
+	}
+}
+
+func TestBoundariesOf(t *testing.T) {
+	bs := BoundariesOf([][2]float64{{0, 2}, {1, 2}, {0, 3}})
+	want := []float64{0, 1, 2, 3}
+	if len(bs) != len(want) {
+		t.Fatalf("got %v", bs)
+	}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("got %v want %v", bs, want)
+		}
+	}
+}

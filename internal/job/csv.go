@@ -1,0 +1,88 @@
+// CSV trace support: a flat interchange format for job sets, easier to
+// produce from spreadsheets or log processors than the JSON trace.
+
+package job
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// csvHeader is the required first row of a CSV trace.
+var csvHeader = []string{"id", "release", "deadline", "work", "value"}
+
+// WriteCSV serialises the instance's jobs as CSV with a header row.
+// The machine environment (m, α) is not part of the CSV format; callers
+// provide it again when reading.
+func (in *Instance) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string {
+		if math.IsInf(v, 1) {
+			return "inf"
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	for _, j := range in.Jobs {
+		rec := []string{strconv.Itoa(j.ID), f(j.Release), f(j.Deadline), f(j.Work), f(j.Value)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV trace (header + one row per job) into an
+// instance with the given machine environment, validating and
+// normalizing the result. The value column accepts "inf" for the
+// classical finish-all model.
+func ReadCSV(r io.Reader, m int, alpha float64) (*Instance, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("job: reading CSV trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("job: empty CSV trace")
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("job: CSV header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	for i, h := range csvHeader {
+		if rows[0][i] != h {
+			return nil, fmt.Errorf("job: CSV column %d is %q, want %q", i, rows[0][i], h)
+		}
+	}
+	in := &Instance{M: m, Alpha: alpha}
+	for line, rec := range rows[1:] {
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("job: CSV line %d: bad id %q", line+2, rec[0])
+		}
+		fs := make([]float64, 4)
+		for i, cell := range rec[1:] {
+			if cell == "inf" {
+				fs[i] = math.Inf(1)
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("job: CSV line %d: bad %s %q", line+2, csvHeader[i+1], cell)
+			}
+			fs[i] = v
+		}
+		in.Jobs = append(in.Jobs, Job{ID: id, Release: fs[0], Deadline: fs[1], Work: fs[2], Value: fs[3]})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	in.Normalize()
+	return in, nil
+}

@@ -1,0 +1,59 @@
+package job
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := &Instance{M: 2, Alpha: 2.5, Jobs: []Job{
+		{ID: 0, Release: 0, Deadline: 1.5, Work: 1.25, Value: 4},
+		{ID: 1, Release: 0.5, Deadline: 2, Work: 0.5, Value: math.Inf(1)},
+	}}
+	var buf bytes.Buffer
+	if err := in.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, 2, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != 2 {
+		t.Fatalf("lost jobs: %+v", back.Jobs)
+	}
+	if back.Jobs[0] != in.Jobs[0] {
+		t.Fatalf("job 0 changed: %+v vs %+v", back.Jobs[0], in.Jobs[0])
+	}
+	if !math.IsInf(back.Jobs[1].Value, 1) {
+		t.Fatalf("infinite value lost: %+v", back.Jobs[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "a,b,c,d,e\n0,0,1,1,1\n",
+		"short header": "id,release\n",
+		"bad id":       "id,release,deadline,work,value\nx,0,1,1,1\n",
+		"bad float":    "id,release,deadline,work,value\n0,zero,1,1,1\n",
+		"invalid job":  "id,release,deadline,work,value\n0,1,1,1,1\n",
+	}
+	for name, csv := range cases {
+		if _, err := ReadCSV(strings.NewReader(csv), 1, 2); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadCSVNormalizes(t *testing.T) {
+	csv := "id,release,deadline,work,value\n5,3,4,1,1\n9,0,1,1,1\n"
+	in, err := ReadCSV(strings.NewReader(csv), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Jobs[0].Release != 0 || in.Jobs[0].ID != 9 {
+		t.Fatalf("not normalized (or ID rewritten): %+v", in.Jobs)
+	}
+}

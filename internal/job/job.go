@@ -1,0 +1,173 @@
+// Package job defines the job model of the paper: preemptable,
+// migratable jobs with a release time, deadline, workload and value,
+// arriving online. It also provides instance containers, validation and
+// JSON trace I/O so workloads can be generated once and replayed across
+// algorithms.
+package job
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Job is a single unit of work. A scheduler that finishes Work units of
+// it inside [Release, Deadline) earns Value; otherwise it loses Value.
+type Job struct {
+	// ID identifies the job within its instance. IDs must be unique
+	// (checked by Instance.Validate) and are stable: schedules refer to
+	// jobs by these IDs.
+	ID int `json:"id"`
+	// Release is the arrival time r_j; the job and all its attributes
+	// become known to an online scheduler exactly at this moment.
+	Release float64 `json:"release"`
+	// Deadline is d_j; work processed at or after it is worthless.
+	Deadline float64 `json:"deadline"`
+	// Work is the workload w_j > 0 in machine-speed units × time.
+	Work float64 `json:"work"`
+	// Value is v_j ≥ 0, the loss suffered if the job is not finished.
+	Value float64 `json:"value"`
+}
+
+// Span returns the length of the job's feasibility window d_j - r_j.
+func (j Job) Span() float64 { return j.Deadline - j.Release }
+
+// Density returns w_j / (d_j - r_j), the minimum average speed needed
+// to finish the job using its whole window.
+func (j Job) Density() float64 { return j.Work / j.Span() }
+
+// Validate reports the first structural problem with the job, if any.
+func (j Job) Validate() error {
+	for name, v := range map[string]float64{
+		"release": j.Release, "deadline": j.Deadline, "work": j.Work,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("job %d: %s is not finite", j.ID, name)
+		}
+	}
+	// Value may be +Inf: that encodes the classical "must finish"
+	// model of Yao, Demers and Shenker, which the profit model
+	// generalises.
+	if math.IsNaN(j.Value) || math.IsInf(j.Value, -1) {
+		return fmt.Errorf("job %d: value is NaN or -Inf", j.ID)
+	}
+	if j.Deadline <= j.Release {
+		return fmt.Errorf("job %d: deadline %v not after release %v", j.ID, j.Deadline, j.Release)
+	}
+	if j.Work <= 0 {
+		return fmt.Errorf("job %d: workload must be positive, got %v", j.ID, j.Work)
+	}
+	if j.Value < 0 {
+		return fmt.Errorf("job %d: value must be nonnegative, got %v", j.ID, j.Value)
+	}
+	return nil
+}
+
+// Instance is a full problem instance: a job set together with the
+// machine environment it is to be scheduled on.
+type Instance struct {
+	// M is the number of speed-scalable processors, m ≥ 1.
+	M int `json:"m"`
+	// Alpha is the energy exponent of the power function.
+	Alpha float64 `json:"alpha"`
+	// Jobs is the job set, sorted by release time after Normalize.
+	Jobs []Job `json:"jobs"`
+}
+
+// Validate checks the environment and every job.
+func (in *Instance) Validate() error {
+	if in.M < 1 {
+		return fmt.Errorf("instance: need at least one processor, got %d", in.M)
+	}
+	if math.IsNaN(in.Alpha) || in.Alpha <= 1 {
+		return fmt.Errorf("instance: energy exponent must be > 1, got %v", in.Alpha)
+	}
+	seen := make(map[int]struct{}, len(in.Jobs))
+	for _, j := range in.Jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if _, dup := seen[j.ID]; dup {
+			return fmt.Errorf("instance: duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = struct{}{}
+	}
+	return nil
+}
+
+// Normalize sorts jobs by release time (stable, ties by deadline then
+// ID). Online algorithms consume jobs in this order. IDs are left
+// untouched — they are stable identifiers that schedules refer to.
+func (in *Instance) Normalize() {
+	sort.SliceStable(in.Jobs, func(a, b int) bool {
+		ja, jb := in.Jobs[a], in.Jobs[b]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
+		}
+		return ja.ID < jb.ID
+	})
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{M: in.M, Alpha: in.Alpha, Jobs: make([]Job, len(in.Jobs))}
+	copy(out.Jobs, in.Jobs)
+	return out
+}
+
+// TotalWork returns Σ w_j.
+func (in *Instance) TotalWork() float64 {
+	var s float64
+	for _, j := range in.Jobs {
+		s += j.Work
+	}
+	return s
+}
+
+// TotalValue returns Σ v_j, the cost of the trivial schedule that
+// rejects everything (an upper bound on OPT).
+func (in *Instance) TotalValue() float64 {
+	var s float64
+	for _, j := range in.Jobs {
+		s += j.Value
+	}
+	return s
+}
+
+// Horizon returns the earliest release and latest deadline.
+func (in *Instance) Horizon() (t0, t1 float64) {
+	if len(in.Jobs) == 0 {
+		return 0, 0
+	}
+	t0, t1 = in.Jobs[0].Release, in.Jobs[0].Deadline
+	for _, j := range in.Jobs[1:] {
+		t0 = math.Min(t0, j.Release)
+		t1 = math.Max(t1, j.Deadline)
+	}
+	return t0, t1
+}
+
+// WriteTrace serialises the instance as indented JSON.
+func (in *Instance) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// ReadTrace parses an instance from JSON, validates and normalizes it.
+func ReadTrace(r io.Reader) (*Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("job: decoding trace: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	in.Normalize()
+	return &in, nil
+}

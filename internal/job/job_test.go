@@ -1,0 +1,160 @@
+package job
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func valid() Job {
+	return Job{ID: 0, Release: 0, Deadline: 2, Work: 1, Value: 3}
+}
+
+func TestJobValidate(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := map[string]func(*Job){
+		"deadline==release": func(j *Job) { j.Deadline = j.Release },
+		"deadline<release":  func(j *Job) { j.Deadline = j.Release - 1 },
+		"zero work":         func(j *Job) { j.Work = 0 },
+		"negative work":     func(j *Job) { j.Work = -1 },
+		"negative value":    func(j *Job) { j.Value = -0.5 },
+		"NaN release":       func(j *Job) { j.Release = math.NaN() },
+		"Inf deadline":      func(j *Job) { j.Deadline = math.Inf(1) },
+		"NaN work":          func(j *Job) { j.Work = math.NaN() },
+		"NaN value":         func(j *Job) { j.Value = math.NaN() },
+		"-Inf value":        func(j *Job) { j.Value = math.Inf(-1) },
+	}
+	for name, mut := range cases {
+		j := valid()
+		mut(&j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestSpanDensity(t *testing.T) {
+	j := Job{Release: 1, Deadline: 5, Work: 8}
+	if j.Span() != 4 {
+		t.Fatalf("span=%v", j.Span())
+	}
+	if j.Density() != 2 {
+		t.Fatalf("density=%v", j.Density())
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	in := &Instance{M: 0, Alpha: 2, Jobs: []Job{valid()}}
+	if err := in.Validate(); err == nil {
+		t.Error("m=0 must be rejected")
+	}
+	in = &Instance{M: 1, Alpha: 1, Jobs: []Job{valid()}}
+	if err := in.Validate(); err == nil {
+		t.Error("alpha=1 must be rejected")
+	}
+	bad := valid()
+	bad.Work = -1
+	in = &Instance{M: 1, Alpha: 2, Jobs: []Job{bad}}
+	if err := in.Validate(); err == nil {
+		t.Error("bad job must be rejected")
+	}
+	in = &Instance{M: 2, Alpha: 2.5, Jobs: []Job{valid()}}
+	if err := in.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+func TestNormalizeSortsKeepingIDs(t *testing.T) {
+	in := &Instance{M: 1, Alpha: 2, Jobs: []Job{
+		{ID: 9, Release: 3, Deadline: 5, Work: 1, Value: 1},
+		{ID: 7, Release: 1, Deadline: 9, Work: 1, Value: 1},
+		{ID: 4, Release: 1, Deadline: 2, Work: 1, Value: 1},
+	}}
+	in.Normalize()
+	if in.Jobs[0].Release != 1 || in.Jobs[0].Deadline != 2 {
+		t.Fatalf("sort order wrong: %+v", in.Jobs)
+	}
+	// IDs are stable identifiers and must survive normalization.
+	if in.Jobs[0].ID != 4 || in.Jobs[1].ID != 7 || in.Jobs[2].ID != 9 {
+		t.Fatalf("IDs were rewritten: %+v", in.Jobs)
+	}
+}
+
+func TestValidateRejectsDuplicateIDs(t *testing.T) {
+	in := &Instance{M: 1, Alpha: 2, Jobs: []Job{
+		{ID: 3, Release: 0, Deadline: 1, Work: 1, Value: 1},
+		{ID: 3, Release: 1, Deadline: 2, Work: 1, Value: 1},
+	}}
+	if err := in.Validate(); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	in := &Instance{M: 1, Alpha: 2, Jobs: []Job{valid()}}
+	cp := in.Clone()
+	cp.Jobs[0].Work = 42
+	if in.Jobs[0].Work == 42 {
+		t.Fatal("clone shares job slice")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	in := &Instance{M: 1, Alpha: 2, Jobs: []Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 2, Value: 10},
+		{ID: 1, Release: 3, Deadline: 7, Work: 3, Value: 5},
+	}}
+	if in.TotalWork() != 5 {
+		t.Errorf("total work %v", in.TotalWork())
+	}
+	if in.TotalValue() != 15 {
+		t.Errorf("total value %v", in.TotalValue())
+	}
+	t0, t1 := in.Horizon()
+	if t0 != 0 || t1 != 7 {
+		t.Errorf("horizon [%v,%v]", t0, t1)
+	}
+}
+
+func TestHorizonEmpty(t *testing.T) {
+	in := &Instance{M: 1, Alpha: 2}
+	if t0, t1 := in.Horizon(); t0 != 0 || t1 != 0 {
+		t.Fatalf("empty horizon [%v,%v]", t0, t1)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := &Instance{M: 3, Alpha: 2.5, Jobs: []Job{
+		{ID: 1, Release: 0.5, Deadline: 2.25, Work: 1.5, Value: 4},
+		{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 2},
+	}}
+	var buf bytes.Buffer
+	if err := in.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != 3 || back.Alpha != 2.5 || len(back.Jobs) != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// ReadTrace normalizes: release order.
+	if back.Jobs[0].Release != 0 {
+		t.Fatalf("not normalized: %+v", back.Jobs)
+	}
+}
+
+func TestReadTraceRejectsInvalid(t *testing.T) {
+	_, err := ReadTrace(strings.NewReader(`{"m":1,"alpha":2,"jobs":[{"id":0,"release":0,"deadline":0,"work":1,"value":1}]}`))
+	if err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+	_, err = ReadTrace(strings.NewReader(`not json`))
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Package moa implements the multiprocessor extension of Optimal
+// Available (OA) in the spirit of Albers, Antoniadis and Greiner: at
+// every job arrival, recompute the energy-optimal schedule for all
+// *remaining* work (as if everything were released now) using the
+// offline convex solver, and follow that plan until the next arrival.
+// Like OA it finishes every job and ignores values; Albers et al.
+// proved the same αα competitive ratio as in the single-processor case.
+//
+// The paper uses this algorithm family as the prior state of the art
+// for multiprocessors (without values); in this repository it is the
+// finish-all baseline for PD in the multiprocessor experiments, and for
+// m = 1 it coincides with classical OA (cross-checked in tests).
+package moa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/opt"
+	"repro/internal/sched"
+)
+
+// Run executes multiprocessor OA over the instance. Values are
+// ignored; all jobs are finished.
+func Run(in *job.Instance) (*sched.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	groups := map[float64][]job.Job{}
+	var times []float64
+	for _, j := range in.Jobs {
+		if _, ok := groups[j.Release]; !ok {
+			times = append(times, j.Release)
+		}
+		groups[j.Release] = append(groups[j.Release], j)
+	}
+	sort.Float64s(times)
+
+	rem := map[int]float64{}
+	meta := map[int]job.Job{}
+	out := &sched.Schedule{M: in.M}
+	const eps = 1e-12
+
+	for i, t := range times {
+		for _, j := range groups[t] {
+			rem[j.ID] = j.Work
+			meta[j.ID] = j
+		}
+		// Remaining work, all available from t.
+		plan := &job.Instance{M: in.M, Alpha: in.Alpha}
+		for id, r := range rem {
+			if r <= eps*(1+meta[id].Work) {
+				continue
+			}
+			d := meta[id].Deadline
+			if d <= t {
+				return nil, fmt.Errorf("moa: job %d missed its deadline with %v work left", id, r)
+			}
+			plan.Jobs = append(plan.Jobs, job.Job{
+				ID: id, Release: t, Deadline: d, Work: r, Value: math.Inf(1),
+			})
+		}
+		if len(plan.Jobs) == 0 {
+			continue
+		}
+		sol, err := opt.SolveAccepted(plan, nil)
+		if err != nil {
+			return nil, fmt.Errorf("moa: replanning at t=%v: %w", t, err)
+		}
+		horizon := math.Inf(1)
+		if i+1 < len(times) {
+			horizon = times[i+1]
+		}
+		// Execute the plan until the next arrival, clipping segments.
+		for _, seg := range sol.Schedule.Segments {
+			if seg.T0 >= horizon {
+				continue
+			}
+			end := math.Min(seg.T1, horizon)
+			if end <= seg.T0 {
+				continue
+			}
+			clipped := seg
+			clipped.T1 = end
+			out.Segments = append(out.Segments, clipped)
+			rem[seg.Job] -= clipped.Work()
+			if rem[seg.Job] <= eps*(1+meta[seg.Job].Work) {
+				rem[seg.Job] = 0
+			}
+		}
+	}
+	for id, r := range rem {
+		if r > 1e-7*(1+meta[id].Work) {
+			return nil, fmt.Errorf("moa: job %d left with %v work", id, r)
+		}
+	}
+	return out, nil
+}

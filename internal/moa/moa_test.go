@@ -1,0 +1,122 @@
+package moa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/numeric"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/yds"
+)
+
+func finishAll(rng *rand.Rand, n, m int, alpha float64) *job.Instance {
+	in := &job.Instance{M: m, Alpha: alpha}
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * 6
+		span := 0.3 + rng.Float64()*2.5
+		in.Jobs = append(in.Jobs, job.Job{
+			ID: i, Release: r, Deadline: r + span,
+			Work: 0.1 + rng.Float64()*2, Value: math.Inf(1),
+		})
+	}
+	in.Normalize()
+	return in
+}
+
+func TestSingleJob(t *testing.T) {
+	in := &job.Instance{M: 2, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 2, Work: 3, Value: math.Inf(1)},
+	}}
+	s, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.New(2)
+	if got := s.Energy(pm); math.Abs(got-4.5) > 1e-9 { // 2·1.5²
+		t.Fatalf("energy %v want 4.5", got)
+	}
+	if err := sched.Verify(in, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatchesOAOnSingleProcessor: for m = 1, multiprocessor OA must
+// coincide with the classical OA (independent implementations).
+func TestMatchesOAOnSingleProcessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	pm := power.New(2)
+	for trial := 0; trial < 15; trial++ {
+		in := finishAll(rng, 1+rng.Intn(9), 1, 2)
+		a, err := Run(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b, err := yds.OA(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !numeric.Close(a.Energy(pm), b.Energy(pm), 1e-4) {
+			t.Fatalf("trial %d: MOA %v vs OA %v", trial, a.Energy(pm), b.Energy(pm))
+		}
+	}
+}
+
+func TestFeasibleAndWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 15; trial++ {
+		alpha := 2 + rng.Float64()
+		pm := power.New(alpha)
+		in := finishAll(rng, 1+rng.Intn(10), 1+rng.Intn(4), alpha)
+		s, err := Run(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Verify(in, s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol, err := opt.SolveAccepted(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := s.Energy(pm)
+		if e < sol.Energy*(1-1e-6) {
+			t.Fatalf("trial %d: MOA %v beats offline optimum %v", trial, e, sol.Energy)
+		}
+		if e > pm.CompetitiveBound()*sol.Energy*(1+1e-6) {
+			t.Fatalf("trial %d: MOA %v above αα·OPT %v", trial, e, pm.CompetitiveBound()*sol.Energy)
+		}
+	}
+}
+
+func TestSimultaneousArrivalsEqualOffline(t *testing.T) {
+	// All jobs released together: the first plan is final, so MOA's
+	// energy equals the offline optimum.
+	rng := rand.New(rand.NewSource(53))
+	pm := power.New(2.5)
+	in := finishAll(rng, 8, 3, 2.5)
+	for i := range in.Jobs {
+		in.Jobs[i].Release = 0
+	}
+	in.Normalize()
+	s, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := opt.SolveAccepted(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.Close(s.Energy(pm), sol.Energy, 1e-6) {
+		t.Fatalf("MOA %v vs offline %v", s.Energy(pm), sol.Energy)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(&job.Instance{M: 0, Alpha: 2}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}

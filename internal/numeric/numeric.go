@@ -1,0 +1,137 @@
+// Package numeric provides the small numeric kernel used throughout the
+// repository: monotone root finding by bisection, compensated summation,
+// and tolerant floating-point comparisons.
+//
+// The repository deliberately depends only on the standard library; this
+// package stands in for the pieces of a numeric library the algorithms
+// need (the paper's algorithms require only monotone scalar inversion).
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// DefaultTol is the relative tolerance used by most solvers in this
+// repository. It is far below any difference the experiments care about
+// while staying well clear of float64 round-off for the magnitudes that
+// occur in schedules.
+const DefaultTol = 1e-12
+
+// ErrBracket is returned when a root finder is called with an interval
+// that does not bracket a sign change.
+var ErrBracket = errors.New("numeric: interval does not bracket a root")
+
+// BisectIncreasing finds x in [lo, hi] with f(x) = target for a
+// nondecreasing f. It returns the midpoint of the final bracket. If
+// f(lo) > target it returns lo; if f(hi) < target it returns hi. The
+// caller is expected to handle those saturation cases (they encode
+// "water level below the floor" and "above the ceiling" in the
+// scheduling code paths).
+func BisectIncreasing(f func(float64) float64, lo, hi, target, tol float64) float64 {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	flo := f(lo)
+	if flo >= target {
+		return lo
+	}
+	fhi := f(hi)
+	if fhi <= target {
+		return hi
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid == lo || mid == hi {
+			break // bracket collapsed to adjacent floats
+		}
+		if f(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= tol*math.Max(1, math.Abs(hi)) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// SolveIncreasing is like BisectIncreasing but grows the upper bracket
+// geometrically until it encloses the target, starting from hint (or 1
+// if hint <= 0). f must be nondecreasing and unbounded enough to reach
+// target, otherwise ErrBracket is returned after 200 doublings.
+func SolveIncreasing(f func(float64) float64, hint, target, tol float64) (float64, error) {
+	hi := hint
+	if hi <= 0 {
+		hi = 1
+	}
+	for i := 0; i < 200; i++ {
+		if f(hi) >= target {
+			return BisectIncreasing(f, 0, hi, target, tol), nil
+		}
+		hi *= 2
+	}
+	return 0, ErrBracket
+}
+
+// Sum returns the Kahan-compensated sum of xs. Schedules accumulate
+// energy over many short intervals; compensation keeps certificate
+// comparisons (cost ≤ α^α·g) honest rather than drowned in round-off.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Accumulator is an incremental Kahan summer.
+type Accumulator struct {
+	sum, comp float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	y := x - a.comp
+	t := a.sum + y
+	a.comp = (t - a.sum) - y
+	a.sum = t
+}
+
+// Value reports the compensated total so far.
+func (a *Accumulator) Value() float64 { return a.sum }
+
+// Close reports whether a and b agree to relative tolerance tol
+// (absolute for values near zero).
+func Close(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff <= tol
+	}
+	return diff <= tol*scale
+}
+
+// LessEqual reports a ≤ b up to relative slack tol. Invariant checks
+// use it so that exact theoretical inequalities survive float round-off.
+func LessEqual(a, b, tol float64) bool {
+	return a <= b || Close(a, b, tol)
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,144 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectIncreasingLinear(t *testing.T) {
+	f := func(x float64) float64 { return 3*x - 1 }
+	got := BisectIncreasing(f, 0, 10, 5, 1e-12)
+	if !Close(got, 2, 1e-9) {
+		t.Fatalf("root of 3x-1=5: got %v want 2", got)
+	}
+}
+
+func TestBisectIncreasingSaturation(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if got := BisectIncreasing(f, 2, 5, 1, 1e-12); got != 2 {
+		t.Fatalf("target below range: got %v want lo=2", got)
+	}
+	if got := BisectIncreasing(f, 2, 5, 9, 1e-12); got != 5 {
+		t.Fatalf("target above range: got %v want hi=5", got)
+	}
+}
+
+func TestBisectIncreasingPiecewise(t *testing.T) {
+	// Flat then steep: the solver must cope with zero-derivative spans.
+	f := func(x float64) float64 {
+		if x < 1 {
+			return 0
+		}
+		return (x - 1) * (x - 1)
+	}
+	got := BisectIncreasing(f, 0, 10, 4, 1e-12)
+	if !Close(got, 3, 1e-9) {
+		t.Fatalf("got %v want 3", got)
+	}
+}
+
+func TestBisectIncreasingQuick(t *testing.T) {
+	// Property: for random increasing cubics and random targets inside
+	// the range, |f(root) - target| is tiny.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b, c := rng.Float64()+0.1, rng.Float64(), rng.Float64()
+		f := func(x float64) float64 { return a*x*x*x + b*x + c }
+		lo, hi := 0.0, 1+10*rng.Float64()
+		target := f(lo) + rng.Float64()*(f(hi)-f(lo))
+		x := BisectIncreasing(f, lo, hi, target, 1e-13)
+		if math.Abs(f(x)-target) > 1e-7*(1+math.Abs(target)) {
+			t.Fatalf("iteration %d: f(%v)=%v target %v", i, x, f(x), target)
+		}
+	}
+}
+
+func TestSolveIncreasingGrowsBracket(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	x, err := SolveIncreasing(f, 1, 1e6, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Close(x, 1000, 1e-6) {
+		t.Fatalf("got %v want 1000", x)
+	}
+}
+
+func TestSolveIncreasingUnreachable(t *testing.T) {
+	f := func(x float64) float64 { return math.Min(x, 1) }
+	if _, err := SolveIncreasing(f, 1, 5, 1e-12); err == nil {
+		t.Fatal("expected ErrBracket for bounded function")
+	}
+}
+
+func TestSumCompensated(t *testing.T) {
+	// 1 + 1e-16 repeated: naive summation loses the small terms.
+	xs := make([]float64, 0, 1_000_001)
+	xs = append(xs, 1)
+	for i := 0; i < 1_000_000; i++ {
+		xs = append(xs, 1e-16)
+	}
+	got := Sum(xs)
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-14 {
+		t.Fatalf("kahan sum got %v want %v", got, want)
+	}
+}
+
+func TestAccumulatorMatchesSum(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		var acc Accumulator
+		for _, x := range clean {
+			acc.Add(x)
+		}
+		return acc.Value() == Sum(clean)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClose(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1.1, 1e-12, false},
+		{0, 1e-13, 1e-12, true}, // absolute near zero
+		{1e12, 1e12 + 1, 1e-9, true},
+		{-1, 1, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := Close(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("Close(%v,%v,%v)=%v want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestLessEqual(t *testing.T) {
+	if !LessEqual(1, 2, 1e-12) {
+		t.Error("1 <= 2 must hold")
+	}
+	if !LessEqual(1+1e-14, 1, 1e-12) {
+		t.Error("tiny excess within tolerance must pass")
+	}
+	if LessEqual(1.1, 1, 1e-12) {
+		t.Error("clear violation must fail")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp broken")
+	}
+}

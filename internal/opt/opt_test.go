@@ -1,0 +1,212 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+func randInstance(rng *rand.Rand, n, m int, alpha float64, infValues bool) *job.Instance {
+	in := &job.Instance{M: m, Alpha: alpha}
+	pm := power.Model{Alpha: alpha}
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * 6
+		span := 0.3 + rng.Float64()*2.5
+		w := 0.1 + rng.Float64()*2
+		v := math.Inf(1)
+		if !infValues {
+			solo := span * pm.Power(w/span)
+			v = solo * math.Exp(rng.NormFloat64())
+		}
+		in.Jobs = append(in.Jobs, job.Job{ID: i, Release: r, Deadline: r + span, Work: w, Value: v})
+	}
+	in.Normalize()
+	return in
+}
+
+func TestSolveAcceptedSingleJob(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 2, Work: 4, Value: 1},
+	}}
+	sol, err := SolveAccepted(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Energy-8) > 1e-9 { // 2·(4/2)^2
+		t.Fatalf("energy %v want 8", sol.Energy)
+	}
+	if err := sched.Verify(in, sol.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.LessEqual(sol.LowerBound, sol.Cost, 1e-9) {
+		t.Fatalf("lower bound %v above cost %v", sol.LowerBound, sol.Cost)
+	}
+	if sol.Cost-sol.LowerBound > 1e-6*(1+sol.Cost) {
+		t.Fatalf("gap too large: cost %v lb %v", sol.Cost, sol.LowerBound)
+	}
+}
+
+func TestSolveAcceptedTwoProcessorsBalance(t *testing.T) {
+	in := &job.Instance{M: 2, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 1},
+		{ID: 1, Release: 0, Deadline: 1, Work: 1, Value: 1},
+	}}
+	sol, err := SolveAccepted(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Energy-2) > 1e-9 {
+		t.Fatalf("energy %v want 2 (one job per processor)", sol.Energy)
+	}
+}
+
+func TestSolveAcceptedRespectsAcceptSet(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 7},
+		{ID: 1, Release: 0, Deadline: 1, Work: 1, Value: 3},
+	}}
+	sol, err := SolveAccepted(in, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Energy-1) > 1e-9 {
+		t.Fatalf("energy %v want 1", sol.Energy)
+	}
+	if math.Abs(sol.Cost-4) > 1e-9 { // energy 1 + lost value 3
+		t.Fatalf("cost %v want 4", sol.Cost)
+	}
+	if sol.Accepted[1] {
+		t.Fatal("job 1 must not be accepted")
+	}
+	if err := sched.Verify(in, sol.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveAcceptedEmptySet(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: 7},
+	}}
+	sol, err := SolveAccepted(in, map[int]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 7 || sol.Energy != 0 {
+		t.Fatalf("reject-everything cost %v energy %v", sol.Cost, sol.Energy)
+	}
+}
+
+// TestSolverGapSmall: BCD must converge: the certified duality gap on
+// random finish-all instances stays tiny.
+func TestSolverGapSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		in := randInstance(rng, 1+rng.Intn(10), 1+rng.Intn(3), 2+rng.Float64(), true)
+		sol, err := SolveAccepted(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Verify(in, sol.Schedule); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !numeric.LessEqual(sol.LowerBound, sol.Cost, 1e-9) {
+			t.Fatalf("trial %d: lb %v > cost %v", trial, sol.LowerBound, sol.Cost)
+		}
+		gap := (sol.Cost - sol.LowerBound) / math.Max(1, sol.Cost)
+		if gap > 1e-4 {
+			t.Fatalf("trial %d: gap %v too large (cost %v lb %v, %d sweeps)",
+				trial, gap, sol.Cost, sol.LowerBound, sol.Sweeps)
+		}
+	}
+}
+
+func TestIntegralPrefersRejectingWorthlessJob(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		// Finishing costs 1·(10/1)^2 = 100 energy; value only 1.
+		{ID: 0, Release: 0, Deadline: 1, Work: 10, Value: 1},
+		// Cheap valuable job.
+		{ID: 1, Release: 0, Deadline: 1, Work: 0.1, Value: 50},
+	}}
+	sol, err := Integral(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Accepted[0] {
+		t.Fatal("job 0 should be rejected (energy 100 vs value 1)")
+	}
+	if !sol.Accepted[1] {
+		t.Fatal("job 1 should be accepted")
+	}
+	want := 1.0 + 0.1*0.1 // value 1 lost + energy 0.01
+	if math.Abs(sol.Cost-want) > 1e-9 {
+		t.Fatalf("cost %v want %v", sol.Cost, want)
+	}
+}
+
+func TestIntegralAcceptsEverythingWhenValuesHuge(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	in := randInstance(rng, 5, 2, 2, true)
+	sol, err := Integral(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs {
+		if !sol.Accepted[j.ID] {
+			t.Fatalf("job %d with infinite value rejected", j.ID)
+		}
+	}
+}
+
+func TestIntegralLimit(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2}
+	for i := 0; i <= IntegralLimit; i++ {
+		in.Jobs = append(in.Jobs, job.Job{ID: i, Release: 0, Deadline: 1, Work: 1, Value: 1})
+	}
+	if _, err := Integral(in); err == nil {
+		t.Fatal("enumeration above limit must be refused")
+	}
+}
+
+// TestIntegralBelowAllSingletonPolicies: the enumerated optimum is at
+// least as good as accept-all and reject-all.
+func TestIntegralBelowAllSingletonPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(rng, 1+rng.Intn(7), 1+rng.Intn(2), 2.5, false)
+		best, err := Integral(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := SolveAccepted(in, allOf(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		none, err := SolveAccepted(in, map[int]bool{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.LessEqual(best.Cost, all.Cost, 1e-9) || !numeric.LessEqual(best.Cost, none.Cost, 1e-9) {
+			t.Fatalf("trial %d: integral %v above accept-all %v or reject-all %v",
+				trial, best.Cost, all.Cost, none.Cost)
+		}
+	}
+}
+
+func allOf(in *job.Instance) map[int]bool {
+	m := map[int]bool{}
+	for _, j := range in.Jobs {
+		m[j.ID] = true
+	}
+	return m
+}
+
+func TestSolveAcceptedValidation(t *testing.T) {
+	if _, err := SolveAccepted(&job.Instance{M: 0, Alpha: 2}, nil); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}

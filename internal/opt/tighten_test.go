@@ -1,0 +1,77 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+// TestTightenNeverWorsens: the returned dual value is at least the
+// input's, and every intermediate bound stays below the integral OPT.
+func TestTightenNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(rng, 1+rng.Intn(7), 1+rng.Intn(2), 2+rng.Float64(), false)
+		res, err := core.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lam, g := TightenDual(in, lambdasOf(res), 5)
+		if g < res.Dual-1e-9*(1+res.Dual) {
+			t.Fatalf("trial %d: tightening worsened the bound: %v -> %v", trial, res.Dual, g)
+		}
+		best, err := Integral(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.LessEqual(g, best.Cost, 1e-6) {
+			t.Fatalf("trial %d: tightened bound %v above OPT %v (weak duality broken)",
+				trial, g, best.Cost)
+		}
+		for id, l := range lam {
+			if l < 0 {
+				t.Fatalf("negative multiplier for job %d: %v", id, l)
+			}
+		}
+	}
+}
+
+// TestTightenImprovesTypically: averaged over instances, tightening
+// should strictly improve PD's certificate on most contested workloads.
+func TestTightenImprovesTypically(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	improved := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		in := randInstance(rng, 8, 2, 2.5, false)
+		res, err := core.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, g := TightenDual(in, lambdasOf(res), 5)
+		if g > res.Dual*(1+1e-9) {
+			improved++
+		}
+	}
+	if improved < trials/2 {
+		t.Fatalf("tightening improved only %d/%d certificates", improved, trials)
+	}
+}
+
+func TestGoldenMaxFindsParabolaPeak(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 3) * (x - 3) }
+	x, v := goldenMax(f, 0, 10)
+	if x < 2.999 || x > 3.001 || v < -1e-6 {
+		t.Fatalf("peak at %v (value %v), want 3", x, v)
+	}
+}
+
+func lambdasOf(res *core.Result) map[int]float64 {
+	out := map[int]float64{}
+	for _, d := range res.Decisions {
+		out[d.JobID] = d.Lambda
+	}
+	return out
+}

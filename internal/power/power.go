@@ -1,0 +1,94 @@
+// Package power implements the dynamic-speed-scaling power model of
+// Yao, Demers and Shenker: a processor running at speed s ≥ 0 consumes
+// power P_α(s) = s^α for a constant energy exponent α > 1. All
+// algorithms in this repository are parameterised by a Model value.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is the power function P(s) = s^Alpha.
+type Model struct {
+	// Alpha is the energy exponent, α > 1. Classical CMOS systems are
+	// approximated well by α = 3 (cube-root rule).
+	Alpha float64
+}
+
+// New returns a Model with the given exponent, panicking on invalid α.
+// The exponent is a structural constant of a deployment, so a bad value
+// is a programming error rather than a runtime condition.
+func New(alpha float64) Model {
+	m := Model{Alpha: alpha}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Validate reports whether the model is usable (α > 1, finite).
+func (m Model) Validate() error {
+	if math.IsNaN(m.Alpha) || math.IsInf(m.Alpha, 0) || m.Alpha <= 1 {
+		return fmt.Errorf("power: energy exponent must be finite and > 1, got %v", m.Alpha)
+	}
+	return nil
+}
+
+// Power returns P(s) = s^α for speed s ≥ 0.
+func (m Model) Power(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	return math.Pow(s, m.Alpha)
+}
+
+// Energy returns the energy consumed running at constant speed s for
+// duration dt: dt·s^α.
+func (m Model) Energy(s, dt float64) float64 {
+	return dt * m.Power(s)
+}
+
+// Marginal returns P'(s) = α·s^{α-1}, the marginal power of speed.
+func (m Model) Marginal(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	return m.Alpha * math.Pow(s, m.Alpha-1)
+}
+
+// SpeedForMarginal inverts Marginal: the speed s with α·s^{α-1} = g.
+func (m Model) SpeedForMarginal(g float64) float64 {
+	if g <= 0 {
+		return 0
+	}
+	return math.Pow(g/m.Alpha, 1/(m.Alpha-1))
+}
+
+// CompetitiveBound returns α^α, the paper's tight competitive ratio for
+// algorithm PD (Theorem 3).
+func (m Model) CompetitiveBound() float64 {
+	return math.Pow(m.Alpha, m.Alpha)
+}
+
+// DefaultDelta returns δ = α^{1-α} = 1/α^{α-1}, the optimal choice of
+// PD's parameter established in Section 4 of the paper.
+func (m Model) DefaultDelta() float64 {
+	return math.Pow(m.Alpha, 1-m.Alpha)
+}
+
+// CLLBound returns α^α + 2e^α, the competitive ratio of the
+// Chan-Lam-Li single-processor algorithm that PD improves upon.
+func (m Model) CLLBound() float64 {
+	return math.Pow(m.Alpha, m.Alpha) + 2*math.Exp(m.Alpha)
+}
+
+// RejectionSpeed returns the threshold speed above which PD (with
+// parameter δ) rejects a job of workload w and value v: the speed s at
+// which δ·w·P'(s) = v, i.e. s = (v/(δ·α·w))^{1/(α-1)}.
+func (m Model) RejectionSpeed(delta, w, v float64) float64 {
+	if w <= 0 || v <= 0 {
+		return 0
+	}
+	return math.Pow(v/(delta*m.Alpha*w), 1/(m.Alpha-1))
+}

@@ -1,0 +1,139 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	for _, alpha := range []float64{1, 0.5, -2, math.NaN(), math.Inf(1)} {
+		if err := (Model{Alpha: alpha}).Validate(); err == nil {
+			t.Errorf("alpha=%v should be rejected", alpha)
+		}
+	}
+	for _, alpha := range []float64{1.1, 2, 3, 10} {
+		if err := (Model{Alpha: alpha}).Validate(); err != nil {
+			t.Errorf("alpha=%v should be accepted: %v", alpha, err)
+		}
+	}
+}
+
+func TestNewPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0.5) must panic")
+		}
+	}()
+	New(0.5)
+}
+
+func TestPowerKnownValues(t *testing.T) {
+	m := New(3)
+	cases := []struct{ s, want float64 }{
+		{0, 0}, {1, 1}, {2, 8}, {0.5, 0.125},
+	}
+	for _, c := range cases {
+		if got := m.Power(c.s); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("P(%v)=%v want %v", c.s, got, c.want)
+		}
+	}
+	if m.Power(-1) != 0 {
+		t.Error("negative speed must cost nothing (clamped)")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	m := New(2)
+	if got := m.Energy(3, 2); got != 18 {
+		t.Fatalf("E(3 for 2)=%v want 18", got)
+	}
+}
+
+func TestMarginalIsDerivative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		m := New(1.2 + 3*rng.Float64())
+		s := 0.1 + 5*rng.Float64()
+		h := 1e-6 * s
+		fd := (m.Power(s+h) - m.Power(s-h)) / (2 * h)
+		if math.Abs(fd-m.Marginal(s)) > 1e-4*(1+fd) {
+			t.Fatalf("alpha=%v s=%v: marginal %v vs finite diff %v", m.Alpha, s, m.Marginal(s), fd)
+		}
+	}
+}
+
+func TestSpeedForMarginalInverts(t *testing.T) {
+	err := quick.Check(func(a, s float64) bool {
+		alpha := 1.1 + math.Mod(math.Abs(a), 4)
+		speed := 0.01 + math.Mod(math.Abs(s), 100)
+		m := Model{Alpha: alpha}
+		back := m.SpeedForMarginal(m.Marginal(speed))
+		return math.Abs(back-speed) < 1e-9*(1+speed)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedForMarginalZero(t *testing.T) {
+	m := New(2)
+	if m.SpeedForMarginal(0) != 0 || m.SpeedForMarginal(-1) != 0 {
+		t.Fatal("nonpositive marginal must map to speed 0")
+	}
+}
+
+func TestCompetitiveBound(t *testing.T) {
+	if got := New(2).CompetitiveBound(); got != 4 {
+		t.Fatalf("2^2=%v", got)
+	}
+	if got := New(3).CompetitiveBound(); got != 27 {
+		t.Fatalf("3^3=%v", got)
+	}
+}
+
+func TestDefaultDelta(t *testing.T) {
+	// δ = α^{1-α}: for α=2 that is 1/2, for α=3 it is 1/9.
+	if got := New(2).DefaultDelta(); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("delta(2)=%v want 0.5", got)
+	}
+	if got := New(3).DefaultDelta(); math.Abs(got-1.0/9) > 1e-15 {
+		t.Fatalf("delta(3)=%v want 1/9", got)
+	}
+}
+
+func TestCLLBoundExceedsPDBound(t *testing.T) {
+	// The paper's improvement claim: α^α < α^α + 2e^α for every α.
+	for _, a := range []float64{1.5, 2, 2.5, 3, 4} {
+		m := New(a)
+		if m.CLLBound() <= m.CompetitiveBound() {
+			t.Errorf("alpha=%v: CLL bound %v not above PD bound %v", a, m.CLLBound(), m.CompetitiveBound())
+		}
+	}
+}
+
+func TestRejectionSpeed(t *testing.T) {
+	m := New(2)
+	delta := m.DefaultDelta() // 1/2
+	// δ·α·w·s = v with α=2: s = v/(δ·2·w) = v/w.
+	if got := m.RejectionSpeed(delta, 2, 6); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("rejection speed got %v want 3", got)
+	}
+	if m.RejectionSpeed(delta, 0, 1) != 0 || m.RejectionSpeed(delta, 1, 0) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}
+
+func TestRejectionSpeedMonotoneInValue(t *testing.T) {
+	m := New(2.5)
+	d := m.DefaultDelta()
+	prev := 0.0
+	for v := 0.5; v < 100; v *= 2 {
+		s := m.RejectionSpeed(d, 1, v)
+		if s <= prev {
+			t.Fatalf("rejection speed must grow with value: v=%v s=%v prev=%v", v, s, prev)
+		}
+		prev = s
+	}
+}

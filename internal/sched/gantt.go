@@ -1,0 +1,46 @@
+// ASCII Gantt rendering: one row per processor, job IDs as glyphs.
+
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ganttGlyphs maps job IDs to display runes (cycled for IDs ≥ 62).
+const ganttGlyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// RenderGantt draws the schedule as one timeline row per processor over
+// width columns. Each column shows the job occupying the processor at
+// the column's midpoint ('.' when idle). A final legend line maps
+// glyphs back to job IDs when any were cycled.
+func (s *Schedule) RenderGantt(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	bps := s.Breakpoints()
+	if len(bps) < 2 {
+		return "(empty schedule)"
+	}
+	t0, t1 := bps[0], bps[len(bps)-1]
+	var b strings.Builder
+	fmt.Fprintf(&b, "t ∈ [%.3g, %.3g), %d processors\n", t0, t1, s.M)
+	for p := 0; p < s.M; p++ {
+		fmt.Fprintf(&b, "cpu%-2d ", p)
+		for c := 0; c < width; c++ {
+			t := t0 + (float64(c)+0.5)/float64(width)*(t1-t0)
+			glyph := byte('.')
+			for _, seg := range s.Segments {
+				if seg.Proc == p && seg.T0 <= t && t < seg.T1 {
+					glyph = ganttGlyphs[seg.Job%len(ganttGlyphs)]
+					break
+				}
+			}
+			b.WriteByte(glyph)
+		}
+		if p+1 < s.M {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

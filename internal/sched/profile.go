@@ -1,0 +1,45 @@
+// ASCII rendering of schedule speed profiles, used by the figure
+// experiments and the profsched CLI.
+
+package sched
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// profileGlyphs are eighth-block characters for the sparkline.
+var profileGlyphs = []rune(" ▁▂▃▄▅▆▇█")
+
+// RenderProfile draws the total-speed step function of the schedule as
+// a sparkline over width columns, with a header line giving the time
+// range and peak speed. An empty schedule renders as a flat line.
+func (s *Schedule) RenderProfile(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	bps := s.Breakpoints()
+	if len(bps) < 2 {
+		return "(empty schedule)"
+	}
+	t0, t1 := bps[0], bps[len(bps)-1]
+	peak := 0.0
+	samples := make([]float64, width)
+	for i := 0; i < width; i++ {
+		// Sample mid-column to avoid landing exactly on breakpoints.
+		t := t0 + (float64(i)+0.5)/float64(width)*(t1-t0)
+		samples[i] = s.TotalSpeedAt(t)
+		peak = math.Max(peak, samples[i])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t ∈ [%.3g, %.3g), peak total speed %.4g\n", t0, t1, peak)
+	for _, v := range samples {
+		idx := 0
+		if peak > 0 {
+			idx = int(math.Round(v / peak * float64(len(profileGlyphs)-1)))
+		}
+		b.WriteRune(profileGlyphs[idx])
+	}
+	return b.String()
+}

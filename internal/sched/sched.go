@@ -1,0 +1,210 @@
+// Package sched provides the explicit schedule representation shared by
+// every algorithm in this repository, together with an independent
+// feasibility verifier and exact energy metering.
+//
+// A schedule is a set of segments: job j runs on processor p during
+// [T0, T1) at constant speed s. Because optimal schedules for the
+// paper's model are piecewise constant on atomic intervals, this
+// representation is lossless. The verifier re-checks, from scratch, the
+// model constraints of Section 2: at most one job per processor at a
+// time, each job on at most one processor at a time, work only inside
+// [r_j, d_j), and accepted jobs fully processed.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/numeric"
+	"repro/internal/power"
+)
+
+// VerifyTol is the relative tolerance the verifier grants on workload
+// completion and segment overlap. Exact algorithms (PD, YDS, OA) land
+// far inside it; simulated baselines with numeric integration (BKP,
+// qOA) need the slack.
+const VerifyTol = 1e-6
+
+// Segment is one maximal piece of constant-speed execution.
+type Segment struct {
+	Proc  int     // processor index, 0 ≤ Proc < M
+	Job   int     // job ID
+	T0    float64 // start time (inclusive)
+	T1    float64 // end time (exclusive)
+	Speed float64 // constant speed ≥ 0
+}
+
+// Work returns the work processed in the segment.
+func (s Segment) Work() float64 { return (s.T1 - s.T0) * s.Speed }
+
+// Schedule is a complete output of a scheduling algorithm.
+type Schedule struct {
+	M        int       // number of processors
+	Segments []Segment // executed work
+	Rejected []int     // IDs of jobs the algorithm chose not to finish
+}
+
+// Energy returns the total energy of the schedule under the power model.
+func (s *Schedule) Energy(pm power.Model) float64 {
+	var acc numeric.Accumulator
+	for _, seg := range s.Segments {
+		acc.Add(pm.Energy(seg.Speed, seg.T1-seg.T0))
+	}
+	return acc.Value()
+}
+
+// ProcessedWork returns, per job ID, the total work the schedule
+// processes for it.
+func (s *Schedule) ProcessedWork() map[int]float64 {
+	done := make(map[int]float64)
+	for _, seg := range s.Segments {
+		done[seg.Job] += seg.Work()
+	}
+	return done
+}
+
+// LostValue returns the summed value of jobs in the instance that the
+// schedule does not finish (processed work < w_j up to tolerance).
+func (s *Schedule) LostValue(in *job.Instance) float64 {
+	done := s.ProcessedWork()
+	var lost float64
+	for _, j := range in.Jobs {
+		if done[j.ID] < j.Work*(1-VerifyTol) {
+			lost += j.Value
+		}
+	}
+	return lost
+}
+
+// Cost returns energy plus lost value — Eq. (1) of the paper.
+func (s *Schedule) Cost(in *job.Instance, pm power.Model) float64 {
+	return s.Energy(pm) + s.LostValue(in)
+}
+
+// MaxSpeed returns the largest speed any processor uses.
+func (s *Schedule) MaxSpeed() float64 {
+	var m float64
+	for _, seg := range s.Segments {
+		m = math.Max(m, seg.Speed)
+	}
+	return m
+}
+
+// TotalSpeedAt returns the summed speed over all processors at time t
+// (used to render speed profiles for the figure experiments).
+func (s *Schedule) TotalSpeedAt(t float64) float64 {
+	var sum float64
+	for _, seg := range s.Segments {
+		if seg.T0 <= t && t < seg.T1 {
+			sum += seg.Speed
+		}
+	}
+	return sum
+}
+
+// Breakpoints returns the sorted unique segment boundaries.
+func (s *Schedule) Breakpoints() []float64 {
+	set := map[float64]struct{}{}
+	for _, seg := range s.Segments {
+		set[seg.T0] = struct{}{}
+		set[seg.T1] = struct{}{}
+	}
+	out := make([]float64, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Verify checks the schedule against the instance and returns the first
+// violated model constraint, or nil if the schedule is feasible.
+func Verify(in *job.Instance, s *Schedule) error {
+	if s.M < 1 || s.M > in.M {
+		return fmt.Errorf("sched: schedule uses %d processors, instance allows %d", s.M, in.M)
+	}
+	jobs := make(map[int]job.Job, len(in.Jobs))
+	for _, j := range in.Jobs {
+		jobs[j.ID] = j
+	}
+	rejected := make(map[int]bool, len(s.Rejected))
+	for _, id := range s.Rejected {
+		if _, ok := jobs[id]; !ok {
+			return fmt.Errorf("sched: rejected job %d not in instance", id)
+		}
+		rejected[id] = true
+	}
+
+	byProc := make(map[int][]Segment)
+	byJob := make(map[int][]Segment)
+	for i, seg := range s.Segments {
+		if seg.T1 <= seg.T0 {
+			return fmt.Errorf("sched: segment %d has empty or negative duration [%v,%v)", i, seg.T0, seg.T1)
+		}
+		if seg.Speed < 0 || math.IsNaN(seg.Speed) || math.IsInf(seg.Speed, 0) {
+			return fmt.Errorf("sched: segment %d has invalid speed %v", i, seg.Speed)
+		}
+		if seg.Proc < 0 || seg.Proc >= s.M {
+			return fmt.Errorf("sched: segment %d on processor %d outside [0,%d)", i, seg.Proc, s.M)
+		}
+		j, ok := jobs[seg.Job]
+		if !ok {
+			return fmt.Errorf("sched: segment %d references unknown job %d", i, seg.Job)
+		}
+		slack := VerifyTol * math.Max(1, j.Span())
+		if seg.T0 < j.Release-slack || seg.T1 > j.Deadline+slack {
+			return fmt.Errorf("sched: segment %d runs job %d outside its window [%v,%v): [%v,%v)",
+				i, seg.Job, j.Release, j.Deadline, seg.T0, seg.T1)
+		}
+		byProc[seg.Proc] = append(byProc[seg.Proc], seg)
+		byJob[seg.Job] = append(byJob[seg.Job], seg)
+	}
+
+	for p, segs := range byProc {
+		if err := noOverlap(segs, fmt.Sprintf("processor %d", p)); err != nil {
+			return err
+		}
+	}
+	for id, segs := range byJob {
+		if err := noOverlap(segs, fmt.Sprintf("job %d (parallel execution)", id)); err != nil {
+			return err
+		}
+	}
+
+	done := s.ProcessedWork()
+	for _, j := range in.Jobs {
+		if rejected[j.ID] {
+			// PD resets a rejected job's assignment to zero; any
+			// residual execution indicates a bookkeeping bug.
+			if done[j.ID] > VerifyTol*j.Work {
+				return fmt.Errorf("sched: rejected job %d has %v work processed", j.ID, done[j.ID])
+			}
+			continue
+		}
+		if done[j.ID] < j.Work*(1-VerifyTol) {
+			return fmt.Errorf("sched: job %d not rejected but only %v of %v work processed",
+				j.ID, done[j.ID], j.Work)
+		}
+	}
+	return nil
+}
+
+// noOverlap checks that the segments, viewed as half-open time
+// intervals, are pairwise disjoint (up to tolerance relative to their
+// lengths).
+func noOverlap(segs []Segment, what string) error {
+	sorted := make([]Segment, len(segs))
+	copy(sorted, segs)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].T0 < sorted[b].T0 })
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1], sorted[i]
+		slack := VerifyTol * math.Max(1, prev.T1-prev.T0)
+		if cur.T0 < prev.T1-slack {
+			return fmt.Errorf("sched: overlapping segments on %s: [%v,%v) and [%v,%v)",
+				what, prev.T0, prev.T1, cur.T0, cur.T1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+)
+
+func checkValid(t *testing.T, in *job.Instance, wantN int) {
+	t.Helper()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Jobs) != wantN {
+		t.Fatalf("want %d jobs, got %d", wantN, len(in.Jobs))
+	}
+	for i := 1; i < len(in.Jobs); i++ {
+		if in.Jobs[i].Release < in.Jobs[i-1].Release {
+			t.Fatal("not normalized by release time")
+		}
+	}
+}
+
+func TestGeneratorsProduceValidInstances(t *testing.T) {
+	cfg := Config{N: 30, M: 3, Alpha: 2.5, Seed: 1}
+	for name, gen := range map[string]func(Config) *job.Instance{
+		"uniform": Uniform, "poisson": Poisson, "diurnal": Diurnal, "bursty": Bursty,
+	} {
+		in := gen(cfg)
+		t.Run(name, func(t *testing.T) { checkValid(t, in, 30) })
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{N: 10, M: 1, Alpha: 2, Seed: 99}
+	a, b := Uniform(cfg), Uniform(cfg)
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatal("same seed must give identical instances")
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 100
+	c := Uniform(cfg2)
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i] != c.Jobs[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestInfiniteValueScale(t *testing.T) {
+	in := Uniform(Config{N: 5, M: 1, Alpha: 2, Seed: 3, ValueScale: math.Inf(1)})
+	for _, j := range in.Jobs {
+		if !math.IsInf(j.Value, 1) {
+			t.Fatalf("job %d value %v, want +Inf", j.ID, j.Value)
+		}
+	}
+}
+
+func TestValueScaleShiftsValues(t *testing.T) {
+	lo := Uniform(Config{N: 20, M: 1, Alpha: 2, Seed: 5, ValueScale: 0.1})
+	hi := Uniform(Config{N: 20, M: 1, Alpha: 2, Seed: 5, ValueScale: 10})
+	var sumLo, sumHi float64
+	for i := range lo.Jobs {
+		sumLo += lo.Jobs[i].Value
+		sumHi += hi.Jobs[i].Value
+	}
+	if sumHi <= sumLo*50 { // exact factor is 100; leave slack
+		t.Fatalf("value scale had no effect: %v vs %v", sumLo, sumHi)
+	}
+}
+
+func TestLowerBoundInstanceShape(t *testing.T) {
+	in := LowerBound(5, 2)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Jobs) != 5 || in.M != 1 {
+		t.Fatalf("unexpected shape: %+v", in)
+	}
+	for j, jb := range in.Jobs {
+		if jb.Release != float64(j) || jb.Deadline != 5 {
+			t.Fatalf("job %d window [%v,%v)", j, jb.Release, jb.Deadline)
+		}
+		want := math.Pow(float64(5-j), -0.5)
+		if math.Abs(jb.Work-want) > 1e-12 {
+			t.Fatalf("job %d work %v want %v", j, jb.Work, want)
+		}
+	}
+}
+
+func TestFigureInstances(t *testing.T) {
+	if err := Figure3().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	before, after := Figure2()
+	if err := before.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := after.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Jobs) != len(before.Jobs)+1 {
+		t.Fatal("Figure2 'after' must add exactly one job")
+	}
+}
+
+func TestBurstyHasSimultaneousArrivals(t *testing.T) {
+	in := Bursty(Config{N: 40, M: 4, Alpha: 2, Seed: 7})
+	same := 0
+	for i := 1; i < len(in.Jobs); i++ {
+		if in.Jobs[i].Release == in.Jobs[i-1].Release {
+			same++
+		}
+	}
+	if same == 0 {
+		t.Fatal("bursty workload has no simultaneous arrivals")
+	}
+}

@@ -1,0 +1,375 @@
+// Online single-processor algorithms: OA, AVR, BKP and qOA.
+
+package yds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// Pending is one unfinished job in an online planner's state.
+type Pending struct {
+	ID       int
+	Deadline float64
+	Rem      float64 // remaining work
+}
+
+// Block is one constant-speed step of an OA staircase plan: Jobs (in
+// deadline order) run back-to-back at Speed during [Start, End).
+type Block struct {
+	Start, End float64
+	Speed      float64
+	Jobs       []Pending
+}
+
+// Staircase computes the optimal plan for finishing the pending jobs on
+// one processor when all of them are available from time t on (the
+// YDS structure degenerates to a staircase of prefix densities when all
+// releases coincide). This is OA's planning step.
+func Staircase(t float64, pend []Pending) ([]Block, error) {
+	left := make([]Pending, 0, len(pend))
+	for _, p := range pend {
+		if p.Rem > 0 {
+			left = append(left, p)
+		}
+	}
+	sort.Slice(left, func(i, k int) bool {
+		if left[i].Deadline != left[k].Deadline {
+			return left[i].Deadline < left[k].Deadline
+		}
+		return left[i].ID < left[k].ID
+	})
+	var blocks []Block
+	start := t
+	for len(left) > 0 {
+		if left[0].Deadline <= start {
+			return nil, fmt.Errorf("yds: job %d has %v work after its deadline %v (t=%v)",
+				left[0].ID, left[0].Rem, left[0].Deadline, start)
+		}
+		// Maximum-density prefix.
+		var cum float64
+		bestK, bestG := -1, -1.0
+		for k, p := range left {
+			cum += p.Rem
+			if g := cum / (p.Deadline - start); g > bestG {
+				bestK, bestG = k, g
+			}
+		}
+		end := left[bestK].Deadline
+		blocks = append(blocks, Block{
+			Start: start, End: end, Speed: bestG,
+			Jobs: append([]Pending(nil), left[:bestK+1]...),
+		})
+		left = left[bestK+1:]
+		start = end
+	}
+	return blocks, nil
+}
+
+// PlannedSpeedOf returns the speed of the block containing job id in
+// the plan, or 0 if the job is not planned.
+func PlannedSpeedOf(blocks []Block, id int) float64 {
+	for _, b := range blocks {
+		for _, p := range b.Jobs {
+			if p.ID == id {
+				return b.Speed
+			}
+		}
+	}
+	return 0
+}
+
+// ExecutePlan runs the staircase from its start until horizon, emitting
+// segments and decrementing rem. Jobs inside a block run in deadline
+// order (EDF within the block).
+func ExecutePlan(blocks []Block, horizon float64, rem map[int]float64, segs *[]sched.Segment) {
+	const eps = 1e-12
+	for _, b := range blocks {
+		if b.Start >= horizon {
+			return
+		}
+		t := b.Start
+		for _, p := range b.Jobs {
+			if t >= horizon-eps {
+				return
+			}
+			r := rem[p.ID]
+			if r <= eps {
+				continue
+			}
+			dur := r / b.Speed
+			end := math.Min(t+dur, horizon)
+			if end > t {
+				*segs = append(*segs, sched.Segment{Proc: 0, Job: p.ID, T0: t, T1: end, Speed: b.Speed})
+				rem[p.ID] -= (end - t) * b.Speed
+				// (r/s)·s rarely equals r in floats; clamp the residue
+				// so finished jobs do not haunt later plans.
+				if rem[p.ID] <= eps*(1+r) {
+					rem[p.ID] = 0
+				}
+				t = end
+			}
+		}
+	}
+}
+
+// arrivalGroups returns the distinct release times of the instance in
+// order together with the jobs released at each.
+func arrivalGroups(in *job.Instance) ([]float64, map[float64][]job.Job) {
+	groups := map[float64][]job.Job{}
+	for _, j := range in.Jobs {
+		groups[j.Release] = append(groups[j.Release], j)
+	}
+	times := make([]float64, 0, len(groups))
+	for t := range groups {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	return times, groups
+}
+
+// OA runs the Optimal Available algorithm: at every arrival it
+// recomputes the optimal plan for the remaining work (all of it
+// available now) and follows the plan until the next arrival. Values
+// are ignored; every job is finished. Exactly αα-competitive.
+func OA(in *job.Instance) (*sched.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	out := &sched.Schedule{M: 1}
+	times, groups := arrivalGroups(in)
+	rem := map[int]float64{}
+	meta := map[int]job.Job{}
+
+	for i, t := range times {
+		for _, j := range groups[t] {
+			rem[j.ID] = j.Work
+			meta[j.ID] = j
+		}
+		var pend []Pending
+		for id, r := range rem {
+			if r > 0 {
+				pend = append(pend, Pending{ID: id, Deadline: meta[id].Deadline, Rem: r})
+			}
+		}
+		blocks, err := Staircase(t, pend)
+		if err != nil {
+			return nil, err
+		}
+		horizon := math.Inf(1)
+		if i+1 < len(times) {
+			horizon = times[i+1]
+		}
+		ExecutePlan(blocks, horizon, rem, &out.Segments)
+	}
+	return out, nil
+}
+
+// AVR runs the Average Rate algorithm: each job is processed at its
+// density w/(d-r) across its whole window; the processor speed is the
+// sum of active densities. Within each atomic interval the active jobs
+// run sequentially with time shares proportional to their densities,
+// which realises exactly the per-job average rates.
+func AVR(in *job.Instance) (*sched.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	out := &sched.Schedule{M: 1}
+	bset := map[float64]struct{}{}
+	for _, j := range in.Jobs {
+		bset[j.Release] = struct{}{}
+		bset[j.Deadline] = struct{}{}
+	}
+	bounds := make([]float64, 0, len(bset))
+	for t := range bset {
+		bounds = append(bounds, t)
+	}
+	sort.Float64s(bounds)
+
+	for k := 0; k+1 < len(bounds); k++ {
+		t0, t1 := bounds[k], bounds[k+1]
+		var total float64
+		var active []job.Job
+		for _, j := range in.Jobs {
+			if j.Release <= t0 && j.Deadline >= t1 {
+				active = append(active, j)
+				total += j.Density()
+			}
+		}
+		if total <= 0 {
+			continue
+		}
+		t := t0
+		for _, j := range active {
+			share := (t1 - t0) * j.Density() / total
+			out.Segments = append(out.Segments, sched.Segment{
+				Proc: 0, Job: j.ID, T0: t, T1: t + share, Speed: total,
+			})
+			t += share
+		}
+	}
+	return out, nil
+}
+
+// stepsPerInterval is the sub-grid used by the simulated baselines
+// (BKP, qOA) inside each atomic interval. Their speed functions are not
+// piecewise constant on atomic intervals, so energy is integrated on
+// this grid; the deadline-pressure guard in runEDFStep absorbs the
+// discretization error (which shrinks as the grid refines).
+const stepsPerInterval = 32
+
+// BKP runs the algorithm of Bansal, Kimbrel and Pruhs: at time t the
+// speed is  max over windows [t1, t2) with t = t1 + (t2-t1)/e  of
+// e·w(t, t1, t2)/(t2-t1), where w(t, t1, t2) is the total work of jobs
+// known at t with release ≥ t1 and deadline ≤ t2. Jobs are processed
+// EDF. Essentially 2e^{α+1}-competitive.
+func BKP(in *job.Instance) (*sched.Schedule, error) {
+	speed := func(t float64, known []job.Job) float64 {
+		var best float64
+		consider := func(u float64) {
+			if u <= 0 {
+				return
+			}
+			t1 := t - u/math.E
+			t2 := t + u*(math.E-1)/math.E
+			// Candidate u values are derived from releases and
+			// deadlines; boundary jobs must count despite float
+			// round-off in the reconstruction of t1/t2.
+			slack := 1e-9 * (1 + u)
+			var w float64
+			for _, j := range known {
+				if j.Release >= t1-slack && j.Release <= t && j.Deadline <= t2+slack {
+					w += j.Work
+				}
+			}
+			if s := math.E * w / u; s > best {
+				best = s
+			}
+		}
+		for _, j := range known {
+			if j.Release <= t {
+				consider(math.E * (t - j.Release))
+			}
+			if j.Deadline > t {
+				consider((j.Deadline - t) * math.E / (math.E - 1))
+			}
+		}
+		return best
+	}
+	return simulate(in, func(t float64, known []job.Job, _ []Pending) (float64, error) {
+		return speed(t, known), nil
+	})
+}
+
+// QOA runs qOA: the OA plan speed scaled by q = 2 - 1/α, executing EDF.
+// Designed for small α where it beats both OA and BKP.
+func QOA(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
+	q := 2 - 1/pm.Alpha
+	return simulate(in, func(t float64, _ []job.Job, pend []Pending) (float64, error) {
+		blocks, err := Staircase(t, pend)
+		if err != nil {
+			return 0, err
+		}
+		if len(blocks) == 0 {
+			return 0, nil
+		}
+		return q * blocks[0].Speed, nil
+	})
+}
+
+// simulate drives a speed-function-based online policy on a fine grid,
+// processing pending work EDF at the policy's speed. A deadline-
+// pressure guard raises the speed for a job in its final step by the
+// amount needed to finish — this only compensates grid discretization
+// and vanishes as stepsPerInterval grows.
+func simulate(in *job.Instance, policy func(t float64, known []job.Job, pend []Pending) (float64, error)) (*sched.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(in.Jobs) == 0 {
+		return &sched.Schedule{M: 1}, nil
+	}
+	bset := map[float64]struct{}{}
+	for _, j := range in.Jobs {
+		bset[j.Release] = struct{}{}
+		bset[j.Deadline] = struct{}{}
+	}
+	bounds := make([]float64, 0, len(bset))
+	for t := range bset {
+		bounds = append(bounds, t)
+	}
+	sort.Float64s(bounds)
+
+	rem := map[int]float64{}
+	meta := map[int]job.Job{}
+	out := &sched.Schedule{M: 1}
+	var known []job.Job
+	const eps = 1e-12
+
+	for k := 0; k+1 < len(bounds); k++ {
+		t0, t1 := bounds[k], bounds[k+1]
+		for _, j := range in.Jobs {
+			if j.Release == t0 {
+				rem[j.ID] = j.Work
+				meta[j.ID] = j
+				known = append(known, j)
+			}
+		}
+		dt := (t1 - t0) / stepsPerInterval
+		for g := 0; g < stepsPerInterval; g++ {
+			u0, u1 := t0+float64(g)*dt, t0+float64(g+1)*dt
+			var pend []Pending
+			for id, r := range rem {
+				if r > eps && meta[id].Deadline > u0 {
+					pend = append(pend, Pending{ID: id, Deadline: meta[id].Deadline, Rem: r})
+				}
+			}
+			if len(pend) == 0 {
+				continue
+			}
+			s, err := policy(u0, known, pend)
+			if err != nil {
+				return nil, err
+			}
+			sort.Slice(pend, func(i, j int) bool {
+				if pend[i].Deadline != pend[j].Deadline {
+					return pend[i].Deadline < pend[j].Deadline
+				}
+				return pend[i].ID < pend[j].ID
+			})
+			t := u0
+			for _, p := range pend {
+				if t >= u1-eps {
+					break
+				}
+				sp := s
+				// Deadline pressure: if this is the job's last chance,
+				// run fast enough to finish (discretization guard).
+				if p.Deadline <= u1+eps {
+					sp = math.Max(sp, p.Rem/(p.Deadline-t))
+				}
+				if sp <= 0 {
+					break
+				}
+				end := math.Min(u1, t+p.Rem/sp)
+				if end <= t {
+					continue
+				}
+				out.Segments = append(out.Segments, sched.Segment{Proc: 0, Job: p.ID, T0: t, T1: end, Speed: sp})
+				rem[p.ID] -= (end - t) * sp
+				t = end
+			}
+		}
+	}
+	for id, r := range rem {
+		if r > 1e-6*meta[id].Work {
+			return nil, fmt.Errorf("yds: simulated policy left %v work of job %d", r, id)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+// Package yds implements the classical single-processor speed-scaling
+// algorithms that the paper builds on and compares against:
+//
+//   - YDS (Yao, Demers, Shenker 1995): the exact offline optimal
+//     schedule finishing all jobs, by iteratively peeling the
+//     maximum-density interval.
+//   - OA ("Optimal Available"): the online algorithm that, at every
+//     arrival, recomputes the optimal schedule for the remaining work;
+//     αα-competitive (Bansal, Kimbrel, Pruhs 2007).
+//   - AVR ("Average Rate"): every job is processed at its density
+//     across its whole window.
+//   - BKP (Bansal, Kimbrel, Pruhs): the ~2e^{α+1}-competitive algorithm
+//     based on maximum scaled interval density.
+//   - qOA (Bansal, Chan, Katz, Pruhs): OA sped up by q = 2 - 1/α.
+//
+// All of these finish every job (the classical model without values);
+// the profitable schedulers in internal/core and internal/cll reduce to
+// variations of them when values are high.
+package yds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/sched"
+)
+
+// span is a half-open time window [A, B).
+type span struct{ A, B float64 }
+
+// overlap returns |s ∩ [a,b)|.
+func (s span) overlap(a, b float64) float64 {
+	lo, hi := math.Max(s.A, a), math.Min(s.B, b)
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+// spanSet is a sorted union of disjoint spans.
+type spanSet struct{ spans []span }
+
+// add unions [a,b) into the set, merging neighbours.
+func (ss *spanSet) add(a, b float64) {
+	ss.spans = append(ss.spans, span{a, b})
+	sort.Slice(ss.spans, func(i, k int) bool { return ss.spans[i].A < ss.spans[k].A })
+	merged := ss.spans[:0]
+	for _, s := range ss.spans {
+		if n := len(merged); n > 0 && s.A <= merged[n-1].B {
+			if s.B > merged[n-1].B {
+				merged[n-1].B = s.B
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	ss.spans = merged
+}
+
+// covered returns the total covered length inside [a,b).
+func (ss *spanSet) covered(a, b float64) float64 {
+	var total float64
+	for _, s := range ss.spans {
+		total += s.overlap(a, b)
+	}
+	return total
+}
+
+// gaps returns the uncovered sub-spans of [a,b), in order.
+func (ss *spanSet) gaps(a, b float64) []span {
+	var out []span
+	cur := a
+	for _, s := range ss.spans {
+		if s.B <= cur || s.A >= b {
+			continue
+		}
+		if s.A > cur {
+			out = append(out, span{cur, math.Min(s.A, b)})
+		}
+		cur = math.Max(cur, s.B)
+		if cur >= b {
+			break
+		}
+	}
+	if cur < b {
+		out = append(out, span{cur, b})
+	}
+	return out
+}
+
+// firstAvailable returns the smallest t' ≥ t not strictly inside a
+// removed span.
+func (ss *spanSet) firstAvailable(t float64) float64 {
+	for _, s := range ss.spans {
+		if s.A <= t && t < s.B {
+			return s.B
+		}
+	}
+	return t
+}
+
+// lastAvailable returns the largest t' ≤ t not strictly inside a
+// removed span.
+func (ss *spanSet) lastAvailable(t float64) float64 {
+	for _, s := range ss.spans {
+		if s.A < t && t <= s.B {
+			return s.A
+		}
+	}
+	return t
+}
+
+// YDS computes the exact offline minimum-energy single-processor
+// schedule finishing all jobs of the instance (values are ignored).
+// Complexity O(n^3); the schedule is returned as explicit segments on
+// processor 0.
+//
+// The implementation peels maximum-density intervals in *original* time
+// coordinates (instead of the textbook trick of compressing time after
+// every round): each round works with jobs' effective windows — release
+// and deadline clipped to time not yet claimed by earlier, faster
+// critical intervals — and densities are measured against the available
+// (unclaimed) duration. This is the same algorithm under a coordinate
+// change and keeps the emitted segments directly verifiable.
+func YDS(in *job.Instance) (*sched.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	remaining := append([]job.Job(nil), in.Jobs...)
+	var removed spanSet
+	out := &sched.Schedule{M: 1}
+
+	for len(remaining) > 0 {
+		// Effective windows of the remaining jobs, and candidate
+		// interval endpoints taken from them.
+		effR := make(map[int]float64, len(remaining))
+		effD := make(map[int]float64, len(remaining))
+		var t1s, t2s []float64
+		for _, j := range remaining {
+			r, d := removed.firstAvailable(j.Release), removed.lastAvailable(j.Deadline)
+			if d <= r {
+				return nil, fmt.Errorf("yds: job %d has no available time left", j.ID)
+			}
+			effR[j.ID], effD[j.ID] = r, d
+			t1s = append(t1s, r)
+			t2s = append(t2s, d)
+		}
+		sort.Float64s(t1s)
+		sort.Float64s(t2s)
+
+		bestG := -1.0
+		var bestT1, bestT2 float64
+		for _, t1 := range t1s {
+			for _, t2 := range t2s {
+				if t2 <= t1 {
+					continue
+				}
+				var work float64
+				for _, j := range remaining {
+					if effR[j.ID] >= t1 && effD[j.ID] <= t2 {
+						work += j.Work
+					}
+				}
+				if work == 0 {
+					continue
+				}
+				avail := (t2 - t1) - removed.covered(t1, t2)
+				if avail <= 0 {
+					return nil, fmt.Errorf("yds: zero available time in [%v,%v) with %v work", t1, t2, work)
+				}
+				if g := work / avail; g > bestG {
+					bestG, bestT1, bestT2 = g, t1, t2
+				}
+			}
+		}
+		if bestG <= 0 {
+			return nil, fmt.Errorf("yds: no critical interval found for %d jobs", len(remaining))
+		}
+
+		var crit, rest []job.Job
+		for _, j := range remaining {
+			if effR[j.ID] >= bestT1 && effD[j.ID] <= bestT2 {
+				crit = append(crit, j)
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		slots := removed.gaps(bestT1, bestT2)
+		segs, err := edfPlace(crit, slots, bestG)
+		if err != nil {
+			return nil, fmt.Errorf("yds: placing critical set in [%v,%v): %w", bestT1, bestT2, err)
+		}
+		out.Segments = append(out.Segments, segs...)
+		removed.add(bestT1, bestT2)
+		remaining = rest
+	}
+	sort.Slice(out.Segments, func(i, k int) bool { return out.Segments[i].T0 < out.Segments[k].T0 })
+	return out, nil
+}
+
+// edfPlace schedules the jobs preemptively at constant speed g inside
+// the given time slots using earliest-deadline-first. The caller
+// guarantees feasibility (YDS critical sets are feasible at their
+// density by construction).
+func edfPlace(jobs []job.Job, slots []span, g float64) ([]sched.Segment, error) {
+	rem := make(map[int]float64, len(jobs))
+	for _, j := range jobs {
+		rem[j.ID] = j.Work
+	}
+	var segs []sched.Segment
+	const eps = 1e-12
+	for _, slot := range slots {
+		t := slot.A
+		for t < slot.B-eps {
+			// Pick the released, unfinished job with earliest deadline.
+			pick := -1
+			var pickJob job.Job
+			nextRelease := math.Inf(1)
+			for _, j := range jobs {
+				if rem[j.ID] <= eps*j.Work {
+					continue
+				}
+				if j.Release > t+eps {
+					nextRelease = math.Min(nextRelease, j.Release)
+					continue
+				}
+				if pick == -1 || j.Deadline < pickJob.Deadline {
+					pick, pickJob = j.ID, j
+				}
+			}
+			if pick == -1 {
+				if nextRelease >= slot.B {
+					break // idle to slot end
+				}
+				t = nextRelease
+				continue
+			}
+			end := math.Min(slot.B, t+rem[pick]/g)
+			if nextRelease < end {
+				end = nextRelease // preempt to re-evaluate EDF
+			}
+			if end <= t {
+				return nil, fmt.Errorf("edf stuck at t=%v", t)
+			}
+			segs = append(segs, sched.Segment{Proc: 0, Job: pick, T0: t, T1: end, Speed: g})
+			rem[pick] -= (end - t) * g
+			t = end
+		}
+	}
+	for id, r := range rem {
+		if r > 1e-7 {
+			return nil, fmt.Errorf("edf left %v work of job %d unplaced", r, id)
+		}
+	}
+	return segs, nil
+}

@@ -1,0 +1,369 @@
+package yds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/numeric"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+func finishAll(rng *rand.Rand, n int) *job.Instance {
+	in := &job.Instance{M: 1, Alpha: 2}
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * 8
+		span := 0.3 + rng.Float64()*3
+		in.Jobs = append(in.Jobs, job.Job{
+			ID: i, Release: r, Deadline: r + span,
+			Work: 0.1 + rng.Float64()*2, Value: math.Inf(1),
+		})
+	}
+	in.Normalize()
+	return in
+}
+
+func TestYDSSingleJob(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 1, Deadline: 3, Work: 4, Value: 1},
+	}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.New(2)
+	if got := s.Energy(pm); math.Abs(got-8) > 1e-9 { // 2·2^2
+		t.Fatalf("energy %v want 8", got)
+	}
+	if err := sched.Verify(in, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYDSNestedJobs(t *testing.T) {
+	// j0: [0,4) w=2; j1: [1,2) w=2. Critical interval [1,2) at speed 2;
+	// j0 then uses the remaining 3 time units at speed 2/3.
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 4, Work: 2, Value: 1},
+		{ID: 1, Release: 1, Deadline: 2, Work: 2, Value: 1},
+	}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.New(2)
+	want := 4.0 + 3.0*(4.0/9.0) // 1·2^2 + 3·(2/3)^2
+	if got := s.Energy(pm); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy %v want %v", got, want)
+	}
+	if err := sched.Verify(in, s); err != nil {
+		t.Fatal(err)
+	}
+	// Speed inside the critical interval must be 2.
+	if got := s.TotalSpeedAt(1.5); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("speed in critical interval %v want 2", got)
+	}
+}
+
+// TestYDSAdjacentCriticalIntervals is a regression test for effective
+// windows: after peeling [0,2) and [2,4), a job spanning [1,3) must be
+// recognised as confined to removed-adjacent time.
+func TestYDSAdjacentCriticalIntervals(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 2, Work: 10, Value: 1},
+		{ID: 1, Release: 2, Deadline: 4, Work: 8, Value: 1},
+		{ID: 2, Release: 1, Deadline: 3, Work: 1, Value: 1},
+	}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Verify(in, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestYDSMatchesConvexSolver cross-validates the combinatorial YDS
+// against the independent block-coordinate-descent solver: both must
+// find the same minimum energy (they share no code path beyond the
+// power model).
+func TestYDSMatchesConvexSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pm := power.New(2)
+	for trial := 0; trial < 40; trial++ {
+		in := finishAll(rng, 1+rng.Intn(10))
+		s, err := YDS(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Verify(in, s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol, err := opt.SolveAccepted(in, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !numeric.Close(s.Energy(pm), sol.Energy, 1e-5) {
+			t.Fatalf("trial %d: YDS %v vs convex solver %v", trial, s.Energy(pm), sol.Energy)
+		}
+	}
+}
+
+func TestStaircaseKnownPlan(t *testing.T) {
+	blocks, err := Staircase(0, []Pending{
+		{ID: 0, Deadline: 1, Rem: 2},
+		{ID: 1, Deadline: 2, Rem: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("want 2 blocks, got %+v", blocks)
+	}
+	if blocks[0].Speed != 2 || blocks[0].End != 1 {
+		t.Fatalf("block 0: %+v", blocks[0])
+	}
+	if blocks[1].Speed != 1 || blocks[1].Start != 1 {
+		t.Fatalf("block 1: %+v", blocks[1])
+	}
+}
+
+func TestStaircaseMergesIntoOneBlock(t *testing.T) {
+	// Earlier-deadline job with low density is absorbed into a single
+	// block when the combined density dominates.
+	blocks, err := Staircase(0, []Pending{
+		{ID: 0, Deadline: 1, Rem: 0.1},
+		{ID: 1, Deadline: 2, Rem: 3.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || math.Abs(blocks[0].Speed-2) > 1e-12 {
+		t.Fatalf("want one block at speed 2: %+v", blocks)
+	}
+}
+
+func TestStaircaseInfeasible(t *testing.T) {
+	if _, err := Staircase(5, []Pending{{ID: 0, Deadline: 4, Rem: 1}}); err == nil {
+		t.Fatal("past-deadline pending work must error")
+	}
+}
+
+func TestOAEqualsYDSForSimultaneousReleases(t *testing.T) {
+	// When all jobs arrive at once, OA's first plan is already optimal
+	// and never changes: OA energy == YDS energy.
+	rng := rand.New(rand.NewSource(22))
+	pm := power.New(2)
+	for trial := 0; trial < 20; trial++ {
+		in := finishAll(rng, 1+rng.Intn(8))
+		for i := range in.Jobs {
+			in.Jobs[i].Release = 0
+			if in.Jobs[i].Deadline < 0.2 {
+				in.Jobs[i].Deadline = 0.2
+			}
+		}
+		in.Normalize()
+		oa, err := OA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := YDS(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.Close(oa.Energy(pm), opt.Energy(pm), 1e-9) {
+			t.Fatalf("trial %d: OA %v vs YDS %v", trial, oa.Energy(pm), opt.Energy(pm))
+		}
+	}
+}
+
+func TestOAWithinCompetitiveBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pm := power.New(2)
+	bound := pm.CompetitiveBound()
+	for trial := 0; trial < 25; trial++ {
+		in := finishAll(rng, 1+rng.Intn(12))
+		oa, err := OA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Verify(in, oa); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ydsS, err := YDS(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eOA, eOPT := oa.Energy(pm), ydsS.Energy(pm)
+		if eOA < eOPT-1e-9 {
+			t.Fatalf("trial %d: OA %v beats optimal %v", trial, eOA, eOPT)
+		}
+		if eOA > bound*eOPT*(1+1e-9) {
+			t.Fatalf("trial %d: OA %v above αα·OPT %v", trial, eOA, bound*eOPT)
+		}
+	}
+}
+
+// lowerBoundInstance is the Bansal-Kimbrel-Pruhs adversarial sequence
+// used in Theorem 3's tightness proof: job j arrives at j-1 with
+// workload (n-j+1)^{-1/α} and common deadline n.
+func lowerBoundInstance(n int, alpha float64) *job.Instance {
+	in := &job.Instance{M: 1, Alpha: alpha}
+	for j := 1; j <= n; j++ {
+		in.Jobs = append(in.Jobs, job.Job{
+			ID: j - 1, Release: float64(j - 1), Deadline: float64(n),
+			Work: math.Pow(float64(n-j+1), -1/alpha), Value: math.Inf(1),
+		})
+	}
+	return in
+}
+
+func TestOALowerBoundInstanceRatioGrows(t *testing.T) {
+	pm := power.New(2)
+	prev := 1.0
+	for _, n := range []int{4, 16, 64} {
+		in := lowerBoundInstance(n, 2)
+		oa, err := OA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ydsS, err := YDS(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := oa.Energy(pm) / ydsS.Energy(pm)
+		if ratio < prev-1e-9 {
+			t.Fatalf("n=%d: ratio %v decreased (prev %v)", n, ratio, prev)
+		}
+		if ratio > pm.CompetitiveBound()+1e-9 {
+			t.Fatalf("n=%d: ratio %v above αα", n, ratio)
+		}
+		prev = ratio
+	}
+	if prev < 2.4 {
+		t.Fatalf("ratio at n=64 is %v; expected the adversarial instance to approach αα=4", prev)
+	}
+}
+
+func TestAVRFeasibleAndKnownEnergy(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 2, Work: 2, Value: 1}, // density 1
+		{ID: 1, Release: 1, Deadline: 2, Work: 1, Value: 1}, // density 1
+	}}
+	s, err := AVR(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Verify(in, s); err != nil {
+		t.Fatal(err)
+	}
+	pm := power.New(2)
+	// [0,1): speed 1, energy 1; [1,2): speed 2, energy 4.
+	if got := s.Energy(pm); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("AVR energy %v want 5", got)
+	}
+}
+
+func TestAVRAtLeastYDS(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pm := power.New(2)
+	for trial := 0; trial < 20; trial++ {
+		in := finishAll(rng, 1+rng.Intn(10))
+		avr, err := AVR(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ydsS, err := YDS(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avr.Energy(pm) < ydsS.Energy(pm)*(1-1e-9) {
+			t.Fatalf("trial %d: AVR %v below optimal %v", trial, avr.Energy(pm), ydsS.Energy(pm))
+		}
+	}
+}
+
+func TestBKPCompletesAndVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	pm := power.New(2)
+	for trial := 0; trial < 10; trial++ {
+		in := finishAll(rng, 1+rng.Intn(8))
+		s, err := BKP(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Verify(in, s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ydsS, err := YDS(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Energy(pm) < ydsS.Energy(pm)*(1-1e-6) {
+			t.Fatalf("trial %d: BKP %v below optimal %v", trial, s.Energy(pm), ydsS.Energy(pm))
+		}
+	}
+}
+
+func TestQOACompletesAndVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	pm := power.New(2)
+	for trial := 0; trial < 10; trial++ {
+		in := finishAll(rng, 1+rng.Intn(8))
+		s, err := QOA(in, pm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Verify(in, s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBKPSpeedDominatesDensity(t *testing.T) {
+	// On a single active job, BKP's speed at its release is at least
+	// e/(e-1) times the job's density (the window ending at the
+	// deadline with t at the 1/e point), hence strictly above OA.
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: math.Inf(1)},
+	}}
+	s, err := BKP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := s.TotalSpeedAt(0.01)
+	want := math.E / (math.E - 1) // ≈ 1.582
+	if early < want*(1-0.05) {
+		t.Fatalf("BKP early speed %v; want ≈ %v (e/(e-1)·density)", early, want)
+	}
+	pm := power.New(2)
+	if s.Energy(pm) <= 1 {
+		t.Fatalf("BKP energy %v must exceed the optimal 1", s.Energy(pm))
+	}
+}
+
+func TestSpanSetOperations(t *testing.T) {
+	var ss spanSet
+	ss.add(0, 2)
+	ss.add(4, 6)
+	ss.add(2, 4) // merges all three
+	if len(ss.spans) != 1 || ss.spans[0] != (span{0, 6}) {
+		t.Fatalf("merge failed: %+v", ss.spans)
+	}
+	if got := ss.covered(1, 7); got != 5 {
+		t.Fatalf("covered %v want 5", got)
+	}
+	gaps := ss.gaps(-1, 8)
+	if len(gaps) != 2 || gaps[0] != (span{-1, 0}) || gaps[1] != (span{6, 8}) {
+		t.Fatalf("gaps %+v", gaps)
+	}
+	if ss.firstAvailable(3) != 6 || ss.firstAvailable(7) != 7 {
+		t.Fatal("firstAvailable broken")
+	}
+	if ss.lastAvailable(3) != 0 || ss.lastAvailable(-0.5) != -0.5 {
+		t.Fatal("lastAvailable broken")
+	}
+}
