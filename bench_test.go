@@ -9,6 +9,7 @@ import (
 	"repro/internal/chen"
 	"repro/internal/cll"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/opt"
 	"repro/internal/power"
@@ -160,6 +161,79 @@ func BenchmarkYDSOffline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := yds.YDS(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYDSOfflineScaling tracks the heap-based offline solver
+// across trace sizes; run it together with BenchmarkYDSReference to
+// measure the speedup over the seed algorithm in the same run.
+func BenchmarkYDSOfflineScaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 4000} {
+		in := workload.Uniform(workload.Config{
+			N: n, M: 1, Alpha: 2, Seed: 6, Horizon: float64(n) / 10, ValueScale: math.Inf(1),
+		})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := yds.YDS(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkYDSReference measures the seed's O(n³)-rescan solver on the
+// same instances as BenchmarkYDSOfflineScaling (n=4000 is omitted: a
+// single iteration takes minutes).
+func BenchmarkYDSReference(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		in := workload.Uniform(workload.Config{
+			N: n, M: 1, Alpha: 2, Seed: 6, Horizon: float64(n) / 10, ValueScale: math.Inf(1),
+		})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := yds.YDSReference(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplayAll measures the parallel replay of a fleet against
+// the same work done sequentially (workers=1): the ratio of the two is
+// the engine's parallel speedup.
+func BenchmarkReplayAll(b *testing.B) {
+	pm := power.New(2)
+	fleet := workload.Fleet(workload.HeavyTail, workload.Config{
+		N: 300, M: 1, Alpha: 2, Seed: 12, ValueScale: math.Inf(1),
+	}, 8)
+	mk := func() engine.Policy { return engine.OA(pm) }
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.ReplayAll(fleet, mk, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRace measures the concurrent policy comparison that backs
+// profsched's -algos mode and experiment T11.
+func BenchmarkRace(b *testing.B) {
+	pm := power.New(2)
+	in := workload.HeavyTail(workload.Config{N: 200, M: 1, Alpha: 2, Seed: 13, ValueScale: math.Inf(1)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := engine.Race(in,
+			engine.PD(1, pm), engine.OA(pm), engine.AVR(pm),
+			engine.QOA(pm), engine.YDSOffline(pm))
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

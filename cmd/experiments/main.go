@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the
-// reproduction (T1-T9, F2, F3 — see DESIGN.md for the index) and
+// reproduction (T1-T11, F2, F3 — see DESIGN.md for the index) and
 // prints them to stdout.
 //
 // Usage:

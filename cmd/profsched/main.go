@@ -6,46 +6,68 @@
 // Usage:
 //
 //	profsched -algo pd|cll|oa|moa|yds|avr|bkp|qoa|opt [-trace file] [-delta δ]
+//	profsched -algos pd,oa,avr,... [-trace file]
 //
 // The trace is read from -trace or stdin. Algorithms oa/yds/avr/bkp/qoa
 // ignore job values and require every job to be finished (single
-// processor); moa is the multiprocessor OA (finish-all, any m); opt enumerates accept-sets (exponential, small traces
-// only); pd handles values and any number of processors.
+// processor); moa is the multiprocessor OA (finish-all, any m); opt
+// enumerates accept-sets (exponential, small traces only); pd handles
+// values and any number of processors.
+//
+// The -algos mode replays the trace through every named algorithm
+// concurrently (engine.Race) and prints one combined comparison table
+// instead of the single-algorithm report.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/cll"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/job"
 	"repro/internal/moa"
 	"repro/internal/opt"
 	"repro/internal/power"
 	"repro/internal/sched"
+	"repro/internal/stats"
 	"repro/internal/yds"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "profsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	algo := flag.String("algo", "pd", "algorithm: pd, cll, oa, moa, yds, avr, bkp, qoa, opt")
-	trace := flag.String("trace", "", "JSON trace file (default stdin)")
-	delta := flag.Float64("delta", 0, "override PD's δ (default α^{1-α})")
-	profile := flag.Bool("profile", false, "render an ASCII total-speed profile")
-	dump := flag.Bool("dump", false, "dump per-interval assignments (PD only)")
-	gantt := flag.Bool("gantt", false, "render a per-processor ASCII Gantt chart")
-	flag.Parse()
+// run is the whole CLI behind a testable seam: flags are parsed from
+// args, the trace comes from stdin unless -trace overrides it, and all
+// report output goes to stdout.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("profsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	algo := fs.String("algo", "pd", "algorithm: pd, cll, oa, moa, yds, avr, bkp, qoa, opt")
+	algos := fs.String("algos", "", "comma-separated algorithms to race on the same trace (comparison mode)")
+	trace := fs.String("trace", "", "JSON trace file (default stdin)")
+	delta := fs.Float64("delta", 0, "override PD's δ (default α^{1-α})")
+	profile := fs.Bool("profile", false, "render an ASCII total-speed profile")
+	dump := fs.Bool("dump", false, "dump per-interval assignments (PD only)")
+	gantt := fs.Bool("gantt", false, "render a per-processor ASCII Gantt chart")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h printed usage; that is success, not an error
+		}
+		return err
+	}
 
-	var r io.Reader = os.Stdin
+	var r io.Reader = stdin
 	if *trace != "" {
 		f, err := os.Open(*trace)
 		if err != nil {
@@ -58,17 +80,29 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *algos != "" {
+		if *profile || *dump || *gantt {
+			return fmt.Errorf("-profile, -dump and -gantt apply to single-algorithm mode only, not -algos")
+		}
+		return runComparison(in, strings.Split(*algos, ","), *delta, stdout)
+	}
+	return runSingle(in, *algo, *delta, *profile, *dump, *gantt, stdout)
+}
+
+// runSingle executes one algorithm and prints the classic report.
+func runSingle(in *job.Instance, algo string, delta float64, profile, dump, gantt bool, w io.Writer) error {
 	pm := power.Model{Alpha: in.Alpha}
 
 	var (
 		schedule *sched.Schedule
 		extra    string
+		err      error
 	)
-	switch *algo {
+	switch algo {
 	case "pd":
 		var opts []core.Option
-		if *delta > 0 {
-			opts = append(opts, core.WithDelta(*delta))
+		if delta > 0 {
+			opts = append(opts, core.WithDelta(delta))
 		}
 		s := core.New(in.M, pm, opts...)
 		inst := in.Clone()
@@ -82,7 +116,7 @@ func run() error {
 		dualV := s.DualValue()
 		extra = fmt.Sprintf("dual lower bound   %12.6g\ncertified ratio    %12.6g (bound α^α = %.6g)",
 			dualV, s.Cost()/dualV, pm.CompetitiveBound())
-		if *dump {
+		if dump {
 			extra += "\n\nper-interval assignment:"
 			for _, st := range s.Snapshot() {
 				extra += fmt.Sprintf("\n  [%.4g, %.4g) energy %.4g loads %v", st.T0, st.T1, st.Energy, st.Load)
@@ -114,7 +148,7 @@ func run() error {
 		schedule = sol.Schedule
 		extra = fmt.Sprintf("certified opt gap  %12.6g", sol.Cost-sol.LowerBound)
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		return fmt.Errorf("unknown algorithm %q", algo)
 	}
 	if err != nil {
 		return err
@@ -125,20 +159,96 @@ func run() error {
 	}
 	energy := schedule.Energy(pm)
 	lost := schedule.LostValue(in)
-	fmt.Printf("algorithm          %12s\njobs               %12d\nprocessors         %12d\nalpha              %12g\n",
-		*algo, len(in.Jobs), in.M, in.Alpha)
-	fmt.Printf("energy             %12.6g\nlost value         %12.6g\ncost               %12.6g\n",
+	fmt.Fprintf(w, "algorithm          %12s\njobs               %12d\nprocessors         %12d\nalpha              %12g\n",
+		algo, len(in.Jobs), in.M, in.Alpha)
+	fmt.Fprintf(w, "energy             %12.6g\nlost value         %12.6g\ncost               %12.6g\n",
 		energy, lost, energy+lost)
-	fmt.Printf("rejected jobs      %12d\nmax speed          %12.6g\nverified           %12s\n",
+	fmt.Fprintf(w, "rejected jobs      %12d\nmax speed          %12.6g\nverified           %12s\n",
 		len(schedule.Rejected), schedule.MaxSpeed(), "yes")
 	if extra != "" {
-		fmt.Println(extra)
+		fmt.Fprintln(w, extra)
 	}
-	if *profile {
-		fmt.Println(schedule.RenderProfile(72))
+	if profile {
+		fmt.Fprintln(w, schedule.RenderProfile(72))
 	}
-	if *gantt {
-		fmt.Println(schedule.RenderGantt(72))
+	if gantt {
+		fmt.Fprintln(w, schedule.RenderGantt(72))
 	}
 	return nil
+}
+
+// policyFor maps an -algos name to an engine policy. Every schedule a
+// policy emits is verified by the engine before it is reported.
+func policyFor(name string, in *job.Instance, pm power.Model, delta float64) (engine.Policy, error) {
+	switch name {
+	case "pd":
+		var opts []core.Option
+		if delta > 0 {
+			opts = append(opts, core.WithDelta(delta))
+		}
+		return engine.PD(in.M, pm, opts...), nil
+	case "cll":
+		return engine.CLL(pm), nil
+	case "oa":
+		return engine.OA(pm), nil
+	case "moa":
+		return engine.MOA(in.M, pm), nil
+	case "yds":
+		return engine.YDSOffline(pm), nil
+	case "avr":
+		return engine.AVR(pm), nil
+	case "bkp":
+		return engine.BKP(pm), nil
+	case "qoa":
+		return engine.QOA(pm), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q in -algos", name)
+	}
+}
+
+// runComparison races the named algorithms over the trace concurrently
+// and renders one combined table sorted cheapest cost first, each row
+// annotated against the best.
+func runComparison(in *job.Instance, names []string, delta float64, w io.Writer) error {
+	pm := power.Model{Alpha: in.Alpha}
+	policies := make([]engine.Policy, 0, len(names))
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		p, err := policyFor(name, in, pm, delta)
+		if err != nil {
+			return err
+		}
+		policies = append(policies, p)
+	}
+	if len(policies) == 0 {
+		return fmt.Errorf("-algos: no algorithms given")
+	}
+	results, err := engine.Race(in, policies...)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(results, func(i, k int) bool { return results[i].Cost < results[k].Cost })
+	best := results[0].Cost
+	if best <= 0 {
+		best = 1 // empty trace: avoid 0/0 in the ratio column
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("profsched comparison: %d jobs, m=%d, α=%g", len(in.Jobs), in.M, in.Alpha),
+		Headers: []string{"algo", "energy", "lost value", "cost", "cost/best",
+			"rejected", "max speed", "max arrive", "total arrive"},
+		Notes: []string{
+			"all schedules verified; policies replayed concurrently with per-run isolation",
+			"arrive columns are wall-clock decision latency measured under concurrent",
+			"replay and may include scheduler contention; use -algo for isolated timing",
+		},
+	}
+	for _, r := range results {
+		t.AddRow(r.Policy, r.Energy, r.LostValue, r.Cost, r.Cost/best,
+			r.Rejected, r.Schedule.MaxSpeed(),
+			r.MaxArrive.String(), r.TotalArrive.String())
+	}
+	return t.Render(w)
 }

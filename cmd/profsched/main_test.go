@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+// writeTrace serialises an instance to a temp file and returns the path.
+func writeTrace(t *testing.T, in *job.Instance) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := in.WriteTrace(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func finishAllTrace(t *testing.T, n, m int) string {
+	// Infinite values exercise the "inf" JSON wire format end to end.
+	return writeTrace(t, workload.Uniform(workload.Config{
+		N: n, M: m, Alpha: 2, Seed: 42, ValueScale: math.Inf(1),
+	}))
+}
+
+func valueTrace(t *testing.T, n, m int) string {
+	return writeTrace(t, workload.Uniform(workload.Config{
+		N: n, M: m, Alpha: 2, Seed: 43, ValueScale: 1,
+	}))
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, strings.NewReader(""), &out, &errb)
+	return out.String(), err
+}
+
+// TestEveryAlgoBranch drives each -algo through the full report path.
+func TestEveryAlgoBranch(t *testing.T) {
+	finish := finishAllTrace(t, 10, 1)
+	valued := valueTrace(t, 8, 2)
+	cases := []struct {
+		algo, trace string
+	}{
+		{"pd", valued},
+		{"cll", valueTrace(t, 8, 1)},
+		{"oa", finish},
+		{"moa", finishAllTrace(t, 10, 2)},
+		{"yds", finish},
+		{"avr", finish},
+		{"bkp", finish},
+		{"qoa", finish},
+		{"opt", valueTrace(t, 5, 1)},
+	}
+	for _, c := range cases {
+		out, err := runCLI(t, "-algo", c.algo, "-trace", c.trace)
+		if err != nil {
+			t.Fatalf("-algo %s: %v", c.algo, err)
+		}
+		for _, want := range []string{"algorithm", c.algo, "verified", "yes", "energy"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("-algo %s output missing %q:\n%s", c.algo, want, out)
+			}
+		}
+	}
+}
+
+func TestPDExtras(t *testing.T) {
+	trace := valueTrace(t, 6, 1)
+	out, err := runCLI(t, "-algo", "pd", "-delta", "0.4", "-dump", "-profile", "-gantt", "-trace", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dual lower bound", "certified ratio", "per-interval assignment"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("PD output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAlgosComparisonMode(t *testing.T) {
+	trace := finishAllTrace(t, 12, 1)
+	out, err := runCLI(t, "-algos", "pd, oa,avr,bkp,qoa,yds", "-trace", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "profsched comparison") {
+		t.Fatalf("missing comparison header:\n%s", out)
+	}
+	for _, name := range []string{"pd", "oa", "avr", "bkp", "qoa", "yds"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("comparison table missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "cost/best") {
+		t.Fatalf("comparison table missing relative column:\n%s", out)
+	}
+}
+
+func TestAlgosMultiprocessor(t *testing.T) {
+	trace := finishAllTrace(t, 10, 3)
+	out, err := runCLI(t, "-algos", "pd,moa", "-trace", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "moa") {
+		t.Fatalf("missing moa row:\n%s", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	trace := finishAllTrace(t, 5, 1)
+	if _, err := runCLI(t, "-algo", "nope", "-trace", trace); err == nil {
+		t.Fatal("unknown -algo must fail")
+	}
+	if _, err := runCLI(t, "-algos", "oa,nope", "-trace", trace); err == nil {
+		t.Fatal("unknown name in -algos must fail")
+	}
+	if _, err := runCLI(t, "-algos", " , ", "-trace", trace); err == nil {
+		t.Fatal("empty -algos list must fail")
+	}
+	if _, err := runCLI(t, "-algos", "pd,oa", "-gantt", "-trace", trace); err == nil {
+		t.Fatal("-gantt with -algos must be rejected, not silently ignored")
+	}
+	if _, err := runCLI(t, "-trace", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing trace file must fail")
+	}
+	if _, err := runCLI(t, "-badflag"); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "oa"}, strings.NewReader("{not json"), &out, &out); err == nil {
+		t.Fatal("malformed stdin trace must fail")
+	}
+	// A trace that is valid JSON but an invalid instance.
+	bad := writeTrace(t, &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 2, Deadline: 1, Work: 1, Value: 1},
+	}})
+	if _, err := runCLI(t, "-algo", "oa", "-trace", bad); err == nil {
+		t.Fatal("invalid instance must fail validation")
+	}
+}
+
+func TestStdinTrace(t *testing.T) {
+	in := workload.Uniform(workload.Config{N: 5, M: 1, Alpha: 2, Seed: 9, ValueScale: math.Inf(1)})
+	var buf bytes.Buffer
+	if err := in.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-algo", "yds"}, &buf, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified") {
+		t.Fatalf("stdin path broken:\n%s", out.String())
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tracegen -kind uniform|poisson|diurnal|bursty|lowerbound \
+//	tracegen -kind uniform|poisson|diurnal|bursty|heavytail|lowerbound \
 //	         [-n 50] [-m 2] [-alpha 2] [-seed 1] [-scale 1] [-o trace.json]
 package main
 
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "uniform", "workload kind: uniform, poisson, diurnal, bursty, lowerbound")
+	kind := flag.String("kind", "uniform", "workload kind: uniform, poisson, diurnal, bursty, heavytail, lowerbound")
 	n := flag.Int("n", 50, "number of jobs")
 	m := flag.Int("m", 2, "number of processors")
 	alpha := flag.Float64("alpha", 2, "energy exponent")
@@ -45,6 +45,8 @@ func main() {
 		in = workload.Diurnal(cfg)
 	case "bursty":
 		in = workload.Bursty(cfg)
+	case "heavytail":
+		in = workload.HeavyTail(cfg)
 	case "lowerbound":
 		in = workload.LowerBound(*n, *alpha)
 	default:

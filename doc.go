@@ -11,11 +11,14 @@
 // machinery (internal/interval), the dual certificate (internal/dual),
 // the classical single-processor algorithms YDS/OA/AVR/BKP/qOA
 // (internal/yds), the Chan-Lam-Li profitable baseline (internal/cll),
-// offline reference solvers (internal/opt) and the experiment harness
+// offline reference solvers (internal/opt), the concurrent replay
+// engine (internal/engine: Replay, Race, ReplayAll over the bounded
+// worker pool in internal/pool) and the experiment harness
 // (internal/experiments) that regenerates every table and figure of the
 // reproduction.
 //
-// See README.md for a guided tour, DESIGN.md for the system inventory
-// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. The benchmarks in bench_test.go regenerate each experiment.
+// See README.md for a guided tour and CLI usage, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for how
+// to regenerate and read the tables. The benchmarks in bench_test.go
+// cover each experiment and the engine/YDS hot paths.
 package repro

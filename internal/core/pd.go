@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/chen"
 	"repro/internal/dual"
@@ -106,6 +107,9 @@ func (s *Scheduler) ObserveWindow(t0, t1 float64) error {
 
 // othersOf collects the current work assignment of interval k as chen
 // items (every job with positive load; the arriving job has none yet).
+// Items are sorted by ID: map iteration order would otherwise leak into
+// float summation order (capacity, energy, Chen's partition) and make
+// replays differ in the last ulp from run to run.
 func othersOf(iv *interval.Interval) []chen.Item {
 	items := make([]chen.Item, 0, len(iv.Load))
 	for id, w := range iv.Load {
@@ -113,6 +117,7 @@ func othersOf(iv *interval.Interval) []chen.Item {
 			items = append(items, chen.Item{ID: id, Work: w})
 		}
 	}
+	sort.Slice(items, func(i, k int) bool { return items[i].ID < items[k].ID })
 	return items
 }
 

@@ -153,3 +153,39 @@ func MOA(m int, pm power.Model) Policy {
 			return moa.Run(in)
 		}}
 }
+
+// YDSOffline returns the exact offline optimum as a policy: it buffers
+// the whole trace and plans at Close. It is the clairvoyant baseline
+// the online policies race against (single processor, finish-all).
+func YDSOffline(pm power.Model) Policy {
+	return &batchPolicy{name: "yds", m: 1, pm: pm,
+		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
+			return yds.YDS(in)
+		}}
+}
+
+// AVR returns the Average Rate policy (single processor, finish-all).
+func AVR(pm power.Model) Policy {
+	return &batchPolicy{name: "avr", m: 1, pm: pm,
+		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
+			return yds.AVR(in)
+		}}
+}
+
+// BKP returns the Bansal-Kimbrel-Pruhs policy (single processor,
+// finish-all).
+func BKP(pm power.Model) Policy {
+	return &batchPolicy{name: "bkp", m: 1, pm: pm,
+		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
+			return yds.BKP(in)
+		}}
+}
+
+// QOA returns the qOA policy, OA sped up by q = 2 - 1/α (single
+// processor, finish-all).
+func QOA(pm power.Model) Policy {
+	return &batchPolicy{name: "qoa", m: 1, pm: pm,
+		run: func(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
+			return yds.QOA(in, pm)
+		}}
+}

@@ -1,0 +1,62 @@
+// Concurrent replay: Race fans one trace across many policies and
+// ReplayAll fans many traces across a bounded worker pool. Every run
+// works on its own clone of the instance (Replay clones), and ReplayAll
+// builds a fresh policy per trace through the Factory; Race requires
+// the caller to pass distinct policy values, since policies are
+// stateful. With that isolation results are byte-identical to the
+// sequential path.
+
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/pool"
+)
+
+// Factory constructs a fresh Policy for one isolated run. Policies are
+// stateful (they accumulate arrivals), so concurrent replays must not
+// share one instance; the factory is invoked once per trace.
+type Factory func() Policy
+
+// Race replays the same instance through every policy concurrently and
+// returns the results in the order the policies were given. Each
+// policy runs against its own clone of the instance; the policies
+// themselves must be distinct values (they are stateful — do not pass
+// the same Policy twice or reuse one across calls). Failed policies
+// leave a nil slot; their errors come back joined, each labelled with
+// the policy's name.
+func Race(in *job.Instance, policies ...Policy) ([]*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(policies))
+	err := pool.Run(len(policies), 0, func(i int) error {
+		res, err := Replay(in, policies[i])
+		if err != nil {
+			return fmt.Errorf("race %s: %w", policies[i].Name(), err)
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}
+
+// ReplayAll replays every instance through a fresh policy from the
+// factory on at most workers goroutines (≤ 0 means GOMAXPROCS) and
+// returns the results in input order. Errors do not abort the batch:
+// every instance is attempted, failed slots stay nil, and all errors
+// are returned joined, each labelled with its trace index.
+func ReplayAll(instances []*job.Instance, mk Factory, workers int) ([]*Result, error) {
+	results := make([]*Result, len(instances))
+	err := pool.Run(len(instances), workers, func(i int) error {
+		res, err := Replay(instances[i], mk())
+		if err != nil {
+			return fmt.Errorf("trace %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}

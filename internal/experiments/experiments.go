@@ -13,6 +13,7 @@
 //	T8  PD vs multiprocessor OA vs offline OPT (finish-all)
 //	T9  Dual-certificate tightening by coordinate ascent
 //	T10 Scheduler runtime overhead per job
+//	T11 Policy race over a heavy-tailed fleet via the concurrent engine
 //	F2  Figure 2: dedicated/pool structure before/after an arrival
 //	F3  Figure 3: PD schedules more conservatively than OA
 //
@@ -341,9 +342,10 @@ func All(sc Scale) ([]func(Scale) (*stats.Table, error), []string) {
 	fns := []func(Scale) (*stats.Table, error){
 		T1CertifiedRatio, T2LowerBound, T3VsCLL, T4Multiproc,
 		T5DeltaAblation, T6ValueSweep, T7RejectionEquivalence,
-		T8VsMultiOA, T9DualTightening, T10Latency, F2ChenStructure, F3PDvsOA,
+		T8VsMultiOA, T9DualTightening, T10Latency, T11PolicyRace,
+		F2ChenStructure, F3PDvsOA,
 	}
-	names := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "F2", "F3"}
+	names := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "F2", "F3"}
 	return fns, names
 }
 

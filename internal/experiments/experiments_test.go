@@ -227,7 +227,7 @@ func TestRunAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"T1:", "T2:", "T3:", "T4:", "T5:", "T6:", "T7:", "T8:", "T9:", "T10:", "F2:", "F3:"} {
+	for _, want := range []string{"T1:", "T2:", "T3:", "T4:", "T5:", "T6:", "T7:", "T8:", "T9:", "T10:", "T11:", "F2:", "F3:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("RunAll output missing %s", want)
 		}

@@ -7,41 +7,21 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
+	"repro/internal/pool"
 	"repro/internal/stats"
 )
 
 // RunAllParallel executes every experiment concurrently on up to
 // workers goroutines (≤ 0 means GOMAXPROCS) and renders the tables to w
 // in the canonical order. Output is identical to RunAll; only wall
-// clock differs.
+// clock differs. Unlike a first-error-wins scheme, every experiment is
+// attempted and all failures come back joined.
 func RunAllParallel(w io.Writer, sc Scale, workers int) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	fns, names := All(sc)
-	tables := make([]*stats.Table, len(fns))
-	errs := make([]error, len(fns))
-
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := range fns {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			tables[i], errs[i] = fns[i](sc)
-		}(i)
-	}
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", names[i], err)
-		}
+	tables, err := runTables(fns, names, sc, workers)
+	if err != nil {
+		return err
 	}
 	for _, t := range tables {
 		if err := t.Render(w); err != nil {
@@ -49,4 +29,21 @@ func RunAllParallel(w io.Writer, sc Scale, workers int) error {
 		}
 	}
 	return nil
+}
+
+// runTables fans the experiment functions across a bounded worker pool
+// (never more than workers goroutines exist, rather than one goroutine
+// per experiment gated on a semaphore) and returns the tables in input
+// order plus all errors joined, each labelled with its experiment name.
+func runTables(fns []func(Scale) (*stats.Table, error), names []string, sc Scale, workers int) ([]*stats.Table, error) {
+	tables := make([]*stats.Table, len(fns))
+	err := pool.Run(len(fns), workers, func(i int) error {
+		t, err := fns[i](sc)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", names[i], err)
+		}
+		tables[i] = t
+		return nil
+	})
+	return tables, err
 }

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestRunTablesIsBoundedPool is the regression test for the worker-pool
+// restructure: the old implementation spawned one goroutine per
+// experiment immediately and only gated execution on a semaphore; the
+// pool must never run more than `workers` bodies at once.
+func TestRunTablesIsBoundedPool(t *testing.T) {
+	const workers = 2
+	var cur, peak int32
+	var mu sync.Mutex
+	fn := func(Scale) (*stats.Table, error) {
+		n := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		defer atomic.AddInt32(&cur, -1)
+		return &stats.Table{Title: "t", Headers: []string{"h"}}, nil
+	}
+	fns := make([]func(Scale) (*stats.Table, error), 12)
+	names := make([]string, len(fns))
+	for i := range fns {
+		fns[i], names[i] = fn, "X"
+	}
+	tables, err := runTables(fns, names, Scale{}, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent experiments, want ≤ %d", peak, workers)
+	}
+	for i, tab := range tables {
+		if tab == nil {
+			t.Fatalf("table %d missing", i)
+		}
+	}
+}
+
+// TestRunTablesJoinsAllErrors: every failing experiment must be
+// reported, not just the first one the scheduler happens to finish.
+func TestRunTablesJoinsAllErrors(t *testing.T) {
+	okTab := &stats.Table{Title: "ok", Headers: []string{"h"}}
+	e1, e2 := errors.New("boom-T2"), errors.New("boom-T7")
+	fns := []func(Scale) (*stats.Table, error){
+		func(Scale) (*stats.Table, error) { return okTab, nil },
+		func(Scale) (*stats.Table, error) { return nil, e1 },
+		func(Scale) (*stats.Table, error) { return okTab, nil },
+		func(Scale) (*stats.Table, error) { return nil, e2 },
+	}
+	names := []string{"T1", "T2", "T3", "T7"}
+	tables, err := runTables(fns, names, Scale{}, 2)
+	if err == nil {
+		t.Fatal("failures must surface")
+	}
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("joined error must contain both failures: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "experiment T2") || !strings.Contains(msg, "experiment T7") {
+		t.Fatalf("errors must be labelled with experiment names: %v", err)
+	}
+	if tables[0] == nil || tables[2] == nil {
+		t.Fatal("successful experiments must still produce tables")
+	}
+}

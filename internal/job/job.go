@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 )
 
 // Job is a single unit of work. A scheduler that finishes Work units of
@@ -29,6 +30,59 @@ type Job struct {
 	Work float64 `json:"work"`
 	// Value is v_j ≥ 0, the loss suffered if the job is not finished.
 	Value float64 `json:"value"`
+}
+
+// jobWire mirrors Job on the JSON wire with Value loosened: JSON
+// numbers cannot encode +Inf, which is how the classical finish-all
+// model is expressed, so infinite values round-trip as the string
+// "inf" (the CSV format already does the same).
+type jobWire struct {
+	ID       int             `json:"id"`
+	Release  float64         `json:"release"`
+	Deadline float64         `json:"deadline"`
+	Work     float64         `json:"work"`
+	Value    json.RawMessage `json:"value,omitempty"`
+}
+
+// MarshalJSON encodes the job, writing +Inf values as "inf".
+func (j Job) MarshalJSON() ([]byte, error) {
+	w := jobWire{ID: j.ID, Release: j.Release, Deadline: j.Deadline, Work: j.Work}
+	if math.IsInf(j.Value, 1) {
+		w.Value = json.RawMessage(`"inf"`)
+	} else {
+		v, err := json.Marshal(j.Value)
+		if err != nil {
+			return nil, err
+		}
+		w.Value = v
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a job, accepting a number or the string "inf"
+// (in any case) for the value field.
+func (j *Job) UnmarshalJSON(data []byte) error {
+	var w jobWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	j.ID, j.Release, j.Deadline, j.Work = w.ID, w.Release, w.Deadline, w.Work
+	j.Value = 0
+	if len(w.Value) == 0 {
+		return nil
+	}
+	if w.Value[0] == '"' {
+		var s string
+		if err := json.Unmarshal(w.Value, &s); err != nil {
+			return err
+		}
+		if !strings.EqualFold(s, "inf") && !strings.EqualFold(s, "+inf") {
+			return fmt.Errorf("job %d: unsupported value %q (want a number or \"inf\")", j.ID, s)
+		}
+		j.Value = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(w.Value, &j.Value)
 }
 
 // Span returns the length of the job's feasibility window d_j - r_j.

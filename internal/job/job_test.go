@@ -2,6 +2,7 @@ package job
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -156,5 +157,37 @@ func TestReadTraceRejectsInvalid(t *testing.T) {
 	_, err = ReadTrace(strings.NewReader(`not json`))
 	if err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestJSONRoundTripsInfiniteValues(t *testing.T) {
+	in := &Instance{M: 1, Alpha: 2, Jobs: []Job{
+		{ID: 0, Release: 0, Deadline: 1, Work: 1, Value: math.Inf(1)},
+		{ID: 1, Release: 0.5, Deadline: 2, Work: 0.3, Value: 4.25},
+	}}
+	var buf bytes.Buffer
+	if err := in.WriteTrace(&buf); err != nil {
+		t.Fatalf("finish-all instances must serialise: %v", err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.Jobs[0].Value, 1) {
+		t.Fatalf("infinite value lost: %+v", back.Jobs[0])
+	}
+	if back.Jobs[1].Value != 4.25 {
+		t.Fatalf("finite value mangled: %+v", back.Jobs[1])
+	}
+	// The wire form is the string "inf", accepted case-insensitively.
+	var j Job
+	if err := json.Unmarshal([]byte(`{"id":7,"release":0,"deadline":1,"work":1,"value":"INF"}`), &j); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(j.Value, 1) {
+		t.Fatalf("want +Inf, got %v", j.Value)
+	}
+	if err := json.Unmarshal([]byte(`{"id":7,"release":0,"deadline":1,"work":1,"value":"lots"}`), &j); err == nil {
+		t.Fatal("garbage value string must be rejected")
 	}
 }

@@ -48,9 +48,18 @@ func Run(in *job.Instance) (*sched.Schedule, error) {
 			rem[j.ID] = j.Work
 			meta[j.ID] = j
 		}
-		// Remaining work, all available from t.
+		// Remaining work, all available from t. IDs are visited in
+		// sorted order: map iteration would leak into the convex
+		// solver's float summation order and make replans differ in
+		// the last ulp from run to run.
+		ids := make([]int, 0, len(rem))
+		for id := range rem {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
 		plan := &job.Instance{M: in.M, Alpha: in.Alpha}
-		for id, r := range rem {
+		for _, id := range ids {
+			r := rem[id]
 			if r <= eps*(1+meta[id].Work) {
 				continue
 			}

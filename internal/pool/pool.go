@@ -1,0 +1,47 @@
+// Package pool provides the bounded worker pool shared by the replay
+// engine and the experiment harness: a fixed number of goroutines
+// drain an index stream, every task's error is kept, and all of them
+// are reported joined rather than first-error-wins.
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Run executes fn(0), …, fn(n-1) on at most workers goroutines (≤ 0
+// means GOMAXPROCS) and blocks until all calls return. Exactly
+// min(workers, n) goroutines are started up front — tasks are handed
+// out through a shared channel, so no goroutine exists per task and a
+// slow task never blocks the others — and every error is returned,
+// joined with errors.Join, not just the first.
+func Run(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,85 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesAll(t *testing.T) {
+	var done [100]int32
+	if err := Run(len(done), 7, func(i int) error {
+		atomic.StoreInt32(&done[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if d != 1 {
+			t.Fatalf("task %d not executed", i)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	err := Run(50, workers, func(int) error {
+		n := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		defer atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks, want ≤ %d", peak, workers)
+	}
+}
+
+func TestRunJoinsAllErrors(t *testing.T) {
+	e3, e7 := errors.New("task 3 broke"), errors.New("task 7 broke")
+	err := Run(10, 2, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if !errors.Is(err, e3) || !errors.Is(err, e7) {
+		t.Fatalf("joined error misses a task error: %v", err)
+	}
+	if n := strings.Count(err.Error(), "broke"); n != 2 {
+		t.Fatalf("want exactly the 2 failures in %q", err)
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	if err := Run(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0 must be a no-op, got %v", err)
+	}
+	// workers ≤ 0 falls back to GOMAXPROCS; workers > n is clamped.
+	for _, w := range []int{-1, 0, 1, 99} {
+		var count int32
+		if err := Run(5, w, func(int) error { atomic.AddInt32(&count, 1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if count != 5 {
+			t.Fatalf("workers=%d: executed %d of 5", w, count)
+		}
+	}
+	if err := Run(4, 2, func(i int) error { return fmt.Errorf("fail %d", i) }); err == nil {
+		t.Fatal("all-failing run must error")
+	}
+}

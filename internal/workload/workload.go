@@ -35,6 +35,9 @@ type Config struct {
 	ValueScale float64
 	// ValueSigma is the lognormal σ of the value noise. Default 1.
 	ValueSigma float64
+	// TailIndex is the Pareto shape of HeavyTail workloads; smaller is
+	// heavier. Default 1.5 (finite mean, infinite variance).
+	TailIndex float64
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ValueSigma == 0 {
 		c.ValueSigma = 1
+	}
+	if c.TailIndex <= 0 {
+		c.TailIndex = 1.5
 	}
 	return c
 }
@@ -168,6 +174,48 @@ func Bursty(c Config) *job.Instance {
 	}
 	in.Normalize()
 	return in
+}
+
+// HeavyTail draws Poisson arrivals with Pareto-distributed workloads
+// (shape Config.TailIndex, scale WorkMin): most jobs are small, a few
+// are enormous. This is the large-trace stress shape for the replay
+// engine — elephant jobs create deep nesting for YDS's critical
+// intervals and long pending queues for the online planners. Works are
+// capped at 50× WorkMax so a single draw cannot dwarf the instance.
+func HeavyTail(c Config) *job.Instance {
+	c = c.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	pm := power.Model{Alpha: c.Alpha}
+	in := &job.Instance{M: c.M, Alpha: c.Alpha}
+	rate := float64(c.N) / c.Horizon
+	t := 0.0
+	for i := 0; i < c.N; i++ {
+		t += rng.ExpFloat64() / rate
+		span := c.SpanMin + rng.Float64()*(c.SpanMax-c.SpanMin)
+		w := c.WorkMin * math.Pow(1-rng.Float64(), -1/c.TailIndex)
+		if lim := 50 * c.WorkMax; w > lim {
+			w = lim
+		}
+		in.Jobs = append(in.Jobs, job.Job{
+			ID: i, Release: t, Deadline: t + span, Work: w,
+			Value: c.value(rng, pm, w, span),
+		})
+	}
+	in.Normalize()
+	return in
+}
+
+// Fleet draws k independent instances from the same configuration with
+// derived seeds — the unit of work engine.ReplayAll consumes. The
+// generator is any of the Config-driven functions in this package.
+func Fleet(gen func(Config) *job.Instance, c Config, k int) []*job.Instance {
+	out := make([]*job.Instance, k)
+	for i := range out {
+		ci := c
+		ci.Seed = c.Seed + int64(i)*2654435761 // Fibonacci-hash stride decorrelates seeds
+		out[i] = gen(ci)
+	}
+	return out
 }
 
 // LowerBound builds the adversarial instance from the proof of

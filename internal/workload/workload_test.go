@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/job"
@@ -121,5 +122,50 @@ func TestBurstyHasSimultaneousArrivals(t *testing.T) {
 	}
 	if same == 0 {
 		t.Fatal("bursty workload has no simultaneous arrivals")
+	}
+}
+
+func TestHeavyTailShape(t *testing.T) {
+	in := HeavyTail(Config{N: 400, M: 1, Alpha: 2, Seed: 11})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Jobs) != 400 {
+		t.Fatalf("want 400 jobs, got %d", len(in.Jobs))
+	}
+	// Pareto works: the largest draw dominates the median by a wide
+	// margin, and nothing escapes the 50×WorkMax cap.
+	works := make([]float64, len(in.Jobs))
+	for i, j := range in.Jobs {
+		works[i] = j.Work
+	}
+	sort.Float64s(works)
+	median, max := works[len(works)/2], works[len(works)-1]
+	if max < 5*median {
+		t.Fatalf("tail too light: max %v vs median %v", max, median)
+	}
+	cfg := Config{}.withDefaults()
+	if max > 50*cfg.WorkMax+1e-9 {
+		t.Fatalf("work %v above the elephant cap", max)
+	}
+}
+
+func TestFleetIsDeterministicAndDecorrelated(t *testing.T) {
+	cfg := Config{N: 20, M: 1, Alpha: 2, Seed: 5}
+	a := Fleet(Uniform, cfg, 6)
+	b := Fleet(Uniform, cfg, 6)
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatal("wrong fleet size")
+	}
+	for i := range a {
+		if err := a[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if a[i].Jobs[0] != b[i].Jobs[0] || a[i].Jobs[19] != b[i].Jobs[19] {
+			t.Fatalf("fleet member %d not deterministic", i)
+		}
+	}
+	if a[0].Jobs[0].Release == a[1].Jobs[0].Release {
+		t.Fatal("fleet members share a seed")
 	}
 }

@@ -31,6 +31,13 @@ type Block struct {
 // one processor when all of them are available from time t on (the
 // YDS structure degenerates to a staircase of prefix densities when all
 // releases coincide). This is OA's planning step.
+//
+// The plan is the upper concave envelope of cumulative remaining work
+// versus deadline, anchored at (t, 0): block speeds are the envelope's
+// slopes, which decrease left to right. Building the envelope over the
+// prefix work sums takes O(n) after the deadline sort, replacing the
+// quadratic peel-the-densest-prefix loop; prefixes achieving the same
+// density collapse into one block, which executes identically.
 func Staircase(t float64, pend []Pending) ([]Block, error) {
 	left := make([]Pending, 0, len(pend))
 	for _, p := range pend {
@@ -38,35 +45,58 @@ func Staircase(t float64, pend []Pending) ([]Block, error) {
 			left = append(left, p)
 		}
 	}
+	if len(left) == 0 {
+		return nil, nil
+	}
 	sort.Slice(left, func(i, k int) bool {
 		if left[i].Deadline != left[k].Deadline {
 			return left[i].Deadline < left[k].Deadline
 		}
 		return left[i].ID < left[k].ID
 	})
-	var blocks []Block
-	start := t
-	for len(left) > 0 {
-		if left[0].Deadline <= start {
-			return nil, fmt.Errorf("yds: job %d has %v work after its deadline %v (t=%v)",
-				left[0].ID, left[0].Rem, left[0].Deadline, start)
+	if left[0].Deadline <= t {
+		return nil, fmt.Errorf("yds: job %d has %v work after its deadline %v (t=%v)",
+			left[0].ID, left[0].Rem, left[0].Deadline, t)
+	}
+	// One point per distinct deadline: (deadline, prefix work through
+	// it, index of its last job in deadline order).
+	type point struct {
+		d, w float64
+		last int
+	}
+	points := make([]point, 0, len(left))
+	var cum float64
+	for i, p := range left {
+		cum += p.Rem
+		if n := len(points); n > 0 && points[n-1].d == p.Deadline {
+			points[n-1].w, points[n-1].last = cum, i
+		} else {
+			points = append(points, point{p.Deadline, cum, i})
 		}
-		// Maximum-density prefix.
-		var cum float64
-		bestK, bestG := -1, -1.0
-		for k, p := range left {
-			cum += p.Rem
-			if g := cum / (p.Deadline - start); g > bestG {
-				bestK, bestG = k, g
-			}
+	}
+	// Upper concave envelope anchored at (t, 0): pop while the new point
+	// would not turn the chain clockwise (slopes must strictly decrease).
+	hull := make([]point, 0, len(points))
+	slopeFrom := func(n int, p point) float64 {
+		if n == 0 {
+			return p.w / (p.d - t)
 		}
-		end := left[bestK].Deadline
+		return (p.w - hull[n-1].w) / (p.d - hull[n-1].d)
+	}
+	for _, p := range points {
+		for len(hull) > 0 && slopeFrom(len(hull)-1, hull[len(hull)-1]) <= slopeFrom(len(hull)-1, p) {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	blocks := make([]Block, 0, len(hull))
+	start, first := t, 0
+	for _, p := range hull {
 		blocks = append(blocks, Block{
-			Start: start, End: end, Speed: bestG,
-			Jobs: append([]Pending(nil), left[:bestK+1]...),
+			Start: start, End: p.d, Speed: slopeFrom(len(blocks), p),
+			Jobs: append([]Pending(nil), left[first:p.last+1]...),
 		})
-		left = left[bestK+1:]
-		start = end
+		start, first = p.d, p.last+1
 	}
 	return blocks, nil
 }
