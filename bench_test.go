@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/chen"
 	"repro/internal/cll"
@@ -207,15 +208,14 @@ func BenchmarkYDSReference(b *testing.B) {
 // the same work done sequentially (workers=1): the ratio of the two is
 // the engine's parallel speedup.
 func BenchmarkReplayAll(b *testing.B) {
-	pm := power.New(2)
 	fleet := workload.Fleet(workload.HeavyTail, workload.Config{
 		N: 300, M: 1, Alpha: 2, Seed: 12, ValueScale: math.Inf(1),
 	}, 8)
-	mk := func() engine.Policy { return engine.OA(pm) }
+	spec := engine.Spec{Name: "oa", M: 1, Alpha: 2}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := engine.ReplayAll(fleet, mk, workers); err != nil {
+				if _, err := engine.ReplayAllSpec(fleet, spec, workers); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -226,15 +226,48 @@ func BenchmarkReplayAll(b *testing.B) {
 // BenchmarkRace measures the concurrent policy comparison that backs
 // profsched's -algos mode and experiment T11.
 func BenchmarkRace(b *testing.B) {
-	pm := power.New(2)
 	in := workload.HeavyTail(workload.Config{N: 200, M: 1, Alpha: 2, Seed: 13, ValueScale: math.Inf(1)})
+	specs := []engine.Spec{
+		{Name: "pd", M: 1, Alpha: 2}, {Name: "oa", M: 1, Alpha: 2},
+		{Name: "avr", M: 1, Alpha: 2}, {Name: "qoa", M: 1, Alpha: 2},
+		{Name: "yds", M: 1, Alpha: 2},
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := engine.Race(in,
-			engine.PD(1, pm), engine.OA(pm), engine.AVR(pm),
-			engine.QOA(pm), engine.YDSOffline(pm))
-		if err != nil {
+		if _, err := engine.RaceSpecs(in, specs...); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionPerArrival tracks the streaming hot path: one full
+// replay of a truly-online session per iteration, normalised to
+// ns/arrival (the per-arrival replanning cost T10 reports). The
+// horizon scales with n so the live backlog stays realistic instead of
+// growing with the trace.
+func BenchmarkSessionPerArrival(b *testing.B) {
+	for _, name := range []string{"oa", "avr", "qoa"} {
+		for _, n := range []int{1_000, 10_000} {
+			in := workload.HeavyTail(workload.Config{
+				N: n, M: 1, Alpha: 2, Seed: 17, Horizon: float64(n) / 10, ValueScale: math.Inf(1),
+			})
+			spec := engine.Spec{Name: name, M: 1, Alpha: 2}
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					p, err := engine.New(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := engine.Replay(in, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.TotalArrive
+				}
+				b.ReportMetric(float64(total.Nanoseconds())/float64(b.N*n), "ns/arrival")
+			})
 		}
 	}
 }

@@ -5,18 +5,21 @@
 //
 // Usage:
 //
-//	profsched -algo pd|cll|oa|moa|yds|avr|bkp|qoa|opt [-trace file] [-delta δ]
-//	profsched -algos pd,oa,avr,... [-trace file]
+//	profsched -algo NAME [-trace file] [-delta δ]
+//	profsched -algos a,b,c [-trace file]
+//	profsched -list
 //
-// The trace is read from -trace or stdin. Algorithms oa/yds/avr/bkp/qoa
-// ignore job values and require every job to be finished (single
-// processor); moa is the multiprocessor OA (finish-all, any m); opt
-// enumerates accept-sets (exponential, small traces only); pd handles
-// values and any number of processors.
+// Algorithms are resolved through the engine's policy registry:
+// profsched -list prints every registered policy together with its
+// capability metadata (supported processor range, profit vs finish-all
+// model, online vs batch vs clairvoyant planning), and the same table
+// is appended to -h. Incompatible traces are refused with the reason
+// (e.g. a single-processor policy on an m=4 trace).
 //
-// The -algos mode replays the trace through every named algorithm
-// concurrently (engine.Race) and prints one combined comparison table
-// instead of the single-algorithm report.
+// The trace is read from -trace or stdin. The -algos mode replays the
+// trace through every named algorithm concurrently (engine.RaceSpecs)
+// and prints one combined comparison table instead of the
+// single-algorithm report.
 package main
 
 import (
@@ -28,16 +31,10 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/cll"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/job"
-	"repro/internal/moa"
-	"repro/internal/opt"
-	"repro/internal/power"
-	"repro/internal/sched"
 	"repro/internal/stats"
-	"repro/internal/yds"
 )
 
 func main() {
@@ -47,24 +44,58 @@ func main() {
 	}
 }
 
+// registryTable renders the policy registry: one row per registered
+// policy with its capability metadata. It backs both -list and -h, so
+// there is no hand-maintained algorithm list to drift.
+func registryTable(reg *engine.Registry) *stats.Table {
+	t := &stats.Table{
+		Title:   "registered policies",
+		Headers: []string{"name", "m", "model", "mode", "params", "summary"},
+		Notes: []string{
+			"model: profit optimises energy + lost value; finish-all ignores values",
+			"mode: online plans per arrival, batch buffers and plans at close,",
+			"clairvoyant sees the whole trace (offline baselines)",
+		},
+	}
+	for _, r := range reg.All() {
+		params := "-"
+		if len(r.Params) > 0 {
+			params = strings.Join(r.Params, ",")
+		}
+		t.AddRow(r.Name, r.Caps.MRange(), r.Caps.Model(), r.Caps.Mode(), params, r.Summary)
+	}
+	return t
+}
+
 // run is the whole CLI behind a testable seam: flags are parsed from
 // args, the trace comes from stdin unless -trace overrides it, and all
 // report output goes to stdout.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	reg := engine.DefaultRegistry()
 	fs := flag.NewFlagSet("profsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	algo := fs.String("algo", "pd", "algorithm: pd, cll, oa, moa, yds, avr, bkp, qoa, opt")
+	algo := fs.String("algo", "pd", "algorithm name (see -list)")
 	algos := fs.String("algos", "", "comma-separated algorithms to race on the same trace (comparison mode)")
+	list := fs.Bool("list", false, "print the policy registry and exit")
 	trace := fs.String("trace", "", "JSON trace file (default stdin)")
 	delta := fs.Float64("delta", 0, "override PD's δ (default α^{1-α})")
 	profile := fs.Bool("profile", false, "render an ASCII total-speed profile")
-	dump := fs.Bool("dump", false, "dump per-interval assignments (PD only)")
+	dump := fs.Bool("dump", false, "dump per-interval assignments (policies exposing interval state)")
 	gantt := fs.Bool("gantt", false, "render a per-processor ASCII Gantt chart")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: profsched [flags]")
+		fs.PrintDefaults()
+		fmt.Fprintln(stderr)
+		_ = registryTable(reg).Render(stderr)
+	}
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h printed usage; that is success, not an error
 		}
 		return err
+	}
+	if *list {
+		return registryTable(reg).Render(stdout)
 	}
 
 	var r io.Reader = stdin
@@ -84,149 +115,111 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if *profile || *dump || *gantt {
 			return fmt.Errorf("-profile, -dump and -gantt apply to single-algorithm mode only, not -algos")
 		}
-		return runComparison(in, strings.Split(*algos, ","), *delta, stdout)
+		return runComparison(in, reg, strings.Split(*algos, ","), *delta, stdout)
 	}
-	return runSingle(in, *algo, *delta, *profile, *dump, *gantt, stdout)
+	return runSingle(in, reg, *algo, *delta, *profile, *dump, *gantt, stdout)
 }
 
-// runSingle executes one algorithm and prints the classic report.
-func runSingle(in *job.Instance, algo string, delta float64, profile, dump, gantt bool, w io.Writer) error {
-	pm := power.Model{Alpha: in.Alpha}
-
-	var (
-		schedule *sched.Schedule
-		extra    string
-		err      error
-	)
-	switch algo {
-	case "pd":
-		var opts []core.Option
-		if delta > 0 {
-			opts = append(opts, core.WithDelta(delta))
-		}
-		s := core.New(in.M, pm, opts...)
-		inst := in.Clone()
-		inst.Normalize()
-		for _, j := range inst.Jobs {
-			if _, err := s.Arrive(j); err != nil {
-				return err
-			}
-		}
-		schedule = s.Schedule()
-		dualV := s.DualValue()
-		extra = fmt.Sprintf("dual lower bound   %12.6g\ncertified ratio    %12.6g (bound α^α = %.6g)",
-			dualV, s.Cost()/dualV, pm.CompetitiveBound())
-		if dump {
-			extra += "\n\nper-interval assignment:"
-			for _, st := range s.Snapshot() {
-				extra += fmt.Sprintf("\n  [%.4g, %.4g) energy %.4g loads %v", st.T0, st.T1, st.Energy, st.Load)
-			}
-		}
-	case "cll":
-		res, err := cll.Run(in, pm)
-		if err != nil {
-			return err
-		}
-		schedule = res.Schedule
-	case "oa":
-		schedule, err = yds.OA(in)
-	case "moa":
-		schedule, err = moa.Run(in)
-	case "yds":
-		schedule, err = yds.YDS(in)
-	case "avr":
-		schedule, err = yds.AVR(in)
-	case "bkp":
-		schedule, err = yds.BKP(in)
-	case "qoa":
-		schedule, err = yds.QOA(in, pm)
-	case "opt":
-		sol, err2 := opt.Integral(in)
-		if err2 != nil {
-			return err2
-		}
-		schedule = sol.Schedule
-		extra = fmt.Sprintf("certified opt gap  %12.6g", sol.Cost-sol.LowerBound)
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+// specFor builds the registry spec selecting the named policy for this
+// trace's environment, attaching δ only where the policy declares it —
+// comparison mode races mixed policies, so δ goes to those that take
+// it. Single-algorithm mode attaches δ unconditionally instead, so an
+// inapplicable -delta is refused, not silently dropped.
+func specFor(reg *engine.Registry, name string, in *job.Instance, delta float64) (engine.Spec, error) {
+	spec := engine.Spec{Name: name, M: in.M, Alpha: in.Alpha}
+	if delta <= 0 {
+		return spec, nil
 	}
+	r, err := reg.Lookup(name)
+	if err != nil {
+		return spec, err
+	}
+	for _, p := range r.Params {
+		if p == "delta" {
+			spec.Params = map[string]float64{"delta": delta}
+			break
+		}
+	}
+	return spec, nil
+}
+
+// runSingle executes one algorithm through the replay engine and
+// prints the classic report. Policy-specific extras (PD's dual
+// certificate and interval dump, opt's certified gap) are discovered
+// by capability interfaces, not by name.
+func runSingle(in *job.Instance, reg *engine.Registry, algo string, delta float64, profile, dump, gantt bool, w io.Writer) error {
+	spec := engine.Spec{Name: algo, M: in.M, Alpha: in.Alpha}
+	if delta > 0 {
+		spec.Params = map[string]float64{"delta": delta}
+	}
+	p, err := reg.New(spec)
+	if err != nil {
+		return err
+	}
+	// Refuse unsupported extras before the replay runs: a failed
+	// invocation must not first print a complete-looking report.
+	dumper, canDump := p.(interface{ IntervalStates() []core.IntervalState })
+	if dump && !canDump {
+		return fmt.Errorf("-dump: algorithm %q does not expose per-interval state", algo)
+	}
+	res, err := engine.Replay(in, p)
 	if err != nil {
 		return err
 	}
 
-	if err := sched.Verify(in, schedule); err != nil {
-		return fmt.Errorf("schedule failed verification: %w", err)
-	}
-	energy := schedule.Energy(pm)
-	lost := schedule.LostValue(in)
 	fmt.Fprintf(w, "algorithm          %12s\njobs               %12d\nprocessors         %12d\nalpha              %12g\n",
 		algo, len(in.Jobs), in.M, in.Alpha)
 	fmt.Fprintf(w, "energy             %12.6g\nlost value         %12.6g\ncost               %12.6g\n",
-		energy, lost, energy+lost)
+		res.Energy, res.LostValue, res.Cost)
 	fmt.Fprintf(w, "rejected jobs      %12d\nmax speed          %12.6g\nverified           %12s\n",
-		len(schedule.Rejected), schedule.MaxSpeed(), "yes")
-	if extra != "" {
-		fmt.Fprintln(w, extra)
+		res.Rejected, res.Schedule.MaxSpeed(), "yes")
+	fmt.Fprintf(w, "max arrive         %12s\ntotal arrive       %12s\nplan time          %12s\n",
+		res.MaxArrive, res.TotalArrive, res.PlanTime)
+
+	if dc, ok := p.(interface{ DualValue() float64 }); ok {
+		pm := spec.PowerModel()
+		dualV := dc.DualValue()
+		fmt.Fprintf(w, "dual lower bound   %12.6g\ncertified ratio    %12.6g (bound α^α = %.6g)\n",
+			dualV, res.Cost/dualV, pm.CompetitiveBound())
+	}
+	if g, ok := p.(interface{ OptimalityGap() float64 }); ok {
+		fmt.Fprintf(w, "certified opt gap  %12.6g\n", g.OptimalityGap())
+	}
+	if dump {
+		fmt.Fprintln(w, "\nper-interval assignment:")
+		for _, st := range dumper.IntervalStates() {
+			fmt.Fprintf(w, "  [%.4g, %.4g) energy %.4g loads %v\n", st.T0, st.T1, st.Energy, st.Load)
+		}
 	}
 	if profile {
-		fmt.Fprintln(w, schedule.RenderProfile(72))
+		fmt.Fprintln(w, res.Schedule.RenderProfile(72))
 	}
 	if gantt {
-		fmt.Fprintln(w, schedule.RenderGantt(72))
+		fmt.Fprintln(w, res.Schedule.RenderGantt(72))
 	}
 	return nil
-}
-
-// policyFor maps an -algos name to an engine policy. Every schedule a
-// policy emits is verified by the engine before it is reported.
-func policyFor(name string, in *job.Instance, pm power.Model, delta float64) (engine.Policy, error) {
-	switch name {
-	case "pd":
-		var opts []core.Option
-		if delta > 0 {
-			opts = append(opts, core.WithDelta(delta))
-		}
-		return engine.PD(in.M, pm, opts...), nil
-	case "cll":
-		return engine.CLL(pm), nil
-	case "oa":
-		return engine.OA(pm), nil
-	case "moa":
-		return engine.MOA(in.M, pm), nil
-	case "yds":
-		return engine.YDSOffline(pm), nil
-	case "avr":
-		return engine.AVR(pm), nil
-	case "bkp":
-		return engine.BKP(pm), nil
-	case "qoa":
-		return engine.QOA(pm), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q in -algos", name)
-	}
 }
 
 // runComparison races the named algorithms over the trace concurrently
 // and renders one combined table sorted cheapest cost first, each row
 // annotated against the best.
-func runComparison(in *job.Instance, names []string, delta float64, w io.Writer) error {
-	pm := power.Model{Alpha: in.Alpha}
-	policies := make([]engine.Policy, 0, len(names))
+func runComparison(in *job.Instance, reg *engine.Registry, names []string, delta float64, w io.Writer) error {
+	specs := make([]engine.Spec, 0, len(names))
 	for _, raw := range names {
 		name := strings.TrimSpace(raw)
 		if name == "" {
 			continue
 		}
-		p, err := policyFor(name, in, pm, delta)
+		spec, err := specFor(reg, name, in, delta)
 		if err != nil {
 			return err
 		}
-		policies = append(policies, p)
+		specs = append(specs, spec)
 	}
-	if len(policies) == 0 {
+	if len(specs) == 0 {
 		return fmt.Errorf("-algos: no algorithms given")
 	}
-	results, err := engine.Race(in, policies...)
+	results, err := reg.RaceSpecs(in, specs...)
 	if err != nil {
 		return err
 	}
@@ -238,17 +231,18 @@ func runComparison(in *job.Instance, names []string, delta float64, w io.Writer)
 	t := &stats.Table{
 		Title: fmt.Sprintf("profsched comparison: %d jobs, m=%d, α=%g", len(in.Jobs), in.M, in.Alpha),
 		Headers: []string{"algo", "energy", "lost value", "cost", "cost/best",
-			"rejected", "max speed", "max arrive", "total arrive"},
+			"rejected", "max speed", "max arrive", "total arrive", "plan"},
 		Notes: []string{
 			"all schedules verified; policies replayed concurrently with per-run isolation",
-			"arrive columns are wall-clock decision latency measured under concurrent",
-			"replay and may include scheduler contention; use -algo for isolated timing",
+			"arrive columns are wall-clock per-arrival decision latency (zero for batch",
+			"policies, which buffer and plan at close — see plan); concurrent replay",
+			"may include scheduler contention, use -algo for isolated timing",
 		},
 	}
 	for _, r := range results {
 		t.AddRow(r.Policy, r.Energy, r.LostValue, r.Cost, r.Cost/best,
 			r.Rejected, r.Schedule.MaxSpeed(),
-			r.MaxArrive.String(), r.TotalArrive.String())
+			r.MaxArrive.String(), r.TotalArrive.String(), r.PlanTime.String())
 	}
 	return t.Render(w)
 }

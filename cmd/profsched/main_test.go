@@ -120,6 +120,98 @@ func TestAlgosMultiprocessor(t *testing.T) {
 	}
 }
 
+// TestListFlag: -list renders the registry with capability metadata
+// and needs no trace.
+func TestListFlag(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"registered policies",
+		"pd", "cll", "oa", "moa", "yds", "avr", "bkp", "qoa", "opt",
+		"online", "batch", "clairvoyant", "profit", "finish-all", "delta",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUsageIncludesRegistry: -h renders the same registry table
+// instead of a hand-maintained algorithm list.
+func TestUsageIncludesRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"registered policies", "qoa", "clairvoyant"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Fatalf("usage missing %q:\n%s", want, errb.String())
+		}
+	}
+}
+
+// TestCapabilityRefusals: incompatible specs are refused with the
+// reason, compatible neighbours keep working (moa with m=1 is fine,
+// cll with m=4 is not).
+func TestCapabilityRefusals(t *testing.T) {
+	multi := finishAllTrace(t, 8, 4)
+	for _, algo := range []string{"cll", "oa", "avr", "qoa", "yds"} {
+		_, err := runCLI(t, "-algo", algo, "-trace", multi)
+		if err == nil {
+			t.Fatalf("-algo %s on an m=4 trace must be refused", algo)
+		}
+		for _, want := range []string{algo, "m=4"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("refusal must explain itself (missing %q): %v", want, err)
+			}
+		}
+	}
+	if _, err := runCLI(t, "-algo", "moa", "-trace", finishAllTrace(t, 8, 1)); err != nil {
+		t.Fatalf("moa with m=1 jobs must be fine: %v", err)
+	}
+	// Unknown names list the registry in the error.
+	_, err := runCLI(t, "-algo", "nope", "-trace", finishAllTrace(t, 5, 1))
+	if err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown algorithm must list the registry: %v", err)
+	}
+	// -delta reaches only policies that declare it.
+	if _, err := runCLI(t, "-algo", "oa", "-delta", "0.4", "-trace", finishAllTrace(t, 5, 1)); err == nil {
+		t.Fatal("-delta with oa must be refused (oa declares no parameters)")
+	}
+	// -dump needs a policy exposing interval state.
+	if _, err := runCLI(t, "-algo", "oa", "-dump", "-trace", finishAllTrace(t, 5, 1)); err == nil {
+		t.Fatal("-dump with oa must be refused")
+	}
+}
+
+// TestLatencyReport: the single-algorithm report carries the honest
+// latency lines — nonzero arrive for online policies, zeroed arrive
+// with the cost in plan time for batch ones.
+func TestLatencyReport(t *testing.T) {
+	trace := finishAllTrace(t, 12, 1)
+	out, err := runCLI(t, "-algo", "oa", "-trace", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"max arrive", "total arrive", "plan time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "total arrive                 0s") {
+		t.Fatalf("online oa reported zero arrive latency:\n%s", out)
+	}
+	out, err = runCLI(t, "-algo", "yds", "-trace", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "max arrive                   0s") {
+		t.Fatalf("clairvoyant yds must report zero arrive latency:\n%s", out)
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	trace := finishAllTrace(t, 5, 1)
 	if _, err := runCLI(t, "-algo", "nope", "-trace", trace); err == nil {

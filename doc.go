@@ -11,9 +11,11 @@
 // machinery (internal/interval), the dual certificate (internal/dual),
 // the classical single-processor algorithms YDS/OA/AVR/BKP/qOA
 // (internal/yds), the Chan-Lam-Li profitable baseline (internal/cll),
-// offline reference solvers (internal/opt), the concurrent replay
-// engine (internal/engine: Replay, Race, ReplayAll over the bounded
-// worker pool in internal/pool) and the experiment harness
+// offline reference solvers (internal/opt), the registry-driven
+// concurrent replay engine (internal/engine: New(Spec) resolves any
+// registered policy, Replay/Race/ReplayAll drive traces over the
+// bounded worker pool in internal/pool, and truly-online OA/AVR/qOA
+// sessions expose per-arrival state) and the experiment harness
 // (internal/experiments) that regenerates every table and figure of the
 // reproduction.
 //

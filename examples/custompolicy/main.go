@@ -73,15 +73,32 @@ func (n *naive) Close() (*sched.Schedule, error) {
 }
 
 func main() {
-	pm := power.New(2)
-	in := workload.Poisson(workload.Config{N: 60, M: 1, Alpha: 2, Seed: 99, ValueScale: 1.5})
+	// Registering the policy by name makes it a first-class citizen of
+	// the engine: it is constructible via engine.New(Spec), raceable
+	// via RaceSpecs, listed by `profsched -list`-style tables, and the
+	// registry refuses specs outside its declared capabilities.
+	err := engine.Register(engine.Registration{
+		Name:    "naive-greedy",
+		Summary: "solo-energy admission + average-rate execution",
+		Caps:    engine.Caps{MinM: 1, MaxM: 1, Profit: true, Online: true},
+		Build: func(spec engine.Spec) (engine.Policy, error) {
+			return &naive{pm: spec.PowerModel()}, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
+	in := workload.Poisson(workload.Config{N: 60, M: 1, Alpha: 2, Seed: 99, ValueScale: 1.5})
+	results, err := engine.RaceSpecs(in,
+		engine.Spec{Name: "naive-greedy", M: 1, Alpha: 2},
+		engine.Spec{Name: "pd", M: 1, Alpha: 2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%-14s %10s %10s %10s %9s\n", "policy", "energy", "lost", "cost", "rejected")
-	for _, p := range []engine.Policy{&naive{pm: pm}, engine.PD(1, pm)} {
-		res, err := engine.Replay(in, p)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, res := range results {
 		fmt.Printf("%-14s %10.3f %10.3f %10.3f %9d\n",
 			res.Policy, res.Energy, res.LostValue, res.Cost, res.Rejected)
 	}

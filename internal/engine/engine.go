@@ -1,19 +1,22 @@
-// Package engine provides the online replay driver: it feeds a job
-// trace to any scheduling policy in release order, measures per-arrival
-// decision latency, verifies the produced schedule independently, and
-// reports a uniform result. It is the seam where downstream users plug
-// in their own policies next to the built-in ones (PD, CLL, OA,
-// multiprocessor OA, ...).
+// Package engine provides the online replay driver and the policy
+// registry: it feeds a job trace to any scheduling policy in release
+// order, measures per-arrival decision latency, verifies the produced
+// schedule independently, and reports a uniform result. Policies are
+// resolved by declarative Spec through a Registry carrying capability
+// metadata (processor range, profit vs finish-all model, online vs
+// batch vs clairvoyant), so callers never touch per-algorithm
+// constructors; downstream users plug their own policies in next to
+// the built-in ones (PD, CLL, OA, multiprocessor OA, ...) by
+// registering them under a name.
 package engine
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
-	"repro/internal/cll"
 	"repro/internal/core"
 	"repro/internal/job"
-	"repro/internal/moa"
 	"repro/internal/power"
 	"repro/internal/sched"
 	"repro/internal/yds"
@@ -33,6 +36,47 @@ type Policy interface {
 	Close() (*sched.Schedule, error)
 }
 
+// Snapshot is a mid-stream observation of a policy's live state,
+// taken between arrivals without disturbing the run.
+type Snapshot struct {
+	// At is the release time of the latest arrival (the frontier).
+	At float64
+	// Arrivals counts jobs handed to the policy so far.
+	Arrivals int
+	// Pending counts jobs with unfinished work in the live state.
+	Pending int
+	// PendingWork is the total unfinished work.
+	PendingWork float64
+	// Speed is the speed the current plan runs at the frontier.
+	Speed float64
+	// Buffered reports that the policy has not planned anything yet —
+	// it buffers the trace and plans only at Close, so Pending and
+	// PendingWork describe the buffered backlog and Speed is zero.
+	Buffered bool
+}
+
+// Session extends Policy with mid-stream observability: a truly online
+// policy maintains its plan per arrival and can report it at any
+// point. All built-in policies implement Session; for buffering shims
+// the snapshot shows the backlog with Buffered set.
+type Session interface {
+	Policy
+	Snapshot() Snapshot
+}
+
+// SessionOf reports the policy's Session face, if it has one.
+func SessionOf(p Policy) (Session, bool) {
+	s, ok := p.(Session)
+	return s, ok
+}
+
+// Buffered marks policies that buffer the whole trace and plan only at
+// Close (batch shims around whole-instance algorithms). Replay zeroes
+// their per-arrival latency columns — the interesting cost is PlanTime.
+type Buffered interface {
+	Buffered() bool
+}
+
 // Result is the uniform outcome of one replay.
 type Result struct {
 	Policy    string
@@ -42,8 +86,15 @@ type Result struct {
 	Cost      float64
 	Rejected  int
 	// MaxArrive and TotalArrive measure the policy's decision latency
-	// (wall clock) — the online algorithm's own overhead.
+	// (wall clock) — the online algorithm's own per-arrival overhead.
+	// For Buffered policies both are zero: an append to a buffer says
+	// nothing about the algorithm, so publishing it would be
+	// misleading.
 	MaxArrive, TotalArrive time.Duration
+	// PlanTime is the wall clock spent in Close — for buffered and
+	// clairvoyant policies this is where all planning happens; for
+	// online policies it is the cost of finishing the last plan.
+	PlanTime time.Duration
 }
 
 // Replay drives the policy over the instance and verifies the result.
@@ -65,9 +116,14 @@ func Replay(in *job.Instance, p Policy) (*Result, error) {
 			res.MaxArrive = d
 		}
 	}
+	start := time.Now()
 	s, err := p.Close()
+	res.PlanTime = time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %s close: %w", p.Name(), err)
+	}
+	if b, ok := p.(Buffered); ok && b.Buffered() {
+		res.MaxArrive, res.TotalArrive = 0, 0
 	}
 	if err := sched.Verify(inst, s); err != nil {
 		return nil, fmt.Errorf("engine: %s produced an infeasible schedule: %w", p.Name(), err)
@@ -83,13 +139,14 @@ func Replay(in *job.Instance, p Policy) (*Result, error) {
 
 // --- Built-in policy adapters ---
 
-// pdPolicy adapts core.Scheduler.
+// pdPolicy adapts core.Scheduler, the paper's truly-online algorithm.
 type pdPolicy struct {
-	s *core.Scheduler
+	s        *core.Scheduler
+	arrivals int
+	lastAt   float64
 }
 
-// PD returns the paper's algorithm as an engine policy.
-func PD(m int, pm power.Model, opts ...core.Option) Policy {
+func newPD(m int, pm power.Model, opts ...core.Option) *pdPolicy {
 	return &pdPolicy{s: core.New(m, pm, opts...)}
 }
 
@@ -97,14 +154,87 @@ func (p *pdPolicy) Name() string { return "pd" }
 
 func (p *pdPolicy) Arrive(j job.Job) error {
 	_, err := p.s.Arrive(j)
+	if err == nil {
+		p.arrivals++
+		p.lastAt = j.Release
+	}
 	return err
 }
 
 func (p *pdPolicy) Close() (*sched.Schedule, error) { return p.s.Schedule(), nil }
 
+// DualValue exposes PD's dual lower bound g(λ̃) for certificate
+// reporting (the CLI discovers it by interface assertion).
+func (p *pdPolicy) DualValue() float64 { return p.s.DualValue() }
+
+// IntervalStates exposes PD's per-interval primal state for -dump.
+func (p *pdPolicy) IntervalStates() []core.IntervalState { return p.s.Snapshot() }
+
+// Snapshot reports PD's committed plan from the frontier on: work the
+// partition still schedules at or after the last arrival. Within the
+// frontier's own interval the remaining share is prorated by time.
+func (p *pdPolicy) Snapshot() Snapshot {
+	snap := Snapshot{At: p.lastAt, Arrivals: p.arrivals}
+	pending := map[int]struct{}{}
+	for _, st := range p.s.Snapshot() {
+		if st.T1 <= p.lastAt {
+			continue
+		}
+		frac := 1.0
+		if st.T0 < p.lastAt {
+			frac = (st.T1 - p.lastAt) / (st.T1 - st.T0)
+		}
+		ids := make([]int, 0, len(st.Load))
+		for id := range st.Load {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			snap.PendingWork += st.Load[id] * frac
+			pending[id] = struct{}{}
+		}
+		if st.T0 <= p.lastAt && p.lastAt < st.T1 {
+			for _, id := range ids {
+				snap.Speed += st.Speeds[id]
+			}
+		}
+	}
+	snap.Pending = len(pending)
+	return snap
+}
+
+// liveSession is the shape of the incremental planners in yds.
+type liveSession interface {
+	Arrive(job.Job) error
+	Close() (*sched.Schedule, error)
+	State() yds.SessionState
+}
+
+// onlinePolicy adapts a yds incremental session: per-arrival latency
+// is the algorithm's real replanning cost, and snapshots observe the
+// live staircase/density state.
+type onlinePolicy struct {
+	name string
+	s    liveSession
+}
+
+func (p *onlinePolicy) Name() string { return p.name }
+
+func (p *onlinePolicy) Arrive(j job.Job) error { return p.s.Arrive(j) }
+
+func (p *onlinePolicy) Close() (*sched.Schedule, error) { return p.s.Close() }
+
+func (p *onlinePolicy) Snapshot() Snapshot {
+	st := p.s.State()
+	return Snapshot{
+		At: st.Time, Arrivals: st.Arrivals, Pending: st.Pending,
+		PendingWork: st.PendingWork, Speed: st.Speed,
+	}
+}
+
 // batchPolicy adapts whole-instance algorithms (they see arrivals only
 // through the recorded instance and plan at Close). Their per-arrival
-// latency is not meaningful; Replay still measures the buffering cost.
+// latency is meaningless, so Replay reports their cost as PlanTime.
 type batchPolicy struct {
 	name string
 	m    int
@@ -114,6 +244,8 @@ type batchPolicy struct {
 }
 
 func (b *batchPolicy) Name() string { return b.name }
+
+func (b *batchPolicy) Buffered() bool { return true }
 
 func (b *batchPolicy) Arrive(j job.Job) error {
 	b.jobs = append(b.jobs, j)
@@ -125,67 +257,14 @@ func (b *batchPolicy) Close() (*sched.Schedule, error) {
 	return b.run(in, b.pm)
 }
 
-// CLL returns the Chan-Lam-Li policy (single processor).
-func CLL(pm power.Model) Policy {
-	return &batchPolicy{name: "cll", m: 1, pm: pm,
-		run: func(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
-			r, err := cll.Run(in, pm)
-			if err != nil {
-				return nil, err
-			}
-			return r.Schedule, nil
-		}}
-}
-
-// OA returns the classical Optimal Available policy (single processor,
-// finish-all: all values must be +Inf or completion is still enforced).
-func OA(pm power.Model) Policy {
-	return &batchPolicy{name: "oa", m: 1, pm: pm,
-		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
-			return yds.OA(in)
-		}}
-}
-
-// MOA returns the multiprocessor Optimal Available policy (finish-all).
-func MOA(m int, pm power.Model) Policy {
-	return &batchPolicy{name: "moa", m: m, pm: pm,
-		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
-			return moa.Run(in)
-		}}
-}
-
-// YDSOffline returns the exact offline optimum as a policy: it buffers
-// the whole trace and plans at Close. It is the clairvoyant baseline
-// the online policies race against (single processor, finish-all).
-func YDSOffline(pm power.Model) Policy {
-	return &batchPolicy{name: "yds", m: 1, pm: pm,
-		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
-			return yds.YDS(in)
-		}}
-}
-
-// AVR returns the Average Rate policy (single processor, finish-all).
-func AVR(pm power.Model) Policy {
-	return &batchPolicy{name: "avr", m: 1, pm: pm,
-		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
-			return yds.AVR(in)
-		}}
-}
-
-// BKP returns the Bansal-Kimbrel-Pruhs policy (single processor,
-// finish-all).
-func BKP(pm power.Model) Policy {
-	return &batchPolicy{name: "bkp", m: 1, pm: pm,
-		run: func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
-			return yds.BKP(in)
-		}}
-}
-
-// QOA returns the qOA policy, OA sped up by q = 2 - 1/α (single
-// processor, finish-all).
-func QOA(pm power.Model) Policy {
-	return &batchPolicy{name: "qoa", m: 1, pm: pm,
-		run: func(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
-			return yds.QOA(in, pm)
-		}}
+// Snapshot shows the buffered backlog: nothing is planned before Close.
+func (b *batchPolicy) Snapshot() Snapshot {
+	snap := Snapshot{Arrivals: len(b.jobs), Pending: len(b.jobs), Buffered: true}
+	if n := len(b.jobs); n > 0 {
+		snap.At = b.jobs[n-1].Release
+	}
+	for _, j := range b.jobs {
+		snap.PendingWork += j.Work
+	}
+	return snap
 }

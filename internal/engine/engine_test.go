@@ -7,15 +7,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/job"
 	"repro/internal/numeric"
-	"repro/internal/power"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
+// mustNew resolves a spec through the default registry or fails the
+// test — the construction path every test exercises.
+func mustNew(t testing.TB, spec Spec) Policy {
+	t.Helper()
+	p, err := New(spec)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", spec, err)
+	}
+	return p
+}
+
 func TestReplayPD(t *testing.T) {
 	in := workload.Uniform(workload.Config{N: 20, M: 2, Alpha: 2, Seed: 1})
-	pm := power.New(2)
-	res, err := Replay(in, PD(2, pm))
+	res, err := Replay(in, mustNew(t, Spec{Name: "pd", M: 2, Alpha: 2}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,8 +43,7 @@ func TestReplayMatchesDirectRun(t *testing.T) {
 	// The engine must not change algorithm behaviour: PD through the
 	// engine equals core.Run.
 	in := workload.Bursty(workload.Config{N: 30, M: 3, Alpha: 2.5, Seed: 2})
-	pm := power.New(2.5)
-	res, err := Replay(in, PD(3, pm))
+	res, err := Replay(in, mustNew(t, Spec{Name: "pd", M: 3, Alpha: 2.5}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,21 +57,48 @@ func TestReplayMatchesDirectRun(t *testing.T) {
 }
 
 func TestReplayAllPolicies(t *testing.T) {
-	pm := power.New(2)
 	in := workload.Poisson(workload.Config{N: 15, M: 1, Alpha: 2, Seed: 3, ValueScale: math.Inf(1)})
-	for _, p := range []Policy{PD(1, pm), CLL(pm), OA(pm), MOA(1, pm)} {
-		res, err := Replay(in, p)
+	for _, name := range []string{"pd", "cll", "oa", "moa", "avr", "bkp", "qoa", "yds"} {
+		res, err := Replay(in, mustNew(t, Spec{Name: name, M: 1, Alpha: 2}))
 		if err != nil {
-			t.Fatalf("%s: %v", p.Name(), err)
+			t.Fatalf("%s: %v", name, err)
 		}
 		if res.LostValue != 0 {
-			t.Fatalf("%s lost value on an infinite-value instance", p.Name())
+			t.Fatalf("%s lost value on an infinite-value instance", name)
+		}
+	}
+}
+
+// TestLatencySemantics pins the honest-latency contract: online
+// policies report real per-arrival work; buffered policies report zero
+// arrive columns and their full cost as PlanTime.
+func TestLatencySemantics(t *testing.T) {
+	in := workload.Uniform(workload.Config{N: 40, M: 1, Alpha: 2, Seed: 11, ValueScale: math.Inf(1)})
+	for _, name := range []string{"pd", "oa", "avr", "qoa"} {
+		res, err := Replay(in, mustNew(t, Spec{Name: name, M: 1, Alpha: 2}))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TotalArrive <= 0 || res.MaxArrive <= 0 {
+			t.Fatalf("%s is online but reported no per-arrival latency: %+v", name, res)
+		}
+	}
+	for _, name := range []string{"cll", "yds", "bkp", "moa"} {
+		res, err := Replay(in, mustNew(t, Spec{Name: name, M: 1, Alpha: 2}))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TotalArrive != 0 || res.MaxArrive != 0 {
+			t.Fatalf("%s buffers, its arrive columns must be zeroed: %+v", name, res)
+		}
+		if res.PlanTime <= 0 {
+			t.Fatalf("%s must report its planning cost in PlanTime: %+v", name, res)
 		}
 	}
 }
 
 func TestReplayRejectsInvalidInstance(t *testing.T) {
-	if _, err := Replay(&job.Instance{M: 0, Alpha: 2}, PD(1, power.New(2))); err == nil {
+	if _, err := Replay(&job.Instance{M: 0, Alpha: 2}, mustNew(t, Spec{Name: "pd", M: 1, Alpha: 2})); err == nil {
 		t.Fatal("invalid instance accepted")
 	}
 }
@@ -93,4 +128,70 @@ func directPDCost(in *job.Instance) (float64, error) {
 		return 0, err
 	}
 	return r.Cost, nil
+}
+
+// TestSessionSnapshotsMidStream drives the Session face of every
+// built-in policy mid-replay: online policies expose their live plan
+// and backlog; buffering shims expose the buffered backlog with the
+// Buffered label set.
+func TestSessionSnapshotsMidStream(t *testing.T) {
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 2, Work: 1, Value: math.Inf(1)},
+		{ID: 1, Release: 0.5, Deadline: 3, Work: 2, Value: math.Inf(1)},
+	}
+	for _, tc := range []struct {
+		name     string
+		buffered bool
+	}{
+		{"pd", false}, {"oa", false}, {"avr", false}, {"qoa", false},
+		{"cll", true}, {"yds", true}, {"bkp", true}, {"moa", true},
+	} {
+		p := mustNew(t, Spec{Name: tc.name, M: 1, Alpha: 2})
+		s, ok := SessionOf(p)
+		if !ok {
+			t.Fatalf("%s: built-in policy must implement Session", tc.name)
+		}
+		for _, j := range jobs {
+			if err := s.Arrive(j); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		}
+		snap := s.Snapshot()
+		if snap.Buffered != tc.buffered {
+			t.Fatalf("%s: Buffered = %v, want %v", tc.name, snap.Buffered, tc.buffered)
+		}
+		if snap.Arrivals != 2 || snap.At != 0.5 {
+			t.Fatalf("%s: frontier not tracked: %+v", tc.name, snap)
+		}
+		if snap.PendingWork <= 0 {
+			t.Fatalf("%s: snapshot lost the backlog: %+v", tc.name, snap)
+		}
+		if !tc.buffered && tc.name != "pd" && snap.Speed <= 0 {
+			t.Fatalf("%s: online policy with work pending must plan a speed: %+v", tc.name, snap)
+		}
+		if tc.buffered && snap.Speed != 0 {
+			t.Fatalf("%s: buffered policy cannot have planned a speed: %+v", tc.name, snap)
+		}
+		if _, err := s.Close(); err != nil {
+			t.Fatalf("%s: close: %v", tc.name, err)
+		}
+	}
+}
+
+// TestPDSnapshotObservesPlan: PD commits work into its partition at
+// arrival, so the snapshot must see pending planned work and a
+// positive speed at the frontier.
+func TestPDSnapshotObservesPlan(t *testing.T) {
+	p := mustNew(t, Spec{Name: "pd", M: 1, Alpha: 2})
+	s, _ := SessionOf(p)
+	if err := s.Arrive(job.Job{ID: 0, Release: 0, Deadline: 2, Work: 1, Value: math.Inf(1)}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Pending != 1 || snap.PendingWork <= 0 || snap.Speed <= 0 {
+		t.Fatalf("PD snapshot blind to its own plan: %+v", snap)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
 }

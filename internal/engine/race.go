@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/job"
 	"repro/internal/pool"
+	"repro/internal/sched"
 )
 
 // Factory constructs a fresh Policy for one isolated run. Policies are
@@ -60,3 +61,58 @@ func ReplayAll(instances []*job.Instance, mk Factory, workers int) ([]*Result, e
 	})
 	return results, err
 }
+
+// RaceSpecs resolves every spec through the registry (fresh, isolated
+// policy per spec) and races them over the instance. Incompatible or
+// unknown specs fail before anything runs.
+func (r *Registry) RaceSpecs(in *job.Instance, specs ...Spec) ([]*Result, error) {
+	policies := make([]Policy, len(specs))
+	for i, spec := range specs {
+		p, err := r.New(spec)
+		if err != nil {
+			return nil, err
+		}
+		policies[i] = p
+	}
+	return Race(in, policies...)
+}
+
+// RaceSpecs races specs resolved through the default registry.
+func RaceSpecs(in *job.Instance, specs ...Spec) ([]*Result, error) {
+	return DefaultRegistry().RaceSpecs(in, specs...)
+}
+
+// ReplayAllSpec replays every instance through a fresh policy built
+// from the spec (the registry is the Factory). The spec is validated
+// once up front so an incompatible spec fails fast instead of once per
+// trace.
+func (r *Registry) ReplayAllSpec(instances []*job.Instance, spec Spec, workers int) ([]*Result, error) {
+	if _, err := r.New(spec); err != nil {
+		return nil, err
+	}
+	return ReplayAll(instances, func() Policy {
+		p, err := r.New(spec)
+		if err != nil {
+			// The up-front build succeeded, so a per-trace failure
+			// means a nondeterministic custom builder; surface it
+			// through the per-trace error path instead of panicking.
+			return &brokenPolicy{name: spec.Name, err: err}
+		}
+		return p
+	}, workers)
+}
+
+// ReplayAllSpec replays a fleet through the default registry.
+func ReplayAllSpec(instances []*job.Instance, spec Spec, workers int) ([]*Result, error) {
+	return DefaultRegistry().ReplayAllSpec(instances, spec, workers)
+}
+
+// brokenPolicy reports a construction error at first use.
+type brokenPolicy struct {
+	name string
+	err  error
+}
+
+func (b *brokenPolicy) Name() string                    { return b.name }
+func (b *brokenPolicy) Arrive(job.Job) error            { return b.err }
+func (b *brokenPolicy) Close() (*sched.Schedule, error) { return nil, b.err }

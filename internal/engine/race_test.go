@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"repro/internal/job"
-	"repro/internal/power"
 	"repro/internal/workload"
 )
 
@@ -33,21 +32,20 @@ func scheduleBytes(t *testing.T, r *Result) []byte {
 }
 
 func TestReplayAllMatchesSequentialByteForByte(t *testing.T) {
-	pm := power.New(2)
 	traces := workload.Fleet(workload.Uniform, workload.Config{
 		N: 40, M: 2, Alpha: 2, Seed: 1, ValueScale: 2,
 	}, 9)
 
 	var sequential [][]byte
 	for _, in := range traces {
-		res, err := Replay(in, PD(2, pm))
+		res, err := Replay(in, mustNew(t, Spec{Name: "pd", M: 2, Alpha: 2}))
 		if err != nil {
 			t.Fatal(err)
 		}
 		sequential = append(sequential, scheduleBytes(t, res))
 	}
 	for _, workers := range []int{1, 3, 8} {
-		results, err := ReplayAll(traces, func() Policy { return PD(2, pm) }, workers)
+		results, err := ReplayAll(traces, func() Policy { return mustNew(t, Spec{Name: "pd", M: 2, Alpha: 2}) }, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -63,13 +61,12 @@ func TestReplayAllMatchesSequentialByteForByte(t *testing.T) {
 }
 
 func TestReplayAllJoinsErrorsAndKeepsSuccesses(t *testing.T) {
-	pm := power.New(2)
 	good := workload.Uniform(workload.Config{N: 10, M: 1, Alpha: 2, Seed: 3})
 	bad1 := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
 		{ID: 0, Release: 1, Deadline: 0.5, Work: 1, Value: 1}, // deadline before release
 	}}
 	bad2 := &job.Instance{M: 0, Alpha: 2} // no processors
-	results, err := ReplayAll([]*job.Instance{bad1, good, bad2}, func() Policy { return PD(1, pm) }, 2)
+	results, err := ReplayAll([]*job.Instance{bad1, good, bad2}, func() Policy { return mustNew(t, Spec{Name: "pd", M: 1, Alpha: 2}) }, 2)
 	if err == nil {
 		t.Fatal("invalid traces must surface an error")
 	}
@@ -85,14 +82,13 @@ func TestReplayAllJoinsErrorsAndKeepsSuccesses(t *testing.T) {
 }
 
 func TestRaceMatchesIndividualReplays(t *testing.T) {
-	pm := power.New(2)
 	in := workload.Poisson(workload.Config{N: 20, M: 1, Alpha: 2, Seed: 5, ValueScale: math.Inf(1)})
 	mks := []func() Policy{
-		func() Policy { return PD(1, pm) },
-		func() Policy { return OA(pm) },
-		func() Policy { return AVR(pm) },
-		func() Policy { return QOA(pm) },
-		func() Policy { return YDSOffline(pm) },
+		func() Policy { return mustNew(t, Spec{Name: "pd", M: 1, Alpha: 2}) },
+		func() Policy { return mustNew(t, Spec{Name: "oa", M: 1, Alpha: 2}) },
+		func() Policy { return mustNew(t, Spec{Name: "avr", M: 1, Alpha: 2}) },
+		func() Policy { return mustNew(t, Spec{Name: "qoa", M: 1, Alpha: 2}) },
+		func() Policy { return mustNew(t, Spec{Name: "yds", M: 1, Alpha: 2}) },
 	}
 	policies := make([]Policy, len(mks))
 	for i, mk := range mks {
@@ -122,9 +118,8 @@ func TestRaceMatchesIndividualReplays(t *testing.T) {
 }
 
 func TestRacePropagatesPolicyErrorsByName(t *testing.T) {
-	pm := power.New(2)
 	in := workload.Uniform(workload.Config{N: 8, M: 1, Alpha: 2, Seed: 6})
-	results, err := Race(in, PD(1, pm), failingPolicy{})
+	results, err := Race(in, mustNew(t, Spec{Name: "pd", M: 1, Alpha: 2}), failingPolicy{})
 	if err == nil {
 		t.Fatal("broken policy must fail the race")
 	}
@@ -135,7 +130,7 @@ func TestRacePropagatesPolicyErrorsByName(t *testing.T) {
 		t.Fatalf("want PD result and nil broken slot, got %v / %v", results[0], results[1])
 	}
 	invalid := &job.Instance{M: 0, Alpha: 2}
-	if _, err := Race(invalid, PD(1, pm)); err == nil {
+	if _, err := Race(invalid, mustNew(t, Spec{Name: "pd", M: 1, Alpha: 2})); err == nil {
 		t.Fatal("invalid instance must be rejected before racing")
 	}
 }
@@ -153,11 +148,10 @@ func TestReplayAllParallelSpeedup(t *testing.T) {
 	if cores < 4 {
 		t.Skipf("need ≥ 4 CPUs to demonstrate parallel speedup, have %d", cores)
 	}
-	pm := power.New(2)
 	fleet := workload.Fleet(workload.HeavyTail, workload.Config{
 		N: 400, M: 1, Alpha: 2, Seed: 21, ValueScale: math.Inf(1),
 	}, 8)
-	mk := func() Policy { return OA(pm) }
+	mk := func() Policy { return mustNew(t, Spec{Name: "oa", M: 1, Alpha: 2}) }
 
 	start := time.Now()
 	seqResults, err := ReplayAll(fleet, mk, 1)
@@ -184,9 +178,9 @@ func TestReplayAllParallelSpeedup(t *testing.T) {
 }
 
 func TestNewBatchPoliciesReplay(t *testing.T) {
-	pm := power.New(2)
 	in := workload.Poisson(workload.Config{N: 12, M: 1, Alpha: 2, Seed: 7, ValueScale: math.Inf(1)})
-	for _, p := range []Policy{YDSOffline(pm), AVR(pm), BKP(pm), QOA(pm)} {
+	for _, name := range []string{"yds", "avr", "bkp", "qoa"} {
+		p := mustNew(t, Spec{Name: name, M: 1, Alpha: 2})
 		res, err := Replay(in, p)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)

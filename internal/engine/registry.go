@@ -1,0 +1,391 @@
+// The policy registry: every algorithm registers a name, capability
+// metadata and a constructor taking a uniform Spec, and callers
+// resolve policies declaratively with New(spec) instead of wiring
+// per-algorithm constructors. Incompatible specs are refused with an
+// error that says why (m out of range, unknown parameter); unknown
+// names are refused with the list of what is registered.
+
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cll"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/moa"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/yds"
+)
+
+// Spec declaratively selects and parameterises a policy: the
+// registered name, the machine environment (processors and energy
+// exponent), and optional named parameters the policy accepts.
+type Spec struct {
+	// Name is the registry name, e.g. "pd" or "oa".
+	Name string
+	// M is the number of processors the policy schedules on, m ≥ 1.
+	M int
+	// Alpha is the energy exponent of the power function, α > 1.
+	Alpha float64
+	// Params carries optional policy-specific parameters (e.g. PD's
+	// "delta"). Keys a policy does not declare are refused.
+	Params map[string]float64
+}
+
+// PowerModel returns the power function the spec's environment implies.
+func (s Spec) PowerModel() power.Model { return power.Model{Alpha: s.Alpha} }
+
+// Caps is a policy's capability metadata: which specs it can serve and
+// how reports should label it.
+type Caps struct {
+	// MinM and MaxM bound the supported processor count; MaxM == 0
+	// means unbounded above.
+	MinM, MaxM int
+	// Profit policies optimise energy plus lost value and may reject
+	// jobs; non-profit policies ignore values and finish everything
+	// (the classical model).
+	Profit bool
+	// Online policies plan incrementally per arrival (their replay
+	// latency is the real algorithmic cost); otherwise the policy is a
+	// buffering shim that plans at Close.
+	Online bool
+	// Clairvoyant policies see the whole trace before planning — the
+	// offline baselines the online policies race against.
+	Clairvoyant bool
+}
+
+// Mode labels the policy for reports: online, batch or clairvoyant.
+func (c Caps) Mode() string {
+	switch {
+	case c.Clairvoyant:
+		return "clairvoyant"
+	case c.Online:
+		return "online"
+	default:
+		return "batch"
+	}
+}
+
+// Model labels the objective: profit (energy + lost value) or the
+// classical finish-all model.
+func (c Caps) Model() string {
+	if c.Profit {
+		return "profit"
+	}
+	return "finish-all"
+}
+
+// MRange renders the supported processor range, e.g. "1" or "≥1".
+func (c Caps) MRange() string {
+	switch {
+	case c.MaxM == 0:
+		return fmt.Sprintf("≥%d", c.MinM)
+	case c.MaxM == c.MinM:
+		return fmt.Sprintf("%d", c.MinM)
+	default:
+		return fmt.Sprintf("%d–%d", c.MinM, c.MaxM)
+	}
+}
+
+// check explains why a spec is incompatible with the capabilities, or
+// returns nil.
+func (c Caps) check(spec Spec) error {
+	if spec.M < c.MinM || (c.MaxM > 0 && spec.M > c.MaxM) {
+		return fmt.Errorf("engine: policy %q supports m in range %s, spec asks for m=%d",
+			spec.Name, c.MRange(), spec.M)
+	}
+	return nil
+}
+
+// Registration ties a policy name to its capabilities and constructor.
+type Registration struct {
+	// Name is the unique registry key.
+	Name string
+	// Summary is a one-line description for listings.
+	Summary string
+	// Caps declares what specs the policy accepts and how to label it.
+	Caps Caps
+	// Params lists the Spec.Params keys the policy understands.
+	Params []string
+	// Build constructs a fresh policy for one replay. It is called
+	// only with specs that passed the capability check.
+	Build func(Spec) (Policy, error)
+}
+
+// accepts reports whether the registration declares the parameter key.
+func (r Registration) accepts(key string) bool {
+	for _, k := range r.Params {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry maps policy names to registrations. The zero value is not
+// usable; use NewRegistry. A Registry is safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	regs map[string]Registration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{regs: map[string]Registration{}}
+}
+
+// Register adds a policy to the registry. Names must be unique and
+// nonempty, Build non-nil, and the processor range well-formed.
+func (r *Registry) Register(reg Registration) error {
+	if reg.Name == "" {
+		return fmt.Errorf("engine: registration needs a name")
+	}
+	if reg.Build == nil {
+		return fmt.Errorf("engine: policy %q registered without a constructor", reg.Name)
+	}
+	if reg.Caps.MinM < 1 {
+		reg.Caps.MinM = 1
+	}
+	if reg.Caps.MaxM != 0 && reg.Caps.MaxM < reg.Caps.MinM {
+		return fmt.Errorf("engine: policy %q has inverted processor range [%d, %d]",
+			reg.Name, reg.Caps.MinM, reg.Caps.MaxM)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.regs[reg.Name]; dup {
+		return fmt.Errorf("engine: policy %q already registered", reg.Name)
+	}
+	r.regs[reg.Name] = reg
+	return nil
+}
+
+// Names returns the registered policy names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.regs))
+	for name := range r.regs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registration, sorted by name.
+func (r *Registry) All() []Registration {
+	names := r.Names()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Registration, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.regs[name])
+	}
+	return out
+}
+
+// Lookup returns the registration for name; an unknown name errors
+// with the list of registered policies.
+func (r *Registry) Lookup(name string) (Registration, error) {
+	r.mu.RLock()
+	reg, ok := r.regs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return Registration{}, fmt.Errorf("engine: unknown policy %q (registered: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return reg, nil
+}
+
+// validate resolves the spec's registration and checks the spec
+// against it: the name must be registered, the environment must
+// satisfy the policy's capabilities, and every parameter must be
+// declared.
+func (r *Registry) validate(spec Spec) (Registration, error) {
+	reg, err := r.Lookup(spec.Name)
+	if err != nil {
+		return Registration{}, err
+	}
+	if spec.M < 1 {
+		return Registration{}, fmt.Errorf("engine: spec for %q needs at least one processor, got m=%d", spec.Name, spec.M)
+	}
+	if err := (power.Model{Alpha: spec.Alpha}).Validate(); err != nil {
+		return Registration{}, fmt.Errorf("engine: spec for %q: %w", spec.Name, err)
+	}
+	if err := reg.Caps.check(spec); err != nil {
+		return Registration{}, err
+	}
+	for key := range spec.Params {
+		if !reg.accepts(key) {
+			accepted := "none"
+			if len(reg.Params) > 0 {
+				accepted = strings.Join(reg.Params, ", ")
+			}
+			return Registration{}, fmt.Errorf("engine: policy %q does not take parameter %q (accepted: %s)",
+				spec.Name, key, accepted)
+		}
+	}
+	return reg, nil
+}
+
+// Validate checks a spec against the registry without building.
+func (r *Registry) Validate(spec Spec) error {
+	_, err := r.validate(spec)
+	return err
+}
+
+// New validates the spec and builds a fresh policy for one replay.
+func (r *Registry) New(spec Spec) (Policy, error) {
+	reg, err := r.validate(spec)
+	if err != nil {
+		return nil, err
+	}
+	p, err := reg.Build(spec)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building %q: %w", spec.Name, err)
+	}
+	return p, nil
+}
+
+// --- Default registry and built-in policies ---
+
+var defaultRegistry = newBuiltinRegistry()
+
+// DefaultRegistry returns the process-wide registry holding the
+// built-in policies plus anything added through Register.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// Register adds a policy to the default registry (see Registry.Register).
+func Register(reg Registration) error { return defaultRegistry.Register(reg) }
+
+// New builds a policy from the default registry (see Registry.New).
+func New(spec Spec) (Policy, error) { return defaultRegistry.New(spec) }
+
+// batchShim registers a whole-instance algorithm behind the buffering
+// adapter; the registry labels it batch (or clairvoyant) so reports
+// can tell honest per-arrival latency from buffering.
+func batchShim(name string, run func(*job.Instance, power.Model) (*sched.Schedule, error)) func(Spec) (Policy, error) {
+	return func(spec Spec) (Policy, error) {
+		return &batchPolicy{name: name, m: spec.M, pm: spec.PowerModel(), run: run}, nil
+	}
+}
+
+func newBuiltinRegistry() *Registry {
+	r := NewRegistry()
+	must := func(reg Registration) {
+		if err := r.Register(reg); err != nil {
+			panic(err)
+		}
+	}
+	must(Registration{
+		Name:    "pd",
+		Summary: "the paper's primal-dual algorithm (certified α^α-competitive)",
+		Caps:    Caps{MinM: 1, Profit: true, Online: true},
+		Params:  []string{"delta"},
+		Build: func(spec Spec) (Policy, error) {
+			var opts []core.Option
+			if d, ok := spec.Params["delta"]; ok {
+				if d <= 0 {
+					return nil, fmt.Errorf("delta must be positive, got %v", d)
+				}
+				opts = append(opts, core.WithDelta(d))
+			}
+			return newPD(spec.M, spec.PowerModel(), opts...), nil
+		},
+	})
+	must(Registration{
+		Name:    "cll",
+		Summary: "Chan-Lam-Li, the single-processor profitable baseline",
+		Caps:    Caps{MinM: 1, MaxM: 1, Profit: true},
+		Build: batchShim("cll", func(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
+			res, err := cll.Run(in, pm)
+			if err != nil {
+				return nil, err
+			}
+			return res.Schedule, nil
+		}),
+	})
+	must(Registration{
+		Name:    "oa",
+		Summary: "Optimal Available, replanning the staircase per arrival",
+		Caps:    Caps{MinM: 1, MaxM: 1, Online: true},
+		Build: func(Spec) (Policy, error) {
+			return &onlinePolicy{name: "oa", s: yds.NewOASession()}, nil
+		},
+	})
+	must(Registration{
+		Name:    "avr",
+		Summary: "Average Rate, accumulating density increments per arrival",
+		Caps:    Caps{MinM: 1, MaxM: 1, Online: true},
+		Build: func(Spec) (Policy, error) {
+			return &onlinePolicy{name: "avr", s: yds.NewAVRSession()}, nil
+		},
+	})
+	must(Registration{
+		Name:    "qoa",
+		Summary: "qOA, the OA staircase sped up by q = 2 - 1/α",
+		Caps:    Caps{MinM: 1, MaxM: 1, Online: true},
+		Build: func(spec Spec) (Policy, error) {
+			return &onlinePolicy{name: "qoa", s: yds.NewQOASession(spec.PowerModel())}, nil
+		},
+	})
+	must(Registration{
+		Name:    "bkp",
+		Summary: "Bansal-Kimbrel-Pruhs, simulated on the interval grid",
+		Caps:    Caps{MinM: 1, MaxM: 1},
+		Build: batchShim("bkp", func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
+			return yds.BKP(in)
+		}),
+	})
+	must(Registration{
+		Name:    "moa",
+		Summary: "multiprocessor Optimal Available (Albers et al.)",
+		Caps:    Caps{MinM: 1},
+		Build: batchShim("moa", func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
+			return moa.Run(in)
+		}),
+	})
+	must(Registration{
+		Name:    "yds",
+		Summary: "the exact offline optimum of Yao, Demers and Shenker",
+		Caps:    Caps{MinM: 1, MaxM: 1, Clairvoyant: true},
+		Build: batchShim("yds", func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
+			return yds.YDS(in)
+		}),
+	})
+	must(Registration{
+		Name:    "opt",
+		Summary: "exact accept-set enumeration (exponential; small traces)",
+		Caps:    Caps{MinM: 1, Profit: true, Clairvoyant: true},
+		Build: func(spec Spec) (Policy, error) {
+			p := &optPolicy{}
+			p.name, p.m, p.pm = "opt", spec.M, spec.PowerModel()
+			p.run = func(in *job.Instance, _ power.Model) (*sched.Schedule, error) {
+				sol, err := opt.Integral(in)
+				if err != nil {
+					return nil, err
+				}
+				p.gap = sol.Cost - sol.LowerBound
+				return sol.Schedule, nil
+			}
+			return p, nil
+		},
+	})
+	return r
+}
+
+// optPolicy is the batch shim around the exponential exact solver; it
+// additionally remembers the certified optimality gap for reporting.
+type optPolicy struct {
+	batchPolicy
+	gap float64
+}
+
+// OptimalityGap returns cost minus the certified lower bound of the
+// last Close (zero before planning).
+func (p *optPolicy) OptimalityGap() float64 { return p.gap }

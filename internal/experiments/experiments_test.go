@@ -171,12 +171,63 @@ func TestT10AllPoliciesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 5 {
-		t.Fatalf("want 5 policies, got %d", len(tab.Rows))
+	if len(tab.Rows) != 7 {
+		t.Fatalf("want 7 policies, got %d", len(tab.Rows))
 	}
 	for _, row := range tab.Rows {
-		if parse(t, row[4]) <= 0 {
+		if parse(t, row[6]) <= 0 {
 			t.Fatalf("nonpositive cost in row %v", row)
+		}
+		// Honest latency semantics: batch/clairvoyant rows buffer, so
+		// their per-arrival columns are zero and plan time carries the
+		// cost; online rows report real (nonzero) per-arrival work.
+		switch row[2] {
+		case "batch", "clairvoyant":
+			if row[3] != "0s" || row[4] != "0s" {
+				t.Fatalf("buffered policy publishing arrive latency: %v", row)
+			}
+			if row[5] == "0s" {
+				t.Fatalf("buffered policy with no plan time: %v", row)
+			}
+		case "online":
+			if row[3] == "0s" && row[4] == "0s" {
+				t.Fatalf("online policy reported no per-arrival latency: %v", row)
+			}
+		default:
+			t.Fatalf("unknown mode label in row %v", row)
+		}
+	}
+}
+
+// TestT11RaceReportsModesAndLatency pins T11's structure now that its
+// body carries wall-clock columns (and is therefore masked in the
+// parallel-determinism test): all six policies appear with their mode
+// labels, ratios stay sane, and online policies report latency.
+func TestT11RaceReportsModesAndLatency(t *testing.T) {
+	tab, err := T11PolicyRace(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("want 6 policies, got %d", len(tab.Rows))
+	}
+	modes := map[string]string{
+		"pd": "online", "oa": "online", "avr": "online", "qoa": "online",
+		"bkp": "batch", "yds": "clairvoyant",
+	}
+	for _, row := range tab.Rows {
+		name := row[0]
+		if modes[name] != row[1] {
+			t.Fatalf("policy %s labelled %q, want %q", name, row[1], modes[name])
+		}
+		if ratio := parse(t, row[3]); name != "yds" && ratio < 1-1e-6 {
+			t.Fatalf("%s geometric-mean ratio %v below 1", name, ratio)
+		}
+		if row[1] == "online" && row[6] == "0s" {
+			t.Fatalf("online policy %s reported no arrive latency: %v", name, row)
+		}
+		if (row[1] == "batch" || row[1] == "clairvoyant") && row[6] != "0s" {
+			t.Fatalf("buffered policy %s publishing arrive latency: %v", name, row)
 		}
 	}
 }
@@ -242,24 +293,30 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 	if err := RunAllParallel(&par, quick, 4); err != nil {
 		t.Fatal(err)
 	}
-	// T10 reports wall-clock timings, which legitimately differ between
-	// runs; every other table is deterministic and must match exactly.
-	if maskT10(seq.String()) != maskT10(par.String()) {
+	// T10 and T11 report wall-clock timings, which legitimately differ
+	// between runs; every other table is deterministic and must match
+	// exactly.
+	if maskTiming(seq.String()) != maskTiming(par.String()) {
 		t.Fatal("parallel output differs from sequential")
 	}
 }
 
-// maskT10 removes the body of the (timing-dependent) T10 table.
-func maskT10(s string) string {
-	start := strings.Index(s, "T10:")
-	if start < 0 {
-		return s
+// maskTiming removes the bodies of the timing-dependent tables (T10
+// carries per-arrival latency columns, T11 latency aggregates).
+func maskTiming(s string) string {
+	for _, tag := range []string{"T10:", "T11:"} {
+		start := strings.Index(s, tag)
+		if start < 0 {
+			continue
+		}
+		end := strings.Index(s[start:], "\n\n")
+		if end < 0 {
+			s = s[:start]
+			continue
+		}
+		s = s[:start] + s[start+end:]
 	}
-	end := strings.Index(s[start:], "\n\n")
-	if end < 0 {
-		return s[:start]
-	}
-	return s[:start] + s[start+end:]
+	return s
 }
 
 func parse(t *testing.T, s string) float64 {

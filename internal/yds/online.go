@@ -249,9 +249,14 @@ func AVR(in *job.Instance) (*sched.Schedule, error) {
 // stepsPerInterval is the sub-grid used by the simulated baselines
 // (BKP, qOA) inside each atomic interval. Their speed functions are not
 // piecewise constant on atomic intervals, so energy is integrated on
-// this grid; the deadline-pressure guard in runEDFStep absorbs the
+// this grid; the deadline-pressure guard in simulateSpan absorbs the
 // discretization error (which shrinks as the grid refines).
 const stepsPerInterval = 32
+
+// speedFunc is the policy seam of the grid simulator: given the
+// current time, the jobs known so far and the pending work, it returns
+// the speed to run at until the next grid point.
+type speedFunc func(t float64, known []job.Job, pend []Pending) (float64, error)
 
 // BKP runs the algorithm of Bansal, Kimbrel and Pruhs: at time t the
 // speed is  max over windows [t1, t2) with t = t1 + (t2-t1)/e  of
@@ -296,11 +301,10 @@ func BKP(in *job.Instance) (*sched.Schedule, error) {
 	})
 }
 
-// QOA runs qOA: the OA plan speed scaled by q = 2 - 1/α, executing EDF.
-// Designed for small α where it beats both OA and BKP.
-func QOA(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
-	q := 2 - 1/pm.Alpha
-	return simulate(in, func(t float64, _ []job.Job, pend []Pending) (float64, error) {
+// qoaSpeed returns qOA's speed function: the OA staircase speed over
+// the pending work, scaled by q.
+func qoaSpeed(q float64) speedFunc {
+	return func(t float64, _ []job.Job, pend []Pending) (float64, error) {
 		blocks, err := Staircase(t, pend)
 		if err != nil {
 			return 0, err
@@ -309,15 +313,75 @@ func QOA(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
 			return 0, nil
 		}
 		return q * blocks[0].Speed, nil
-	})
+	}
+}
+
+// QOA runs qOA: the OA plan speed scaled by q = 2 - 1/α, executing EDF.
+// Designed for small α where it beats both OA and BKP.
+func QOA(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
+	return simulate(in, qoaSpeed(2-1/pm.Alpha))
+}
+
+// simulateSpan advances the grid simulation across one atomic interval
+// [t0, t1), dividing it into stepsPerInterval steps: at every step it
+// collects the pending work, asks the policy for a speed, and executes
+// EDF at that speed with a deadline-pressure guard whose only job is to
+// absorb grid discretization (its correction vanishes as the grid
+// refines). It is the shared hot path of the batch simulator and
+// the incremental sessions, so both produce identical floats.
+func simulateSpan(t0, t1 float64, known []job.Job, rem map[int]float64, meta map[int]job.Job, policy speedFunc, segs *[]sched.Segment) error {
+	const eps = 1e-12
+	dt := (t1 - t0) / stepsPerInterval
+	for g := 0; g < stepsPerInterval; g++ {
+		u0, u1 := t0+float64(g)*dt, t0+float64(g+1)*dt
+		var pend []Pending
+		for id, r := range rem {
+			if r > eps && meta[id].Deadline > u0 {
+				pend = append(pend, Pending{ID: id, Deadline: meta[id].Deadline, Rem: r})
+			}
+		}
+		if len(pend) == 0 {
+			continue
+		}
+		s, err := policy(u0, known, pend)
+		if err != nil {
+			return err
+		}
+		sort.Slice(pend, func(i, j int) bool {
+			if pend[i].Deadline != pend[j].Deadline {
+				return pend[i].Deadline < pend[j].Deadline
+			}
+			return pend[i].ID < pend[j].ID
+		})
+		t := u0
+		for _, p := range pend {
+			if t >= u1-eps {
+				break
+			}
+			sp := s
+			// Deadline pressure: if this is the job's last chance,
+			// run fast enough to finish (discretization guard).
+			if p.Deadline <= u1+eps {
+				sp = math.Max(sp, p.Rem/(p.Deadline-t))
+			}
+			if sp <= 0 {
+				break
+			}
+			end := math.Min(u1, t+p.Rem/sp)
+			if end <= t {
+				continue
+			}
+			*segs = append(*segs, sched.Segment{Proc: 0, Job: p.ID, T0: t, T1: end, Speed: sp})
+			rem[p.ID] -= (end - t) * sp
+			t = end
+		}
+	}
+	return nil
 }
 
 // simulate drives a speed-function-based online policy on a fine grid,
-// processing pending work EDF at the policy's speed. A deadline-
-// pressure guard raises the speed for a job in its final step by the
-// amount needed to finish — this only compensates grid discretization
-// and vanishes as stepsPerInterval grows.
-func simulate(in *job.Instance, policy func(t float64, known []job.Job, pend []Pending) (float64, error)) (*sched.Schedule, error) {
+// processing pending work EDF at the policy's speed.
+func simulate(in *job.Instance, policy speedFunc) (*sched.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -339,7 +403,6 @@ func simulate(in *job.Instance, policy func(t float64, known []job.Job, pend []P
 	meta := map[int]job.Job{}
 	out := &sched.Schedule{M: 1}
 	var known []job.Job
-	const eps = 1e-12
 
 	for k := 0; k+1 < len(bounds); k++ {
 		t0, t1 := bounds[k], bounds[k+1]
@@ -350,50 +413,8 @@ func simulate(in *job.Instance, policy func(t float64, known []job.Job, pend []P
 				known = append(known, j)
 			}
 		}
-		dt := (t1 - t0) / stepsPerInterval
-		for g := 0; g < stepsPerInterval; g++ {
-			u0, u1 := t0+float64(g)*dt, t0+float64(g+1)*dt
-			var pend []Pending
-			for id, r := range rem {
-				if r > eps && meta[id].Deadline > u0 {
-					pend = append(pend, Pending{ID: id, Deadline: meta[id].Deadline, Rem: r})
-				}
-			}
-			if len(pend) == 0 {
-				continue
-			}
-			s, err := policy(u0, known, pend)
-			if err != nil {
-				return nil, err
-			}
-			sort.Slice(pend, func(i, j int) bool {
-				if pend[i].Deadline != pend[j].Deadline {
-					return pend[i].Deadline < pend[j].Deadline
-				}
-				return pend[i].ID < pend[j].ID
-			})
-			t := u0
-			for _, p := range pend {
-				if t >= u1-eps {
-					break
-				}
-				sp := s
-				// Deadline pressure: if this is the job's last chance,
-				// run fast enough to finish (discretization guard).
-				if p.Deadline <= u1+eps {
-					sp = math.Max(sp, p.Rem/(p.Deadline-t))
-				}
-				if sp <= 0 {
-					break
-				}
-				end := math.Min(u1, t+p.Rem/sp)
-				if end <= t {
-					continue
-				}
-				out.Segments = append(out.Segments, sched.Segment{Proc: 0, Job: p.ID, T0: t, T1: end, Speed: sp})
-				rem[p.ID] -= (end - t) * sp
-				t = end
-			}
+		if err := simulateSpan(t0, t1, known, rem, meta, policy, &out.Segments); err != nil {
+			return nil, err
 		}
 	}
 	for id, r := range rem {

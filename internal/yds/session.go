@@ -1,0 +1,363 @@
+// Truly-online sessions for OA, AVR and qOA: the same algorithms as
+// the batch entry points in online.go, but maintained arrival by
+// arrival, so per-arrival latency is the algorithm's real planning
+// cost and the live plan can be observed mid-stream. The batch
+// functions remain as the executable specification; differential tests
+// pin every session's schedule byte-identical to its batch
+// counterpart on normalized (release-ordered) instances — the order
+// the engine always feeds, and the only order sessions accept. (Batch
+// AVR breaks same-interval ties in raw slice order, so the claim is
+// scoped to instances where the two orders coincide.)
+//
+// The key fact making the decomposition exact: jobs arrive in release
+// order, so at the moment a job with release T arrives, every atomic-
+// interval boundary of the eventual full instance inside [frontier, T]
+// is already known (releases of arrived jobs, deadlines of arrived
+// jobs, and T itself). A session can therefore finalise the schedule
+// up to T using only its local state and still land on exactly the
+// grid the batch algorithm builds from the whole trace.
+
+package yds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// SessionState is a mid-stream observation of an online session: the
+// arrival frontier, the live backlog and the speed the current plan
+// runs at right now.
+type SessionState struct {
+	Time        float64 // release time of the latest arrival (the frontier)
+	Arrivals    int     // jobs handed to the session so far
+	Pending     int     // jobs with unfinished work
+	PendingWork float64 // total unfinished work
+	Speed       float64 // planned speed at Time
+}
+
+// frontier is the arrival bookkeeping shared by all sessions.
+type frontier struct {
+	t        float64
+	started  bool
+	closed   bool
+	arrivals int
+}
+
+// observe validates the arrival against the session lifecycle and
+// reports whether the frontier moved strictly forward (the session
+// must finalise [old frontier, j.Release] before absorbing j).
+func (f *frontier) observe(j job.Job) (moved bool, err error) {
+	if f.closed {
+		return false, fmt.Errorf("yds: session already closed, cannot accept job %d", j.ID)
+	}
+	if !f.started {
+		f.started, f.t = true, j.Release
+		f.arrivals++
+		return false, nil
+	}
+	if j.Release < f.t {
+		return false, fmt.Errorf("yds: job %d released at %v arrives behind the frontier %v (feed jobs in release order)",
+			j.ID, j.Release, f.t)
+	}
+	f.arrivals++
+	return j.Release > f.t, nil
+}
+
+// boundsWithin collects the distinct releases and deadlines of the
+// known jobs inside [t0, t1], always including t0 and t1 themselves,
+// sorted ascending. Both endpoints are boundaries of the eventual full
+// instance (releases of arrived jobs or the final deadline horizon),
+// so slicing the global atomic-interval grid at them reproduces the
+// batch grid exactly.
+func boundsWithin(t0, t1 float64, known []job.Job) []float64 {
+	set := map[float64]struct{}{t0: {}, t1: {}}
+	for _, j := range known {
+		for _, b := range [2]float64{j.Release, j.Deadline} {
+			if b >= t0 && b <= t1 {
+				set[b] = struct{}{}
+			}
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// maxDeadline returns the latest deadline among the known jobs.
+func maxDeadline(known []job.Job) float64 {
+	d := math.Inf(-1)
+	for _, j := range known {
+		d = math.Max(d, j.Deadline)
+	}
+	return d
+}
+
+// --- OA ---
+
+// OASession runs Optimal Available incrementally: every arrival
+// replans the staircase over the live pending work, and the plan in
+// force is executed up to each new arrival's release (and to the end
+// at Close). The emitted schedule is byte-identical to OA's.
+type OASession struct {
+	fr   frontier
+	rem  map[int]float64
+	meta map[int]job.Job
+	plan []Block
+	segs []sched.Segment
+}
+
+// NewOASession returns an empty OA session.
+func NewOASession() *OASession {
+	return &OASession{rem: map[int]float64{}, meta: map[int]job.Job{}}
+}
+
+func (s *OASession) pending() []Pending {
+	pend := make([]Pending, 0, len(s.rem))
+	for id, r := range s.rem {
+		if r > 0 {
+			pend = append(pend, Pending{ID: id, Deadline: s.meta[id].Deadline, Rem: r})
+		}
+	}
+	return pend
+}
+
+// Arrive absorbs the next job (release order required) and replans.
+func (s *OASession) Arrive(j job.Job) error {
+	moved, err := s.fr.observe(j)
+	if err != nil {
+		return err
+	}
+	if moved {
+		// The plan computed after the previous group's last arrival is
+		// exactly the plan batch OA follows until this release.
+		ExecutePlan(s.plan, j.Release, s.rem, &s.segs)
+		s.fr.t = j.Release
+	}
+	s.rem[j.ID] = j.Work
+	s.meta[j.ID] = j
+	plan, err := Staircase(s.fr.t, s.pending())
+	if err != nil {
+		return err
+	}
+	s.plan = plan
+	return nil
+}
+
+// Close runs the final plan to completion and returns the schedule.
+func (s *OASession) Close() (*sched.Schedule, error) {
+	if s.fr.closed {
+		return nil, fmt.Errorf("yds: OA session closed twice")
+	}
+	s.fr.closed = true
+	ExecutePlan(s.plan, math.Inf(1), s.rem, &s.segs)
+	return &sched.Schedule{M: 1, Segments: s.segs}, nil
+}
+
+// State reports the live backlog and current plan speed.
+func (s *OASession) State() SessionState {
+	st := SessionState{Time: s.fr.t, Arrivals: s.fr.arrivals}
+	for _, r := range s.rem {
+		if r > 0 {
+			st.Pending++
+			st.PendingWork += r
+		}
+	}
+	if len(s.plan) > 0 {
+		st.Speed = s.plan[0].Speed
+	}
+	return st
+}
+
+// --- AVR ---
+
+// AVRSession runs Average Rate incrementally: each arrival finalises
+// the schedule up to its release (all active densities there are
+// known) and adds the job's density to the live set. The emitted
+// schedule is byte-identical to AVR's on a normalized instance (AVR
+// orders same-interval time shares by the instance's slice order, the
+// session by arrival order).
+type AVRSession struct {
+	fr    frontier
+	known []job.Job
+	segs  []sched.Segment
+}
+
+// NewAVRSession returns an empty AVR session.
+func NewAVRSession() *AVRSession { return &AVRSession{} }
+
+// emit materialises the AVR schedule over [fr.t, T]: within each
+// atomic interval the active jobs run sequentially with time shares
+// proportional to their densities, exactly as the batch loop does.
+func (s *AVRSession) emit(T float64) {
+	bounds := boundsWithin(s.fr.t, T, s.known)
+	for k := 0; k+1 < len(bounds); k++ {
+		t0, t1 := bounds[k], bounds[k+1]
+		var total float64
+		var active []job.Job
+		for _, j := range s.known {
+			if j.Release <= t0 && j.Deadline >= t1 {
+				active = append(active, j)
+				total += j.Density()
+			}
+		}
+		if total <= 0 {
+			continue
+		}
+		t := t0
+		for _, j := range active {
+			share := (t1 - t0) * j.Density() / total
+			s.segs = append(s.segs, sched.Segment{
+				Proc: 0, Job: j.ID, T0: t, T1: t + share, Speed: total,
+			})
+			t += share
+		}
+	}
+}
+
+// Arrive absorbs the next job (release order required), finalising the
+// schedule up to its release first.
+func (s *AVRSession) Arrive(j job.Job) error {
+	moved, err := s.fr.observe(j)
+	if err != nil {
+		return err
+	}
+	if moved {
+		s.emit(j.Release)
+		s.fr.t = j.Release
+	}
+	s.known = append(s.known, j)
+	return nil
+}
+
+// Close finalises the schedule through the last deadline.
+func (s *AVRSession) Close() (*sched.Schedule, error) {
+	if s.fr.closed {
+		return nil, fmt.Errorf("yds: AVR session closed twice")
+	}
+	s.fr.closed = true
+	if s.fr.started {
+		if T := maxDeadline(s.known); T > s.fr.t {
+			s.emit(T)
+			s.fr.t = T
+		}
+	}
+	return &sched.Schedule{M: 1, Segments: s.segs}, nil
+}
+
+// State reports the live density backlog: every known job whose window
+// is still open contributes its density to the current speed and its
+// remaining average-rate work to the backlog.
+func (s *AVRSession) State() SessionState {
+	st := SessionState{Time: s.fr.t, Arrivals: s.fr.arrivals}
+	for _, j := range s.known {
+		if j.Deadline > s.fr.t {
+			st.Pending++
+			st.PendingWork += j.Density() * (j.Deadline - s.fr.t)
+			st.Speed += j.Density()
+		}
+	}
+	return st
+}
+
+// --- qOA ---
+
+// QOASession runs qOA incrementally: each arrival advances the grid
+// simulation (OA staircase speed scaled by q, executed EDF) up to its
+// release over the atomic intervals of the jobs known so far. The
+// emitted schedule is byte-identical to QOA's.
+type QOASession struct {
+	fr    frontier
+	speed speedFunc
+	rem   map[int]float64
+	meta  map[int]job.Job
+	known []job.Job
+	segs  []sched.Segment
+}
+
+// NewQOASession returns an empty qOA session for the power model's
+// exponent (q = 2 - 1/α).
+func NewQOASession(pm power.Model) *QOASession {
+	return &QOASession{
+		speed: qoaSpeed(2 - 1/pm.Alpha),
+		rem:   map[int]float64{}, meta: map[int]job.Job{},
+	}
+}
+
+// advance simulates [fr.t, T] on the same grid the batch simulator
+// would use there.
+func (s *QOASession) advance(T float64) error {
+	bounds := boundsWithin(s.fr.t, T, s.known)
+	for k := 0; k+1 < len(bounds); k++ {
+		if err := simulateSpan(bounds[k], bounds[k+1], s.known, s.rem, s.meta, s.speed, &s.segs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Arrive absorbs the next job (release order required), simulating up
+// to its release first.
+func (s *QOASession) Arrive(j job.Job) error {
+	moved, err := s.fr.observe(j)
+	if err != nil {
+		return err
+	}
+	if moved {
+		if err := s.advance(j.Release); err != nil {
+			return err
+		}
+		s.fr.t = j.Release
+	}
+	s.rem[j.ID] = j.Work
+	s.meta[j.ID] = j
+	s.known = append(s.known, j)
+	return nil
+}
+
+// Close simulates through the last deadline and returns the schedule;
+// like the batch simulator it fails if any job is left unfinished.
+func (s *QOASession) Close() (*sched.Schedule, error) {
+	if s.fr.closed {
+		return nil, fmt.Errorf("yds: qOA session closed twice")
+	}
+	s.fr.closed = true
+	if s.fr.started {
+		if T := maxDeadline(s.known); T > s.fr.t {
+			if err := s.advance(T); err != nil {
+				return nil, err
+			}
+			s.fr.t = T
+		}
+	}
+	for id, r := range s.rem {
+		if r > 1e-6*s.meta[id].Work {
+			return nil, fmt.Errorf("yds: simulated policy left %v work of job %d", r, id)
+		}
+	}
+	return &sched.Schedule{M: 1, Segments: s.segs}, nil
+}
+
+// State reports the live backlog and the qOA speed at the frontier.
+func (s *QOASession) State() SessionState {
+	st := SessionState{Time: s.fr.t, Arrivals: s.fr.arrivals}
+	pend := make([]Pending, 0, len(s.rem))
+	for id, r := range s.rem {
+		if r > 0 {
+			st.Pending++
+			st.PendingWork += r
+			pend = append(pend, Pending{ID: id, Deadline: s.meta[id].Deadline, Rem: r})
+		}
+	}
+	if sp, err := s.speed(s.fr.t, s.known, pend); err == nil {
+		st.Speed = sp
+	}
+	return st
+}

@@ -1,0 +1,215 @@
+package yds
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// session is the shape shared by the incremental planners under test.
+type session interface {
+	Arrive(job.Job) error
+	Close() (*sched.Schedule, error)
+	State() SessionState
+}
+
+// replaySession drives a session over the instance in release order.
+func replaySession(t *testing.T, s session, in *job.Instance) *sched.Schedule {
+	t.Helper()
+	inst := in.Clone()
+	inst.Normalize()
+	for _, j := range inst.Jobs {
+		if err := s.Arrive(j); err != nil {
+			t.Fatalf("arrive job %d: %v", j.ID, err)
+		}
+	}
+	out, err := s.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return out
+}
+
+// scheduleJSON serialises a schedule so two runs can be compared byte
+// for byte (float64 round-trips losslessly through encoding/json).
+func scheduleJSON(t *testing.T, s *sched.Schedule) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		M        int
+		Segments []sched.Segment
+		Rejected []int
+	}{s.M, s.Segments, s.Rejected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// diffTraces is the workload sweep the sessions are pinned on: random
+// uniform/Poisson traces and heavy-tailed ones, several seeds each,
+// including simultaneous releases (coarse Horizon forces ties).
+func diffTraces(t *testing.T) []*job.Instance {
+	t.Helper()
+	var traces []*job.Instance
+	for seed := int64(1); seed <= 4; seed++ {
+		traces = append(traces,
+			workload.Uniform(workload.Config{N: 40, M: 1, Alpha: 2, Seed: seed, ValueScale: math.Inf(1)}),
+			workload.Poisson(workload.Config{N: 30, M: 1, Alpha: 2.5, Seed: seed, ValueScale: math.Inf(1)}),
+			workload.HeavyTail(workload.Config{N: 35, M: 1, Alpha: 2, Seed: seed, ValueScale: math.Inf(1)}),
+		)
+	}
+	// Hand-built trace with duplicate release times and an isolated
+	// late job (an idle gap the incremental frontier must cross).
+	traces = append(traces, &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 4, Work: 2, Value: math.Inf(1)},
+		{ID: 1, Release: 0, Deadline: 2, Work: 1, Value: math.Inf(1)},
+		{ID: 2, Release: 1, Deadline: 3, Work: 1.5, Value: math.Inf(1)},
+		{ID: 3, Release: 1, Deadline: 6, Work: 0.5, Value: math.Inf(1)},
+		{ID: 4, Release: 9, Deadline: 11, Work: 1, Value: math.Inf(1)},
+	}})
+	// Batch AVR/qOA iterate jobs in instance order; the engine always
+	// feeds policies the normalized order. Compare both paths on the
+	// order the engine actually uses.
+	for _, in := range traces {
+		in.Normalize()
+	}
+	return traces
+}
+
+func TestOASessionMatchesBatchByteForByte(t *testing.T) {
+	for i, in := range diffTraces(t) {
+		batch, err := OA(in)
+		if err != nil {
+			t.Fatalf("trace %d: batch OA: %v", i, err)
+		}
+		live := replaySession(t, NewOASession(), in)
+		if !bytes.Equal(scheduleJSON(t, batch), scheduleJSON(t, live)) {
+			t.Fatalf("trace %d: OA session diverges from batch OA", i)
+		}
+	}
+}
+
+func TestAVRSessionMatchesBatchByteForByte(t *testing.T) {
+	for i, in := range diffTraces(t) {
+		batch, err := AVR(in)
+		if err != nil {
+			t.Fatalf("trace %d: batch AVR: %v", i, err)
+		}
+		live := replaySession(t, NewAVRSession(), in)
+		if !bytes.Equal(scheduleJSON(t, batch), scheduleJSON(t, live)) {
+			t.Fatalf("trace %d: AVR session diverges from batch AVR", i)
+		}
+	}
+}
+
+func TestQOASessionMatchesBatchByteForByte(t *testing.T) {
+	pm := power.New(2)
+	for i, in := range diffTraces(t) {
+		batch, err := QOA(in, pm)
+		if err != nil {
+			t.Fatalf("trace %d: batch qOA: %v", i, err)
+		}
+		live := replaySession(t, NewQOASession(pm), in)
+		if !bytes.Equal(scheduleJSON(t, batch), scheduleJSON(t, live)) {
+			t.Fatalf("trace %d: qOA session diverges from batch qOA", i)
+		}
+	}
+}
+
+func TestSessionsVerifyAndFinish(t *testing.T) {
+	pm := power.New(2)
+	for i, in := range diffTraces(t) {
+		for name, s := range map[string]session{
+			"oa": NewOASession(), "avr": NewAVRSession(), "qoa": NewQOASession(pm),
+		} {
+			out := replaySession(t, s, in)
+			if err := sched.Verify(in, out); err != nil {
+				t.Fatalf("trace %d: %s session schedule infeasible: %v", i, name, err)
+			}
+		}
+	}
+}
+
+// TestSessionSnapshotsObserveBacklog pins the mid-stream observability
+// contract: after an arrival the state reflects the live pending work
+// and a positive planned speed; after Close nothing is pending for OA
+// and qOA (they track remaining work exactly).
+func TestSessionSnapshotsObserveBacklog(t *testing.T) {
+	in := &job.Instance{M: 1, Alpha: 2, Jobs: []job.Job{
+		{ID: 0, Release: 0, Deadline: 2, Work: 1, Value: math.Inf(1)},
+		{ID: 1, Release: 0.5, Deadline: 3, Work: 2, Value: math.Inf(1)},
+	}}
+	pm := power.New(2)
+	for name, s := range map[string]session{
+		"oa": NewOASession(), "avr": NewAVRSession(), "qoa": NewQOASession(pm),
+	} {
+		if err := s.Arrive(in.Jobs[0]); err != nil {
+			t.Fatal(err)
+		}
+		st := s.State()
+		if st.Arrivals != 1 || st.Pending != 1 || st.PendingWork <= 0 || st.Speed <= 0 {
+			t.Fatalf("%s: implausible state after first arrival: %+v", name, st)
+		}
+		if err := s.Arrive(in.Jobs[1]); err != nil {
+			t.Fatal(err)
+		}
+		st = s.State()
+		if st.Time != 0.5 || st.Arrivals != 2 || st.Pending != 2 {
+			t.Fatalf("%s: implausible state after second arrival: %+v", name, st)
+		}
+		if _, err := s.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+	}
+}
+
+func TestSessionLifecycleErrors(t *testing.T) {
+	j0 := job.Job{ID: 0, Release: 1, Deadline: 2, Work: 1, Value: math.Inf(1)}
+	j1 := job.Job{ID: 1, Release: 0.5, Deadline: 2, Work: 1, Value: math.Inf(1)}
+	pm := power.New(2)
+	for name, mk := range map[string]func() session{
+		"oa":  func() session { return NewOASession() },
+		"avr": func() session { return NewAVRSession() },
+		"qoa": func() session { return NewQOASession(pm) },
+	} {
+		s := mk()
+		if err := s.Arrive(j0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Arrive(j1); err == nil {
+			t.Fatalf("%s: out-of-order arrival must be rejected", name)
+		}
+		if _, err := s.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		if _, err := s.Close(); err == nil {
+			t.Fatalf("%s: double close must fail", name)
+		}
+		if err := s.Arrive(j0); err == nil {
+			t.Fatalf("%s: arrival after close must fail", name)
+		}
+	}
+}
+
+// TestEmptySessions: zero arrivals must close to an empty, valid
+// schedule, exactly like the batch algorithms on an empty instance.
+func TestEmptySessions(t *testing.T) {
+	pm := power.New(2)
+	for name, s := range map[string]session{
+		"oa": NewOASession(), "avr": NewAVRSession(), "qoa": NewQOASession(pm),
+	} {
+		out, err := s.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.M != 1 || len(out.Segments) != 0 {
+			t.Fatalf("%s: want empty single-processor schedule, got %+v", name, out)
+		}
+	}
+}
