@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestRunAgainstLiveHost(t *testing.T) {
+	srv := httptest.NewServer(serve.NewHandler(serve.NewHost(serve.Config{})))
+	defer srv.Close()
+
+	var out, errs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", srv.URL, "-tenants", "3", "-n", "8", "-kind", "bursty",
+		"-algo", "qoa", "-alpha", "2.5", "-scale", "0", "-v",
+	}, &out, &errs)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errs.String())
+	}
+	text := out.String()
+	for _, want := range []string{"3 tenants", "24 arrivals", "latency (s): n=24", "per-tenant results", "lg-2"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output misses %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunFlagAndKindErrors(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run(context.Background(), []string{"-kind", "nope"}, &out, &errs); err == nil ||
+		!strings.Contains(err.Error(), "unknown workload kind") {
+		t.Fatalf("bad kind: %v", err)
+	}
+	if err := run(context.Background(), []string{"-bogus"}, &out, &errs); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunSurfacesServerRefusals(t *testing.T) {
+	// A host with a one-session limit: two of three tenants are
+	// refused admission; the error must carry the server's message.
+	srv := httptest.NewServer(serve.NewHandler(serve.NewHost(serve.Config{MaxSessions: 1})))
+	defer srv.Close()
+	var out, errs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", srv.URL, "-tenants", "3", "-n", "4", "-scale", "0",
+	}, &out, &errs)
+	if err == nil || !strings.Contains(err.Error(), "session limit reached") {
+		t.Fatalf("want admission refusal surfaced, got %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+// Command schedd is the multi-tenant online scheduling daemon: it
+// hosts live policy sessions behind an HTTP API and serves streaming
+// job arrivals until told to stop, at which point it drains — every
+// session is closed, its schedule verified, and the final results
+// flushed to stdout.
+//
+// Usage:
+//
+//	schedd [-addr :8080] [-shards 16] [-max-sessions 1024]
+//	       [-max-backlog 256] [-drain-timeout 30s]
+//
+// API (see internal/serve):
+//
+//	POST   /v1/sessions                  {"id": "...", "spec": {"name": "pd", "m": 1, "alpha": 2}}
+//	POST   /v1/sessions/{id}/arrivals    NDJSON stream of jobs
+//	GET    /v1/sessions/{id}/snapshot    live plan observation
+//	DELETE /v1/sessions/{id}             close → final verified result
+//	GET    /v1/sessions                  live tenant ids
+//	GET    /v1/registry                  policy registry
+//	GET    /metrics                      Prometheus text format
+//
+// SIGINT/SIGTERM trigger the graceful drain; a second signal aborts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+// daemon ties the session host to its HTTP server; the pieces are
+// separated from main so the end-to-end test can drive a real daemon
+// on a random port inside the test process.
+type daemon struct {
+	host         *serve.Host
+	srv          *http.Server
+	ln           net.Listener
+	drainTimeout time.Duration
+}
+
+func newDaemon(cfg serve.Config, drainTimeout time.Duration) *daemon {
+	host := serve.NewHost(cfg)
+	return &daemon{
+		host:         host,
+		srv:          &http.Server{Handler: serve.NewHandler(host)},
+		drainTimeout: drainTimeout,
+	}
+}
+
+// listen binds the address; ":0" picks a random free port.
+func (d *daemon) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	d.ln = ln
+	return nil
+}
+
+// addr returns the bound address (after listen).
+func (d *daemon) addr() string { return d.ln.Addr().String() }
+
+// serveHTTP blocks serving the API until shutdown.
+func (d *daemon) serveHTTP() error {
+	err := d.srv.Serve(d.ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// shutdown stops accepting connections, drains every live session and
+// writes the drain summary. The drain is bounded by drainTimeout so a
+// stuck session cannot hold the process hostage.
+func (d *daemon) shutdown(w io.Writer) error {
+	// In-flight requests get a short grace, then their connections are
+	// severed: an NDJSON arrival stream can be endless, and the session
+	// drain below — not idle-wait on clients — is what the timeout
+	// budget must go to.
+	grace := d.drainTimeout / 4
+	if grace > 2*time.Second {
+		grace = 2 * time.Second
+	}
+	gctx, gcancel := context.WithTimeout(context.Background(), grace)
+	err := d.srv.Shutdown(gctx)
+	gcancel()
+	if err != nil {
+		d.srv.Close()
+		if err != context.DeadlineExceeded {
+			fmt.Fprintf(w, "schedd: http shutdown: %v\n", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d.drainTimeout)
+	defer cancel()
+	results, err := d.host.Drain(ctx)
+	tbl := &stats.Table{
+		Title:   "drained sessions",
+		Headers: []string{"session", "policy", "energy", "lost", "cost", "rejected", "status"},
+	}
+	for _, dr := range results {
+		if dr.Result == nil {
+			tbl.AddRow(dr.ID, "-", "-", "-", "-", "-", dr.Err)
+			continue
+		}
+		tbl.AddRow(dr.ID, dr.Result.Policy, dr.Result.Energy, dr.Result.LostValue,
+			dr.Result.Cost, dr.Result.Rejected, "ok")
+	}
+	if len(results) > 0 {
+		if rerr := tbl.Render(w); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	fmt.Fprintf(w, "schedd: drained %d sessions, %d arrivals served\n",
+		len(results), d.host.Metrics().Arrivals())
+	return err
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("schedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (\":0\" picks a random port)")
+	shards := fs.Int("shards", 16, "session map shards (rounded up to a power of two)")
+	maxSessions := fs.Int("max-sessions", 1024, "admission limit on live sessions")
+	maxBacklog := fs.Int("max-backlog", 256, "per-session arrival queue bound")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d := newDaemon(serve.Config{Shards: *shards, MaxSessions: *maxSessions, MaxBacklog: *maxBacklog}, *drainTimeout)
+	if err := d.listen(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "schedd: listening on %s\n", d.addr())
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	errc := make(chan error, 1)
+	go func() { errc <- d.serveHTTP() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(stdout, "schedd: %v, draining (second signal aborts)\n", s)
+		go func() {
+			<-sig
+			os.Exit(1)
+		}()
+		return d.shutdown(stdout)
+	}
+}

@@ -15,9 +15,12 @@
 // concurrent replay engine (internal/engine: New(Spec) resolves any
 // registered policy, Replay/Race/ReplayAll drive traces over the
 // bounded worker pool in internal/pool, and truly-online OA/AVR/qOA
-// sessions expose per-arrival state) and the experiment harness
+// sessions expose per-arrival state), the experiment harness
 // (internal/experiments) that regenerates every table and figure of the
-// reproduction.
+// reproduction, and a serving stack: internal/serve hosts live
+// streaming sessions for many tenants behind cmd/schedd's HTTP API,
+// and internal/load (cmd/loadgen) replays generated workloads against
+// it as live traffic in scaled wall-clock time.
 //
 // See README.md for a guided tour and CLI usage, DESIGN.md for the
 // system inventory and per-experiment index, and EXPERIMENTS.md for how

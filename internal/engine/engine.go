@@ -37,22 +37,23 @@ type Policy interface {
 }
 
 // Snapshot is a mid-stream observation of a policy's live state,
-// taken between arrivals without disturbing the run.
+// taken between arrivals without disturbing the run. The JSON tags
+// are the stable wire names of the serving daemon's snapshot endpoint.
 type Snapshot struct {
 	// At is the release time of the latest arrival (the frontier).
-	At float64
+	At float64 `json:"at"`
 	// Arrivals counts jobs handed to the policy so far.
-	Arrivals int
+	Arrivals int `json:"arrivals"`
 	// Pending counts jobs with unfinished work in the live state.
-	Pending int
+	Pending int `json:"pending"`
 	// PendingWork is the total unfinished work.
-	PendingWork float64
+	PendingWork float64 `json:"pendingWork"`
 	// Speed is the speed the current plan runs at the frontier.
-	Speed float64
+	Speed float64 `json:"speed"`
 	// Buffered reports that the policy has not planned anything yet —
 	// it buffers the trace and plans only at Close, so Pending and
 	// PendingWork describe the buffered backlog and Speed is zero.
-	Buffered bool
+	Buffered bool `json:"buffered,omitempty"`
 }
 
 // Session extends Policy with mid-stream observability: a truly online
@@ -77,24 +78,28 @@ type Buffered interface {
 	Buffered() bool
 }
 
-// Result is the uniform outcome of one replay.
+// Result is the uniform outcome of one replay. The JSON tags are the
+// stable wire names of the serving daemon's close endpoint; durations
+// marshal as integer nanoseconds (encoding/json's time.Duration
+// default).
 type Result struct {
-	Policy    string
-	Schedule  *sched.Schedule
-	Energy    float64
-	LostValue float64
-	Cost      float64
-	Rejected  int
+	Policy    string          `json:"policy"`
+	Schedule  *sched.Schedule `json:"schedule,omitempty"`
+	Energy    float64         `json:"energy"`
+	LostValue float64         `json:"lostValue"`
+	Cost      float64         `json:"cost"`
+	Rejected  int             `json:"rejected"`
 	// MaxArrive and TotalArrive measure the policy's decision latency
 	// (wall clock) — the online algorithm's own per-arrival overhead.
 	// For Buffered policies both are zero: an append to a buffer says
 	// nothing about the algorithm, so publishing it would be
 	// misleading.
-	MaxArrive, TotalArrive time.Duration
+	MaxArrive   time.Duration `json:"maxArrive"`
+	TotalArrive time.Duration `json:"totalArrive"`
 	// PlanTime is the wall clock spent in Close — for buffered and
 	// clairvoyant policies this is where all planning happens; for
 	// online policies it is the cost of finishing the last plan.
-	PlanTime time.Duration
+	PlanTime time.Duration `json:"planTime"`
 }
 
 // Replay drives the policy over the instance and verifies the result.

@@ -1,0 +1,137 @@
+// Live is the streaming counterpart of Replay: the same lifecycle —
+// validate every arrival, meter the policy's decision latency, verify
+// the final schedule independently — but driven by arrivals delivered
+// one at a time over a session's lifetime instead of a finished trace.
+// The serving daemon hosts one Live per tenant; fed the same jobs in
+// the same order, Live and Replay produce byte-identical Results
+// (modulo wall-clock timings), which the differential tests pin.
+
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// Live drives one policy through a stream of arrivals. It accumulates
+// the implied instance as jobs arrive so that Close can verify the
+// schedule against exactly what the policy was shown. Live is not
+// synchronized: callers feeding it from multiple goroutines must
+// serialize (the serve package does, per tenant).
+type Live struct {
+	p       Policy
+	m       int
+	alpha   float64
+	jobs    []job.Job
+	seen    map[int]struct{}
+	lastRel float64
+	res     Result
+	closed  bool
+}
+
+// NewLive validates the spec against the registry and opens a
+// streaming run with a fresh policy.
+func (r *Registry) NewLive(spec Spec) (*Live, error) {
+	p, err := r.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Live{
+		p: p, m: spec.M, alpha: spec.Alpha,
+		seen: make(map[int]struct{}),
+		res:  Result{Policy: p.Name()},
+	}, nil
+}
+
+// NewLive opens a streaming run from the default registry.
+func NewLive(spec Spec) (*Live, error) { return DefaultRegistry().NewLive(spec) }
+
+// Policy returns the resolved policy's name.
+func (l *Live) Policy() string { return l.p.Name() }
+
+// Arrivals returns the number of jobs accepted so far.
+func (l *Live) Arrivals() int { return len(l.jobs) }
+
+// Arrive validates the job (well-formed, unique ID, nondecreasing
+// release — the order every online algorithm here assumes) and hands
+// it to the policy, metering the decision latency. A rejected or
+// invalid arrival does not corrupt the run: the session stays usable
+// for further arrivals and Close.
+func (l *Live) Arrive(j job.Job) error {
+	if l.closed {
+		return fmt.Errorf("engine: live run already closed, cannot accept job %d", j.ID)
+	}
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if _, dup := l.seen[j.ID]; dup {
+		return fmt.Errorf("engine: duplicate job ID %d", j.ID)
+	}
+	if len(l.jobs) > 0 && j.Release < l.lastRel {
+		return fmt.Errorf("engine: job %d released at %v arrives after frontier %v (arrivals must be in release order)",
+			j.ID, j.Release, l.lastRel)
+	}
+	start := time.Now()
+	if err := l.p.Arrive(j); err != nil {
+		return fmt.Errorf("engine: %s rejected arrival of job %d: %w", l.p.Name(), j.ID, err)
+	}
+	d := time.Since(start)
+	l.res.TotalArrive += d
+	if d > l.res.MaxArrive {
+		l.res.MaxArrive = d
+	}
+	l.seen[j.ID] = struct{}{}
+	l.jobs = append(l.jobs, j)
+	l.lastRel = j.Release
+	return nil
+}
+
+// Snapshot observes the live plan mid-stream through the policy's
+// Session face; policies without one (custom batch registrations) get
+// a backlog-only view with Buffered set, mirroring batchPolicy.
+func (l *Live) Snapshot() Snapshot {
+	if s, ok := SessionOf(l.p); ok {
+		return s.Snapshot()
+	}
+	snap := Snapshot{At: l.lastRel, Arrivals: len(l.jobs), Pending: len(l.jobs), Buffered: true}
+	for _, j := range l.jobs {
+		snap.PendingWork += j.Work
+	}
+	return snap
+}
+
+// Close finalises the run: the policy plans (PlanTime), the schedule
+// is verified against the accumulated instance, and the uniform
+// Result is returned — the same post-processing Replay performs.
+// Close is one-shot; a second call errors.
+func (l *Live) Close() (*Result, error) {
+	if l.closed {
+		return nil, fmt.Errorf("engine: live run already closed")
+	}
+	l.closed = true
+	start := time.Now()
+	s, err := l.p.Close()
+	l.res.PlanTime = time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s close: %w", l.p.Name(), err)
+	}
+	if b, ok := l.p.(Buffered); ok && b.Buffered() {
+		l.res.MaxArrive, l.res.TotalArrive = 0, 0
+	}
+	inst := &job.Instance{M: l.m, Alpha: l.alpha, Jobs: l.jobs}
+	if err := sched.Verify(inst, s); err != nil {
+		return nil, fmt.Errorf("engine: %s produced an infeasible schedule: %w", l.p.Name(), err)
+	}
+	pm := power.Model{Alpha: inst.Alpha}
+	l.res.Schedule = s
+	l.res.Energy = s.Energy(pm)
+	l.res.LostValue = s.LostValue(inst)
+	l.res.Cost = l.res.Energy + l.res.LostValue
+	l.res.Rejected = len(s.Rejected)
+	res := l.res
+	return &res, nil
+}

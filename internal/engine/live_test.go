@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestLiveMatchesReplay pins the streaming lifecycle to the batch one:
+// feeding a normalized instance arrival by arrival through Live must
+// produce a byte-identical schedule and identical cost metrics to
+// Replay for every built-in policy.
+func TestLiveMatchesReplay(t *testing.T) {
+	in := workload.Poisson(workload.Config{N: 40, M: 1, Alpha: 2.2, Seed: 3, ValueScale: 2})
+	for _, name := range DefaultRegistry().Names() {
+		if name == "opt" {
+			continue // exponential; 40 jobs is out of reach
+		}
+		spec := Spec{Name: name, M: 1, Alpha: in.Alpha}
+		batch, err := ReplayAllSpec([]*job.Instance{in}, spec, 1)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", name, err)
+		}
+
+		l, err := NewLive(spec)
+		if err != nil {
+			t.Fatalf("%s: NewLive: %v", name, err)
+		}
+		norm := in.Clone()
+		norm.Normalize()
+		for _, j := range norm.Jobs {
+			if err := l.Arrive(j); err != nil {
+				t.Fatalf("%s: arrive job %d: %v", name, j.ID, err)
+			}
+		}
+		if got := l.Arrivals(); got != len(norm.Jobs) {
+			t.Fatalf("%s: arrivals = %d, want %d", name, got, len(norm.Jobs))
+		}
+		live, err := l.Close()
+		if err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+
+		a, b := *batch[0], *live
+		// Wall-clock timings differ run to run; mask them.
+		a.MaxArrive, a.TotalArrive, a.PlanTime = 0, 0, 0
+		b.MaxArrive, b.TotalArrive, b.PlanTime = 0, 0, 0
+		aj, errA := json.Marshal(a)
+		bj, errB := json.Marshal(b)
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: marshal: %v %v", name, errA, errB)
+		}
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("%s: live result differs from replay:\n%s\nvs\n%s", name, aj, bj)
+		}
+	}
+}
+
+func TestLiveLifecycleErrors(t *testing.T) {
+	spec := Spec{Name: "oa", M: 1, Alpha: 2}
+	mk := func() *Live {
+		l, err := NewLive(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	ok := job.Job{ID: 0, Release: 1, Deadline: 2, Work: 1, Value: math.Inf(1)}
+
+	l := mk()
+	if err := l.Arrive(job.Job{ID: 1, Release: 0, Deadline: 1, Work: -1}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+	if err := l.Arrive(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Arrive(ok); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if err := l.Arrive(job.Job{ID: 2, Release: 0.5, Deadline: 3, Work: 1}); err == nil {
+		t.Fatal("out-of-order release accepted")
+	}
+	// A refused arrival must not corrupt the run.
+	if _, err := l.Close(); err != nil {
+		t.Fatalf("close after refused arrivals: %v", err)
+	}
+	if _, err := l.Close(); err == nil {
+		t.Fatal("double close accepted")
+	}
+	if err := l.Arrive(job.Job{ID: 3, Release: 5, Deadline: 6, Work: 1}); err == nil {
+		t.Fatal("arrive after close accepted")
+	}
+
+	if _, err := NewLive(Spec{Name: "nope", M: 1, Alpha: 2}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestLiveSnapshot(t *testing.T) {
+	l, err := NewLive(Spec{Name: "oa", M: 1, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Arrive(job.Job{ID: 0, Release: 0, Deadline: 2, Work: 1, Value: math.Inf(1)}); err != nil {
+		t.Fatal(err)
+	}
+	snap := l.Snapshot()
+	if snap.Arrivals != 1 || snap.Pending != 1 || snap.Buffered {
+		t.Fatalf("online snapshot = %+v", snap)
+	}
+	// A batch policy behind Live reports its backlog as buffered.
+	lb, err := NewLive(Spec{Name: "yds", M: 1, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Arrive(job.Job{ID: 0, Release: 0, Deadline: 2, Work: 1.5, Value: math.Inf(1)}); err != nil {
+		t.Fatal(err)
+	}
+	snap = lb.Snapshot()
+	if !snap.Buffered || snap.PendingWork != 1.5 {
+		t.Fatalf("batch snapshot = %+v", snap)
+	}
+}
+
+// TestWireRoundTrip pins the JSON wire format of Spec, Snapshot and
+// Result: lowerCamel names, durations as nanoseconds, and lossless
+// round-trips, so the HTTP API needs no parallel DTO layer.
+func TestWireRoundTrip(t *testing.T) {
+	spec := Spec{Name: "pd", M: 3, Alpha: 2.5, Params: map[string]float64{"delta": 0.125}}
+	sj, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"pd","m":3,"alpha":2.5,"params":{"delta":0.125}}`
+	if string(sj) != want {
+		t.Fatalf("spec wire = %s, want %s", sj, want)
+	}
+	var spec2 Spec
+	if err := json.Unmarshal(sj, &spec2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, spec2) {
+		t.Fatalf("spec round-trip changed: %+v vs %+v", spec, spec2)
+	}
+
+	snap := Snapshot{At: 1.5, Arrivals: 7, Pending: 2, PendingWork: 0.75, Speed: 1.25, Buffered: true}
+	nj, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"at":1.5,"arrivals":7,"pending":2,"pendingWork":0.75,"speed":1.25,"buffered":true}`
+	if string(nj) != want {
+		t.Fatalf("snapshot wire = %s, want %s", nj, want)
+	}
+	var snap2 Snapshot
+	if err := json.Unmarshal(nj, &snap2); err != nil {
+		t.Fatal(err)
+	}
+	if snap != snap2 {
+		t.Fatalf("snapshot round-trip changed: %+v vs %+v", snap, snap2)
+	}
+
+	res := Result{
+		Policy: "oa",
+		Schedule: &sched.Schedule{M: 1,
+			Segments: []sched.Segment{{Proc: 0, Job: 4, T0: 0.1, T1: 0.9, Speed: 1.375}},
+			Rejected: []int{9},
+		},
+		Energy: 1.51, LostValue: 0.25, Cost: 1.76, Rejected: 1,
+		MaxArrive: 1500 * time.Nanosecond, TotalArrive: 4 * time.Microsecond,
+		PlanTime: time.Millisecond,
+	}
+	rj, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"policy"`, `"schedule"`, `"segments"`, `"proc"`, `"t0"`,
+		`"lostValue"`, `"maxArrive":1500`, `"totalArrive":4000`, `"planTime":1000000`} {
+		if !bytes.Contains(rj, []byte(key)) {
+			t.Fatalf("result wire %s misses %s", rj, key)
+		}
+	}
+	var res2 Result
+	if err := json.Unmarshal(rj, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatalf("result round-trip changed: %+v vs %+v", res, res2)
+	}
+}

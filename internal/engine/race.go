@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/job"
@@ -50,8 +51,17 @@ func Race(in *job.Instance, policies ...Policy) ([]*Result, error) {
 // every instance is attempted, failed slots stay nil, and all errors
 // are returned joined, each labelled with its trace index.
 func ReplayAll(instances []*job.Instance, mk Factory, workers int) ([]*Result, error) {
+	return ReplayAllCtx(context.Background(), instances, mk, workers)
+}
+
+// ReplayAllCtx is ReplayAll with cooperative cancellation: once ctx is
+// done no further traces are started (in-flight replays finish and
+// their results are kept), unstarted slots stay nil, and ctx.Err()
+// comes back joined with the per-trace errors. The serving daemon's
+// drain path uses this to abandon queued replays on shutdown.
+func ReplayAllCtx(ctx context.Context, instances []*job.Instance, mk Factory, workers int) ([]*Result, error) {
 	results := make([]*Result, len(instances))
-	err := pool.Run(len(instances), workers, func(i int) error {
+	err := pool.RunCtx(ctx, len(instances), workers, func(i int) error {
 		res, err := Replay(instances[i], mk())
 		if err != nil {
 			return fmt.Errorf("trace %d: %w", i, err)
@@ -87,10 +97,16 @@ func RaceSpecs(in *job.Instance, specs ...Spec) ([]*Result, error) {
 // once up front so an incompatible spec fails fast instead of once per
 // trace.
 func (r *Registry) ReplayAllSpec(instances []*job.Instance, spec Spec, workers int) ([]*Result, error) {
+	return r.ReplayAllSpecCtx(context.Background(), instances, spec, workers)
+}
+
+// ReplayAllSpecCtx is ReplayAllSpec with cooperative cancellation (see
+// ReplayAllCtx).
+func (r *Registry) ReplayAllSpecCtx(ctx context.Context, instances []*job.Instance, spec Spec, workers int) ([]*Result, error) {
 	if _, err := r.New(spec); err != nil {
 		return nil, err
 	}
-	return ReplayAll(instances, func() Policy {
+	return ReplayAllCtx(ctx, instances, func() Policy {
 		p, err := r.New(spec)
 		if err != nil {
 			// The up-front build succeeded, so a per-trace failure

@@ -25,17 +25,19 @@ import (
 
 // Spec declaratively selects and parameterises a policy: the
 // registered name, the machine environment (processors and energy
-// exponent), and optional named parameters the policy accepts.
+// exponent), and optional named parameters the policy accepts. The
+// JSON tags are the stable wire names of the serving daemon's
+// session-creation endpoint.
 type Spec struct {
 	// Name is the registry name, e.g. "pd" or "oa".
-	Name string
+	Name string `json:"name"`
 	// M is the number of processors the policy schedules on, m ≥ 1.
-	M int
+	M int `json:"m"`
 	// Alpha is the energy exponent of the power function, α > 1.
-	Alpha float64
+	Alpha float64 `json:"alpha"`
 	// Params carries optional policy-specific parameters (e.g. PD's
 	// "delta"). Keys a policy does not declare are refused.
-	Params map[string]float64
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // PowerModel returns the power function the spec's environment implies.

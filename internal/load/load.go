@@ -1,0 +1,261 @@
+// Package load turns the workload generators into live traffic
+// against a running schedd daemon: K concurrent tenants, each
+// replaying a generated instance through workload.Stream in scaled
+// wall-clock time over the HTTP API, then closing the session and
+// collecting the final verified Result. It backs cmd/loadgen and
+// doubles as the end-to-end test driver.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/job"
+	"repro/internal/pool"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Generator resolves a workload kind name to its generator, sharing
+// tracegen's vocabulary.
+func Generator(kind string) (func(workload.Config) *job.Instance, error) {
+	switch kind {
+	case "uniform":
+		return workload.Uniform, nil
+	case "poisson":
+		return workload.Poisson, nil
+	case "diurnal":
+		return workload.Diurnal, nil
+	case "bursty":
+		return workload.Bursty, nil
+	case "heavytail":
+		return workload.HeavyTail, nil
+	default:
+		return nil, fmt.Errorf("load: unknown workload kind %q (want uniform, poisson, diurnal, bursty or heavytail)", kind)
+	}
+}
+
+// Config shapes one load run.
+type Config struct {
+	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the HTTP requests (default http.DefaultClient).
+	Client *http.Client
+	// Spec is the policy every tenant's session is created from.
+	Spec engine.Spec
+	// Gen generates each tenant's instance (default workload.Poisson).
+	Gen func(workload.Config) *job.Instance
+	// Workload is the per-tenant shape; seeds are strided per tenant
+	// exactly like workload.Fleet. M and Alpha follow Spec.
+	Workload workload.Config
+	// Tenants is the number of concurrent sessions K (default 1).
+	Tenants int
+	// Scale is the wall-clock duration of one unit of model time; 0
+	// replays as fast as possible (see workload.NewStream).
+	Scale time.Duration
+	// Workers bounds concurrently active tenants (default: all).
+	Workers int
+	// Prefix namespaces the tenant ids (default "lg").
+	Prefix string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Gen == nil {
+		c.Gen = workload.Poisson
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 1
+	}
+	if c.Workers <= 0 || c.Workers > c.Tenants {
+		c.Workers = c.Tenants
+	}
+	if c.Prefix == "" {
+		c.Prefix = "lg"
+	}
+	c.Workload.M = c.Spec.M
+	c.Workload.Alpha = c.Spec.Alpha
+	return c
+}
+
+// TenantResult is one tenant's outcome.
+type TenantResult struct {
+	// ID is the session id the tenant ran under.
+	ID string
+	// Instance is the trace the tenant streamed (for re-verification).
+	Instance *job.Instance
+	// Arrivals counts delivered arrivals.
+	Arrivals int
+	// Result is the daemon's final verified result.
+	Result *engine.Result
+}
+
+// Report aggregates one load run.
+type Report struct {
+	Tenants  int
+	Arrivals int
+	Rejected int
+	Elapsed  time.Duration
+	// Throughput is achieved arrivals per wall-clock second.
+	Throughput float64
+	// Latency is the per-arrival HTTP round-trip histogram (seconds),
+	// merged across tenants.
+	Latency stats.Histogram
+	// Results holds every tenant's outcome, in tenant index order
+	// (the numeric suffix of the ids).
+	Results []TenantResult
+}
+
+// Run drives the full load: create K sessions, stream every tenant's
+// arrivals at the configured time scale, close each session and
+// collect its verified result. Tenants run concurrently on a bounded
+// pool; a done ctx stops the remaining work. Partial failures do not
+// abort other tenants — all errors come back joined.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	instances := workload.Fleet(cfg.Gen, cfg.Workload, cfg.Tenants)
+	results := make([]TenantResult, cfg.Tenants)
+	hists := make([]stats.Histogram, cfg.Tenants)
+
+	start := time.Now()
+	err := pool.RunCtx(ctx, cfg.Tenants, cfg.Workers, func(i int) error {
+		id := fmt.Sprintf("%s-%d", cfg.Prefix, i)
+		results[i] = TenantResult{ID: id, Instance: instances[i]}
+		return runTenant(ctx, cfg, id, instances[i], &results[i], &hists[i])
+	})
+	rep := &Report{Tenants: cfg.Tenants, Elapsed: time.Since(start)}
+	for i := range results {
+		rep.Arrivals += results[i].Arrivals
+		if r := results[i].Result; r != nil {
+			rep.Rejected += r.Rejected
+		}
+		rep.Latency.Merge(&hists[i])
+	}
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		rep.Throughput = float64(rep.Arrivals) / s
+	}
+	rep.Results = results
+	return rep, err
+}
+
+// runTenant is one tenant's whole lifecycle against the daemon.
+func runTenant(ctx context.Context, cfg Config, id string, in *job.Instance, out *TenantResult, hist *stats.Histogram) error {
+	if err := createSession(ctx, cfg, id); err != nil {
+		return fmt.Errorf("tenant %s: create: %w", id, err)
+	}
+	err := workload.NewStream(in, cfg.Scale).Play(ctx, func(j job.Job) error {
+		t0 := time.Now()
+		if err := postArrival(ctx, cfg, id, j); err != nil {
+			return err
+		}
+		hist.Observe(time.Since(t0).Seconds())
+		out.Arrivals++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("tenant %s: stream: %w", id, err)
+	}
+	res, err := closeSession(ctx, cfg, id)
+	if err != nil {
+		return fmt.Errorf("tenant %s: close: %w", id, err)
+	}
+	out.Result = res
+	return nil
+}
+
+// doJSON issues one request and decodes the JSON response; non-2xx
+// responses become errors carrying the server's message.
+func doJSON(ctx context.Context, cfg Config, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, cfg.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(raw))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func createSession(ctx context.Context, cfg Config, id string) error {
+	body, err := json.Marshal(map[string]any{"id": id, "spec": cfg.Spec})
+	if err != nil {
+		return err
+	}
+	return doJSON(ctx, cfg, http.MethodPost, "/v1/sessions", bytes.NewReader(body), nil)
+}
+
+func postArrival(ctx context.Context, cfg Config, id string, j job.Job) error {
+	line, err := json.Marshal(j)
+	if err != nil {
+		return err
+	}
+	var ack struct {
+		Accepted int    `json:"accepted"`
+		Error    string `json:"error"`
+	}
+	if err := doJSON(ctx, cfg, http.MethodPost, "/v1/sessions/"+id+"/arrivals", bytes.NewReader(line), &ack); err != nil {
+		return err
+	}
+	if ack.Accepted != 1 {
+		return fmt.Errorf("arrival not accepted: %s", ack.Error)
+	}
+	return nil
+}
+
+func closeSession(ctx context.Context, cfg Config, id string) (*engine.Result, error) {
+	var closed struct {
+		Result *engine.Result `json:"result"`
+	}
+	if err := doJSON(ctx, cfg, http.MethodDelete, "/v1/sessions/"+id, nil, &closed); err != nil {
+		return nil, err
+	}
+	if closed.Result == nil {
+		return nil, fmt.Errorf("close returned no result")
+	}
+	return closed.Result, nil
+}
+
+// Render writes the human-readable report: the aggregate line plus a
+// tenant table when verbose.
+func (r *Report) Render(w io.Writer, verbose bool) error {
+	if _, err := fmt.Fprintf(w,
+		"loadgen: %d tenants, %d arrivals in %v (%.1f arrivals/s), %d rejected\nlatency (s): %s\n",
+		r.Tenants, r.Arrivals, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Rejected, r.Latency.String()); err != nil {
+		return err
+	}
+	if !verbose {
+		return nil
+	}
+	tbl := &stats.Table{
+		Title:   "per-tenant results",
+		Headers: []string{"tenant", "arrivals", "energy", "lost", "cost", "rejected"},
+	}
+	for _, tr := range r.Results {
+		if tr.Result == nil {
+			tbl.AddRow(tr.ID, tr.Arrivals, "-", "-", "-", "-")
+			continue
+		}
+		tbl.AddRow(tr.ID, tr.Arrivals, tr.Result.Energy, tr.Result.LostValue, tr.Result.Cost, tr.Result.Rejected)
+	}
+	return tbl.Render(w)
+}

@@ -17,6 +17,7 @@ package opt
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/chen"
 	"repro/internal/dual"
@@ -168,13 +169,7 @@ func (s *solver) refit(j job.Job) {
 	for i, k := range ks {
 		iv := s.part.At(k)
 		delete(iv.Load, j.ID)
-		items := make([]chen.Item, 0, len(iv.Load))
-		for id, w := range iv.Load {
-			if w > 0 {
-				items = append(items, chen.Item{ID: id, Work: w})
-			}
-		}
-		others[i] = items
+		others[i] = itemsOf(iv.Load)
 		lens[i] = iv.Len()
 	}
 	capacity := func(sp float64) float64 {
@@ -208,15 +203,25 @@ func (s *solver) refit(j job.Job) {
 	}
 }
 
+// itemsOf collects an interval's positive loads as chen items, sorted
+// by job ID: map iteration order would otherwise leak into float
+// summation order (capacity, energy, Chen's partition) and make solves
+// differ in the last ulp from run to run (cf. core.othersOf).
+func itemsOf(load map[int]float64) []chen.Item {
+	items := make([]chen.Item, 0, len(load))
+	for id, w := range load {
+		if w > 0 {
+			items = append(items, chen.Item{ID: id, Work: w})
+		}
+	}
+	sort.Slice(items, func(i, k int) bool { return items[i].ID < items[k].ID })
+	return items
+}
+
 func (s *solver) energy() float64 {
 	var acc numeric.Accumulator
 	for _, iv := range s.part.All() {
-		items := make([]chen.Item, 0, len(iv.Load))
-		for id, w := range iv.Load {
-			if w > 0 {
-				items = append(items, chen.Item{ID: id, Work: w})
-			}
-		}
+		items := itemsOf(iv.Load)
 		if len(items) > 0 {
 			acc.Add(s.sys.Energy(iv.Len(), items))
 		}
@@ -227,12 +232,7 @@ func (s *solver) energy() float64 {
 func (s *solver) schedule(rejected []int) *sched.Schedule {
 	out := &sched.Schedule{M: s.sys.M, Rejected: rejected}
 	for _, iv := range s.part.All() {
-		items := make([]chen.Item, 0, len(iv.Load))
-		for id, w := range iv.Load {
-			if w > 0 {
-				items = append(items, chen.Item{ID: id, Work: w})
-			}
-		}
+		items := itemsOf(iv.Load)
 		if len(items) > 0 {
 			out.Segments = append(out.Segments, s.sys.Timeline(iv.T0, iv.T1, items)...)
 		}

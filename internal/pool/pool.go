@@ -5,6 +5,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -17,6 +18,15 @@ import (
 // slow task never blocks the others — and every error is returned,
 // joined with errors.Join, not just the first.
 func Run(n, workers int, fn func(i int) error) error {
+	return RunCtx(context.Background(), n, workers, fn)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done no
+// further indices are handed out, already-running calls finish
+// undisturbed, and ctx.Err() comes back joined with the task errors.
+// Indices that were never handed out are not reported individually —
+// the joined ctx.Err() stands for all of them.
+func RunCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -26,7 +36,7 @@ func Run(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	errs := make([]error, n)
+	errs := make([]error, n+1)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -38,8 +48,21 @@ func Run(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		// The plain Err check first: select picks randomly among ready
+		// cases, so without it a done ctx could keep losing the coin
+		// toss and leak several more indices to idle workers.
+		if err := ctx.Err(); err != nil {
+			errs[n] = err
+			break
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			errs[n] = ctx.Err()
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -81,5 +82,56 @@ func TestRunEdgeCases(t *testing.T) {
 	}
 	if err := Run(4, 2, func(i int) error { return fmt.Errorf("fail %d", i) }); err == nil {
 		t.Fatal("all-failing run must error")
+	}
+}
+
+func TestRunCtxStopsHandingOutOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100
+	var started int32
+	// One worker: cancel after the third task, so the feeder is blocked
+	// handing out task 3 when the cancellation lands.
+	err := RunCtx(ctx, n, 1, func(i int) error {
+		if atomic.AddInt32(&started, 1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled joined, got %v", err)
+	}
+	// In-flight tasks finish; nothing new starts once ctx is done. The
+	// feeder may have already parked one more index in the channel, so
+	// allow a single extra task.
+	if s := atomic.LoadInt32(&started); s > 4 {
+		t.Fatalf("started %d tasks after cancelling at 3", s)
+	}
+}
+
+func TestRunCtxKeepsTaskErrorsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("task 0 broke")
+	err := RunCtx(ctx, 10, 1, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want task error and ctx error joined, got %v", err)
+	}
+}
+
+func TestRunCtxUncancelledMatchesRun(t *testing.T) {
+	var count int32
+	if err := RunCtx(context.Background(), 50, 4, func(int) error {
+		atomic.AddInt32(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("executed %d of 50", count)
 	}
 }

@@ -27,13 +27,14 @@ import (
 // qOA) need the slack.
 const VerifyTol = 1e-6
 
-// Segment is one maximal piece of constant-speed execution.
+// Segment is one maximal piece of constant-speed execution. The JSON
+// tags are the stable wire names schedules use on the serving API.
 type Segment struct {
-	Proc  int     // processor index, 0 ≤ Proc < M
-	Job   int     // job ID
-	T0    float64 // start time (inclusive)
-	T1    float64 // end time (exclusive)
-	Speed float64 // constant speed ≥ 0
+	Proc  int     `json:"proc"`  // processor index, 0 ≤ Proc < M
+	Job   int     `json:"job"`   // job ID
+	T0    float64 `json:"t0"`    // start time (inclusive)
+	T1    float64 `json:"t1"`    // end time (exclusive)
+	Speed float64 `json:"speed"` // constant speed ≥ 0
 }
 
 // Work returns the work processed in the segment.
@@ -41,9 +42,9 @@ func (s Segment) Work() float64 { return (s.T1 - s.T0) * s.Speed }
 
 // Schedule is a complete output of a scheduling algorithm.
 type Schedule struct {
-	M        int       // number of processors
-	Segments []Segment // executed work
-	Rejected []int     // IDs of jobs the algorithm chose not to finish
+	M        int       `json:"m"`                  // number of processors
+	Segments []Segment `json:"segments"`           // executed work
+	Rejected []int     `json:"rejected,omitempty"` // IDs of jobs the algorithm chose not to finish
 }
 
 // Energy returns the total energy of the schedule under the power model.

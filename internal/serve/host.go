@@ -1,0 +1,448 @@
+// Package serve is the session host behind the schedd daemon: a
+// sharded map of tenant → live engine session, created on demand from
+// a registry Spec, with admission control (max sessions, bounded
+// per-session backlog), per-tenant serialized arrival application,
+// graceful drain on shutdown and a Prometheus-rendered metrics core.
+//
+// Concurrency model: tenant lookups hash into power-of-two shards so
+// unrelated tenants never contend on one lock; within a tenant, a
+// single applier goroutine drains a bounded arrival queue into the
+// engine.Live run, so the policy — which is not synchronized — only
+// ever sees one goroutine. Submitting to a full queue blocks, which
+// is the backpressure the HTTP layer propagates to clients by simply
+// not reading more of their request body.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/job"
+	"repro/internal/pool"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	ErrDraining  = errors.New("serve: host is draining")
+	ErrNotFound  = errors.New("serve: no such session")
+	ErrDuplicate = errors.New("serve: session already exists")
+	ErrAdmission = errors.New("serve: session limit reached")
+	ErrClosing   = errors.New("serve: session is closing")
+)
+
+// Config sizes the host. The zero value gets sensible defaults.
+type Config struct {
+	// Shards is the number of map shards, rounded up to a power of two
+	// (default 16).
+	Shards int
+	// MaxSessions bounds concurrently live sessions (default 1024).
+	MaxSessions int
+	// MaxBacklog bounds each session's queued-but-unapplied arrivals;
+	// submits beyond it block (default 256).
+	MaxBacklog int
+	// Registry resolves session specs (default engine.DefaultRegistry).
+	Registry *engine.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	// Round up to a power of two so shardOf is a mask, not a modulo.
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxBacklog <= 0 {
+		c.MaxBacklog = 256
+	}
+	if c.Registry == nil {
+		c.Registry = engine.DefaultRegistry()
+	}
+	return c
+}
+
+// shard is one slice of the tenant map.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// Host hosts live sessions for many tenants. Create a Host with
+// NewHost; the zero value is not usable.
+type Host struct {
+	cfg     Config
+	reg     *engine.Registry
+	shards  []shard
+	metrics *Metrics
+
+	mu       sync.Mutex // admission: live count + draining flag
+	live     int
+	draining bool
+	// creating tracks creates that reserved a slot but have not yet
+	// registered their session; Drain waits for it after flipping
+	// draining, so no session can slip past the drain snapshot.
+	creating sync.WaitGroup
+
+	nextID atomic.Uint64
+}
+
+// NewHost builds a host from the config.
+func NewHost(cfg Config) *Host {
+	cfg = cfg.withDefaults()
+	h := &Host{cfg: cfg, reg: cfg.Registry, shards: make([]shard, cfg.Shards), metrics: newMetrics()}
+	for i := range h.shards {
+		h.shards[i].sessions = make(map[string]*Session)
+	}
+	return h
+}
+
+// Metrics returns the host's metrics core.
+func (h *Host) Metrics() *Metrics { return h.metrics }
+
+// Registry returns the registry sessions are resolved against.
+func (h *Host) Registry() *engine.Registry { return h.reg }
+
+func (h *Host) shardOf(id string) *shard {
+	f := fnv.New32a()
+	f.Write([]byte(id))
+	return &h.shards[f.Sum32()&uint32(len(h.shards)-1)]
+}
+
+// Session is one tenant's live run: a bounded arrival queue drained by
+// a dedicated applier goroutine into an engine.Live.
+type Session struct {
+	// ID is the tenant identifier the session is registered under.
+	ID string
+	// Spec is the spec the session was created from.
+	Spec engine.Spec
+
+	host  *Host
+	queue chan job.Job
+	done  chan struct{} // applier exited
+
+	qmu     sync.RWMutex  // excludes close(queue) against in-flight Submit
+	closing bool          // under qmu
+	closeCh chan struct{} // closed when closing begins; releases parked submitters
+	closed  sync.Once     // guards closeCh
+
+	mu  sync.Mutex // serializes the run against Snapshot/Close
+	run *engine.Live
+
+	// err is guarded separately from the run: the applier holds mu for
+	// the whole of a (possibly slow) Arrive, and Submit must be able
+	// to fail fast on a recorded error without waiting for it.
+	errMu sync.Mutex
+	err   error // first refused arrival; later submits fail fast with it
+}
+
+// Create opens a session for the tenant id (a fresh "s-<n>" id when
+// empty) from the spec. Admission control refuses once MaxSessions
+// tenants are live, and a draining host refuses everything.
+func (h *Host) Create(id string, spec engine.Spec) (*Session, error) {
+	h.mu.Lock()
+	if h.draining {
+		h.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if h.live >= h.cfg.MaxSessions {
+		h.mu.Unlock()
+		h.metrics.admissionRefused()
+		return nil, fmt.Errorf("%w (%d live)", ErrAdmission, h.cfg.MaxSessions)
+	}
+	h.live++ // reserve the slot before the (possibly slow) build
+	// The Add happens under h.mu strictly before draining can flip, so
+	// Drain's Wait observes every reservation that beat the flag.
+	h.creating.Add(1)
+	h.mu.Unlock()
+	defer h.creating.Done()
+	release := func() {
+		h.mu.Lock()
+		h.live--
+		h.mu.Unlock()
+	}
+
+	run, err := h.reg.NewLive(spec)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	if id == "" {
+		id = fmt.Sprintf("s-%d", h.nextID.Add(1))
+	}
+	s := &Session{
+		ID: id, Spec: spec, host: h,
+		queue:   make(chan job.Job, h.cfg.MaxBacklog),
+		done:    make(chan struct{}),
+		closeCh: make(chan struct{}),
+		run:     run,
+	}
+	sh := h.shardOf(id)
+	sh.mu.Lock()
+	if _, dup := sh.sessions[id]; dup {
+		sh.mu.Unlock()
+		release()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, id)
+	}
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	go s.apply()
+	h.metrics.sessionOpened()
+	return s, nil
+}
+
+// Get returns the tenant's live session.
+func (h *Host) Get(id string) (*Session, error) {
+	sh := h.shardOf(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// remove unregisters the session; idempotent.
+func (h *Host) remove(id string) bool {
+	sh := h.shardOf(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if ok {
+		h.mu.Lock()
+		h.live--
+		h.mu.Unlock()
+		h.metrics.sessionClosed()
+	}
+	return ok
+}
+
+// Close drains and finalises the tenant's session: queued arrivals are
+// applied, the policy plans, the schedule is verified, and the final
+// Result is returned. The session is unregistered in every case.
+func (h *Host) Close(id string) (*engine.Result, error) {
+	return h.CloseCtx(context.Background(), id)
+}
+
+// CloseCtx is Close with a deadline: a done ctx abandons the wait for
+// the applier (the session stays unregistered; its goroutine exits
+// whenever the policy returns).
+func (h *Host) CloseCtx(ctx context.Context, id string) (*engine.Result, error) {
+	s, err := h.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !h.remove(id) {
+		// A concurrent Close won the race to unregister.
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s.finish(ctx)
+}
+
+// Backlog returns the total queued-but-unapplied arrivals across all
+// sessions (the /metrics backlog gauge).
+func (h *Host) Backlog() int {
+	var n int
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			n += len(s.queue)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SessionIDs returns the live tenant ids, sorted.
+func (h *Host) SessionIDs() []string {
+	var ids []string
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for id := range sh.sessions {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// DrainResult is one session's outcome from a host drain.
+type DrainResult struct {
+	ID     string         `json:"id"`
+	Result *engine.Result `json:"result,omitempty"`
+	Err    string         `json:"error,omitempty"`
+}
+
+// Drain gracefully shuts the host down: new sessions and new arrivals
+// are refused, every live session is closed (queued arrivals applied,
+// schedules verified) on a bounded worker pool, and all final results
+// are flushed back, sorted by tenant id. A done ctx abandons sessions
+// not yet closed — they are reported with ctx's error — so a stuck
+// policy cannot hold shutdown hostage. Drain is idempotent; later
+// calls find no sessions.
+func (h *Host) Drain(ctx context.Context) ([]DrainResult, error) {
+	h.mu.Lock()
+	h.draining = true
+	h.mu.Unlock()
+	// Creates that passed the draining check before the flag flipped
+	// may still be registering; wait them out so the snapshot below
+	// sees every session that was ever promised to a client.
+	h.creating.Wait()
+
+	ids := h.SessionIDs()
+	round := make([]DrainResult, len(ids))
+	err := pool.RunCtx(ctx, len(ids), 0, func(i int) error {
+		res, err := h.CloseCtx(ctx, ids[i])
+		if errors.Is(err, ErrNotFound) {
+			// A concurrent DELETE closed it; handled elsewhere.
+			return nil
+		}
+		round[i] = DrainResult{ID: ids[i], Result: res}
+		if err != nil {
+			round[i].Err = err.Error()
+			return fmt.Errorf("session %q: %w", ids[i], err)
+		}
+		return nil
+	})
+	out := make([]DrainResult, 0, len(round))
+	for i := range round {
+		if round[i].ID == "" && ctx.Err() != nil {
+			// The cancelled pool never started this slot.
+			round[i] = DrainResult{ID: ids[i], Err: context.Cause(ctx).Error()}
+		}
+		if round[i].ID != "" {
+			out = append(out, round[i])
+		}
+	}
+	return out, err
+}
+
+// apply is the session's applier goroutine: it alone feeds the run,
+// so arrival application is serialized per tenant. It keeps draining
+// after an error (recording only the first) so that blocked
+// submitters are never stranded on a full queue.
+func (s *Session) apply() {
+	defer close(s.done)
+	for j := range s.queue {
+		s.mu.Lock()
+		start := time.Now()
+		err := s.run.Arrive(j)
+		s.mu.Unlock()
+		if err != nil {
+			s.errMu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.errMu.Unlock()
+			s.host.metrics.arrivalFailed()
+		} else {
+			s.host.metrics.arrivalApplied(time.Since(start))
+		}
+	}
+}
+
+// Submit queues one arrival for application. A full queue blocks —
+// that is the backpressure bound MaxBacklog — until space frees, the
+// ctx is done, or the session starts closing. An arrival the policy
+// refused earlier fails all later submits fast with that first error.
+func (s *Session) Submit(ctx context.Context, j job.Job) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closing {
+		return fmt.Errorf("%w: %q", ErrClosing, s.ID)
+	}
+	if err := s.firstErr(); err != nil {
+		return err
+	}
+	// closeCh is in the select so a submitter parked on a full queue
+	// (holding qmu.RLock) is released the moment closing begins —
+	// without it, finish's qmu.Lock would deadlock against a stuck
+	// applier that never frees queue space.
+	select {
+	case s.queue <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.closeCh:
+		return fmt.Errorf("%w: %q", ErrClosing, s.ID)
+	}
+}
+
+func (s *Session) firstErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Backlog returns the session's queued-but-unapplied arrival count.
+func (s *Session) Backlog() int { return len(s.queue) }
+
+// SessionSnapshot is a session's observable state: identity, backlog
+// and the embedded mid-stream engine snapshot.
+type SessionSnapshot struct {
+	ID      string `json:"id"`
+	Policy  string `json:"policy"`
+	Backlog int    `json:"backlog"`
+	engine.Snapshot
+}
+
+// Snapshot observes the live run between arrivals without disturbing
+// it. Arrivals still queued are visible as Backlog, not in the
+// engine's arrival count.
+func (s *Session) Snapshot() SessionSnapshot {
+	s.mu.Lock()
+	snap := s.run.Snapshot()
+	s.mu.Unlock()
+	return SessionSnapshot{ID: s.ID, Policy: s.Spec.Name, Backlog: len(s.queue), Snapshot: snap}
+}
+
+// finish seals the queue, waits for the applier to drain it, and
+// closes the run. An arrival error surfaces here (alongside any
+// close/verification error); the result is returned only for a fully
+// clean session. A done ctx abandons the wait, so one stuck policy
+// cannot hold a host drain hostage.
+func (s *Session) finish(ctx context.Context) (*engine.Result, error) {
+	// Release parked submitters first, then exclude new sends: every
+	// enqueue happens under qmu.RLock with closing false, so once the
+	// write lock is held no send can race the close of the queue.
+	s.closed.Do(func() { close(s.closeCh) })
+	s.qmu.Lock()
+	already := s.closing
+	s.closing = true
+	if !already {
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("session %q: close abandoned: %w", s.ID, context.Cause(ctx))
+	}
+
+	if err := s.firstErr(); err != nil {
+		return nil, fmt.Errorf("session %q: arrival refused: %w", s.ID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.run.Close()
+	if err != nil {
+		return nil, fmt.Errorf("session %q: %w", s.ID, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,202 @@
+// The HTTP face of the host — the API cmd/schedd exposes:
+//
+//	POST   /v1/sessions                  create a session from a Spec
+//	POST   /v1/sessions/{id}/arrivals    stream arrivals (NDJSON)
+//	GET    /v1/sessions/{id}/snapshot    observe the live plan
+//	DELETE /v1/sessions/{id}             close → final verified Result
+//	GET    /v1/sessions                  list live tenant ids
+//	GET    /v1/registry                  the policy registry
+//	GET    /metrics                      Prometheus text format
+//
+// All request and response bodies reuse the engine's wire types
+// (Spec, Snapshot, Result) — no parallel DTO layer. Errors come back
+// as {"error": "..."} with a status the sentinel errors determine.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/job"
+)
+
+// NewHandler returns the daemon's HTTP handler over the host.
+func NewHandler(h *Host) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		handleCreate(h, w, r)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/arrivals", func(w http.ResponseWriter, r *http.Request) {
+		handleArrivals(h, w, r)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshot(h, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleClose(h, w, r)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": h.SessionIDs()})
+	})
+	mux.HandleFunc("GET /v1/registry", func(w http.ResponseWriter, r *http.Request) {
+		handleRegistry(h, w)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = h.Metrics().WritePrometheus(w, h.Backlog())
+	})
+	return mux
+}
+
+// statusOf maps host errors onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDuplicate), errors.Is(err, ErrClosing):
+		return http.StatusConflict
+	case errors.Is(err, ErrAdmission):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; all we can do is cut the connection short.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), map[string]string{"error": err.Error()})
+}
+
+// createRequest is the body of POST /v1/sessions.
+type createRequest struct {
+	// ID is the tenant id; empty means the host assigns one.
+	ID string `json:"id,omitempty"`
+	// Spec selects and parameterises the policy (engine wire format).
+	Spec engine.Spec `json:"spec"`
+}
+
+// createResponse acknowledges a created session.
+type createResponse struct {
+	ID     string `json:"id"`
+	Policy string `json:"policy"`
+}
+
+func handleCreate(h *Host, w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decoding create request: %w", err))
+		return
+	}
+	s, err := h.Create(req.ID, req.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, createResponse{ID: s.ID, Policy: s.Spec.Name})
+}
+
+// arrivalsResponse acknowledges a consumed arrival stream.
+type arrivalsResponse struct {
+	ID       string `json:"id"`
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleArrivals consumes an NDJSON stream of jobs (one job.Job per
+// line) and queues each on the session. The request body is read no
+// faster than the session's bounded queue admits — a slow policy or a
+// full backlog stalls the read, and TCP flow control carries that
+// backpressure to the client. The response reports how many arrivals
+// were accepted (queued); a refused arrival stops the stream there.
+func handleArrivals(h *Host, w http.ResponseWriter, r *http.Request) {
+	s, err := h.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	accepted := 0
+	dec := json.NewDecoder(r.Body)
+	for {
+		var j job.Job
+		if err := dec.Decode(&j); err == io.EOF {
+			break
+		} else if err != nil {
+			writeJSON(w, http.StatusBadRequest, arrivalsResponse{
+				ID: s.ID, Accepted: accepted,
+				Error: fmt.Sprintf("decoding arrival %d: %v", accepted, err),
+			})
+			return
+		}
+		if err := s.Submit(r.Context(), j); err != nil {
+			writeJSON(w, statusOf(err), arrivalsResponse{ID: s.ID, Accepted: accepted, Error: err.Error()})
+			return
+		}
+		accepted++
+	}
+	writeJSON(w, http.StatusOK, arrivalsResponse{ID: s.ID, Accepted: accepted})
+}
+
+func handleSnapshot(h *Host, w http.ResponseWriter, r *http.Request) {
+	s, err := h.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// closeResponse carries a closed session's final verified result.
+type closeResponse struct {
+	ID     string         `json:"id"`
+	Result *engine.Result `json:"result"`
+}
+
+func handleClose(h *Host, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := h.Close(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, closeResponse{ID: id, Result: res})
+}
+
+// registryEntry is one row of GET /v1/registry.
+type registryEntry struct {
+	Name    string   `json:"name"`
+	Summary string   `json:"summary"`
+	MRange  string   `json:"mRange"`
+	Model   string   `json:"model"`
+	Mode    string   `json:"mode"`
+	Params  []string `json:"params,omitempty"`
+}
+
+func handleRegistry(h *Host, w http.ResponseWriter) {
+	var out []registryEntry
+	for _, reg := range h.Registry().All() {
+		out = append(out, registryEntry{
+			Name: reg.Name, Summary: reg.Summary,
+			MRange: reg.Caps.MRange(), Model: reg.Caps.Model(), Mode: reg.Caps.Mode(),
+			Params: reg.Params,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"policies": out})
+}

@@ -1,0 +1,156 @@
+// The host's metrics core: a handful of counters and gauges plus the
+// shared log-bucket latency histogram, rendered in Prometheus text
+// exposition format. No client library — the format is five lines of
+// fmt, and keeping it in-tree means the daemon has zero dependencies
+// beyond the standard library.
+
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Metrics aggregates the host's counters. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	start time.Time
+
+	mu             sync.Mutex
+	sessionsLive   int64
+	sessionsTotal  uint64
+	sessionsClosed uint64
+	arrivals       uint64
+	arrivalErrors  uint64
+	refused        uint64
+	latency        stats.Histogram // policy apply latency, seconds
+}
+
+func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+func (m *Metrics) sessionOpened() {
+	m.mu.Lock()
+	m.sessionsLive++
+	m.sessionsTotal++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) sessionClosed() {
+	m.mu.Lock()
+	m.sessionsLive--
+	m.sessionsClosed++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) admissionRefused() {
+	m.mu.Lock()
+	m.refused++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) arrivalApplied(d time.Duration) {
+	m.mu.Lock()
+	m.arrivals++
+	m.latency.Observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+func (m *Metrics) arrivalFailed() {
+	m.mu.Lock()
+	m.arrivalErrors++
+	m.mu.Unlock()
+}
+
+// SessionsLive returns the live-session gauge.
+func (m *Metrics) SessionsLive() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessionsLive
+}
+
+// Arrivals returns the applied-arrivals counter.
+func (m *Metrics) Arrivals() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.arrivals
+}
+
+// Latency returns a copy of the arrival-latency histogram, mergeable
+// with any other stats.Histogram.
+func (m *Metrics) Latency() stats.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latency
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format. backlog is sampled by the caller (the host knows its queues).
+func (m *Metrics) WritePrometheus(w io.Writer, backlog int) error {
+	m.mu.Lock()
+	live, total, closed := m.sessionsLive, m.sessionsTotal, m.sessionsClosed
+	arrivals, arrErrs, refused := m.arrivals, m.arrivalErrors, m.refused
+	lat := m.latency
+	uptime := time.Since(m.start).Seconds()
+	m.mu.Unlock()
+
+	var rate float64
+	if uptime > 0 {
+		rate = float64(arrivals) / uptime
+	}
+	for _, g := range []struct {
+		name, help, typ string
+		value           any
+	}{
+		{"schedd_sessions_live", "Sessions currently hosted.", "gauge", live},
+		{"schedd_sessions_opened_total", "Sessions ever created.", "counter", total},
+		{"schedd_sessions_closed_total", "Sessions closed (drained or deleted).", "counter", closed},
+		{"schedd_admission_refused_total", "Session creations refused by admission control.", "counter", refused},
+		{"schedd_arrivals_total", "Arrivals applied to live sessions.", "counter", arrivals},
+		{"schedd_arrival_errors_total", "Arrivals the policy or validator refused.", "counter", arrErrs},
+		{"schedd_backlog", "Arrivals queued but not yet applied, across all sessions.", "gauge", backlog},
+		{"schedd_arrivals_per_second", "Applied arrival rate over the process lifetime.", "gauge", rate},
+		{"schedd_uptime_seconds", "Seconds since the host started.", "gauge", uptime},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n",
+			g.name, g.help, g.name, g.typ, g.name, g.value); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "# HELP schedd_arrival_latency_seconds Policy apply latency per arrival.\n# TYPE schedd_arrival_latency_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, b := range lat.Buckets() {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = fmt.Sprintf("%g", b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "schedd_arrival_latency_seconds_bucket{le=%q} %d\n", le, b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "schedd_arrival_latency_seconds_sum %g\nschedd_arrival_latency_seconds_count %d\n",
+		lat.Sum(), lat.Count()); err != nil {
+		return err
+	}
+	// p50/p99 as plain gauges so dashboards (and the e2e test) need no
+	// histogram math.
+	for _, q := range []struct {
+		name string
+		q    float64
+	}{{"schedd_arrival_latency_seconds_p50", 0.5}, {"schedd_arrival_latency_seconds_p99", 0.99}} {
+		v := 0.0
+		if lat.Count() > 0 {
+			v = lat.Quantile(q.q)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", q.name, q.name, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Stream turns a generated instance into live traffic: a
+// deterministic iterator over the instance's arrivals in release
+// order, each tagged with the wall-clock moment it is due under a
+// time-scale knob. The load generator uses it to hammer the serving
+// daemon in scaled real time; the differential tests use it at scale
+// zero to pin that streaming an instance into a session is
+// byte-identical to batch replay.
+
+package workload
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/job"
+)
+
+// Stream iterates an instance's jobs in normalized release order with
+// a wall-clock due time per arrival. The mapping is deterministic:
+// job j is due at (r_j - r_first) × Scale after the stream's start,
+// so the arrival pattern of the trace (bursts, diurnal waves, heavy
+// tails) is reproduced faithfully at any speed. A Stream is not
+// synchronized; one goroutine drives it.
+type Stream struct {
+	jobs  []job.Job
+	base  float64 // release of the first job
+	scale time.Duration
+	next  int
+}
+
+// NewStream builds a stream over the instance. scale is the wall-clock
+// duration of one unit of model time — e.g. 100ms compresses a
+// 10-unit-horizon trace into about a second; 0 (or negative) means
+// every arrival is due immediately (as fast as possible). The
+// instance is cloned and normalized, so the stream's order is exactly
+// the order batch replay feeds policies.
+func NewStream(in *job.Instance, scale time.Duration) *Stream {
+	inst := in.Clone()
+	inst.Normalize()
+	s := &Stream{jobs: inst.Jobs, scale: scale}
+	if scale < 0 {
+		s.scale = 0
+	}
+	if len(inst.Jobs) > 0 {
+		s.base = inst.Jobs[0].Release
+	}
+	return s
+}
+
+// Len returns the total number of arrivals in the stream.
+func (s *Stream) Len() int { return len(s.jobs) }
+
+// Remaining returns how many arrivals have not been handed out yet.
+func (s *Stream) Remaining() int { return len(s.jobs) - s.next }
+
+// Next hands out the next arrival and its due offset from the
+// stream's start; ok is false once the stream is exhausted.
+func (s *Stream) Next() (j job.Job, due time.Duration, ok bool) {
+	if s.next >= len(s.jobs) {
+		return job.Job{}, 0, false
+	}
+	j = s.jobs[s.next]
+	s.next++
+	return j, s.dueOf(j), true
+}
+
+// dueOf maps a job's release to its wall-clock offset.
+func (s *Stream) dueOf(j job.Job) time.Duration {
+	return time.Duration((j.Release - s.base) * float64(s.scale))
+}
+
+// Rewind resets the iterator to the first arrival.
+func (s *Stream) Rewind() { s.next = 0 }
+
+// Play delivers every remaining arrival to fn, sleeping until each due
+// time (measured from the moment Play is called). With scale 0 no
+// sleeping happens and the whole trace is delivered back to back.
+// Play stops at the first fn error or when ctx is done, returning
+// ctx.Err() in the latter case; either way the stream keeps its
+// position, so a caller can inspect Remaining.
+func (s *Stream) Play(ctx context.Context, fn func(job.Job) error) error {
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		j, due, ok := s.Next()
+		if !ok {
+			return nil
+		}
+		if wait := due - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				s.next-- // the arrival was never delivered
+				return ctx.Err()
+			}
+		}
+		if err := fn(j); err != nil {
+			return err
+		}
+	}
+}
