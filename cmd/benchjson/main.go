@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON benchmark report on stdout, so benchmark runs can be
+// committed, diffed and plotted as a perf trajectory (BENCH_*.json)
+// instead of living in scrollback. It understands the standard
+// benchmark line — name, iteration count, then value/unit pairs —
+// including custom metrics like ns/arrival, and carries the run's
+// environment header (goos, goarch, pkg, cpu) alongside.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem | benchjson > bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	// Name is the full benchmark name including sub-benchmark path,
+	// with the -cpu suffix retained (e.g. "BenchmarkX/n=1000-8").
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every reported pair, e.g.
+	// "ns/op", "B/op", "allocs/op", "ns/arrival".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole run.
+type Report struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	Pkg        string  `json:"pkg,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads benchmark text, collecting header fields and result
+// lines; unknown lines (PASS, ok, test logs) are skipped.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for field, dst := range map[string]*string{
+			"goos:": &rep.Goos, "goarch:": &rep.Goarch, "pkg:": &rep.Pkg, "cpu:": &rep.CPU,
+		} {
+			if rest, ok := strings.CutPrefix(line, field); ok {
+				*dst = strings.TrimSpace(rest)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	return rep, nil
+}

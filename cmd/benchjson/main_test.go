@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSessionPerArrival/oa/n=1000-8         	    2048	    582904 ns/op	       582.7 ns/arrival	  245360 B/op	      35 allocs/op
+BenchmarkSessionPerArrival/qoa/n=100000-8      	       1	1751096510 ns/op	     17511 ns/arrival	1615373536 B/op	      82 allocs/op
+--- BENCH: some stray log line
+PASS
+ok  	repro	10.905s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" ||
+		!strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(rep.Benchmarks))
+	}
+	e := rep.Benchmarks[0]
+	if e.Name != "BenchmarkSessionPerArrival/oa/n=1000-8" || e.Iterations != 2048 {
+		t.Fatalf("entry 0: %+v", e)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 582904, "ns/arrival": 582.7, "B/op": 245360, "allocs/op": 35,
+	} {
+		if e.Metrics[unit] != want {
+			t.Fatalf("%s = %v, want %v", unit, e.Metrics[unit], want)
+		}
+	}
+	if rep.Benchmarks[1].Metrics["ns/arrival"] != 17511 {
+		t.Fatalf("entry 1: %+v", rep.Benchmarks[1])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("want error on benchless input")
+	}
+}

@@ -23,7 +23,7 @@ func TestRunAgainstLiveHost(t *testing.T) {
 		t.Fatalf("run: %v\nstderr: %s", err, errs.String())
 	}
 	text := out.String()
-	for _, want := range []string{"3 tenants", "24 arrivals", "latency (s): n=24", "per-tenant results", "lg-2"} {
+	for _, want := range []string{"3 tenants", "24 arrivals", "latency (s): n=24", "client allocs/arrival", "per-tenant results", "lg-2"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("output misses %q:\n%s", want, text)
 		}

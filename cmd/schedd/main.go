@@ -7,7 +7,7 @@
 // Usage:
 //
 //	schedd [-addr :8080] [-shards 16] [-max-sessions 1024]
-//	       [-max-backlog 256] [-drain-timeout 30s]
+//	       [-max-backlog 256] [-drain-timeout 30s] [-pprof]
 //
 // API (see internal/serve):
 //
@@ -18,6 +18,7 @@
 //	GET    /v1/sessions                  live tenant ids
 //	GET    /v1/registry                  policy registry
 //	GET    /metrics                      Prometheus text format
+//	GET    /debug/pprof/*                profiling (only with -pprof)
 //
 // SIGINT/SIGTERM trigger the graceful drain; a second signal aborts.
 package main
@@ -29,6 +30,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,11 +57,24 @@ type daemon struct {
 	drainTimeout time.Duration
 }
 
-func newDaemon(cfg serve.Config, drainTimeout time.Duration) *daemon {
+func newDaemon(cfg serve.Config, drainTimeout time.Duration, withPprof bool) *daemon {
 	host := serve.NewHost(cfg)
+	handler := serve.NewHandler(host)
+	if withPprof {
+		// Profiling endpoints are opt-in (-pprof): they expose process
+		// internals and belong behind the operator's explicit choice.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	return &daemon{
 		host:         host,
-		srv:          &http.Server{Handler: serve.NewHandler(host)},
+		srv:          &http.Server{Handler: handler},
 		drainTimeout: drainTimeout,
 	}
 }
@@ -140,11 +155,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxSessions := fs.Int("max-sessions", 1024, "admission limit on live sessions")
 	maxBacklog := fs.Int("max-backlog", 256, "per-session arrival queue bound")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
+	withPprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	d := newDaemon(serve.Config{Shards: *shards, MaxSessions: *maxSessions, MaxBacklog: *maxBacklog}, *drainTimeout)
+	d := newDaemon(serve.Config{Shards: *shards, MaxSessions: *maxSessions, MaxBacklog: *maxBacklog}, *drainTimeout, *withPprof)
 	if err := d.listen(*addr); err != nil {
 		return err
 	}

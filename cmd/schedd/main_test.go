@@ -18,10 +18,12 @@ import (
 	"repro/internal/workload"
 )
 
-// startDaemon boots a real daemon on a random localhost port.
+// startDaemon boots a real daemon on a random localhost port, with
+// the profiling endpoints mounted as an operator would for a perf
+// investigation.
 func startDaemon(t *testing.T, cfg serve.Config) *daemon {
 	t.Helper()
-	d := newDaemon(cfg, 30*time.Second)
+	d := newDaemon(cfg, 30*time.Second, true)
 	if err := d.listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +94,18 @@ func TestEndToEnd(t *testing.T) {
 		}
 	}
 
+	// The profiling endpoints answer when mounted (startDaemon opts in)
+	// and the API still routes around them.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: %s", resp.Status)
+	}
+
 	// Leave one session open: the drain must close it, verify its
 	// schedule and flush its result into the shutdown summary.
 	straggler, err := d.host.Create("straggler", engine.Spec{Name: "pd", M: 1, Alpha: 2.2})
@@ -115,6 +129,30 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if ids := d.host.SessionIDs(); len(ids) != 0 {
 		t.Fatalf("sessions survived drain: %v", ids)
+	}
+}
+
+// TestPprofOffByDefault: without -pprof the debug endpoints must not
+// exist — they expose process internals.
+func TestPprofOffByDefault(t *testing.T) {
+	d := newDaemon(serve.Config{MaxSessions: 4}, time.Second, false)
+	if err := d.listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- d.serveHTTP() }()
+	t.Cleanup(func() {
+		d.srv.Close()
+		<-errc
+	})
+	resp, err := http.Get("http://" + d.addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable without -pprof")
 	}
 }
 

@@ -117,11 +117,11 @@ func pendingAt(rem map[int]float64, meta map[int]job.Job, tentative job.Job) []y
 	var pend []yds.Pending
 	for id, r := range rem {
 		if r > 0 {
-			pend = append(pend, yds.Pending{ID: id, Deadline: meta[id].Deadline, Rem: r})
+			pend = append(pend, yds.Pending{ID: id, Deadline: meta[id].Deadline, Rem: r, Work: meta[id].Work})
 		}
 	}
 	if tentative.ID >= 0 {
-		pend = append(pend, yds.Pending{ID: tentative.ID, Deadline: tentative.Deadline, Rem: tentative.Work})
+		pend = append(pend, yds.Pending{ID: tentative.ID, Deadline: tentative.Deadline, Rem: tentative.Work, Work: tentative.Work})
 	}
 	return pend
 }

@@ -195,3 +195,38 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("result round-trip changed: %+v vs %+v", res, res2)
 	}
 }
+
+// TestLiveArriveSteadyStateAllocFree guards the serving hot path end
+// to end: a warm Live.Arrive — validation, duplicate check, latency
+// metering and the policy's own replanning — must not allocate per
+// arrival beyond the amortized growth of its bookkeeping (jobs slice,
+// seen map, session buffers).
+func TestLiveArriveSteadyStateAllocFree(t *testing.T) {
+	in := workload.HeavyTail(workload.Config{
+		N: 6000, M: 1, Alpha: 2, Seed: 9, Horizon: 600, ValueScale: math.Inf(1),
+	})
+	in.Normalize()
+	const warm, runs = 5000, 500
+	l, err := NewLive(Spec{Name: "oa", M: 1, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs[:warm] {
+		if err := l.Arrive(j); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+	}
+	i := warm
+	avg := testing.AllocsPerRun(runs, func() {
+		if err := l.Arrive(in.Jobs[i]); err != nil {
+			t.Fatalf("arrive %d: %v", i, err)
+		}
+		i++
+	})
+	if avg > 0.5 {
+		t.Errorf("%.3f allocs per steady-state Live arrival, want ~0", avg)
+	}
+	if _, err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

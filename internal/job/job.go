@@ -93,12 +93,12 @@ func (j Job) Span() float64 { return j.Deadline - j.Release }
 func (j Job) Density() float64 { return j.Work / j.Span() }
 
 // Validate reports the first structural problem with the job, if any.
+// It sits on the serving daemon's per-arrival path, so it must not
+// allocate on the happy path.
 func (j Job) Validate() error {
-	for name, v := range map[string]float64{
-		"release": j.Release, "deadline": j.Deadline, "work": j.Work,
-	} {
+	for i, v := range [...]float64{j.Release, j.Deadline, j.Work} {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("job %d: %s is not finite", j.ID, name)
+			return fmt.Errorf("job %d: %s is not finite", j.ID, [...]string{"release", "deadline", "work"}[i])
 		}
 	}
 	// Value may be +Inf: that encodes the classical "must finish"

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/engine"
@@ -109,6 +110,12 @@ type Report struct {
 	// Latency is the per-arrival HTTP round-trip histogram (seconds),
 	// merged across tenants.
 	Latency stats.Histogram
+	// AllocsPerArrival is the client process's heap allocations per
+	// delivered arrival over the run (runtime.MemStats mallocs delta
+	// divided by arrivals) — a cheap canary for allocation regressions
+	// anywhere in the driver stack. It counts the whole process, so
+	// treat it as a trend line, not an exact attribution.
+	AllocsPerArrival float64
 	// Results holds every tenant's outcome, in tenant index order
 	// (the numeric suffix of the ids).
 	Results []TenantResult
@@ -125,6 +132,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	results := make([]TenantResult, cfg.Tenants)
 	hists := make([]stats.Histogram, cfg.Tenants)
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	err := pool.RunCtx(ctx, cfg.Tenants, cfg.Workers, func(i int) error {
 		id := fmt.Sprintf("%s-%d", cfg.Prefix, i)
@@ -132,6 +141,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return runTenant(ctx, cfg, id, instances[i], &results[i], &hists[i])
 	})
 	rep := &Report{Tenants: cfg.Tenants, Elapsed: time.Since(start)}
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	for i := range results {
 		rep.Arrivals += results[i].Arrivals
 		if r := results[i].Result; r != nil {
@@ -141,6 +152,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	if s := rep.Elapsed.Seconds(); s > 0 {
 		rep.Throughput = float64(rep.Arrivals) / s
+	}
+	if rep.Arrivals > 0 {
+		rep.AllocsPerArrival = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(rep.Arrivals)
 	}
 	rep.Results = results
 	return rep, err
@@ -239,8 +253,8 @@ func closeSession(ctx context.Context, cfg Config, id string) (*engine.Result, e
 // tenant table when verbose.
 func (r *Report) Render(w io.Writer, verbose bool) error {
 	if _, err := fmt.Fprintf(w,
-		"loadgen: %d tenants, %d arrivals in %v (%.1f arrivals/s), %d rejected\nlatency (s): %s\n",
-		r.Tenants, r.Arrivals, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Rejected, r.Latency.String()); err != nil {
+		"loadgen: %d tenants, %d arrivals in %v (%.1f arrivals/s), %d rejected\nlatency (s): %s\nclient allocs/arrival: %.1f\n",
+		r.Tenants, r.Arrivals, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Rejected, r.Latency.String(), r.AllocsPerArrival); err != nil {
 		return err
 	}
 	if !verbose {

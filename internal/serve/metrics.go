@@ -3,6 +3,12 @@
 // exposition format. No client library — the format is five lines of
 // fmt, and keeping it in-tree means the daemon has zero dependencies
 // beyond the standard library.
+//
+// Every hot-path update (one per arrival, across all tenants) is a
+// plain atomic: there is no metrics lock for appliers to contend on,
+// and histogram observation is lock-free too. Scrapes read each
+// counter independently — a scrape racing an update may see the
+// counters a hair apart, which is the usual Prometheus contract.
 
 package serve
 
@@ -10,93 +16,65 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
 )
 
 // Metrics aggregates the host's counters. All methods are safe for
-// concurrent use.
+// concurrent use; the write paths are contention-free.
 type Metrics struct {
 	start time.Time
 
-	mu             sync.Mutex
-	sessionsLive   int64
-	sessionsTotal  uint64
-	sessionsClosed uint64
-	arrivals       uint64
-	arrivalErrors  uint64
-	refused        uint64
-	latency        stats.Histogram // policy apply latency, seconds
+	sessionsLive   atomic.Int64
+	sessionsTotal  atomic.Uint64
+	sessionsClosed atomic.Uint64
+	arrivals       atomic.Uint64
+	arrivalErrors  atomic.Uint64
+	refused        atomic.Uint64
+	latency        stats.AtomicHistogram // policy apply latency, seconds
 }
 
 func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
 
 func (m *Metrics) sessionOpened() {
-	m.mu.Lock()
-	m.sessionsLive++
-	m.sessionsTotal++
-	m.mu.Unlock()
+	m.sessionsLive.Add(1)
+	m.sessionsTotal.Add(1)
 }
 
 func (m *Metrics) sessionClosed() {
-	m.mu.Lock()
-	m.sessionsLive--
-	m.sessionsClosed++
-	m.mu.Unlock()
+	m.sessionsLive.Add(-1)
+	m.sessionsClosed.Add(1)
 }
 
-func (m *Metrics) admissionRefused() {
-	m.mu.Lock()
-	m.refused++
-	m.mu.Unlock()
-}
+func (m *Metrics) admissionRefused() { m.refused.Add(1) }
 
 func (m *Metrics) arrivalApplied(d time.Duration) {
-	m.mu.Lock()
-	m.arrivals++
+	m.arrivals.Add(1)
 	m.latency.Observe(d.Seconds())
-	m.mu.Unlock()
 }
 
-func (m *Metrics) arrivalFailed() {
-	m.mu.Lock()
-	m.arrivalErrors++
-	m.mu.Unlock()
-}
+func (m *Metrics) arrivalFailed() { m.arrivalErrors.Add(1) }
 
 // SessionsLive returns the live-session gauge.
-func (m *Metrics) SessionsLive() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sessionsLive
-}
+func (m *Metrics) SessionsLive() int64 { return m.sessionsLive.Load() }
 
 // Arrivals returns the applied-arrivals counter.
-func (m *Metrics) Arrivals() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.arrivals
-}
+func (m *Metrics) Arrivals() uint64 { return m.arrivals.Load() }
 
-// Latency returns a copy of the arrival-latency histogram, mergeable
-// with any other stats.Histogram.
-func (m *Metrics) Latency() stats.Histogram {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.latency
-}
+// Latency returns a snapshot of the arrival-latency histogram,
+// mergeable with any other stats.Histogram.
+func (m *Metrics) Latency() stats.Histogram { return m.latency.Snapshot() }
 
 // WritePrometheus renders every metric in Prometheus text exposition
 // format. backlog is sampled by the caller (the host knows its queues).
 func (m *Metrics) WritePrometheus(w io.Writer, backlog int) error {
-	m.mu.Lock()
-	live, total, closed := m.sessionsLive, m.sessionsTotal, m.sessionsClosed
-	arrivals, arrErrs, refused := m.arrivals, m.arrivalErrors, m.refused
-	lat := m.latency
+	live := m.sessionsLive.Load()
+	total, closed := m.sessionsTotal.Load(), m.sessionsClosed.Load()
+	arrivals, arrErrs, refused := m.arrivals.Load(), m.arrivalErrors.Load(), m.refused.Load()
+	lat := m.latency.Snapshot()
 	uptime := time.Since(m.start).Seconds()
-	m.mu.Unlock()
 
 	var rate float64
 	if uptime > 0 {

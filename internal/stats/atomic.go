@@ -1,0 +1,93 @@
+// AtomicHistogram is the contention-free twin of Histogram for hot
+// write paths: many goroutines Observe concurrently without a lock
+// (the serving daemon records one observation per arrival, across all
+// tenants), and readers take a mergeable Histogram snapshot. It shares
+// Histogram's fixed bucket layout, so snapshots merge exactly with any
+// other Histogram.
+
+package stats
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicHistogram counts observations into the shared fixed log-spaced
+// bucket layout using only atomic operations. The zero value is ready
+// to use. Observe is lock-free and wait-free per bucket; Snapshot is
+// not a point-in-time cut — concurrent observations may straddle it —
+// but every observation lands in exactly one snapshot eventually,
+// which is all a metrics scrape needs.
+type AtomicHistogram struct {
+	counts [histNumBuckets + 1]atomic.Uint64
+	count  atomic.Uint64
+	// sum is a float64 maintained by CAS on its bits.
+	sum atomic.Uint64
+	// Extremes exploit that observations are clamped non-negative:
+	// for non-negative float64s the IEEE bit pattern orders like the
+	// value, so max is an atomic max over bits (zero value = 0, the
+	// smallest admissible observation) and min is an atomic max over
+	// the complemented bits (zero value = "nothing seen": any real
+	// observation's complement is larger).
+	maxBits    atomic.Uint64
+	minBitsInv atomic.Uint64
+}
+
+// Observe records one observation; NaN is ignored and negative values
+// count as zero, exactly like Histogram.Observe.
+func (h *AtomicHistogram) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if x < 0 {
+		x = 0
+	}
+	// Sum and extremes land before the bucket increment: Snapshot
+	// counts an observation exactly when its bucket is visible, so
+	// every counted observation already has its extremes in place.
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			break
+		}
+	}
+	bits := math.Float64bits(x)
+	for {
+		old := h.maxBits.Load()
+		if old >= bits || h.maxBits.CompareAndSwap(old, bits) {
+			break
+		}
+	}
+	for inv := ^bits; ; {
+		old := h.minBitsInv.Load()
+		if old >= inv || h.minBitsInv.CompareAndSwap(old, inv) {
+			break
+		}
+	}
+	h.counts[bucketOf(x)].Add(1)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations recorded so far.
+func (h *AtomicHistogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot materialises the current state as a plain Histogram, ready
+// to render, query or merge. The snapshot's count is the sum of its
+// buckets — not a separate load of the total — so the Prometheus
+// invariant `_count == le="+Inf" bucket` holds even when a scrape
+// races in-flight observations.
+func (h *AtomicHistogram) Snapshot() Histogram {
+	var out Histogram
+	for i := range h.counts {
+		out.counts[i] = h.counts[i].Load()
+		out.count += out.counts[i]
+	}
+	out.sum = math.Float64frombits(h.sum.Load())
+	if out.count > 0 {
+		out.max = math.Float64frombits(h.maxBits.Load())
+		if inv := h.minBitsInv.Load(); inv != 0 {
+			out.min = math.Float64frombits(^inv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestAtomicHistogramMatchesHistogram pins the snapshot to the plain
+// histogram fed the same observations: identical buckets, count,
+// extremes and quantiles (sum exactly too — same addition order when
+// sequential).
+func TestAtomicHistogramMatchesHistogram(t *testing.T) {
+	obs := []float64{0, 1e-9, 3e-7, 4.2e-5, 1e-3, 0.5, 2, 1500, -3, math.NaN(), 1e12}
+	var a AtomicHistogram
+	var h Histogram
+	for _, x := range obs {
+		a.Observe(x)
+		h.Observe(x)
+	}
+	snap := a.Snapshot()
+	if snap.Count() != h.Count() || snap.Sum() != h.Sum() ||
+		snap.Min() != h.Min() || snap.Max() != h.Max() {
+		t.Fatalf("snapshot (n=%d sum=%v min=%v max=%v) != histogram (n=%d sum=%v min=%v max=%v)",
+			snap.Count(), snap.Sum(), snap.Min(), snap.Max(),
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if snap.counts != h.counts {
+		t.Fatal("bucket counts diverge")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if snap.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("q%v: %v vs %v", q, snap.Quantile(q), h.Quantile(q))
+		}
+	}
+}
+
+// TestAtomicHistogramConcurrent hammers Observe from many goroutines
+// and checks that nothing is lost: exact count, exact extremes, exact
+// per-bucket totals, and the sum within float reassociation noise.
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	const goroutines, per = 16, 2000
+	var a AtomicHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Observe(1e-6 * float64(1+(g*per+i)%1000))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var want Histogram
+	for k := 0; k < goroutines*per; k++ {
+		want.Observe(1e-6 * float64(1+k%1000))
+	}
+	snap := a.Snapshot()
+	if snap.Count() != want.Count() {
+		t.Fatalf("count %d, want %d", snap.Count(), want.Count())
+	}
+	if snap.counts != want.counts {
+		t.Fatal("bucket counts diverge under concurrency")
+	}
+	if snap.Min() != want.Min() || snap.Max() != want.Max() {
+		t.Fatalf("extremes %v/%v, want %v/%v", snap.Min(), snap.Max(), want.Min(), want.Max())
+	}
+	if math.Abs(snap.Sum()-want.Sum()) > 1e-9*want.Sum() {
+		t.Fatalf("sum %v, want %v", snap.Sum(), want.Sum())
+	}
+	// The snapshot merges exactly like any other fixed-layout histogram.
+	var merged Histogram
+	merged.Merge(&snap)
+	merged.Merge(&snap)
+	if merged.Count() != 2*want.Count() {
+		t.Fatalf("merged count %d, want %d", merged.Count(), 2*want.Count())
+	}
+}
+
+// TestAtomicHistogramEmpty: the zero value snapshots to the zero
+// histogram.
+func TestAtomicHistogramEmpty(t *testing.T) {
+	var a AtomicHistogram
+	snap := a.Snapshot()
+	if snap.Count() != 0 || snap.Sum() != 0 || snap.Min() != 0 || snap.Max() != 0 {
+		t.Fatalf("zero value snapshot not empty: %+v", snap)
+	}
+}

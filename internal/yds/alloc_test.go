@@ -1,0 +1,85 @@
+package yds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// TestSessionArriveSteadyStateAllocFree pins the tentpole guarantee of
+// the dense sessions: once warm, an arrival allocates nothing — state
+// lives in reused buffers and scratch, and the only growth left is the
+// amortized doubling of the output segment list. The guard fails the
+// build if a per-arrival allocation sneaks back in.
+func TestSessionArriveSteadyStateAllocFree(t *testing.T) {
+	pm := power.New(2)
+	in := workload.HeavyTail(workload.Config{
+		N: 6000, M: 1, Alpha: 2, Seed: 3, Horizon: 600, ValueScale: math.Inf(1),
+	})
+	in.Normalize()
+	const warm, runs = 5000, 500
+	for name, mk := range map[string]func() session{
+		"oa":  func() session { return NewOASession() },
+		"avr": func() session { return NewAVRSession() },
+		"qoa": func() session { return NewQOASession(pm) },
+	} {
+		s := mk()
+		for _, j := range in.Jobs[:warm] {
+			if err := s.Arrive(j); err != nil {
+				t.Fatalf("%s: warmup: %v", name, err)
+			}
+		}
+		i := warm
+		avg := testing.AllocsPerRun(runs, func() {
+			if err := s.Arrive(in.Jobs[i]); err != nil {
+				t.Fatalf("%s: arrive %d: %v", name, i, err)
+			}
+			i++
+		})
+		// The occasional doubling of the segment buffer amortizes to
+		// well under one allocation per arrival; anything near 1 means
+		// a real per-arrival allocation returned.
+		if avg > 0.5 {
+			t.Errorf("%s: %.3f allocs per steady-state arrival, want ~0", name, avg)
+		}
+		if _, err := s.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+	}
+}
+
+// TestSessionStateStaysBounded pins the pruning satellite: after a
+// long replay the sessions retain only the live window, not the whole
+// history — finished and expired jobs must leave the dense state.
+func TestSessionStateStaysBounded(t *testing.T) {
+	pm := power.New(2)
+	in := workload.HeavyTail(workload.Config{
+		N: 6000, M: 1, Alpha: 2, Seed: 5, Horizon: 600, ValueScale: math.Inf(1),
+	})
+	in.Normalize()
+	const bound = 1500 // live windows span ~O(rate·span) « n jobs
+	oa, avr, qoa := NewOASession(), NewAVRSession(), NewQOASession(pm)
+	for _, j := range in.Jobs {
+		for name, s := range map[string]session{"oa": oa, "avr": avr, "qoa": qoa} {
+			if err := s.Arrive(j); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	if n := len(oa.live.jobs); n > bound {
+		t.Errorf("oa retains %d jobs after %d arrivals, want O(backlog)", n, len(in.Jobs))
+	}
+	if n := len(avr.known); n > bound {
+		t.Errorf("avr retains %d jobs after %d arrivals, want O(backlog)", n, len(in.Jobs))
+	}
+	if n := len(qoa.live.jobs); n > bound {
+		t.Errorf("qoa retains %d jobs after %d arrivals, want O(backlog)", n, len(in.Jobs))
+	}
+	for name, s := range map[string]session{"oa": oa, "avr": avr, "qoa": qoa} {
+		if _, err := s.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package yds
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -155,6 +156,70 @@ func execAll(blocks []Block, pend []Pending) []sched.Segment {
 	var segs []sched.Segment
 	ExecutePlan(blocks, math.Inf(1), rem, &segs)
 	return segs
+}
+
+// TestSessionsMatchBatchOnRandomTraces is the incremental-state
+// property test: on randomized release-ordered traces rich in
+// degeneracies — duplicate releases, deadline ties, nested windows,
+// long idle gaps the frontier must cross, and horizons long enough
+// that pruning and grid consumption actually fire — the pruned,
+// incremental sessions must stay byte-identical to the batch OA, AVR
+// and qOA entry points.
+func TestSessionsMatchBatchOnRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	pm := power.New(2)
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(80)
+		in := &job.Instance{M: 1, Alpha: 2}
+		base := 0.0
+		for i := 0; i < n; i++ {
+			switch rng.Intn(8) {
+			case 0: // idle gap: the next cluster starts far ahead
+				base += 5 + rng.Float64()*20
+			case 1: // drift so windows retire behind the frontier
+				base += rng.Float64() * 2
+			}
+			var r, span float64
+			switch rng.Intn(4) {
+			case 0: // grid-aligned: forces release/deadline ties
+				r = base + float64(rng.Intn(4))
+				span = float64(1 + rng.Intn(3))
+			case 1: // nested around a common center
+				c := base + 2 + rng.Float64()
+				half := 0.25 + rng.Float64()*1.5
+				r, span = c-half, 2*half
+			default:
+				r = base + rng.Float64()*4
+				span = 0.3 + rng.Float64()*3
+			}
+			in.Jobs = append(in.Jobs, job.Job{
+				ID: i, Release: r, Deadline: r + span,
+				Work: 0.1 + rng.Float64()*2, Value: math.Inf(1),
+			})
+		}
+		in.Normalize()
+
+		type pair struct {
+			batch func(*job.Instance) (*sched.Schedule, error)
+			mk    func() session
+		}
+		for name, p := range map[string]pair{
+			"oa":  {OA, func() session { return NewOASession() }},
+			"avr": {AVR, func() session { return NewAVRSession() }},
+			"qoa": {func(in *job.Instance) (*sched.Schedule, error) { return QOA(in, pm) },
+				func() session { return NewQOASession(pm) }},
+		} {
+			batch, err := p.batch(in)
+			if err != nil {
+				t.Fatalf("trial %d: batch %s: %v", trial, name, err)
+			}
+			live := replaySession(t, p.mk(), in)
+			if !bytes.Equal(scheduleJSON(t, batch), scheduleJSON(t, live)) {
+				t.Fatalf("trial %d: %s session diverges from batch on a randomized trace (n=%d)",
+					trial, name, n)
+			}
+		}
+	}
 }
 
 // TestYDSSpeedupOverReference measures, in the same run, the heap-based

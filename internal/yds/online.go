@@ -5,6 +5,7 @@ package yds
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/job"
@@ -17,6 +18,11 @@ type Pending struct {
 	ID       int
 	Deadline float64
 	Rem      float64 // remaining work
+	// Work is the job's original workload. ExecutePlan uses it to tell
+	// rounding dust from real stranded work (see its default branch);
+	// zero (from legacy constructors) disables the dust drop, which is
+	// always the conservative choice.
+	Work float64
 }
 
 // Block is one constant-speed step of an OA staircase plan: Jobs (in
@@ -134,7 +140,18 @@ func ExecutePlan(blocks []Block, horizon float64, rem map[int]float64, segs *[]s
 			}
 			dur := r / b.Speed
 			end := math.Min(t+dur, horizon)
-			if end > t {
+			switch {
+			case end > t && end < horizon:
+				// The horizon did not cut the job short: it ran to
+				// completion by construction. Retiring it exactly
+				// avoids trusting the residue of (end-t)·s − r, whose
+				// time-axis rounding (ulp(t)·s, absolute) can exceed
+				// any r-relative clamp at large t and leave ghost dust
+				// that blows up the replan once the deadline passes.
+				*segs = append(*segs, sched.Segment{Proc: 0, Job: p.ID, T0: t, T1: end, Speed: b.Speed})
+				rem[p.ID] = 0
+				t = end
+			case end > t:
 				*segs = append(*segs, sched.Segment{Proc: 0, Job: p.ID, T0: t, T1: end, Speed: b.Speed})
 				rem[p.ID] -= (end - t) * b.Speed
 				// (r/s)·s rarely equals r in floats; clamp the residue
@@ -143,6 +160,18 @@ func ExecutePlan(blocks []Block, horizon float64, rem map[int]float64, segs *[]s
 					rem[p.ID] = 0
 				}
 				t = end
+			default:
+				// t+dur == t: the leftover work runs for less than one
+				// ulp of the clock — no representable segment can carry
+				// it, and it would stall forever. If it is true rounding
+				// dust (within the simulators' finish tolerance), retire
+				// it; real stranded work stays, so the next replan still
+				// fails loudly instead of silently dropping workload
+				// (deadline pressure can strand arbitrary work when a
+				// window collapses below one ulp).
+				if r <= 1e-6*p.Work {
+					rem[p.ID] = 0
+				}
 			}
 		}
 	}
@@ -184,7 +213,7 @@ func OA(in *job.Instance) (*sched.Schedule, error) {
 		var pend []Pending
 		for id, r := range rem {
 			if r > 0 {
-				pend = append(pend, Pending{ID: id, Deadline: meta[id].Deadline, Rem: r})
+				pend = append(pend, Pending{ID: id, Deadline: meta[id].Deadline, Rem: r, Work: meta[id].Work})
 			}
 		}
 		blocks, err := Staircase(t, pend)
@@ -210,16 +239,12 @@ func AVR(in *job.Instance) (*sched.Schedule, error) {
 		return nil, err
 	}
 	out := &sched.Schedule{M: 1}
-	bset := map[float64]struct{}{}
+	bounds := make([]float64, 0, 2*len(in.Jobs))
 	for _, j := range in.Jobs {
-		bset[j.Release] = struct{}{}
-		bset[j.Deadline] = struct{}{}
-	}
-	bounds := make([]float64, 0, len(bset))
-	for t := range bset {
-		bounds = append(bounds, t)
+		bounds = append(bounds, j.Release, j.Deadline)
 	}
 	sort.Float64s(bounds)
+	bounds = slices.Compact(bounds)
 
 	for k := 0; k+1 < len(bounds); k++ {
 		t0, t1 := bounds[k], bounds[k+1]
@@ -249,178 +274,114 @@ func AVR(in *job.Instance) (*sched.Schedule, error) {
 // stepsPerInterval is the sub-grid used by the simulated baselines
 // (BKP, qOA) inside each atomic interval. Their speed functions are not
 // piecewise constant on atomic intervals, so energy is integrated on
-// this grid; the deadline-pressure guard in simulateSpan absorbs the
+// this grid; the deadline-pressure guard in gridSim.span absorbs the
 // discretization error (which shrinks as the grid refines).
 const stepsPerInterval = 32
 
-// speedFunc is the policy seam of the grid simulator: given the
-// current time, the jobs known so far and the pending work, it returns
-// the speed to run at until the next grid point.
-type speedFunc func(t float64, known []job.Job, pend []Pending) (float64, error)
-
-// BKP runs the algorithm of Bansal, Kimbrel and Pruhs: at time t the
-// speed is  max over windows [t1, t2) with t = t1 + (t2-t1)/e  of
-// e·w(t, t1, t2)/(t2-t1), where w(t, t1, t2) is the total work of jobs
-// known at t with release ≥ t1 and deadline ≤ t2. Jobs are processed
-// EDF. Essentially 2e^{α+1}-competitive.
-func BKP(in *job.Instance) (*sched.Schedule, error) {
-	speed := func(t float64, known []job.Job) float64 {
-		var best float64
-		consider := func(u float64) {
-			if u <= 0 {
-				return
-			}
-			t1 := t - u/math.E
-			t2 := t + u*(math.E-1)/math.E
-			// Candidate u values are derived from releases and
-			// deadlines; boundary jobs must count despite float
-			// round-off in the reconstruction of t1/t2.
-			slack := 1e-9 * (1 + u)
-			var w float64
-			for _, j := range known {
-				if j.Release >= t1-slack && j.Release <= t && j.Deadline <= t2+slack {
-					w += j.Work
-				}
-			}
-			if s := math.E * w / u; s > best {
-				best = s
-			}
-		}
-		for _, j := range known {
-			if j.Release <= t {
-				consider(math.E * (t - j.Release))
-			}
-			if j.Deadline > t {
-				consider((j.Deadline - t) * math.E / (math.E - 1))
-			}
-		}
-		return best
-	}
-	return simulate(in, func(t float64, known []job.Job, _ []Pending) (float64, error) {
-		return speed(t, known), nil
-	})
+// bkpSim is BKP's dense policy: at time t the speed is  max over
+// windows [t1, t2) with t = t1 + (t2-t1)/e  of  e·w(t, t1, t2)/(t2-t1),
+// where w(t, t1, t2) is the total work of jobs known at t with release
+// ≥ t1 and deadline ≤ t2. It keeps every observed job: past windows
+// still contribute work to candidate windows reaching beyond t.
+type bkpSim struct {
+	known []job.Job
 }
 
-// qoaSpeed returns qOA's speed function: the OA staircase speed over
-// the pending work, scaled by q.
-func qoaSpeed(q float64) speedFunc {
-	return func(t float64, _ []job.Job, pend []Pending) (float64, error) {
-		blocks, err := Staircase(t, pend)
-		if err != nil {
-			return 0, err
+func (p *bkpSim) observe(j job.Job) { p.known = append(p.known, j) }
+
+func (p *bkpSim) speedAt(t float64, _ []liveJob) (float64, error) {
+	var best float64
+	consider := func(u float64) {
+		if u <= 0 {
+			return
 		}
-		if len(blocks) == 0 {
-			return 0, nil
+		t1 := t - u/math.E
+		t2 := t + u*(math.E-1)/math.E
+		// Candidate u values are derived from releases and
+		// deadlines; boundary jobs must count despite float
+		// round-off in the reconstruction of t1/t2.
+		slack := 1e-9 * (1 + u)
+		var w float64
+		for _, j := range p.known {
+			if j.Release >= t1-slack && j.Release <= t && j.Deadline <= t2+slack {
+				w += j.Work
+			}
 		}
-		return q * blocks[0].Speed, nil
+		if s := math.E * w / u; s > best {
+			best = s
+		}
 	}
+	for _, j := range p.known {
+		if j.Release <= t {
+			consider(math.E * (t - j.Release))
+		}
+		if j.Deadline > t {
+			consider((j.Deadline - t) * math.E / (math.E - 1))
+		}
+	}
+	return best, nil
+}
+
+// BKP runs the algorithm of Bansal, Kimbrel and Pruhs, simulated on
+// the interval grid, processing jobs EDF. Essentially
+// 2e^{α+1}-competitive.
+func BKP(in *job.Instance) (*sched.Schedule, error) {
+	return simulate(in, &bkpSim{})
 }
 
 // QOA runs qOA: the OA plan speed scaled by q = 2 - 1/α, executing EDF.
 // Designed for small α where it beats both OA and BKP.
 func QOA(in *job.Instance, pm power.Model) (*sched.Schedule, error) {
-	return simulate(in, qoaSpeed(2-1/pm.Alpha))
+	return simulate(in, &qoaSim{q: 2 - 1/pm.Alpha})
 }
 
-// simulateSpan advances the grid simulation across one atomic interval
-// [t0, t1), dividing it into stepsPerInterval steps: at every step it
-// collects the pending work, asks the policy for a speed, and executes
-// EDF at that speed with a deadline-pressure guard whose only job is to
-// absorb grid discretization (its correction vanishes as the grid
-// refines). It is the shared hot path of the batch simulator and
-// the incremental sessions, so both produce identical floats.
-func simulateSpan(t0, t1 float64, known []job.Job, rem map[int]float64, meta map[int]job.Job, policy speedFunc, segs *[]sched.Segment) error {
-	const eps = 1e-12
-	dt := (t1 - t0) / stepsPerInterval
-	for g := 0; g < stepsPerInterval; g++ {
-		u0, u1 := t0+float64(g)*dt, t0+float64(g+1)*dt
-		var pend []Pending
-		for id, r := range rem {
-			if r > eps && meta[id].Deadline > u0 {
-				pend = append(pend, Pending{ID: id, Deadline: meta[id].Deadline, Rem: r})
-			}
-		}
-		if len(pend) == 0 {
-			continue
-		}
-		s, err := policy(u0, known, pend)
-		if err != nil {
-			return err
-		}
-		sort.Slice(pend, func(i, j int) bool {
-			if pend[i].Deadline != pend[j].Deadline {
-				return pend[i].Deadline < pend[j].Deadline
-			}
-			return pend[i].ID < pend[j].ID
-		})
-		t := u0
-		for _, p := range pend {
-			if t >= u1-eps {
-				break
-			}
-			sp := s
-			// Deadline pressure: if this is the job's last chance,
-			// run fast enough to finish (discretization guard).
-			if p.Deadline <= u1+eps {
-				sp = math.Max(sp, p.Rem/(p.Deadline-t))
-			}
-			if sp <= 0 {
-				break
-			}
-			end := math.Min(u1, t+p.Rem/sp)
-			if end <= t {
-				continue
-			}
-			*segs = append(*segs, sched.Segment{Proc: 0, Job: p.ID, T0: t, T1: end, Speed: sp})
-			rem[p.ID] -= (end - t) * sp
-			t = end
-		}
-	}
-	return nil
-}
-
-// simulate drives a speed-function-based online policy on a fine grid,
-// processing pending work EDF at the policy's speed.
-func simulate(in *job.Instance, policy speedFunc) (*sched.Schedule, error) {
+// simulate drives a grid policy on the atomic-interval grid,
+// processing pending work EDF at the policy's speed. It shares
+// gridSim.span with the incremental sessions, so both produce
+// identical floats on identical arrival sequences.
+func simulate(in *job.Instance, pol simPolicy) (*sched.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	if len(in.Jobs) == 0 {
 		return &sched.Schedule{M: 1}, nil
 	}
-	bset := map[float64]struct{}{}
+	bounds := make([]float64, 0, 2*len(in.Jobs))
 	for _, j := range in.Jobs {
-		bset[j.Release] = struct{}{}
-		bset[j.Deadline] = struct{}{}
-	}
-	bounds := make([]float64, 0, len(bset))
-	for t := range bset {
-		bounds = append(bounds, t)
+		bounds = append(bounds, j.Release, j.Deadline)
 	}
 	sort.Float64s(bounds)
+	bounds = slices.Compact(bounds)
 
-	rem := map[int]float64{}
-	meta := map[int]job.Job{}
+	// Jobs become known grouped by release in slice order — the order
+	// BKP's window scan sums work in — so release them through a
+	// stable sort instead of rescanning the instance per interval.
+	order := make([]int, len(in.Jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Jobs[order[a]].Release < in.Jobs[order[b]].Release
+	})
+
+	var ls liveSet
+	var sim gridSim
 	out := &sched.Schedule{M: 1}
-	var known []job.Job
-
+	next := 0
 	for k := 0; k+1 < len(bounds); k++ {
 		t0, t1 := bounds[k], bounds[k+1]
-		for _, j := range in.Jobs {
-			if j.Release == t0 {
-				rem[j.ID] = j.Work
-				meta[j.ID] = j
-				known = append(known, j)
-			}
+		for next < len(order) && in.Jobs[order[next]].Release == t0 {
+			j := in.Jobs[order[next]]
+			ls.insert(j)
+			pol.observe(j)
+			next++
 		}
-		if err := simulateSpan(t0, t1, known, rem, meta, policy, &out.Segments); err != nil {
+		if err := sim.span(t0, t1, &ls, pol, &out.Segments); err != nil {
 			return nil, err
 		}
 	}
-	for id, r := range rem {
-		if r > 1e-6*meta[id].Work {
-			return nil, fmt.Errorf("yds: simulated policy left %v work of job %d", r, id)
-		}
+	if err := sim.checkFinished(&ls); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -16,13 +16,20 @@
 // jobs, and T itself). A session can therefore finalise the schedule
 // up to T using only its local state and still land on exactly the
 // grid the batch algorithm builds from the whole trace.
+//
+// Sessions are built for live traffic: state is dense (sorted slices,
+// no maps), scratch is reused across arrivals, finished and expired
+// jobs are retired as the frontier passes them, and the boundary grid
+// is maintained incrementally. Per-arrival cost is therefore
+// amortized O(live backlog), independent of how many jobs the session
+// has absorbed, and steady-state arrivals allocate nothing beyond the
+// amortized growth of the output segment list (see hotpath.go).
 
 package yds
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/job"
 	"repro/internal/power"
@@ -68,66 +75,23 @@ func (f *frontier) observe(j job.Job) (moved bool, err error) {
 	return j.Release > f.t, nil
 }
 
-// boundsWithin collects the distinct releases and deadlines of the
-// known jobs inside [t0, t1], always including t0 and t1 themselves,
-// sorted ascending. Both endpoints are boundaries of the eventual full
-// instance (releases of arrived jobs or the final deadline horizon),
-// so slicing the global atomic-interval grid at them reproduces the
-// batch grid exactly.
-func boundsWithin(t0, t1 float64, known []job.Job) []float64 {
-	set := map[float64]struct{}{t0: {}, t1: {}}
-	for _, j := range known {
-		for _, b := range [2]float64{j.Release, j.Deadline} {
-			if b >= t0 && b <= t1 {
-				set[b] = struct{}{}
-			}
-		}
-	}
-	out := make([]float64, 0, len(set))
-	for b := range set {
-		out = append(out, b)
-	}
-	sort.Float64s(out)
-	return out
-}
-
-// maxDeadline returns the latest deadline among the known jobs.
-func maxDeadline(known []job.Job) float64 {
-	d := math.Inf(-1)
-	for _, j := range known {
-		d = math.Max(d, j.Deadline)
-	}
-	return d
-}
-
 // --- OA ---
 
 // OASession runs Optimal Available incrementally: every arrival
 // replans the staircase over the live pending work, and the plan in
 // force is executed up to each new arrival's release (and to the end
-// at Close). The emitted schedule is byte-identical to OA's.
+// at Close). The emitted schedule is byte-identical to OA's. Finished
+// jobs are retired from the live set after every execution, so the
+// per-arrival replan costs O(live backlog), allocation-free.
 type OASession struct {
 	fr   frontier
-	rem  map[int]float64
-	meta map[int]job.Job
-	plan []Block
+	live liveSet
+	st   stair // current plan in st.blocks
 	segs []sched.Segment
 }
 
 // NewOASession returns an empty OA session.
-func NewOASession() *OASession {
-	return &OASession{rem: map[int]float64{}, meta: map[int]job.Job{}}
-}
-
-func (s *OASession) pending() []Pending {
-	pend := make([]Pending, 0, len(s.rem))
-	for id, r := range s.rem {
-		if r > 0 {
-			pend = append(pend, Pending{ID: id, Deadline: s.meta[id].Deadline, Rem: r})
-		}
-	}
-	return pend
-}
+func NewOASession() *OASession { return &OASession{} }
 
 // Arrive absorbs the next job (release order required) and replans.
 func (s *OASession) Arrive(j job.Job) error {
@@ -138,17 +102,22 @@ func (s *OASession) Arrive(j job.Job) error {
 	if moved {
 		// The plan computed after the previous group's last arrival is
 		// exactly the plan batch OA follows until this release.
-		ExecutePlan(s.plan, j.Release, s.rem, &s.segs)
+		execPlan(s.st.blocks, j.Release, s.live.jobs, &s.segs)
 		s.fr.t = j.Release
 	}
-	s.rem[j.ID] = j.Work
-	s.meta[j.ID] = j
-	plan, err := Staircase(s.fr.t, s.pending())
-	if err != nil {
-		return err
+	// Retire jobs the execution just finished (rem clamped to exactly
+	// zero — the batch pending filter is rem > 0), then admit the
+	// arrival at its sorted position.
+	w := 0
+	for _, p := range s.live.jobs {
+		if p.rem > 0 {
+			s.live.jobs[w] = p
+			w++
+		}
 	}
-	s.plan = plan
-	return nil
+	s.live.jobs = s.live.jobs[:w]
+	s.live.insert(j)
+	return s.st.build(s.fr.t, s.live.jobs)
 }
 
 // Close runs the final plan to completion and returns the schedule.
@@ -157,21 +126,21 @@ func (s *OASession) Close() (*sched.Schedule, error) {
 		return nil, fmt.Errorf("yds: OA session closed twice")
 	}
 	s.fr.closed = true
-	ExecutePlan(s.plan, math.Inf(1), s.rem, &s.segs)
+	execPlan(s.st.blocks, math.Inf(1), s.live.jobs, &s.segs)
 	return &sched.Schedule{M: 1, Segments: s.segs}, nil
 }
 
 // State reports the live backlog and current plan speed.
 func (s *OASession) State() SessionState {
 	st := SessionState{Time: s.fr.t, Arrivals: s.fr.arrivals}
-	for _, r := range s.rem {
-		if r > 0 {
+	for _, p := range s.live.jobs {
+		if p.rem > 0 {
 			st.Pending++
-			st.PendingWork += r
+			st.PendingWork += p.rem
 		}
 	}
-	if len(s.plan) > 0 {
-		st.Speed = s.plan[0].Speed
+	if len(s.st.blocks) > 0 {
+		st.Speed = s.st.blocks[0].speed
 	}
 	return st
 }
@@ -183,11 +152,17 @@ func (s *OASession) State() SessionState {
 // known) and adds the job's density to the live set. The emitted
 // schedule is byte-identical to AVR's on a normalized instance (AVR
 // orders same-interval time shares by the instance's slice order, the
-// session by arrival order).
+// session by arrival order). Jobs whose windows the frontier has
+// passed are pruned, and the atomic-interval grid is maintained
+// incrementally, so each arrival costs O(live backlog), not O(jobs
+// absorbed so far).
 type AVRSession struct {
-	fr    frontier
-	known []job.Job
-	segs  []sched.Segment
+	fr     frontier
+	known  []job.Job // live window jobs, arrival order
+	grid   boundGrid
+	bounds []float64 // emit scratch
+	active []int     // emit scratch: indices into known
+	segs   []sched.Segment
 }
 
 // NewAVRSession returns an empty AVR session.
@@ -196,15 +171,18 @@ func NewAVRSession() *AVRSession { return &AVRSession{} }
 // emit materialises the AVR schedule over [fr.t, T]: within each
 // atomic interval the active jobs run sequentially with time shares
 // proportional to their densities, exactly as the batch loop does.
+// The interval boundaries come from the incremental grid, which holds
+// exactly the batch grid's boundaries beyond the frontier.
 func (s *AVRSession) emit(T float64) {
-	bounds := boundsWithin(s.fr.t, T, s.known)
-	for k := 0; k+1 < len(bounds); k++ {
-		t0, t1 := bounds[k], bounds[k+1]
+	s.bounds = append(s.bounds[:0], s.fr.t)
+	s.bounds = s.grid.appendUpTo(s.bounds, T)
+	for k := 0; k+1 < len(s.bounds); k++ {
+		t0, t1 := s.bounds[k], s.bounds[k+1]
 		var total float64
-		var active []job.Job
-		for _, j := range s.known {
+		s.active = s.active[:0]
+		for i, j := range s.known {
 			if j.Release <= t0 && j.Deadline >= t1 {
-				active = append(active, j)
+				s.active = append(s.active, i)
 				total += j.Density()
 			}
 		}
@@ -212,7 +190,8 @@ func (s *AVRSession) emit(T float64) {
 			continue
 		}
 		t := t0
-		for _, j := range active {
+		for _, i := range s.active {
+			j := s.known[i]
 			share := (t1 - t0) * j.Density() / total
 			s.segs = append(s.segs, sched.Segment{
 				Proc: 0, Job: j.ID, T0: t, T1: t + share, Speed: total,
@@ -220,6 +199,20 @@ func (s *AVRSession) emit(T float64) {
 			t += share
 		}
 	}
+}
+
+// prune retires jobs whose windows closed at or before the frontier:
+// no future atomic interval can admit them (it would need deadline ≥
+// its right endpoint > frontier), so they can never contribute again.
+func (s *AVRSession) prune() {
+	w := 0
+	for _, j := range s.known {
+		if j.Deadline > s.fr.t {
+			s.known[w] = j
+			w++
+		}
+	}
+	s.known = s.known[:w]
 }
 
 // Arrive absorbs the next job (release order required), finalising the
@@ -232,8 +225,10 @@ func (s *AVRSession) Arrive(j job.Job) error {
 	if moved {
 		s.emit(j.Release)
 		s.fr.t = j.Release
+		s.prune()
 	}
 	s.known = append(s.known, j)
+	s.grid.insert(j.Deadline)
 	return nil
 }
 
@@ -244,7 +239,7 @@ func (s *AVRSession) Close() (*sched.Schedule, error) {
 	}
 	s.fr.closed = true
 	if s.fr.started {
-		if T := maxDeadline(s.known); T > s.fr.t {
+		if T, ok := s.grid.max(); ok && T > s.fr.t {
 			s.emit(T)
 			s.fr.t = T
 		}
@@ -272,31 +267,33 @@ func (s *AVRSession) State() SessionState {
 // QOASession runs qOA incrementally: each arrival advances the grid
 // simulation (OA staircase speed scaled by q, executed EDF) up to its
 // release over the atomic intervals of the jobs known so far. The
-// emitted schedule is byte-identical to QOA's.
+// emitted schedule is byte-identical to QOA's. The live set retires
+// finished and expired jobs as the grid passes them and all planning
+// scratch is reused, so an arrival costs O(live backlog) per grid
+// step, allocation-free.
 type QOASession struct {
-	fr    frontier
-	speed speedFunc
-	rem   map[int]float64
-	meta  map[int]job.Job
-	known []job.Job
-	segs  []sched.Segment
+	fr     frontier
+	pol    qoaSim
+	live   liveSet
+	sim    gridSim
+	grid   boundGrid
+	bounds []float64 // advance scratch
+	segs   []sched.Segment
 }
 
 // NewQOASession returns an empty qOA session for the power model's
 // exponent (q = 2 - 1/α).
 func NewQOASession(pm power.Model) *QOASession {
-	return &QOASession{
-		speed: qoaSpeed(2 - 1/pm.Alpha),
-		rem:   map[int]float64{}, meta: map[int]job.Job{},
-	}
+	return &QOASession{pol: qoaSim{q: 2 - 1/pm.Alpha}}
 }
 
 // advance simulates [fr.t, T] on the same grid the batch simulator
 // would use there.
 func (s *QOASession) advance(T float64) error {
-	bounds := boundsWithin(s.fr.t, T, s.known)
-	for k := 0; k+1 < len(bounds); k++ {
-		if err := simulateSpan(bounds[k], bounds[k+1], s.known, s.rem, s.meta, s.speed, &s.segs); err != nil {
+	s.bounds = append(s.bounds[:0], s.fr.t)
+	s.bounds = s.grid.appendUpTo(s.bounds, T)
+	for k := 0; k+1 < len(s.bounds); k++ {
+		if err := s.sim.span(s.bounds[k], s.bounds[k+1], &s.live, &s.pol, &s.segs); err != nil {
 			return err
 		}
 	}
@@ -316,9 +313,8 @@ func (s *QOASession) Arrive(j job.Job) error {
 		}
 		s.fr.t = j.Release
 	}
-	s.rem[j.ID] = j.Work
-	s.meta[j.ID] = j
-	s.known = append(s.known, j)
+	s.live.insert(j)
+	s.grid.insert(j.Deadline)
 	return nil
 }
 
@@ -330,33 +326,35 @@ func (s *QOASession) Close() (*sched.Schedule, error) {
 	}
 	s.fr.closed = true
 	if s.fr.started {
-		if T := maxDeadline(s.known); T > s.fr.t {
+		if T, ok := s.grid.max(); ok && T > s.fr.t {
 			if err := s.advance(T); err != nil {
 				return nil, err
 			}
 			s.fr.t = T
 		}
 	}
-	for id, r := range s.rem {
-		if r > 1e-6*s.meta[id].Work {
-			return nil, fmt.Errorf("yds: simulated policy left %v work of job %d", r, id)
-		}
+	if err := s.sim.checkFinished(&s.live); err != nil {
+		return nil, err
 	}
 	return &sched.Schedule{M: 1, Segments: s.segs}, nil
 }
 
 // State reports the live backlog and the qOA speed at the frontier.
+// The staircase is planned over the unfinished jobs only: a job that
+// finished in the final grid step of the last advance lingers in the
+// live set (rem 0) until the next span compacts it, and must not trip
+// the planner's past-deadline check.
 func (s *QOASession) State() SessionState {
 	st := SessionState{Time: s.fr.t, Arrivals: s.fr.arrivals}
-	pend := make([]Pending, 0, len(s.rem))
-	for id, r := range s.rem {
-		if r > 0 {
+	pend := make([]liveJob, 0, len(s.live.jobs))
+	for _, p := range s.live.jobs {
+		if p.rem > 0 {
 			st.Pending++
-			st.PendingWork += r
-			pend = append(pend, Pending{ID: id, Deadline: s.meta[id].Deadline, Rem: r})
+			st.PendingWork += p.rem
+			pend = append(pend, p)
 		}
 	}
-	if sp, err := s.speed(s.fr.t, s.known, pend); err == nil {
+	if sp, err := s.pol.speedAt(s.fr.t, pend); err == nil {
 		st.Speed = sp
 	}
 	return st

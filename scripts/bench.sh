@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# bench.sh — run the hot-path benchmarks and write the JSON perf
+# trajectory point the repo commits as BENCH_*.json.
+#
+#   ./scripts/bench.sh [output.json]
+#
+# BENCH overrides the benchmark regex (default: the per-arrival
+# session benchmark that pins the online hot path), BENCHTIME the
+# -benchtime (e.g. 1x for a CI smoke run, 1s for a real measurement).
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr4.json}"
+bench="${BENCH:-BenchmarkSessionPerArrival}"
+benchtime="${BENCHTIME:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+# No pipeline around go test: a pipe would hand the exit status to the
+# downstream command (POSIX sh has no pipefail) and a b.Fatal in one
+# benchmark case must fail this script — that is the smoke job's point.
+if ! go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" -count 1 . > "$tmp" 2>&1; then
+  cat "$tmp" >&2
+  echo "bench.sh: go test -bench failed" >&2
+  exit 1
+fi
+cat "$tmp" >&2
+go run ./cmd/benchjson < "$tmp" > "$out"
+echo "bench.sh: wrote $out" >&2
