@@ -1,0 +1,121 @@
+// The -compare mode: diff two bench JSON trajectories and fail on
+// regression, making the committed BENCH_*.json files an enforceable
+// perf gate instead of documentation. Benchmarks are matched by name
+// with the -cpu suffix stripped (the suffix depends on the runner),
+// and only metrics present on both sides are compared, so old and new
+// files may cover different benchmark sets — the gate judges the
+// intersection and says what it skipped.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// higherIsBetter classifies a metric's direction: throughput-style
+// units regress downward, everything else (ns/op, ns/arrival, B/op,
+// allocs/op) regresses upward.
+func higherIsBetter(unit string) bool {
+	return strings.Contains(unit, "/sec") || strings.Contains(unit, "/s")
+}
+
+// baseName strips the -N cpu suffix go test appends to benchmark
+// names, so runs from machines with different GOMAXPROCS align.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+// compareFiles diffs newPath against oldPath and reports every shared
+// metric. It returns exit code 1 (with a summarising error) when any
+// metric regressed past the tolerance, 0 otherwise.
+func compareFiles(w io.Writer, oldPath, newPath string, tolerance float64) (int, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 2, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 2, err
+	}
+	oldBy := map[string]Entry{}
+	for _, e := range oldRep.Benchmarks {
+		oldBy[baseName(e.Name)] = e
+	}
+
+	var regressions, compared, matched int
+	for _, ne := range newRep.Benchmarks {
+		name := baseName(ne.Name)
+		oe, ok := oldBy[name]
+		if !ok {
+			continue
+		}
+		matched++
+		for unit, nv := range ne.Metrics {
+			ov, ok := oe.Metrics[unit]
+			if !ok {
+				continue
+			}
+			compared++
+			status := "ok"
+			var delta float64
+			if ov != 0 {
+				delta = (nv - ov) / ov
+			} else if nv != 0 {
+				delta = 1
+			}
+			bad := false
+			if higherIsBetter(unit) {
+				bad = nv < ov*(1-tolerance)
+			} else {
+				bad = nv > ov*(1+tolerance) && nv-ov > 1e-9
+			}
+			if bad {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-60s %-12s %14g -> %14g  %+7.1f%%  %s\n",
+				name, unit, ov, nv, 100*delta, status)
+		}
+	}
+	fmt.Fprintf(w, "compared %d metrics across %d shared benchmarks (tolerance %.0f%%): %d regression(s)\n",
+		compared, matched, 100*tolerance, regressions)
+	if matched == 0 {
+		return 2, fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	if regressions > 0 {
+		return 1, fmt.Errorf("%d metric(s) regressed past %.0f%% tolerance", regressions, 100*tolerance)
+	}
+	return 0, nil
+}

@@ -6,9 +6,14 @@
 // including custom metrics like ns/arrival, and carries the run's
 // environment header (goos, goarch, pkg, cpu) alongside.
 //
+// With -compare it turns the trajectory into an enforceable gate: it
+// diffs two bench JSON files metric by metric and exits non-zero when
+// any shared benchmark regressed past the tolerance.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem | benchjson > bench.json
+//	benchjson -compare old.json new.json [-tolerance 0.15]
 package main
 
 import (
@@ -43,17 +48,62 @@ type Report struct {
 }
 
 func main() {
-	rep, err := parse(os.Stdin)
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
-	enc := json.NewEncoder(os.Stdout)
+	os.Exit(code)
+}
+
+// run dispatches between the convert mode (stdin → JSON on stdout)
+// and the compare mode. Flags may appear before or after the two
+// compare paths (`benchjson -compare old new -tolerance 0.2`).
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	compare := false
+	tolerance := 0.15
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-compare" || a == "--compare":
+			compare = true
+		case a == "-tolerance" || a == "--tolerance":
+			if i+1 >= len(args) {
+				return 2, fmt.Errorf("-tolerance needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil || v < 0 {
+				return 2, fmt.Errorf("bad -tolerance %q", args[i+1])
+			}
+			tolerance = v
+			i++
+		case strings.HasPrefix(a, "-"):
+			return 2, fmt.Errorf("unknown flag %q", a)
+		default:
+			paths = append(paths, a)
+		}
+	}
+	if compare {
+		if len(paths) != 2 {
+			return 2, fmt.Errorf("-compare needs exactly two files, got %d", len(paths))
+		}
+		return compareFiles(stdout, paths[0], paths[1], tolerance)
+	}
+	if len(paths) != 0 {
+		return 2, fmt.Errorf("convert mode reads stdin; unexpected arguments %v", paths)
+	}
+	rep, err := parse(stdin)
+	if err != nil {
+		return 1, err
+	}
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return 1, err
 	}
+	return 0, nil
 }
 
 // parse reads benchmark text, collecting header fields and result

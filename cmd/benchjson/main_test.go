@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -47,5 +51,108 @@ func TestParse(t *testing.T) {
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
 		t.Fatal("want error on benchless input")
+	}
+}
+
+// writeBench writes a minimal bench JSON file for compare tests.
+func writeBench(t *testing.T, dir, name string, entries []Entry) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	raw, err := json.Marshal(Report{Benchmarks: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.json", []Entry{
+		{Name: "BenchmarkX/n=1000-8", Iterations: 10, Metrics: map[string]float64{
+			"ns/arrival": 100, "allocs/op": 50, "arrivals/sec": 1e6,
+		}},
+		{Name: "BenchmarkOnlyOld", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}},
+	})
+
+	// Within tolerance (and a throughput improvement): exit 0.
+	ok := writeBench(t, dir, "ok.json", []Entry{
+		// Different -cpu suffix must still match.
+		{Name: "BenchmarkX/n=1000-16", Iterations: 10, Metrics: map[string]float64{
+			"ns/arrival": 110, "allocs/op": 50, "arrivals/sec": 2e6,
+		}},
+		{Name: "BenchmarkOnlyNew", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}},
+	})
+	var out strings.Builder
+	code, err := run([]string{"-compare", old, ok, "-tolerance", "0.15"}, nil, &out)
+	if code != 0 || err != nil {
+		t.Fatalf("clean compare: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 regression") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+
+	// A slowdown past tolerance: exit 1 and name the metric.
+	bad := writeBench(t, dir, "bad.json", []Entry{
+		{Name: "BenchmarkX/n=1000-8", Iterations: 10, Metrics: map[string]float64{
+			"ns/arrival": 130, "allocs/op": 50, "arrivals/sec": 1e6,
+		}},
+	})
+	out.Reset()
+	code, err = run([]string{"-compare", old, bad, "-tolerance", "0.15"}, nil, &out)
+	if code != 1 || err == nil {
+		t.Fatalf("regressed compare: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regression not reported:\n%s", out.String())
+	}
+
+	// A throughput drop is a regression even though the number shrank.
+	slow := writeBench(t, dir, "slow.json", []Entry{
+		{Name: "BenchmarkX/n=1000-8", Iterations: 10, Metrics: map[string]float64{
+			"ns/arrival": 100, "arrivals/sec": 5e5,
+		}},
+	})
+	if code, _ := run([]string{"-compare", old, slow}, nil, io.Discard); code != 1 {
+		t.Fatalf("throughput drop not flagged: code=%d", code)
+	}
+
+	// Wider tolerance admits the slowdown.
+	if code, err := run([]string{"-compare", old, bad, "-tolerance", "0.5"}, nil, io.Discard); code != 0 || err != nil {
+		t.Fatalf("tolerant compare: code=%d err=%v", code, err)
+	}
+
+	// Disjoint benchmark sets are a configuration error, not a pass.
+	disjoint := writeBench(t, dir, "disjoint.json", []Entry{
+		{Name: "BenchmarkZ", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}},
+	})
+	if code, err := run([]string{"-compare", old, disjoint}, nil, io.Discard); code != 2 || err == nil {
+		t.Fatalf("disjoint compare: code=%d err=%v", code, err)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	if code, err := run([]string{"-compare", "one.json"}, nil, io.Discard); code != 2 || err == nil {
+		t.Fatalf("one path: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"-tolerance", "nope", "-compare", "a", "b"}, nil, io.Discard); code != 2 || err == nil {
+		t.Fatalf("bad tolerance: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"-bogus"}, nil, io.Discard); code != 2 || err == nil {
+		t.Fatalf("bad flag: code=%d err=%v", code, err)
+	}
+}
+
+func TestRunConvertMode(t *testing.T) {
+	var out strings.Builder
+	code, err := run(nil, strings.NewReader(sample), &out)
+	if code != 0 || err != nil {
+		t.Fatalf("convert: code=%d err=%v", code, err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil || len(rep.Benchmarks) != 2 {
+		t.Fatalf("convert output: %v %s", err, out.String())
 	}
 }

@@ -54,3 +54,28 @@ func TestRunSurfacesServerRefusals(t *testing.T) {
 		t.Fatalf("want admission refusal surfaced, got %v", err)
 	}
 }
+
+// TestRunBatchedThroughputMode drives the sustained-throughput path:
+// NDJSON bodies of -batch arrivals per request against a live host,
+// with the server-reported throughput line present (the handler's
+// /metrics is live) and every arrival still accounted per-arrival in
+// the latency histogram.
+func TestRunBatchedThroughputMode(t *testing.T) {
+	srv := httptest.NewServer(serve.NewHandler(serve.NewHost(serve.Config{})))
+	defer srv.Close()
+
+	var out, errs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", srv.URL, "-tenants", "2", "-n", "100", "-kind", "heavytail",
+		"-algo", "oa", "-alpha", "2", "-scale", "0", "-batch", "32",
+	}, &out, &errs)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errs.String())
+	}
+	text := out.String()
+	for _, want := range []string{"2 tenants", "200 arrivals", "latency (s): n=200", "server-reported:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output misses %q:\n%s", want, text)
+		}
+	}
+}

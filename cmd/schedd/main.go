@@ -7,12 +7,13 @@
 // Usage:
 //
 //	schedd [-addr :8080] [-shards 16] [-max-sessions 1024]
-//	       [-max-backlog 256] [-drain-timeout 30s] [-pprof]
+//	       [-max-backlog 256] [-apply-batch 0] [-drain-timeout 30s]
+//	       [-pprof]
 //
 // API (see internal/serve):
 //
 //	POST   /v1/sessions                  {"id": "...", "spec": {"name": "pd", "m": 1, "alpha": 2}}
-//	POST   /v1/sessions/{id}/arrivals    NDJSON stream of jobs
+//	POST   /v1/sessions/{id}/arrivals    NDJSON stream of jobs (one per line)
 //	GET    /v1/sessions/{id}/snapshot    live plan observation
 //	DELETE /v1/sessions/{id}             close → final verified result
 //	GET    /v1/sessions                  live tenant ids
@@ -154,13 +155,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	shards := fs.Int("shards", 16, "session map shards (rounded up to a power of two)")
 	maxSessions := fs.Int("max-sessions", 1024, "admission limit on live sessions")
 	maxBacklog := fs.Int("max-backlog", 256, "per-session arrival queue bound")
+	applyBatch := fs.Int("apply-batch", 0, "max arrivals applied per batch (0 = drain everything queued)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	d := newDaemon(serve.Config{Shards: *shards, MaxSessions: *maxSessions, MaxBacklog: *maxBacklog}, *drainTimeout, *withPprof)
+	d := newDaemon(serve.Config{
+		Shards: *shards, MaxSessions: *maxSessions,
+		MaxBacklog: *maxBacklog, MaxApplyBatch: *applyBatch,
+	}, *drainTimeout, *withPprof)
 	if err := d.listen(*addr); err != nil {
 		return err
 	}

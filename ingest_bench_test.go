@@ -1,0 +1,147 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// BenchmarkServeIngest measures the serving daemon's ingest ceiling
+// through the full HTTP stack: one POST of an n-line NDJSON arrival
+// stream into a live oa session, timed end to end (session create and
+// close/verify excluded). Two arms share the stack:
+//
+//   - batched: the shipping path — pooled zero-allocation NDJSON
+//     decoder, slice-batch submits, batch-draining applier with
+//     coalesced replans.
+//   - unbatched: the pre-batching reference path — reflective
+//     json.Decoder per line, one Submit per job, one lock/replan per
+//     arrival (MaxApplyBatch 1), the ingest loop exactly as it shipped
+//     before the batched rework.
+//
+// The committed perf trajectory (BENCH_pr5.json) records both, so the
+// batched/unbatched ratio — the PR's ≥5× arrivals/sec claim — is
+// visible in one run, alongside allocs/arrival through the stack.
+func BenchmarkServeIngest(b *testing.B) {
+	for _, n := range []int{100_000} {
+		in := workload.HeavyTail(workload.Config{
+			N: n, M: 1, Alpha: 2, Seed: 17, Horizon: float64(n) / 10, ValueScale: math.Inf(1),
+		})
+		// Quantize arrival times to tick granularity (~10 arrivals per
+		// tick), the shape of any high-rate stream with timestamped
+		// admission: release ties are what the batched path's replan
+		// coalescing is designed for, and what the per-arrival
+		// reference path cannot exploit.
+		for i := range in.Jobs {
+			in.Jobs[i].Release = math.Floor(in.Jobs[i].Release)
+		}
+		in.Normalize()
+		body := make([]byte, 0, 64*n)
+		for _, j := range in.Jobs {
+			body = job.AppendJSON(body, j)
+			body = append(body, '\n')
+		}
+		spec := `{"id":%q,"spec":{"name":"oa","m":1,"alpha":2}}`
+
+		for _, mode := range []string{"batched", "unbatched"} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				cfg := serve.Config{MaxSessions: 16, MaxBacklog: 4096}
+				if mode == "unbatched" {
+					cfg.MaxApplyBatch = 1
+				}
+				host := serve.NewHost(cfg)
+				handler := serve.NewHandler(host)
+				if mode == "unbatched" {
+					handler = withReferenceIngest(host, handler)
+				}
+				srv := httptest.NewServer(handler)
+				defer srv.Close()
+				client := srv.Client()
+
+				do := func(method, path string, body io.Reader, want int) {
+					b.Helper()
+					req, err := http.NewRequest(method, srv.URL+path, body)
+					if err != nil {
+						b.Fatal(err)
+					}
+					resp, err := client.Do(req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != want {
+						b.Fatalf("%s %s: %s", method, path, resp.Status)
+					}
+				}
+
+				var m1, m2 runtime.MemStats
+				var mallocs uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					id := fmt.Sprintf("t%d", i)
+					do("POST", "/v1/sessions", bytes.NewReader([]byte(fmt.Sprintf(spec, id))), http.StatusCreated)
+					runtime.ReadMemStats(&m1)
+					b.StartTimer()
+					do("POST", "/v1/sessions/"+id+"/arrivals", bytes.NewReader(body), http.StatusOK)
+					b.StopTimer()
+					runtime.ReadMemStats(&m2)
+					mallocs += m2.Mallocs - m1.Mallocs
+					do("DELETE", "/v1/sessions/"+id, nil, http.StatusOK)
+					b.StartTimer()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/arrival")
+				b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "arrivals/sec")
+				// Whole-process allocation count across the ingest window
+				// (client and server share the process), per arrival.
+				b.ReportMetric(float64(mallocs)/float64(b.N*n), "allocs/arrival")
+			})
+		}
+	}
+}
+
+// withReferenceIngest overrides the arrivals route with the pre-PR
+// ingest loop: reflective JSON decoding and one queue submit per
+// arrival. Everything else falls through to the shipping handler.
+func withReferenceIngest(h *serve.Host, fallthru http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", fallthru)
+	mux.HandleFunc("POST /v1/sessions/{id}/arrivals", func(w http.ResponseWriter, r *http.Request) {
+		s, err := h.Get(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		accepted := 0
+		dec := json.NewDecoder(r.Body)
+		for {
+			var j job.Job
+			if err := dec.Decode(&j); err == io.EOF {
+				break
+			} else if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := s.Submit(r.Context(), j); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			accepted++
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"id": s.ID, "accepted": accepted})
+	})
+	return mux
+}

@@ -71,6 +71,17 @@ func SessionOf(p Policy) (Session, bool) {
 	return s, ok
 }
 
+// BatchArriver is an optional Policy face for the batched ingest
+// path: absorb a run of release-ordered arrivals in one call,
+// returning how many were fully absorbed. On an error, jobs js[:n]
+// are applied and the rest are not; implementations must leave the
+// emitted schedule byte-identical to feeding the same jobs through
+// Arrive one at a time (differential tests pin this for every
+// built-in). Policies without this face are driven by a plain loop.
+type BatchArriver interface {
+	ArriveBatch(js []job.Job) (n int, err error)
+}
+
 // Buffered marks policies that buffer the whole trace and plan only at
 // Close (batch shims around whole-instance algorithms). Replay zeroes
 // their per-arrival latency columns — the interesting cost is PlanTime.
@@ -227,6 +238,22 @@ func (p *onlinePolicy) Name() string { return p.name }
 
 func (p *onlinePolicy) Arrive(j job.Job) error { return p.s.Arrive(j) }
 
+// ArriveBatch forwards the batched ingest path to the session's own
+// batch entry point when it has one (all yds sessions do).
+func (p *onlinePolicy) ArriveBatch(js []job.Job) (int, error) {
+	if ba, ok := p.s.(interface {
+		ArriveBatch([]job.Job) (int, error)
+	}); ok {
+		return ba.ArriveBatch(js)
+	}
+	for i := range js {
+		if err := p.s.Arrive(js[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(js), nil
+}
+
 func (p *onlinePolicy) Close() (*sched.Schedule, error) { return p.s.Close() }
 
 func (p *onlinePolicy) Snapshot() Snapshot {
@@ -255,6 +282,12 @@ func (b *batchPolicy) Buffered() bool { return true }
 func (b *batchPolicy) Arrive(j job.Job) error {
 	b.jobs = append(b.jobs, j)
 	return nil
+}
+
+// ArriveBatch buffers the whole run in one append.
+func (b *batchPolicy) ArriveBatch(js []job.Job) (int, error) {
+	b.jobs = append(b.jobs, js...)
+	return len(js), nil
 }
 
 func (b *batchPolicy) Close() (*sched.Schedule, error) {

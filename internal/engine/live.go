@@ -90,6 +90,94 @@ func (l *Live) Arrive(j job.Job) error {
 	return nil
 }
 
+// ApplyBatch validates and applies a run of arrivals in one call —
+// the serving daemon's batched ingest path: the per-tenant applier
+// drains everything queued and hands it here, paying one latency
+// measurement and (through BatchArriver policies) one coalesced
+// replan per same-release group instead of per job. It returns how
+// many jobs were applied. On an error the batch stops there: the
+// applied prefix stays, the offending and remaining jobs are dropped,
+// and the caller records the error (the host fails later submits fast
+// and surfaces it at Close, so a poisoned stream cannot masquerade as
+// a clean run). Fed the same jobs, ApplyBatch and one-at-a-time
+// Arrive produce byte-identical Results (modulo wall-clock timings) —
+// pinned by differential tests.
+func (l *Live) ApplyBatch(js []job.Job) (int, error) {
+	if l.closed {
+		return 0, fmt.Errorf("engine: live run already closed, cannot accept a batch of %d jobs", len(js))
+	}
+	if len(js) == 0 {
+		return 0, nil
+	}
+	// Validate the maximal clean prefix, recording it optimistically
+	// (the duplicate check must see earlier jobs of this same batch).
+	base := len(l.jobs)
+	valid := 0
+	var verr error
+	for _, j := range js {
+		if err := j.Validate(); err != nil {
+			verr = err
+			break
+		}
+		if _, dup := l.seen[j.ID]; dup {
+			verr = fmt.Errorf("engine: duplicate job ID %d", j.ID)
+			break
+		}
+		if len(l.jobs) > 0 && j.Release < l.lastRel {
+			verr = fmt.Errorf("engine: job %d released at %v arrives after frontier %v (arrivals must be in release order)",
+				j.ID, j.Release, l.lastRel)
+			break
+		}
+		l.seen[j.ID] = struct{}{}
+		l.jobs = append(l.jobs, j)
+		l.lastRel = j.Release
+		valid++
+	}
+
+	applied := valid
+	var perr error
+	if valid > 0 {
+		start := time.Now()
+		if ba, ok := l.p.(BatchArriver); ok {
+			applied, perr = ba.ArriveBatch(l.jobs[base : base+valid])
+		} else {
+			applied = 0
+			for _, j := range l.jobs[base : base+valid] {
+				if err := l.p.Arrive(j); err != nil {
+					perr = err
+					break
+				}
+				applied++
+			}
+		}
+		d := time.Since(start)
+		l.res.TotalArrive += d
+		if d > l.res.MaxArrive {
+			l.res.MaxArrive = d
+		}
+	}
+	if applied < valid {
+		// The policy refused mid-batch: unrecord what it did not absorb
+		// so Close verifies against exactly what the policy saw.
+		for _, j := range l.jobs[base+applied:] {
+			delete(l.seen, j.ID)
+		}
+		l.jobs = l.jobs[:base+applied]
+		if len(l.jobs) > 0 {
+			l.lastRel = l.jobs[len(l.jobs)-1].Release
+		} else {
+			l.lastRel = 0
+		}
+	}
+	if perr != nil {
+		return applied, fmt.Errorf("engine: %s rejected arrival: %w", l.p.Name(), perr)
+	}
+	if verr != nil {
+		return applied, verr
+	}
+	return applied, nil
+}
+
 // Snapshot observes the live plan mid-stream through the policy's
 // Session face; policies without one (custom batch registrations) get
 // a backlog-only view with Buffered set, mirroring batchPolicy.

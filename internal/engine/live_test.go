@@ -230,3 +230,115 @@ func TestLiveArriveSteadyStateAllocFree(t *testing.T) {
 		t.Fatalf("close: %v", err)
 	}
 }
+
+// TestApplyBatchMatchesSequentialArrive pins the batched ingest path
+// at the engine layer: a trace fed through ApplyBatch under arbitrary
+// batch boundaries must close to a Result byte-identical to feeding
+// the same jobs through Arrive one at a time, for every built-in
+// policy shape (truly-online sessions with coalesced replans, the
+// buffering shims, and pd's generic per-job fallback).
+func TestApplyBatchMatchesSequentialArrive(t *testing.T) {
+	// The same instance TestLiveMatchesReplay replays: every built-in
+	// (including the float-sensitive moa shim) closes it cleanly.
+	in := workload.Poisson(workload.Config{N: 40, M: 1, Alpha: 2.2, Seed: 3, ValueScale: 2})
+	norm := in.Clone()
+	norm.Normalize()
+	for _, name := range DefaultRegistry().Names() {
+		if name == "opt" {
+			continue // exponential; 60 jobs is out of reach
+		}
+		spec := Spec{Name: name, M: 1, Alpha: in.Alpha}
+		seq, err := NewLive(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, j := range norm.Jobs {
+			if err := seq.Arrive(j); err != nil {
+				t.Fatalf("%s: arrive: %v", name, err)
+			}
+		}
+		want, err := seq.Close()
+		if err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		for _, sizes := range [][]int{{len(norm.Jobs)}, {1}, {3, 7, 1, 13}} {
+			bat, err := NewLive(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			k := 0
+			for lo := 0; lo < len(norm.Jobs); {
+				hi := lo + sizes[k%len(sizes)]
+				k++
+				if hi > len(norm.Jobs) {
+					hi = len(norm.Jobs)
+				}
+				n, err := bat.ApplyBatch(norm.Jobs[lo:hi])
+				if n != hi-lo || err != nil {
+					t.Fatalf("%s: ApplyBatch[%d:%d] = %d, %v", name, lo, hi, n, err)
+				}
+				lo = hi
+			}
+			if bat.Arrivals() != len(norm.Jobs) {
+				t.Fatalf("%s: arrivals = %d", name, bat.Arrivals())
+			}
+			got, err := bat.Close()
+			if err != nil {
+				t.Fatalf("%s: batch close: %v", name, err)
+			}
+			a, b := *want, *got
+			a.MaxArrive, a.TotalArrive, a.PlanTime = 0, 0, 0
+			b.MaxArrive, b.TotalArrive, b.PlanTime = 0, 0, 0
+			aj, _ := json.Marshal(a)
+			bj, _ := json.Marshal(b)
+			if !bytes.Equal(aj, bj) {
+				t.Fatalf("%s: batched result differs from sequential:\n%s\nvs\n%s", name, aj, bj)
+			}
+		}
+	}
+}
+
+// TestApplyBatchStopsAtFirstError pins the batch error contract: the
+// clean prefix is applied and counted, the offending job and the rest
+// of the batch are dropped, and the engine's bookkeeping (seen set,
+// accumulated instance, frontier) reflects exactly the applied jobs.
+func TestApplyBatchStopsAtFirstError(t *testing.T) {
+	mk := func(id int, rel float64) job.Job {
+		return job.Job{ID: id, Release: rel, Deadline: rel + 2, Work: 1, Value: 1}
+	}
+	l, err := NewLive(Spec{Name: "oa", M: 1, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid job mid-batch: release-order violation.
+	n, err := l.ApplyBatch([]job.Job{mk(0, 0), mk(1, 1), mk(2, 0.5), mk(3, 2)})
+	if n != 2 || err == nil {
+		t.Fatalf("ApplyBatch = %d, %v; want 2 and a release-order error", n, err)
+	}
+	if l.Arrivals() != 2 {
+		t.Fatalf("arrivals = %d after partial batch", l.Arrivals())
+	}
+	// The dropped jobs must not pollute the duplicate set: job 2 can
+	// arrive later (in order) under its own ID.
+	if n, err := l.ApplyBatch([]job.Job{mk(2, 1.5), mk(3, 2)}); n != 2 || err != nil {
+		t.Fatalf("re-apply dropped jobs: %d, %v", n, err)
+	}
+	// A malformed job fails validation without reaching the policy.
+	if n, err := l.ApplyBatch([]job.Job{{ID: 9, Release: 3, Deadline: 2, Work: 1}}); n != 0 || err == nil {
+		t.Fatalf("invalid job: %d, %v", n, err)
+	}
+	// Duplicates inside one batch are caught against each other.
+	if n, err := l.ApplyBatch([]job.Job{mk(10, 4), mk(10, 4)}); n != 1 || err == nil {
+		t.Fatalf("intra-batch duplicate: %d, %v", n, err)
+	}
+	res, err := l.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if res.Schedule == nil || len(res.Schedule.Rejected) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if _, err := l.ApplyBatch([]job.Job{mk(11, 9)}); err == nil {
+		t.Fatal("ApplyBatch after Close must fail")
+	}
+}

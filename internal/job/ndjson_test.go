@@ -1,0 +1,353 @@
+package job
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// decodeRef is the reference decoder: json.Unmarshal of one line into
+// a Job, i.e. exactly what the serving daemon did before the
+// hand-rolled decoder existed.
+func decodeRef(line []byte) (Job, error) {
+	var j Job
+	err := json.Unmarshal(line, &j)
+	return j, err
+}
+
+// decodeFast runs the hand-rolled parser over one line.
+func decodeFast(line []byte) (Job, error) {
+	var p lineParser
+	var j Job
+	err := p.parseJob(line, &j)
+	return j, err
+}
+
+// diffLine pins one line both ways: fast and reference must agree on
+// success/failure, and on success produce bit-identical jobs.
+func diffLine(t *testing.T, line string) {
+	t.Helper()
+	want, werr := decodeRef([]byte(line))
+	got, gerr := decodeFast([]byte(line))
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("line %q: error divergence: encoding/json=%v, ndjson=%v", line, werr, gerr)
+	}
+	if werr != nil {
+		return
+	}
+	if !jobsBitEqual(want, got) {
+		t.Fatalf("line %q: value divergence:\nencoding/json %+v\nndjson        %+v", line, want, got)
+	}
+}
+
+// jobsBitEqual compares jobs bit-for-bit (NaN-safe, ±0-exact).
+func jobsBitEqual(a, b Job) bool {
+	return a.ID == b.ID &&
+		math.Float64bits(a.Release) == math.Float64bits(b.Release) &&
+		math.Float64bits(a.Deadline) == math.Float64bits(b.Deadline) &&
+		math.Float64bits(a.Work) == math.Float64bits(b.Work) &&
+		math.Float64bits(a.Value) == math.Float64bits(b.Value)
+}
+
+func TestNDJSONDecoderMatchesEncodingJSON(t *testing.T) {
+	lines := []string{
+		// Plain happy paths.
+		`{"id":1,"release":0,"deadline":1,"work":0.5,"value":2}`,
+		`{"id":-3,"release":1.25e2,"deadline":1e3,"work":3.25,"value":0}`,
+		`{"id":0,"release":0.1,"deadline":0.2,"work":1e-9,"value":1e21}`,
+		`{"id":7,"release":-5.5,"deadline":-1,"work":2,"value":1.7976931348623157e308}`,
+		// The trace format's infinite values, in every accepted spelling.
+		`{"id":1,"release":0,"deadline":1,"work":1,"value":"inf"}`,
+		`{"id":1,"release":0,"deadline":1,"work":1,"value":"INF"}`,
+		`{"id":1,"release":0,"deadline":1,"work":1,"value":"+Inf"}`,
+		`{"id":1,"release":0,"deadline":1,"work":1,"value":"iNf"}`,
+		// Unsupported value strings must fail in both.
+		`{"id":1,"release":0,"deadline":1,"work":1,"value":"infinity"}`,
+		`{"id":1,"release":0,"deadline":1,"work":1,"value":"-inf"}`,
+		`{"id":1,"release":0,"deadline":1,"work":1,"value":""}`,
+		// Escaped spellings of the same strings.
+		`{"id":1,"release":0,"deadline":1,"work":1,"value":"\u0069nf"}`,
+		`{"id":1,"release":0,"deadline":1,"work":1,"value":"i\nf"}`,
+		// Absent, null and duplicate fields.
+		`{"id":4,"release":1,"deadline":2,"work":3}`,
+		`{"id":4,"release":1,"deadline":2,"work":3,"value":null}`,
+		`{"id":null,"release":null,"deadline":null,"work":null,"value":null}`,
+		`{"id":4,"id":9,"release":1,"release":2,"deadline":2,"work":3}`,
+		`{"value":3,"value":null,"id":1,"release":0,"deadline":1,"work":1}`,
+		`{"value":"nope","value":7,"id":1,"release":0,"deadline":1,"work":1}`,
+		`{"id":4,"id":null,"release":1,"deadline":2,"work":3}`,
+		`{}`,
+		// Case-insensitive keys, like encoding/json.
+		`{"ID":5,"Release":1,"DEADLINE":2,"Work":3,"VaLuE":4}`,
+		`{"relea\u017fe":9,"id":1}`,
+		// Unknown fields are ignored but still syntax-checked.
+		`{"id":1,"extra":{"nested":[1,2,{"x":"y"}]},"release":2}`,
+		`{"id":1,"extra":"\ud83d\ude00","release":2}`,
+		`{"id":1,"extra":[true,false,null],"release":2}`,
+		`{"id":1,"extra":{bad},"release":2}`,
+		`{"id":1,"extra":[1,2,],"release":2}`,
+		// Whitespace tolerance.
+		`   { "id" : 2 , "release" : 0.5 , "deadline":1, "work":1, "value":1 }   `,
+		"\t{\"id\":3,\"release\":0,\"deadline\":1,\"work\":1}\r",
+		// Number grammar edges (JSON is stricter than strconv).
+		`{"id":1,"release":01,"deadline":1,"work":1}`,
+		`{"id":1,"release":+1,"deadline":1,"work":1}`,
+		`{"id":1,"release":.5,"deadline":1,"work":1}`,
+		`{"id":1,"release":1.,"deadline":1,"work":1}`,
+		`{"id":1,"release":1e,"deadline":1,"work":1}`,
+		`{"id":1,"release":1e+,"deadline":1,"work":1}`,
+		`{"id":1,"release":-,"deadline":1,"work":1}`,
+		`{"id":1,"release":0x10,"deadline":1,"work":1}`,
+		`{"id":1,"release":Infinity,"deadline":1,"work":1}`,
+		`{"id":1,"release":NaN,"deadline":1,"work":1}`,
+		`{"id":1,"release":1_000,"deadline":1,"work":1}`,
+		`{"id":1,"release":-0,"deadline":1,"work":1}`,
+		`{"id":1,"release":1e999,"deadline":1,"work":1}`,
+		`{"id":1,"release":1e-999,"deadline":1,"work":1}`,
+		// Type errors.
+		`{"id":1.5,"release":0,"deadline":1,"work":1}`,
+		`{"id":1e2,"release":0,"deadline":1,"work":1}`,
+		`{"id":"1","release":0,"deadline":1,"work":1}`,
+		`{"id":9223372036854775807,"release":0,"deadline":1,"work":1}`,
+		`{"id":9223372036854775808,"release":0,"deadline":1,"work":1}`,
+		`{"id":true,"release":0,"deadline":1,"work":1}`,
+		`{"id":1,"release":"0","deadline":1,"work":1}`,
+		`{"id":1,"release":[],"deadline":1,"work":1}`,
+		`{"id":1,"value":true}`,
+		`{"id":1,"value":{"a":1}}`,
+		`{"id":1,"value":[1]}`,
+		// Structural errors.
+		``,
+		`{`,
+		`}`,
+		`{"id"}`,
+		`{"id":}`,
+		`{"id":1,}`,
+		`{"id":1 "release":2}`,
+		`{"id":1}}`,
+		`{"id":1} extra`,
+		`[1,2,3]`,
+		`42`,
+		`"job"`,
+		`null`,
+		`true`,
+		`{'id':1}`,
+		`{"id:1}`,
+		`{"id\q":1}`,
+		"{\"id\x01\":1}",
+		`{"id":1,"x":"\ud800"}`,
+		`{"id":1,"x":"\ud800\ud800"}`,
+		`{"id":1,"x":"\udc00\udc00"}`,
+		`{"id":1,"x":"\ud83d\ude00tail"}`,
+		`{"id":1,"x":"\u12"}`,
+		`{"id":1,"x":"broken`,
+	}
+	for _, line := range lines {
+		diffLine(t, line)
+	}
+}
+
+// TestNDJSONDecoderStreamFraming pins the line framing: blank lines
+// skipped, a final unterminated line parsed, CRLF tolerated, errors
+// carrying the line number, io.EOF at the end.
+func TestNDJSONDecoderStreamFraming(t *testing.T) {
+	stream := "{\"id\":1,\"release\":0,\"deadline\":1,\"work\":1}\n" +
+		"\n   \n" +
+		"{\"id\":2,\"release\":1,\"deadline\":2,\"work\":1,\"value\":\"inf\"}\r\n" +
+		"{\"id\":3,\"release\":2,\"deadline\":3,\"work\":2}" // no trailing newline
+	d := NewDecoder(strings.NewReader(stream))
+	var got []Job
+	for {
+		var j Job
+		err := d.Next(&j)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, j)
+	}
+	if len(got) != 3 || got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 3 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if !math.IsInf(got[1].Value, 1) {
+		t.Fatalf("job 2 value = %v, want +Inf", got[1].Value)
+	}
+	if d.Line() != 5 {
+		t.Fatalf("line counter = %d, want 5", d.Line())
+	}
+
+	d.Reset(strings.NewReader("{\"id\":1,\"release\":0,\"deadline\":1,\"work\":1}\n{oops\n"))
+	var j Job
+	if err := d.Next(&j); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Next(&j)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed second line: %v", err)
+	}
+	if err := d.Next(&j); err != io.EOF {
+		t.Fatalf("after error: %v, want EOF", err)
+	}
+}
+
+// TestNDJSONDecoderLongLines exercises buffer growth across the read
+// chunk size and the hard line-length bound.
+func TestNDJSONDecoderLongLines(t *testing.T) {
+	pad := strings.Repeat(" ", 3*decoderBufSize)
+	line := `{"id":11,` + pad + `"release":1,"deadline":2,"work":3}`
+	d := NewDecoder(strings.NewReader(line + "\n"))
+	var j Job
+	if err := d.Next(&j); err != nil || j.ID != 11 || j.Work != 3 {
+		t.Fatalf("long line: %v %+v", err, j)
+	}
+
+	over := strings.Repeat("x", maxLineBytes+1)
+	d.Reset(strings.NewReader(over))
+	err := d.Next(&j)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized line: %v", err)
+	}
+}
+
+// TestNDJSONDecoderPoolRoundTrip covers the pooled acquire/release
+// path the HTTP handler uses.
+func TestNDJSONDecoderPoolRoundTrip(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		d := GetDecoder(strings.NewReader(`{"id":8,"release":0,"deadline":1,"work":1}`))
+		var j Job
+		if err := d.Next(&j); err != nil || j.ID != 8 {
+			t.Fatalf("pooled decode: %v %+v", err, j)
+		}
+		if err := d.Next(&j); err != io.EOF {
+			t.Fatalf("pooled EOF: %v", err)
+		}
+		PutDecoder(d)
+	}
+}
+
+// TestAppendJSONMatchesMarshal pins the encoder byte-identical to
+// json.Marshal across representative jobs, and round-trips each
+// through both decoders.
+func TestAppendJSONMatchesMarshal(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Release: 0, Deadline: 1, Work: 0.5, Value: 2},
+		{ID: -7, Release: 1.25, Deadline: 1e21, Work: 3.0000000000000004, Value: 0},
+		{ID: 3, Release: 1e-7, Deadline: 2.5e-9, Work: 123456789.123456789, Value: math.Inf(1)},
+		{ID: 0, Release: -0.0, Deadline: 1e20, Work: 1e-6, Value: 0.1},
+		{ID: 42, Release: 1234567890123456789, Deadline: 2e300, Work: 5e-300, Value: 7},
+	}
+	for _, j := range jobs {
+		want, err := json.Marshal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := AppendJSON(nil, j)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("encoding divergence for %+v:\njson.Marshal %s\nAppendJSON   %s", j, want, got)
+		}
+		back, err := decodeFast(got)
+		if err != nil {
+			t.Fatalf("round-trip decode of %s: %v", got, err)
+		}
+		if !jobsBitEqual(j, back) {
+			t.Fatalf("round trip changed %+v into %+v", j, back)
+		}
+	}
+}
+
+// TestNDJSONDecoderSteadyStateAllocFree pins the zero-allocation
+// claim: decoding arrivals from a warm decoder must not allocate.
+func TestNDJSONDecoderSteadyStateAllocFree(t *testing.T) {
+	var body bytes.Buffer
+	const n = 2000
+	for i := 0; i < n; i++ {
+		body.Write(AppendJSON(nil, Job{ID: i, Release: float64(i), Deadline: float64(i) + 2, Work: 1.5, Value: math.Inf(1)}))
+		body.WriteByte('\n')
+	}
+	raw := body.Bytes()
+	rd := bytes.NewReader(raw)
+	d := NewDecoder(rd)
+	var j Job
+	// Warm up: first lines grow nothing after this.
+	for i := 0; i < 50; i++ {
+		if err := d.Next(&j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if err := d.Next(&j); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.01 {
+		t.Errorf("decoder allocates %.3f per arrival in steady state, want 0", avg)
+	}
+}
+
+// FuzzNDJSONDecoderDifferential drives arbitrary lines through both
+// decoders: they must agree on error-ness and, on success, on every
+// field bit.
+func FuzzNDJSONDecoderDifferential(f *testing.F) {
+	seeds := []string{
+		`{"id":1,"release":0.5,"deadline":1,"work":1,"value":"inf"}`,
+		`{"id":2,"release":1e-7,"deadline":3,"work":0.25,"value":null}`,
+		`{"ID":3,"extra":[{"a":1}],"Work":2}`,
+		`{"value":"nope"}`,
+		`{"id":1,"release":01}`,
+		`  {"id":9}  `,
+		`{"x":"\ud83d\ude00","id":1}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		want, werr := decodeRef([]byte(line))
+		got, gerr := decodeFast([]byte(line))
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("error divergence on %q: encoding/json=%v, ndjson=%v", line, werr, gerr)
+		}
+		if werr == nil && !jobsBitEqual(want, got) {
+			t.Fatalf("value divergence on %q:\nencoding/json %+v\nndjson        %+v", line, want, got)
+		}
+	})
+}
+
+// FuzzNDJSONRoundTrip fuzzes structured jobs through AppendJSON and
+// back: encoding must match json.Marshal and decode to the same bits.
+func FuzzNDJSONRoundTrip(f *testing.F) {
+	f.Add(1, 0.0, 1.0, 0.5, 2.0, false)
+	f.Add(-9, 1e-9, 1e21, 123.456, 0.0, true)
+	f.Fuzz(func(t *testing.T, id int, rel, dl, work, val float64, inf bool) {
+		if math.IsNaN(rel) || math.IsInf(rel, 0) || math.IsNaN(dl) || math.IsInf(dl, 0) ||
+			math.IsNaN(work) || math.IsInf(work, 0) || math.IsNaN(val) || math.IsInf(val, 0) {
+			t.Skip() // json.Marshal refuses these; AppendJSON documents them out
+		}
+		j := Job{ID: id, Release: rel, Deadline: dl, Work: work, Value: val}
+		if inf {
+			j.Value = math.Inf(1)
+		}
+		want, err := json.Marshal(j)
+		if err != nil {
+			t.Skip()
+		}
+		got := AppendJSON(nil, j)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("encoding divergence for %+v:\n%s\nvs\n%s", j, want, got)
+		}
+		back, err := decodeFast(got)
+		if err != nil {
+			t.Fatalf("decoding %s: %v", got, err)
+		}
+		if !jobsBitEqual(j, back) {
+			t.Fatalf("round trip changed %+v into %+v", j, back)
+		}
+	})
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging helpers

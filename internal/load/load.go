@@ -4,9 +4,20 @@
 // wall-clock time over the HTTP API, then closing the session and
 // collecting the final verified Result. It backs cmd/loadgen and
 // doubles as the end-to-end test driver.
+//
+// Two delivery modes share one lifecycle: the default posts one
+// arrival per request (per-arrival HTTP latency is the measurement),
+// while Batch > 1 is the sustained-throughput mode — arrivals are
+// encoded into NDJSON bodies with the zero-allocation job codec and
+// posted Batch lines at a time, with the request/response buffers
+// reused across the whole run. The report carries both the
+// client-observed throughput and the server's own arrival counter
+// over the same window, side by side, so a daemon bottleneck and a
+// driver bottleneck cannot be confused.
 package load
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -14,6 +25,8 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
@@ -60,6 +73,11 @@ type Config struct {
 	// Scale is the wall-clock duration of one unit of model time; 0
 	// replays as fast as possible (see workload.NewStream).
 	Scale time.Duration
+	// Batch is how many arrivals each POST carries (default 1, the
+	// per-arrival latency mode). Larger batches are the sustained-
+	// throughput mode: NDJSON bodies built with the zero-allocation
+	// codec, one request per Batch arrivals.
+	Batch int
 	// Workers bounds concurrently active tenants (default: all).
 	Workers int
 	// Prefix namespaces the tenant ids (default "lg").
@@ -75,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Tenants <= 0 {
 		c.Tenants = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
 	}
 	if c.Workers <= 0 || c.Workers > c.Tenants {
 		c.Workers = c.Tenants
@@ -105,10 +126,18 @@ type Report struct {
 	Arrivals int
 	Rejected int
 	Elapsed  time.Duration
-	// Throughput is achieved arrivals per wall-clock second.
+	// Throughput is client-observed arrivals per wall-clock second:
+	// acknowledged arrivals divided by the run's elapsed time.
 	Throughput float64
+	// ServerThroughput is the daemon's own story over the same window:
+	// the delta of its schedd_arrivals_total counter divided by the
+	// elapsed time. Zero when /metrics was unreachable (not a schedd).
+	// Client and server throughput disagreeing is the signal to look
+	// for a driver bottleneck (client) or a queueing backlog (server).
+	ServerThroughput float64
 	// Latency is the per-arrival HTTP round-trip histogram (seconds),
-	// merged across tenants.
+	// merged across tenants. In batch mode each arrival is charged its
+	// request's amortized share, so the count stays one per arrival.
 	Latency stats.Histogram
 	// AllocsPerArrival is the client process's heap allocations per
 	// delivered arrival over the run (runtime.MemStats mallocs delta
@@ -132,13 +161,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	results := make([]TenantResult, cfg.Tenants)
 	hists := make([]stats.Histogram, cfg.Tenants)
 
+	serverBefore, serverOK := scrapeArrivalsTotal(ctx, cfg)
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	err := pool.RunCtx(ctx, cfg.Tenants, cfg.Workers, func(i int) error {
 		id := fmt.Sprintf("%s-%d", cfg.Prefix, i)
 		results[i] = TenantResult{ID: id, Instance: instances[i]}
-		return runTenant(ctx, cfg, id, instances[i], &results[i], &hists[i])
+		tc := &tenantClient{cfg: cfg, id: id}
+		return tc.run(ctx, instances[i], &results[i], &hists[i])
 	})
 	rep := &Report{Tenants: cfg.Tenants, Elapsed: time.Since(start)}
 	var memAfter runtime.MemStats
@@ -152,6 +183,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	if s := rep.Elapsed.Seconds(); s > 0 {
 		rep.Throughput = float64(rep.Arrivals) / s
+		if serverOK {
+			if serverAfter, ok := scrapeArrivalsTotal(ctx, cfg); ok && serverAfter >= serverBefore {
+				rep.ServerThroughput = float64(serverAfter-serverBefore) / s
+			}
+		}
 	}
 	if rep.Arrivals > 0 {
 		rep.AllocsPerArrival = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(rep.Arrivals)
@@ -160,87 +196,141 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, err
 }
 
-// runTenant is one tenant's whole lifecycle against the daemon.
-func runTenant(ctx context.Context, cfg Config, id string, in *job.Instance, out *TenantResult, hist *stats.Histogram) error {
-	if err := createSession(ctx, cfg, id); err != nil {
-		return fmt.Errorf("tenant %s: create: %w", id, err)
+// tenantClient is one tenant's connection state: the NDJSON body
+// under construction and the response read buffer, both reused for
+// every request of the tenant's life — the client-side mirror of the
+// daemon's pooled decode/encode.
+type tenantClient struct {
+	cfg  Config
+	id   string
+	body []byte
+	resp bytes.Buffer
+}
+
+// run is one tenant's whole lifecycle against the daemon.
+func (tc *tenantClient) run(ctx context.Context, in *job.Instance, out *TenantResult, hist *stats.Histogram) error {
+	if err := tc.create(ctx); err != nil {
+		return fmt.Errorf("tenant %s: create: %w", tc.id, err)
 	}
-	err := workload.NewStream(in, cfg.Scale).Play(ctx, func(j job.Job) error {
-		t0 := time.Now()
-		if err := postArrival(ctx, cfg, id, j); err != nil {
+	batch := make([]job.Job, 0, tc.cfg.Batch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := tc.postBatch(ctx, batch, hist); err != nil {
 			return err
 		}
-		hist.Observe(time.Since(t0).Seconds())
-		out.Arrivals++
+		out.Arrivals += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	err := workload.NewStream(in, tc.cfg.Scale).Play(ctx, func(j job.Job) error {
+		batch = append(batch, j)
+		if len(batch) >= tc.cfg.Batch {
+			return flush()
+		}
 		return nil
 	})
-	if err != nil {
-		return fmt.Errorf("tenant %s: stream: %w", id, err)
+	if err == nil {
+		err = flush()
 	}
-	res, err := closeSession(ctx, cfg, id)
 	if err != nil {
-		return fmt.Errorf("tenant %s: close: %w", id, err)
+		return fmt.Errorf("tenant %s: stream: %w", tc.id, err)
+	}
+	res, err := tc.close(ctx)
+	if err != nil {
+		return fmt.Errorf("tenant %s: close: %w", tc.id, err)
 	}
 	out.Result = res
 	return nil
 }
 
-// doJSON issues one request and decodes the JSON response; non-2xx
-// responses become errors carrying the server's message.
-func doJSON(ctx context.Context, cfg Config, method, path string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, cfg.BaseURL+path, body)
+// do issues one request and returns the raw response body, which
+// stays valid until the tenant's next request (the read buffer is
+// reused). Non-2xx responses become errors carrying the server's
+// message.
+func (tc *tenantClient) do(ctx context.Context, method, path string, body io.Reader) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, tc.cfg.BaseURL+path, body)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	resp, err := cfg.Client.Do(req)
+	resp, err := tc.cfg.Client.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
+	tc.resp.Reset()
+	if _, err := tc.resp.ReadFrom(resp.Body); err != nil {
+		return nil, err
 	}
+	raw := tc.resp.Bytes()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(raw))
+		return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(raw))
 	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(raw, out)
+	return raw, nil
 }
 
-func createSession(ctx context.Context, cfg Config, id string) error {
-	body, err := json.Marshal(map[string]any{"id": id, "spec": cfg.Spec})
+func (tc *tenantClient) create(ctx context.Context) error {
+	body, err := json.Marshal(map[string]any{"id": tc.id, "spec": tc.cfg.Spec})
 	if err != nil {
 		return err
 	}
-	return doJSON(ctx, cfg, http.MethodPost, "/v1/sessions", bytes.NewReader(body), nil)
+	_, err = tc.do(ctx, http.MethodPost, "/v1/sessions", bytes.NewReader(body))
+	return err
 }
 
-func postArrival(ctx context.Context, cfg Config, id string, j job.Job) error {
-	line, err := json.Marshal(j)
+// postBatch delivers one NDJSON request of arrivals and charges each
+// its amortized share of the round trip.
+func (tc *tenantClient) postBatch(ctx context.Context, batch []job.Job, hist *stats.Histogram) error {
+	tc.body = tc.body[:0]
+	for _, j := range batch {
+		tc.body = job.AppendJSON(tc.body, j)
+		tc.body = append(tc.body, '\n')
+	}
+	t0 := time.Now()
+	raw, err := tc.do(ctx, http.MethodPost, "/v1/sessions/"+tc.id+"/arrivals", bytes.NewReader(tc.body))
 	if err != nil {
 		return err
 	}
+	hist.ObserveN(time.Since(t0).Seconds()/float64(len(batch)), uint64(len(batch)))
 	var ack struct {
 		Accepted int    `json:"accepted"`
 		Error    string `json:"error"`
 	}
-	if err := doJSON(ctx, cfg, http.MethodPost, "/v1/sessions/"+id+"/arrivals", bytes.NewReader(line), &ack); err != nil {
+	if err := json.Unmarshal(raw, &ack); err != nil {
 		return err
 	}
-	if ack.Accepted != 1 {
-		return fmt.Errorf("arrival not accepted: %s", ack.Error)
+	if ack.Accepted != len(batch) {
+		return fmt.Errorf("batch partially accepted (%d of %d): job %d: %s",
+			ack.Accepted, len(batch), tc.rejectedJobID(ack.Accepted), ack.Error)
 	}
 	return nil
 }
 
-func closeSession(ctx context.Context, cfg Config, id string) (*engine.Result, error) {
+// rejectedJobID decodes the request body it just sent back through
+// the NDJSON decoder to name the first arrival the daemon did not
+// accept — error reporting that costs nothing until something fails.
+func (tc *tenantClient) rejectedJobID(accepted int) int {
+	dec := job.GetDecoder(bytes.NewReader(tc.body))
+	defer job.PutDecoder(dec)
+	var j job.Job
+	for i := 0; i <= accepted; i++ {
+		if err := dec.Next(&j); err != nil {
+			return -1
+		}
+	}
+	return j.ID
+}
+
+func (tc *tenantClient) close(ctx context.Context) (*engine.Result, error) {
+	raw, err := tc.do(ctx, http.MethodDelete, "/v1/sessions/"+tc.id, nil)
+	if err != nil {
+		return nil, err
+	}
 	var closed struct {
 		Result *engine.Result `json:"result"`
 	}
-	if err := doJSON(ctx, cfg, http.MethodDelete, "/v1/sessions/"+id, nil, &closed); err != nil {
+	if err := json.Unmarshal(raw, &closed); err != nil {
 		return nil, err
 	}
 	if closed.Result == nil {
@@ -249,12 +339,53 @@ func closeSession(ctx context.Context, cfg Config, id string) (*engine.Result, e
 	return closed.Result, nil
 }
 
+// scrapeArrivalsTotal reads the daemon's applied-arrival counter off
+// /metrics; ok is false when the endpoint is unreachable or does not
+// expose the counter.
+func scrapeArrivalsTotal(ctx context.Context, cfg Config) (uint64, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/metrics", nil)
+	if err != nil {
+		return 0, false
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "schedd_arrivals_total "); ok {
+			v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
 // Render writes the human-readable report: the aggregate line plus a
 // tenant table when verbose.
 func (r *Report) Render(w io.Writer, verbose bool) error {
 	if _, err := fmt.Fprintf(w,
-		"loadgen: %d tenants, %d arrivals in %v (%.1f arrivals/s), %d rejected\nlatency (s): %s\nclient allocs/arrival: %.1f\n",
-		r.Tenants, r.Arrivals, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Rejected, r.Latency.String(), r.AllocsPerArrival); err != nil {
+		"loadgen: %d tenants, %d arrivals in %v (%.1f arrivals/s), %d rejected\n",
+		r.Tenants, r.Arrivals, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Rejected); err != nil {
+		return err
+	}
+	if r.ServerThroughput > 0 {
+		if _, err := fmt.Fprintf(w, "server-reported: %.1f arrivals/s (client-observed %.1f)\n",
+			r.ServerThroughput, r.Throughput); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "latency (s): %s\nclient allocs/arrival: %.1f\n",
+		r.Latency.String(), r.AllocsPerArrival); err != nil {
 		return err
 	}
 	if !verbose {

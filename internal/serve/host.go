@@ -47,6 +47,12 @@ type Config struct {
 	// MaxBacklog bounds each session's queued-but-unapplied arrivals;
 	// submits beyond it block (default 256).
 	MaxBacklog int
+	// MaxApplyBatch caps how many queued arrivals the applier hands to
+	// the engine per wakeup; 0 (the default) drains everything queued.
+	// Lowering it trades ingest throughput for finer-grained metrics
+	// and backpressure — the serve benchmarks use 1 to measure the
+	// unbatched reference path.
+	MaxApplyBatch int
 	// Registry resolves session specs (default engine.DefaultRegistry).
 	Registry *engine.Registry
 }
@@ -86,6 +92,9 @@ type Host struct {
 	reg     *engine.Registry
 	shards  []shard
 	metrics *Metrics
+	// backlog aggregates every session queue's depth so the /metrics
+	// scrape reads one atomic instead of walking the shards.
+	backlog atomic.Int64
 
 	mu       sync.Mutex // admission: live count + draining flag
 	live     int
@@ -120,8 +129,8 @@ func (h *Host) shardOf(id string) *shard {
 	return &h.shards[f.Sum32()&uint32(len(h.shards)-1)]
 }
 
-// Session is one tenant's live run: a bounded arrival queue drained by
-// a dedicated applier goroutine into an engine.Live.
+// Session is one tenant's live run: a bounded arrival ring drained in
+// batches by a dedicated applier goroutine into an engine.Live.
 type Session struct {
 	// ID is the tenant identifier the session is registered under.
 	ID string
@@ -129,11 +138,9 @@ type Session struct {
 	Spec engine.Spec
 
 	host  *Host
-	queue chan job.Job
+	queue *arrq
 	done  chan struct{} // applier exited
 
-	qmu     sync.RWMutex  // excludes close(queue) against in-flight Submit
-	closing bool          // under qmu
 	closeCh chan struct{} // closed when closing begins; releases parked submitters
 	closed  sync.Once     // guards closeCh
 
@@ -141,8 +148,8 @@ type Session struct {
 	run *engine.Live
 
 	// err is guarded separately from the run: the applier holds mu for
-	// the whole of a (possibly slow) Arrive, and Submit must be able
-	// to fail fast on a recorded error without waiting for it.
+	// the whole of a (possibly slow) batch apply, and Submit must be
+	// able to fail fast on a recorded error without waiting for it.
 	errMu sync.Mutex
 	err   error // first refused arrival; later submits fail fast with it
 }
@@ -183,7 +190,7 @@ func (h *Host) Create(id string, spec engine.Spec) (*Session, error) {
 	}
 	s := &Session{
 		ID: id, Spec: spec, host: h,
-		queue:   make(chan job.Job, h.cfg.MaxBacklog),
+		queue:   newArrq(h.cfg.MaxBacklog, &h.backlog),
 		done:    make(chan struct{}),
 		closeCh: make(chan struct{}),
 		run:     run,
@@ -252,19 +259,14 @@ func (h *Host) CloseCtx(ctx context.Context, id string) (*engine.Result, error) 
 	return s.finish(ctx)
 }
 
-// Backlog returns the total queued-but-unapplied arrivals across all
-// sessions (the /metrics backlog gauge).
+// Backlog returns the total queued-but-undrained arrivals across all
+// sessions (the /metrics backlog gauge). It reads one aggregate
+// atomic — the metrics scrape takes no shard or session lock.
 func (h *Host) Backlog() int {
-	var n int
-	for i := range h.shards {
-		sh := &h.shards[i]
-		sh.mu.Lock()
-		for _, s := range sh.sessions {
-			n += len(s.queue)
-		}
-		sh.mu.Unlock()
+	if n := h.backlog.Load(); n > 0 {
+		return int(n)
 	}
-	return n
+	return 0
 }
 
 // SessionIDs returns the live tenant ids, sorted.
@@ -334,26 +336,44 @@ func (h *Host) Drain(ctx context.Context) ([]DrainResult, error) {
 }
 
 // apply is the session's applier goroutine: it alone feeds the run,
-// so arrival application is serialized per tenant. It keeps draining
-// after an error (recording only the first) so that blocked
+// so arrival application is serialized per tenant. Each wakeup drains
+// *everything* queued (up to MaxApplyBatch) and applies it as one
+// engine.Live.ApplyBatch call — one lock acquisition, one latency
+// measurement and, for batch-aware policies, one coalesced replan per
+// same-release group, instead of all of those per job. Under load the
+// queue refills while a batch is being applied, so ingest and
+// application pipeline instead of ping-ponging. The applier keeps
+// draining after an error (recording only the first) so that blocked
 // submitters are never stranded on a full queue.
 func (s *Session) apply() {
 	defer close(s.done)
-	for j := range s.queue {
-		s.mu.Lock()
-		start := time.Now()
-		err := s.run.Arrive(j)
-		s.mu.Unlock()
-		if err != nil {
-			s.errMu.Lock()
-			if s.err == nil {
-				s.err = err
+	max := s.host.cfg.MaxApplyBatch
+	scratch := make([]job.Job, 0, s.host.cfg.MaxBacklog)
+	for {
+		batch, done := s.queue.drainTo(scratch[:0], max)
+		if len(batch) > 0 {
+			s.mu.Lock()
+			start := time.Now()
+			applied, err := s.run.ApplyBatch(batch)
+			d := time.Since(start)
+			s.mu.Unlock()
+			if applied > 0 {
+				s.host.metrics.arrivalsApplied(applied, d)
 			}
-			s.errMu.Unlock()
-			s.host.metrics.arrivalFailed()
-		} else {
-			s.host.metrics.arrivalApplied(time.Since(start))
+			if err != nil {
+				s.errMu.Lock()
+				if s.err == nil {
+					s.err = err
+				}
+				s.errMu.Unlock()
+				s.host.metrics.arrivalsFailed(len(batch) - applied)
+			}
+			continue // the queue may have refilled while we applied
 		}
+		if done {
+			return
+		}
+		s.queue.waitData()
 	}
 }
 
@@ -362,25 +382,44 @@ func (s *Session) apply() {
 // ctx is done, or the session starts closing. An arrival the policy
 // refused earlier fails all later submits fast with that first error.
 func (s *Session) Submit(ctx context.Context, j job.Job) error {
-	s.qmu.RLock()
-	defer s.qmu.RUnlock()
-	if s.closing {
-		return fmt.Errorf("%w: %q", ErrClosing, s.ID)
-	}
-	if err := s.firstErr(); err != nil {
-		return err
-	}
-	// closeCh is in the select so a submitter parked on a full queue
-	// (holding qmu.RLock) is released the moment closing begins —
-	// without it, finish's qmu.Lock would deadlock against a stuck
-	// applier that never frees queue space.
-	select {
-	case s.queue <- j:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-s.closeCh:
-		return fmt.Errorf("%w: %q", ErrClosing, s.ID)
+	one := [1]job.Job{j}
+	_, err := s.SubmitBatch(ctx, one[:])
+	return err
+}
+
+// SubmitBatch queues a run of arrivals, blocking while the queue is
+// full, and returns how many were queued. It stops early — reporting
+// the queued prefix — when the ctx dies, the session starts closing,
+// or an earlier arrival was refused (fail-fast on the recorded
+// error). The ingest handler decodes up to a batch of NDJSON lines
+// and queues them all under one ring lock here, which with the
+// batch-draining applier makes the per-arrival synchronization cost
+// O(1/batch) instead of O(1).
+func (s *Session) SubmitBatch(ctx context.Context, js []job.Job) (int, error) {
+	queued := 0
+	for {
+		if err := s.firstErr(); err != nil {
+			return queued, err
+		}
+		k, closed := s.queue.push(js)
+		if closed {
+			return queued, fmt.Errorf("%w: %q", ErrClosing, s.ID)
+		}
+		queued += k
+		js = js[k:]
+		if len(js) == 0 {
+			return queued, nil
+		}
+		// Full: park until the applier frees space, the caller gives
+		// up, or the session starts closing (closeCh releases parked
+		// submitters even when a stuck policy never frees space).
+		select {
+		case <-s.queue.space:
+		case <-ctx.Done():
+			return queued, ctx.Err()
+		case <-s.closeCh:
+			return queued, fmt.Errorf("%w: %q", ErrClosing, s.ID)
+		}
 	}
 }
 
@@ -390,8 +429,8 @@ func (s *Session) firstErr() error {
 	return s.err
 }
 
-// Backlog returns the session's queued-but-unapplied arrival count.
-func (s *Session) Backlog() int { return len(s.queue) }
+// Backlog returns the session's queued-but-undrained arrival count.
+func (s *Session) Backlog() int { return s.queue.length() }
 
 // SessionSnapshot is a session's observable state: identity, backlog
 // and the embedded mid-stream engine snapshot.
@@ -409,7 +448,7 @@ func (s *Session) Snapshot() SessionSnapshot {
 	s.mu.Lock()
 	snap := s.run.Snapshot()
 	s.mu.Unlock()
-	return SessionSnapshot{ID: s.ID, Policy: s.Spec.Name, Backlog: len(s.queue), Snapshot: snap}
+	return SessionSnapshot{ID: s.ID, Policy: s.Spec.Name, Backlog: s.queue.length(), Snapshot: snap}
 }
 
 // finish seals the queue, waits for the applier to drain it, and
@@ -418,17 +457,11 @@ func (s *Session) Snapshot() SessionSnapshot {
 // clean session. A done ctx abandons the wait, so one stuck policy
 // cannot hold a host drain hostage.
 func (s *Session) finish(ctx context.Context) (*engine.Result, error) {
-	// Release parked submitters first, then exclude new sends: every
-	// enqueue happens under qmu.RLock with closing false, so once the
-	// write lock is held no send can race the close of the queue.
+	// Release parked submitters, then seal the queue: the ring refuses
+	// pushes from here on (no channel close/send race to choreograph)
+	// and the applier exits once it has drained what remains.
 	s.closed.Do(func() { close(s.closeCh) })
-	s.qmu.Lock()
-	already := s.closing
-	s.closing = true
-	if !already {
-		close(s.queue)
-	}
-	s.qmu.Unlock()
+	s.queue.close()
 	select {
 	case <-s.done:
 	case <-ctx.Done():

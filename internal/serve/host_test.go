@@ -231,7 +231,10 @@ func blockingRegistry(t *testing.T) (*engine.Registry, chan struct{}) {
 
 func TestSessionBackpressureBlocksAndHonoursContext(t *testing.T) {
 	reg, gate := blockingRegistry(t)
-	h := NewHost(Config{MaxBacklog: 2, Registry: reg})
+	// MaxApplyBatch 1 pins the applier to one job per wakeup so the
+	// backlog settles at a deterministic level; the batched drain has
+	// its own tests below.
+	h := NewHost(Config{MaxBacklog: 2, Registry: reg, MaxApplyBatch: 1})
 	s, err := h.Create("slow", engine.Spec{Name: "blocking", M: 1, Alpha: 2})
 	if err != nil {
 		t.Fatal(err)

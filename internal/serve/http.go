@@ -11,6 +11,17 @@
 // All request and response bodies reuse the engine's wire types
 // (Spec, Snapshot, Result) — no parallel DTO layer. Errors come back
 // as {"error": "..."} with a status the sentinel errors determine.
+//
+// The arrivals endpoint is the daemon's hot path and is built around
+// batches end to end: a pooled zero-allocation NDJSON decoder
+// (internal/job) parses lines into a reused batch which is queued
+// under one ring lock, and the acknowledgement is rendered by hand
+// into a pooled buffer. The body is strict NDJSON — one job object
+// per line — and is read no faster than the session's bounded queue
+// admits, so a slow policy stalls the read and TCP flow control
+// carries the backpressure to the client. Snapshot responses share
+// the pooled hand-rolled encoding; cold endpoints (create, close,
+// registry) keep encoding/json.
 
 package serve
 
@@ -20,6 +31,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync"
+	"unicode/utf8"
 
 	"repro/internal/engine"
 	"repro/internal/job"
@@ -83,6 +97,66 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, statusOf(err), map[string]string{"error": err.Error()})
 }
 
+// --- pooled hand-rolled responses (hot path) ---
+
+// respPool recycles response render buffers for the hot endpoints.
+var respPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// writeRaw sends a pre-rendered JSON body and returns the buffer to
+// the pool.
+func writeRaw(w http.ResponseWriter, status int, bp *[]byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(*bp)))
+	w.WriteHeader(status)
+	_, _ = w.Write(*bp)
+	*bp = (*bp)[:0]
+	respPool.Put(bp)
+}
+
+// appendJSONString appends s as a JSON string literal with
+// encoding/json-compatible escaping: control characters, quotes,
+// backslashes, the HTML-sensitive runes, the JS line separators
+// U+2028/U+2029, and invalid UTF-8 replaced by the escaped
+// replacement character — byte-identical to the cold path's
+// writeJSON, pinned by test.
+func appendJSONString(b []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				b = append(b, '\\', '"')
+			case c == '\\':
+				b = append(b, '\\', '\\')
+			case c == '\n':
+				b = append(b, '\\', 'n')
+			case c == '\r':
+				b = append(b, '\\', 'r')
+			case c == '\t':
+				b = append(b, '\\', 't')
+			case c < 0x20, c == '<', c == '>', c == '&':
+				b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xF])
+			default:
+				b = append(b, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case r == utf8.RuneError && size == 1:
+			b = append(b, `\ufffd`...)
+		case r == '\u2028', r == '\u2029':
+			b = append(b, '\\', 'u', '2', '0', '2', byte('8'+r-'\u2028'))
+		default:
+			b = append(b, s[i:i+size]...)
+		}
+		i += size
+	}
+	return append(b, '"')
+}
+
 // createRequest is the body of POST /v1/sessions.
 type createRequest struct {
 	// ID is the tenant id; empty means the host assigns one.
@@ -120,38 +194,98 @@ type arrivalsResponse struct {
 	Error    string `json:"error,omitempty"`
 }
 
-// handleArrivals consumes an NDJSON stream of jobs (one job.Job per
-// line) and queues each on the session. The request body is read no
-// faster than the session's bounded queue admits — a slow policy or a
-// full backlog stalls the read, and TCP flow control carries that
-// backpressure to the client. The response reports how many arrivals
-// were accepted (queued); a refused arrival stops the stream there.
+// writeArrivals renders the acknowledgement by hand into a pooled
+// buffer — the per-request response cost of the ingest hot path.
+func writeArrivals(w http.ResponseWriter, status int, id string, accepted int, errMsg string) {
+	bp := respPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"id":`...)
+	b = appendJSONString(b, id)
+	b = append(b, `,"accepted":`...)
+	b = strconv.AppendInt(b, int64(accepted), 10)
+	if errMsg != "" {
+		b = append(b, `,"error":`...)
+		b = appendJSONString(b, errMsg)
+	}
+	b = append(b, '}', '\n')
+	*bp = b
+	writeRaw(w, status, bp)
+}
+
+// ingestBatch is how many decoded arrivals are buffered before a
+// SubmitBatch. It bounds the handler's read-ahead past what the
+// session queue has admitted (together with the decoder's read
+// window), so backpressure still stalls the body read.
+const ingestBatch = 512
+
+// batchPool recycles the decoded-arrival scratch between requests.
+var batchPool = sync.Pool{New: func() any {
+	b := make([]job.Job, 0, ingestBatch)
+	return &b
+}}
+
+// handleArrivals consumes a strict NDJSON stream (one job.Job per
+// line) and queues the jobs on the session in batches. The response
+// reports how many arrivals were accepted (queued); a refused arrival
+// or malformed line stops the stream there. The request body is read
+// no faster than the bounded queue admits — a slow policy or a full
+// backlog stalls the read, and TCP flow control carries that
+// backpressure to the client.
 func handleArrivals(h *Host, w http.ResponseWriter, r *http.Request) {
 	s, err := h.Get(r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	dec := job.GetDecoder(r.Body)
+	defer job.PutDecoder(dec)
+	bp := batchPool.Get().(*[]job.Job)
+	batch := (*bp)[:0]
+	defer func() {
+		*bp = batch[:0]
+		batchPool.Put(bp)
+	}()
+
 	accepted := 0
-	dec := json.NewDecoder(r.Body)
-	for {
-		var j job.Job
-		if err := dec.Decode(&j); err == io.EOF {
-			break
-		} else if err != nil {
-			writeJSON(w, http.StatusBadRequest, arrivalsResponse{
-				ID: s.ID, Accepted: accepted,
-				Error: fmt.Sprintf("decoding arrival %d: %v", accepted, err),
-			})
-			return
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
 		}
-		if err := s.Submit(r.Context(), j); err != nil {
-			writeJSON(w, statusOf(err), arrivalsResponse{ID: s.ID, Accepted: accepted, Error: err.Error()})
-			return
-		}
-		accepted++
+		n, err := s.SubmitBatch(r.Context(), batch)
+		accepted += n
+		batch = batch[:0]
+		return err
 	}
-	writeJSON(w, http.StatusOK, arrivalsResponse{ID: s.ID, Accepted: accepted})
+	for {
+		batch = batch[:len(batch)+1]
+		err := dec.Next(&batch[len(batch)-1])
+		if err != nil {
+			batch = batch[:len(batch)-1]
+			if err == io.EOF {
+				break
+			}
+			// Queue the lines that preceded the malformed one, then
+			// report it; a submit failure takes precedence (it carries
+			// the session's state, e.g. closing).
+			if serr := flush(); serr != nil {
+				writeArrivals(w, statusOf(serr), s.ID, accepted, serr.Error())
+				return
+			}
+			writeArrivals(w, http.StatusBadRequest, s.ID, accepted,
+				fmt.Sprintf("decoding arrival %d: %v", accepted, err))
+			return
+		}
+		if len(batch) == cap(batch) {
+			if serr := flush(); serr != nil {
+				writeArrivals(w, statusOf(serr), s.ID, accepted, serr.Error())
+				return
+			}
+		}
+	}
+	if serr := flush(); serr != nil {
+		writeArrivals(w, statusOf(serr), s.ID, accepted, serr.Error())
+		return
+	}
+	writeArrivals(w, http.StatusOK, s.ID, accepted, "")
 }
 
 func handleSnapshot(h *Host, w http.ResponseWriter, r *http.Request) {
@@ -160,7 +294,30 @@ func handleSnapshot(h *Host, w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Snapshot())
+	snap := s.Snapshot()
+	bp := respPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"id":`...)
+	b = appendJSONString(b, snap.ID)
+	b = append(b, `,"policy":`...)
+	b = appendJSONString(b, snap.Policy)
+	b = append(b, `,"backlog":`...)
+	b = strconv.AppendInt(b, int64(snap.Backlog), 10)
+	b = append(b, `,"at":`...)
+	b = job.AppendFloat(b, snap.At)
+	b = append(b, `,"arrivals":`...)
+	b = strconv.AppendInt(b, int64(snap.Arrivals), 10)
+	b = append(b, `,"pending":`...)
+	b = strconv.AppendInt(b, int64(snap.Pending), 10)
+	b = append(b, `,"pendingWork":`...)
+	b = job.AppendFloat(b, snap.PendingWork)
+	b = append(b, `,"speed":`...)
+	b = job.AppendFloat(b, snap.Speed)
+	if snap.Buffered {
+		b = append(b, `,"buffered":true`...)
+	}
+	b = append(b, '}', '\n')
+	*bp = b
+	writeRaw(w, http.StatusOK, bp)
 }
 
 // closeResponse carries a closed session's final verified result.

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/job"
+)
+
+// mkJob builds a valid arrival with the given id and release.
+func mkJob(id int, rel float64) job.Job {
+	return job.Job{ID: id, Release: rel, Deadline: rel + 10, Work: 0.1, Value: 1}
+}
+
+// ndjsonLine renders one arrival line.
+func ndjsonLine(j job.Job) []byte {
+	return append(job.AppendJSON(nil, j), '\n')
+}
+
+// TestIngestBackpressureStallsBodyRead pins the no-unbounded-buffering
+// guarantee of the batched path: with the policy stuck and the
+// session queue full, the arrivals handler must stop reading the
+// request body after its bounded read-ahead (decoder window plus one
+// decode batch) — it must not slurp the stream into memory. Once the
+// policy is released, every line is applied.
+func TestIngestBackpressureStallsBodyRead(t *testing.T) {
+	reg, gate := blockingRegistry(t)
+	h := NewHost(Config{MaxBacklog: 8, Registry: reg})
+	if _, err := h.Create("slow", engine.Spec{Name: "blocking", M: 1, Alpha: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 5000
+	pr, pw := io.Pipe()
+	var written atomic.Int64
+	go func() {
+		for i := 0; i < total; i++ {
+			line := ndjsonLine(mkJob(i, float64(i)))
+			if _, err := pw.Write(line); err != nil {
+				return
+			}
+			written.Add(int64(len(line)))
+		}
+		pw.Close()
+	}()
+
+	req := httptest.NewRequest("POST", "/v1/sessions/slow/arrivals", pr)
+	rec := httptest.NewRecorder()
+	doneServing := make(chan struct{})
+	go func() {
+		NewHandler(h).ServeHTTP(rec, req)
+		close(doneServing)
+	}()
+
+	// Wait for the writer to stall: the written count must go quiet.
+	deadline := time.Now().Add(10 * time.Second)
+	var last int64 = -1
+	for {
+		cur := written.Load()
+		if cur == last && cur > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("body writer never stalled against the blocked policy")
+		}
+		last = cur
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Bounded read-ahead: the decoder window (16 KiB at a time) plus
+	// one decode batch of lines, with generous slack. The old bound to
+	// beat is "everything": ~350 KiB for this stream.
+	if stalled := written.Load(); stalled > 96<<10 {
+		t.Fatalf("handler buffered %d bytes of a stalled stream; want bounded read-ahead", stalled)
+	}
+	select {
+	case <-doneServing:
+		t.Fatalf("handler returned while the stream was stalled: %s", rec.Body.String())
+	default:
+	}
+
+	close(gate) // release the policy: everything must drain through
+	<-doneServing
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), fmt.Sprintf(`"accepted":%d`, total)) {
+		t.Fatalf("after release: %d %s", rec.Code, rec.Body.String())
+	}
+	res, err := h.Close("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != total {
+		t.Fatalf("policy saw %d arrivals, want %d", res.Rejected, total)
+	}
+}
+
+// TestDrainAppliesEveryQueuedBatch pins graceful drain against the
+// batched applier: arrivals queued (but unapplied) when the drain
+// begins must all reach the policy before the final result is
+// flushed.
+func TestDrainAppliesEveryQueuedBatch(t *testing.T) {
+	reg, gate := blockingRegistry(t)
+	h := NewHost(Config{MaxBacklog: 64, Registry: reg})
+	s, err := h.Create("drainy", engine.Spec{Name: "blocking", M: 1, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First job parks the applier; the rest sit queued in one batch.
+	const n = 40
+	batch := make([]job.Job, 0, n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, mkJob(i, float64(i)))
+	}
+	if k, err := s.SubmitBatch(context.Background(), batch); k != n || err != nil {
+		t.Fatalf("SubmitBatch = %d, %v", k, err)
+	}
+
+	drained := make(chan []DrainResult, 1)
+	drainErr := make(chan error, 1)
+	go func() {
+		res, err := h.Drain(context.Background())
+		drained <- res
+		drainErr <- err
+	}()
+	// The drain must wait on the stuck applier, not abandon it.
+	select {
+	case <-drained:
+		t.Fatal("drain finished while the policy was still stuck")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gate)
+	res := <-drained
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if len(res) != 1 || res[0].Result == nil {
+		t.Fatalf("drain results: %+v", res)
+	}
+	if res[0].Result.Rejected != n {
+		t.Fatalf("drained result saw %d arrivals, want %d (queued batch dropped?)", res[0].Result.Rejected, n)
+	}
+}
+
+// TestConcurrentSubmitCloseRace hammers SubmitBatch from several
+// goroutines while the session is closed mid-stream — the race-
+// detector e2e for the ring queue, the closeCh release and the
+// batch-draining applier. Every submitter must return promptly with
+// nil or ErrClosing, and the close must produce a verified result
+// covering everything that was queued.
+func TestConcurrentSubmitCloseRace(t *testing.T) {
+	h := NewHost(Config{MaxBacklog: 16})
+	_, err := h.Create("racy", engine.Spec{Name: "oa", M: 1, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := h.Get("racy")
+
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Same release everywhere keeps arbitrary interleavings
+				// release-ordered; IDs are disjoint per worker.
+				batch := []job.Job{
+					mkJob(w*1_000_000+2*i, 0),
+					mkJob(w*1_000_000+2*i+1, 0),
+				}
+				if _, err := s.SubmitBatch(context.Background(), batch); err != nil {
+					if !errors.Is(err, ErrClosing) {
+						t.Errorf("worker %d: %v", w, err)
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	res, err := h.Close("racy")
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("close during concurrent submits: %v", err)
+	}
+	if res.Schedule == nil {
+		t.Fatal("close returned no schedule")
+	}
+	if h.Metrics().SessionsLive() != 0 {
+		t.Fatalf("sessions live = %d", h.Metrics().SessionsLive())
+	}
+}
+
+// TestIngestBatchedMatchesUnbatched pins the serving differential at
+// the host layer: the same stream through the batch-draining applier
+// and through a MaxApplyBatch=1 (per-job) applier must close to the
+// same schedule bytes.
+func TestIngestBatchedMatchesUnbatched(t *testing.T) {
+	stream := &bytes.Buffer{}
+	for i := 0; i < 500; i++ {
+		stream.Write(ndjsonLine(mkJob(i, float64(i/7))))
+	}
+	run := func(cfg Config) *engine.Result {
+		t.Helper()
+		h := NewHost(cfg)
+		srv := httptest.NewServer(NewHandler(h))
+		defer srv.Close()
+		a := &api{t: t, srv: srv}
+		a.do("POST", "/v1/sessions", strings.NewReader(`{"id":"x","spec":{"name":"oa","m":1,"alpha":2}}`), 201, nil)
+		var arr arrivalsResponse
+		a.do("POST", "/v1/sessions/x/arrivals", bytes.NewReader(stream.Bytes()), 200, &arr)
+		if arr.Accepted != 500 {
+			t.Fatalf("accepted = %d", arr.Accepted)
+		}
+		var closed closeResponse
+		a.do("DELETE", "/v1/sessions/x", nil, 200, &closed)
+		return closed.Result
+	}
+	batched := run(Config{})
+	unbatched := run(Config{MaxApplyBatch: 1})
+	aj, _ := json.MarshalIndent(maskTimes(batched), "", " ")
+	bj, _ := json.MarshalIndent(maskTimes(unbatched), "", " ")
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("batched and per-job ingest disagree:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// TestAppendJSONStringMatchesEncodingJSON pins the hot-path string
+// escaping byte-identical to the cold path's encoding/json — quotes,
+// backslashes, control characters, HTML-sensitive runes, the JS line
+// separators U+2028/U+2029, and invalid UTF-8 replacement.
+func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
+	for _, s := range []string{
+		"", "plain", `quote"back\`, "tab\tnl\ncr\r", "<html>&x", "bell\x01\x1f",
+		"line\u2028sep\u2029end", "héllo🙂", "bad\xffutf8",
+	} {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("escaping divergence for %q:\nencoding/json %s\nhand-rolled   %s", s, want, got)
+		}
+	}
+}

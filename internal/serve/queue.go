@@ -1,0 +1,150 @@
+// The per-session arrival queue behind the batched ingest path: a
+// bounded ring of jobs with one consumer (the session's applier) and
+// any number of producers (HTTP handlers). It replaces the old
+// chan job.Job, which charged one channel send/receive — a futex-able
+// synchronization point — to every arrival. The ring moves whole
+// batches under one mutex acquisition on each side: producers push
+// slices, the consumer drains everything queued per wakeup, and the
+// buffered signal channels exist only to park and wake the edge cases
+// (empty queue on the consumer side, full queue on the producer side)
+// without spinning. A full queue admits nothing — that is the
+// MaxBacklog backpressure bound the HTTP layer propagates by stalling
+// the request body read.
+
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/job"
+)
+
+// arrq is the bounded multi-producer single-consumer arrival ring.
+type arrq struct {
+	mu     sync.Mutex
+	buf    []job.Job // ring storage; buf[head:head+n) wrapping
+	head   int
+	n      int
+	closed bool
+
+	// qlen mirrors n for lock-free Backlog reads; gauge (shared across
+	// the host) feeds the lock-free /metrics backlog fast path.
+	qlen  atomic.Int64
+	gauge *atomic.Int64
+
+	// space and data are 1-buffered wake signals: a producer parks on
+	// space when the ring is full, the consumer parks on data when it
+	// is empty. All sends happen under mu (so close cannot race them);
+	// data is closed by close() to release the consumer for good.
+	space chan struct{}
+	data  chan struct{}
+}
+
+func newArrq(capacity int, gauge *atomic.Int64) *arrq {
+	return &arrq{
+		buf:   make([]job.Job, capacity),
+		gauge: gauge,
+		space: make(chan struct{}, 1),
+		data:  make(chan struct{}, 1),
+	}
+}
+
+// push enqueues as much of js as fits, returning how many were taken
+// and whether the queue is closed. A full queue takes nothing; the
+// caller parks on space. When capacity remains after a successful
+// push, the space signal is forwarded so a second parked producer is
+// not stranded behind the first one's wakeup.
+func (q *arrq) push(js []job.Job) (int, bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, true
+	}
+	k := len(q.buf) - q.n
+	if k > len(js) {
+		k = len(js)
+	}
+	if k > 0 {
+		at := q.head + q.n
+		for i := 0; i < k; i++ {
+			p := at + i
+			if p >= len(q.buf) {
+				p -= len(q.buf)
+			}
+			q.buf[p] = js[i]
+		}
+		q.n += k
+		q.qlen.Store(int64(q.n))
+		if q.gauge != nil {
+			q.gauge.Add(int64(k))
+		}
+		select {
+		case q.data <- struct{}{}:
+		default:
+		}
+		if q.n < len(q.buf) {
+			select {
+			case q.space <- struct{}{}:
+			default:
+			}
+		}
+	}
+	q.mu.Unlock()
+	return k, false
+}
+
+// drainTo moves up to max queued jobs (everything when max <= 0) into
+// dst without blocking. done reports closed-and-empty — the applier's
+// exit condition.
+func (q *arrq) drainTo(dst []job.Job, max int) (out []job.Job, done bool) {
+	q.mu.Lock()
+	k := q.n
+	if max > 0 && k > max {
+		k = max
+	}
+	for i := 0; i < k; i++ {
+		p := q.head + i
+		if p >= len(q.buf) {
+			p -= len(q.buf)
+		}
+		dst = append(dst, q.buf[p])
+	}
+	if k > 0 {
+		q.head += k
+		if q.head >= len(q.buf) {
+			q.head -= len(q.buf)
+		}
+		q.n -= k
+		q.qlen.Store(int64(q.n))
+		if q.gauge != nil {
+			q.gauge.Add(int64(-k))
+		}
+		select {
+		case q.space <- struct{}{}:
+		default:
+		}
+	}
+	done = q.closed && q.n == 0
+	q.mu.Unlock()
+	return dst, done
+}
+
+// waitData parks the consumer until a push signals or the queue
+// closes. Spurious wakeups are fine: the applier re-drains and parks
+// again.
+func (q *arrq) waitData() { <-q.data }
+
+// close seals the queue: producers are refused from now on and the
+// consumer is released once it drains what remains. Idempotent.
+func (q *arrq) close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.data)
+	}
+	q.mu.Unlock()
+}
+
+// length returns the queued-but-undrained count without locking.
+func (q *arrq) length() int { return int(q.qlen.Load()) }

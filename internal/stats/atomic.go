@@ -68,6 +68,42 @@ func (h *AtomicHistogram) Observe(x float64) {
 	h.count.Add(1)
 }
 
+// ObserveN records n identical observations in O(1) — the batch twin
+// of Histogram.ObserveN: one CAS on the sum, one max/min update and
+// one bucket add of n, however large the batch. The daemon uses it to
+// charge a drained batch's amortized per-arrival latency to all of its
+// arrivals without n atomic updates.
+func (h *AtomicHistogram) ObserveN(x float64, n uint64) {
+	if n == 0 || math.IsNaN(x) {
+		return
+	}
+	if x < 0 {
+		x = 0
+	}
+	add := x * float64(n)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+add)) {
+			break
+		}
+	}
+	bits := math.Float64bits(x)
+	for {
+		old := h.maxBits.Load()
+		if old >= bits || h.maxBits.CompareAndSwap(old, bits) {
+			break
+		}
+	}
+	for inv := ^bits; ; {
+		old := h.minBitsInv.Load()
+		if old >= inv || h.minBitsInv.CompareAndSwap(old, inv) {
+			break
+		}
+	}
+	h.counts[bucketOf(x)].Add(n)
+	h.count.Add(n)
+}
+
 // Count returns the number of observations recorded so far.
 func (h *AtomicHistogram) Count() uint64 { return h.count.Load() }
 

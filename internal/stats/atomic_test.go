@@ -87,3 +87,21 @@ func TestAtomicHistogramEmpty(t *testing.T) {
 		t.Fatalf("zero value snapshot not empty: %+v", snap)
 	}
 }
+
+// TestAtomicObserveNMatchesHistogram pins the atomic batch observation
+// against the plain histogram fed the same batches.
+func TestAtomicObserveNMatchesHistogram(t *testing.T) {
+	var a AtomicHistogram
+	var plain Histogram
+	for _, c := range []struct {
+		x float64
+		n uint64
+	}{{5e-4, 3}, {0.12, 1}, {-3, 4}, {7e88, 2}, {1, 0}} {
+		a.ObserveN(c.x, c.n)
+		plain.ObserveN(c.x, c.n)
+	}
+	a.ObserveN(math.NaN(), 5)
+	if snap := a.Snapshot(); snap != plain {
+		t.Fatalf("atomic ObserveN snapshot diverges:\n%+v\nvs\n%+v", snap, plain)
+	}
+}

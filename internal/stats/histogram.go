@@ -89,6 +89,29 @@ func (h *Histogram) Observe(x float64) {
 	}
 }
 
+// ObserveN records n identical observations in O(1): one bucket
+// bump of n instead of n bumps. The serving daemon uses it to charge a
+// batch's amortized per-arrival latency to every arrival in the batch
+// without paying one histogram update per job.
+func (h *Histogram) ObserveN(x float64, n uint64) {
+	if n == 0 || math.IsNaN(x) {
+		return
+	}
+	if x < 0 {
+		x = 0
+	}
+	h.counts[bucketOf(x)] += n
+	wasEmpty := h.count == 0
+	h.count += n
+	h.sum += x * float64(n)
+	if wasEmpty || x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+}
+
 // Merge folds o into h, bucket by bucket. Because every Histogram
 // shares one fixed layout, the merge is exact: Merge then Quantile
 // equals recording all observations into a single histogram.
@@ -183,6 +206,26 @@ func (h *Histogram) Buckets() []Bucket {
 		out = append(out, Bucket{UpperBound: math.Inf(1), Count: cum})
 	}
 	return out
+}
+
+// VisitBuckets walks the cumulative nonempty buckets plus the +Inf
+// terminator in upper-bound order — the same series Buckets returns,
+// but without allocating, for the daemon's pooled metrics scrape.
+func (h *Histogram) VisitBuckets(visit func(upperBound float64, cum uint64)) {
+	var cum uint64
+	seen := false
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		ub := histUpperBound(i)
+		visit(ub, cum)
+		seen = seen || math.IsInf(ub, 1)
+	}
+	if !seen {
+		visit(math.Inf(1), cum)
+	}
 }
 
 // String renders a compact one-line summary for reports.

@@ -174,3 +174,55 @@ func TestHistogramBoundaryObservations(t *testing.T) {
 		t.Fatal("no boundary observations recorded")
 	}
 }
+
+// TestObserveNMatchesRepeatedObserve pins the batch observation: one
+// ObserveN(x, n) must be indistinguishable from n Observe(x) calls —
+// buckets, count, sum, extremes and quantiles.
+func TestObserveNMatchesRepeatedObserve(t *testing.T) {
+	var batched, looped Histogram
+	cases := []struct {
+		x float64
+		n uint64
+	}{{1e-3, 7}, {2.5e-3, 1}, {0, 3}, {-1, 2}, {4.2, 1000}, {9e99, 5}}
+	for _, c := range cases {
+		batched.ObserveN(c.x, c.n)
+		for i := uint64(0); i < c.n; i++ {
+			looped.Observe(c.x)
+		}
+	}
+	batched.ObserveN(1, 0) // n=0 must be a no-op
+	batched.ObserveN(math.NaN(), 9)
+	if batched != looped {
+		t.Fatalf("ObserveN diverges from repeated Observe:\n%+v\nvs\n%+v", batched, looped)
+	}
+	if got, want := batched.String(), looped.String(); got != want {
+		t.Fatalf("summary diverges: %q vs %q", got, want)
+	}
+}
+
+// TestVisitBucketsMatchesBuckets pins the alloc-free iteration against
+// the allocating Buckets slice, including the +Inf terminator on
+// histograms that never hit the overflow bucket.
+func TestVisitBucketsMatchesBuckets(t *testing.T) {
+	for name, fill := range map[string]func(h *Histogram){
+		"empty":    func(h *Histogram) {},
+		"typical":  func(h *Histogram) { h.Observe(1e-4); h.Observe(3e-2); h.Observe(3e-2) },
+		"overflow": func(h *Histogram) { h.Observe(1e99); h.Observe(2) },
+	} {
+		var h Histogram
+		fill(&h)
+		want := h.Buckets()
+		var got []Bucket
+		h.VisitBuckets(func(ub float64, cum uint64) {
+			got = append(got, Bucket{UpperBound: ub, Count: cum})
+		})
+		if len(got) != len(want) {
+			t.Fatalf("%s: VisitBuckets emitted %d entries, Buckets %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: bucket %d: %+v vs %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -366,7 +366,7 @@ func simulate(in *job.Instance, pol simPolicy) (*sched.Schedule, error) {
 
 	var ls liveSet
 	var sim gridSim
-	out := &sched.Schedule{M: 1}
+	var segs segList
 	next := 0
 	for k := 0; k+1 < len(bounds); k++ {
 		t0, t1 := bounds[k], bounds[k+1]
@@ -376,12 +376,12 @@ func simulate(in *job.Instance, pol simPolicy) (*sched.Schedule, error) {
 			pol.observe(j)
 			next++
 		}
-		if err := sim.span(t0, t1, &ls, pol, &out.Segments); err != nil {
+		if err := sim.span(t0, t1, &ls, pol, &segs); err != nil {
 			return nil, err
 		}
 	}
 	if err := sim.checkFinished(&ls); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return &sched.Schedule{M: 1, Segments: segs.materialize()}, nil
 }

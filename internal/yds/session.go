@@ -87,7 +87,7 @@ type OASession struct {
 	fr   frontier
 	live liveSet
 	st   stair // current plan in st.blocks
-	segs []sched.Segment
+	segs segList
 }
 
 // NewOASession returns an empty OA session.
@@ -105,9 +105,16 @@ func (s *OASession) Arrive(j job.Job) error {
 		execPlan(s.st.blocks, j.Release, s.live.jobs, &s.segs)
 		s.fr.t = j.Release
 	}
-	// Retire jobs the execution just finished (rem clamped to exactly
-	// zero — the batch pending filter is rem > 0), then admit the
-	// arrival at its sorted position.
+	// Retire jobs the execution just finished, then admit the arrival
+	// at its sorted position.
+	s.retire()
+	s.live.insert(j)
+	return s.st.build(s.fr.t, s.live.jobs)
+}
+
+// retire compacts finished jobs out of the live set (rem clamped to
+// exactly zero — the batch pending filter is rem > 0).
+func (s *OASession) retire() {
 	w := 0
 	for _, p := range s.live.jobs {
 		if p.rem > 0 {
@@ -116,8 +123,46 @@ func (s *OASession) Arrive(j job.Job) error {
 		}
 	}
 	s.live.jobs = s.live.jobs[:w]
-	s.live.insert(j)
-	return s.st.build(s.fr.t, s.live.jobs)
+}
+
+// ArriveBatch absorbs a run of arrivals in one call, coalescing the
+// replans of same-release groups: the sequential path rebuilds the
+// staircase after every arrival, but a plan is only ever *executed*
+// when the frontier moves (or at Close), so only the last build of
+// each group is observable. Skipping the intermediate builds leaves
+// every executed plan with bit-identical inputs — the emitted schedule
+// is byte-equal to feeding the jobs one at a time, which the
+// differential tests pin. It returns how many jobs the session
+// absorbed into its live state; on an error the remaining jobs are
+// untouched. A *build* error counts the jobs already inserted as
+// absorbed (they are in the live set, exactly like the sequential
+// path's post-error state), so the caller's bookkeeping never
+// diverges from the policy's.
+func (s *OASession) ArriveBatch(js []job.Job) (int, error) {
+	for i, j := range js {
+		moved, err := s.fr.observe(j)
+		if err != nil {
+			// Plan the absorbed tail so the session state matches the
+			// sequential path's (whose last build covered it already).
+			if berr := s.st.build(s.fr.t, s.live.jobs); berr != nil {
+				return i, berr
+			}
+			return i, err
+		}
+		if moved {
+			if err := s.st.build(s.fr.t, s.live.jobs); err != nil {
+				return i, err
+			}
+			execPlan(s.st.blocks, j.Release, s.live.jobs, &s.segs)
+			s.fr.t = j.Release
+		}
+		s.retire()
+		s.live.insert(j)
+	}
+	if err := s.st.build(s.fr.t, s.live.jobs); err != nil {
+		return len(js), err
+	}
+	return len(js), nil
 }
 
 // Close runs the final plan to completion and returns the schedule.
@@ -127,7 +172,7 @@ func (s *OASession) Close() (*sched.Schedule, error) {
 	}
 	s.fr.closed = true
 	execPlan(s.st.blocks, math.Inf(1), s.live.jobs, &s.segs)
-	return &sched.Schedule{M: 1, Segments: s.segs}, nil
+	return &sched.Schedule{M: 1, Segments: s.segs.materialize()}, nil
 }
 
 // State reports the live backlog and current plan speed.
@@ -162,7 +207,7 @@ type AVRSession struct {
 	grid   boundGrid
 	bounds []float64 // emit scratch
 	active []int     // emit scratch: indices into known
-	segs   []sched.Segment
+	segs   segList
 }
 
 // NewAVRSession returns an empty AVR session.
@@ -193,7 +238,7 @@ func (s *AVRSession) emit(T float64) {
 		for _, i := range s.active {
 			j := s.known[i]
 			share := (t1 - t0) * j.Density() / total
-			s.segs = append(s.segs, sched.Segment{
+			s.segs.add(sched.Segment{
 				Proc: 0, Job: j.ID, T0: t, T1: t + share, Speed: total,
 			})
 			t += share
@@ -232,6 +277,19 @@ func (s *AVRSession) Arrive(j job.Job) error {
 	return nil
 }
 
+// ArriveBatch absorbs a run of arrivals in one call. AVR does no
+// per-arrival replanning beyond the frontier-move emit, so the batch
+// entry point is the sequential loop without per-call overhead; it
+// returns how many jobs were absorbed before the first error.
+func (s *AVRSession) ArriveBatch(js []job.Job) (int, error) {
+	for i := range js {
+		if err := s.Arrive(js[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(js), nil
+}
+
 // Close finalises the schedule through the last deadline.
 func (s *AVRSession) Close() (*sched.Schedule, error) {
 	if s.fr.closed {
@@ -244,7 +302,7 @@ func (s *AVRSession) Close() (*sched.Schedule, error) {
 			s.fr.t = T
 		}
 	}
-	return &sched.Schedule{M: 1, Segments: s.segs}, nil
+	return &sched.Schedule{M: 1, Segments: s.segs.materialize()}, nil
 }
 
 // State reports the live density backlog: every known job whose window
@@ -278,7 +336,7 @@ type QOASession struct {
 	sim    gridSim
 	grid   boundGrid
 	bounds []float64 // advance scratch
-	segs   []sched.Segment
+	segs   segList
 }
 
 // NewQOASession returns an empty qOA session for the power model's
@@ -318,6 +376,19 @@ func (s *QOASession) Arrive(j job.Job) error {
 	return nil
 }
 
+// ArriveBatch absorbs a run of arrivals in one call; the grid advance
+// already happens only on frontier moves, so this is the sequential
+// loop minus per-call overhead. It returns how many jobs were
+// absorbed before the first error.
+func (s *QOASession) ArriveBatch(js []job.Job) (int, error) {
+	for i := range js {
+		if err := s.Arrive(js[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(js), nil
+}
+
 // Close simulates through the last deadline and returns the schedule;
 // like the batch simulator it fails if any job is left unfinished.
 func (s *QOASession) Close() (*sched.Schedule, error) {
@@ -336,7 +407,7 @@ func (s *QOASession) Close() (*sched.Schedule, error) {
 	if err := s.sim.checkFinished(&s.live); err != nil {
 		return nil, err
 	}
-	return &sched.Schedule{M: 1, Segments: s.segs}, nil
+	return &sched.Schedule{M: 1, Segments: s.segs.materialize()}, nil
 }
 
 // State reports the live backlog and the qOA speed at the frontier.

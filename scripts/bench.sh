@@ -5,12 +5,14 @@
 #   ./scripts/bench.sh [output.json]
 #
 # BENCH overrides the benchmark regex (default: the per-arrival
-# session benchmark that pins the online hot path), BENCHTIME the
-# -benchtime (e.g. 1x for a CI smoke run, 1s for a real measurement).
+# session benchmark pinning the online hot path, plus the serve-ingest
+# benchmark pinning end-to-end arrivals/sec through the HTTP stack),
+# BENCHTIME the -benchtime (e.g. 1x for a CI smoke run, 1s for a real
+# measurement).
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr4.json}"
-bench="${BENCH:-BenchmarkSessionPerArrival}"
+out="${1:-BENCH_pr5.json}"
+bench="${BENCH:-BenchmarkSessionPerArrival|BenchmarkServeIngest}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
