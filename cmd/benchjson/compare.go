@@ -90,9 +90,9 @@ func compareFiles(w io.Writer, oldPath, newPath string, tolerance float64) (int,
 			compared++
 			status := "ok"
 			var delta float64
-			if ov != 0 {
+			if ov != 0 { //schedlint:exactfloat zero guard before division, not a tolerance
 				delta = (nv - ov) / ov
-			} else if nv != 0 {
+			} else if nv != 0 { //schedlint:exactfloat zero guard, baseline absent
 				delta = 1
 			}
 			bad := false

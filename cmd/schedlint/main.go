@@ -1,0 +1,168 @@
+// Command schedlint runs the repo's custom analyzers (hotalloc,
+// floateq, lockdiscipline, pooledbuf) over module packages.
+//
+// Standalone:
+//
+//	go run ./cmd/schedlint ./...
+//	go run ./cmd/schedlint -only hotalloc,floateq ./internal/yds
+//
+// As a vet tool (best effort — parses the unitchecker .cfg protocol,
+// then re-analyzes the whole module so cross-package facts exist, and
+// reports only the cfg package's diagnostics):
+//
+//	go vet -vettool=$(go env GOPATH)/bin/schedlint ./...
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 operational error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+	"repro/internal/lint/floateq"
+	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/lockdiscipline"
+	"repro/internal/lint/pooledbuf"
+)
+
+var all = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	floateq.Analyzer,
+	lockdiscipline.Analyzer,
+	pooledbuf.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("schedlint", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	vflag := fs.String("V", "", "version protocol for go vet (-V=full)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// go vet probes the tool with -V=full before handing it a .cfg.
+	if *vflag == "full" {
+		fmt.Printf("schedlint version devel\n")
+		return 0
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "schedlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetCfg(rest[0], analyzers)
+	}
+	return runPatterns(rest, analyzers)
+}
+
+func runPatterns(patterns []string, analyzers []*analysis.Analyzer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	root, err := driver.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	fset := token.NewFileSet()
+	module, pkgs, err := driver.Load(fset, root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	diags := driver.Analyze(fset, module, pkgs, analyzers)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		rel, err := filepath.Rel(wd, pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = pos.Filename
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of the unitchecker .cfg payload schedlint
+// needs to locate the package under analysis.
+type vetConfig struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// runVetCfg handles one `go vet -vettool` unit: it re-loads the whole
+// module (the unit's export-data import map is useless to a
+// source-based checker, and facts must flow from dependencies anyway)
+// and reports only the diagnostics that land in the unit's package.
+func runVetCfg(path string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: parsing %s: %v\n", path, err)
+		return 2
+	}
+	root, err := driver.FindModuleRoot(cfg.Dir)
+	if err != nil {
+		// Package outside any module we can analyze (e.g. stdlib vet
+		// units): nothing to say.
+		return 0
+	}
+	fset := token.NewFileSet()
+	module, pkgs, err := driver.Load(fset, root, []string{cfg.Dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	diags := driver.Analyze(fset, module, pkgs, analyzers)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

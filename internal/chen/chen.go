@@ -67,7 +67,7 @@ func sortItems(items []Item) []Item {
 	s := make([]Item, len(items))
 	copy(s, items)
 	sort.Slice(s, func(a, b int) bool {
-		if s[a].Work != s[b].Work {
+		if s[a].Work != s[b].Work { //schedlint:exactfloat sort tie-break on values copied bit-for-bit
 			return s[a].Work > s[b].Work
 		}
 		return s[a].ID < s[b].ID

@@ -231,7 +231,7 @@ func T5DeltaAblation(sc Scale) (*stats.Table, error) {
 			rejs = append(rejs, float64(len(res.Schedule.Rejected)))
 		}
 		mean := stats.Summarize(costs).Mean
-		if mult == 1 {
+		if mult == 1 { //schedlint:exactfloat mult ranges over exact literals
 			base = mean
 		}
 		t.AddRow(mult, mult*pm.DefaultDelta(), mean,

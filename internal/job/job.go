@@ -157,10 +157,10 @@ func (in *Instance) Validate() error {
 func (in *Instance) Normalize() {
 	sort.SliceStable(in.Jobs, func(a, b int) bool {
 		ja, jb := in.Jobs[a], in.Jobs[b]
-		if ja.Release != jb.Release {
+		if ja.Release != jb.Release { //schedlint:exactfloat sort tie-break on bit-identical inputs
 			return ja.Release < jb.Release
 		}
-		if ja.Deadline != jb.Deadline {
+		if ja.Deadline != jb.Deadline { //schedlint:exactfloat sort tie-break on bit-identical inputs
 			return ja.Deadline < jb.Deadline
 		}
 		return ja.ID < jb.ID

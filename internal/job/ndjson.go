@@ -74,6 +74,8 @@ var decoderPool = sync.Pool{New: func() any { return NewDecoder(nil) }}
 // GetDecoder hands out a pooled decoder bound to r. Return it with
 // PutDecoder when the stream is done so its buffers are reused — the
 // daemon's per-request path allocates no decoder state at all.
+//
+//schedlint:poolget
 func GetDecoder(r io.Reader) *Decoder {
 	d := decoderPool.Get().(*Decoder)
 	d.Reset(r)
@@ -81,6 +83,8 @@ func GetDecoder(r io.Reader) *Decoder {
 }
 
 // PutDecoder returns a decoder to the pool.
+//
+//schedlint:poolput
 func PutDecoder(d *Decoder) {
 	d.Reset(nil)
 	decoderPool.Put(d)
@@ -95,6 +99,8 @@ func (d *Decoder) Line() int { return d.line }
 // number) for a malformed line. After an error the decoder continues
 // with the following line, but the daemon treats the first error as
 // fatal for the request.
+//
+//schedlint:hotpath
 func (d *Decoder) Next(j *Job) error {
 	for {
 		line, err := d.nextLine()
@@ -109,7 +115,7 @@ func (d *Decoder) Next(j *Job) error {
 			return nil
 		}
 		if err := d.p.parseJob(line, j); err != nil {
-			return fmt.Errorf("job: ndjson line %d: %w", d.line, err)
+			return fmt.Errorf("job: ndjson line %d: %w", d.line, err) //schedlint:allowalloc terminal error path, request aborts
 		}
 		return nil
 	}
@@ -117,6 +123,8 @@ func (d *Decoder) Next(j *Job) error {
 
 // nextLine returns the next raw line (without its '\n'), reading more
 // of the stream as needed into the reused buffer.
+//
+//schedlint:hotpath
 func (d *Decoder) nextLine() ([]byte, error) {
 	searched := 0 // bytes of the window already known '\n'-free
 	for {
@@ -147,9 +155,9 @@ func (d *Decoder) nextLine() ([]byte, error) {
 		}
 		if d.end == len(d.buf) {
 			if len(d.buf) >= maxLineBytes {
-				return nil, fmt.Errorf("job: ndjson line %d exceeds %d bytes", d.line+1, maxLineBytes)
+				return nil, fmt.Errorf("job: ndjson line %d exceeds %d bytes", d.line+1, maxLineBytes) //schedlint:allowalloc terminal error path, request aborts
 			}
-			grown := make([]byte, min(2*len(d.buf), maxLineBytes))
+			grown := make([]byte, min(2*len(d.buf), maxLineBytes)) //schedlint:allowalloc amortized doubling, capped at maxLineBytes
 			copy(grown, d.buf[:d.end])
 			d.buf = grown
 		}
@@ -187,6 +195,8 @@ func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\
 // whitespace, escapes, null) reports false and falls back to the
 // general parser, so the fast path changes nothing about the accepted
 // language — only the cost of its common sentence.
+//
+//schedlint:hotpath
 func parseCanonical(b []byte, j *Job) bool {
 	i := 0
 	match := func(lit string) bool {
@@ -268,6 +278,8 @@ func parseCanonical(b []byte, j *Job) bool {
 // (stricter than strconv: no leading zeros, no "+", no bare-dot
 // forms, no hex/underscores/Inf), returning the token and the index
 // past it.
+//
+//schedlint:hotpath
 func scanJSONNumber(b []byte, i int) ([]byte, int, bool) {
 	start := i
 	if i < len(b) && b[i] == '-' {
@@ -318,6 +330,8 @@ type lineParser struct {
 
 // parseJob parses one JSON object into *j with json.Unmarshal's
 // semantics for the Job wire format.
+//
+//schedlint:hotpath
 func (p *lineParser) parseJob(line []byte, j *Job) error {
 	p.b, p.i = line, 0
 	*j = Job{}
@@ -367,7 +381,7 @@ func (p *lineParser) parseJob(line []byte, j *Job) error {
 				}
 				v, err := strconv.ParseInt(string(tok), 10, 64)
 				if err != nil {
-					return fmt.Errorf("cannot decode number %s into job id", tok)
+					return fmt.Errorf("cannot decode number %s into job id", tok) //schedlint:allowalloc terminal error path, request aborts
 				}
 				j.ID = int(v)
 			case keyIs(key, "release"), keyIs(key, "deadline"), keyIs(key, "work"):
@@ -383,7 +397,7 @@ func (p *lineParser) parseJob(line []byte, j *Job) error {
 				}
 				v, err := strconv.ParseFloat(string(tok), 64)
 				if err != nil {
-					return fmt.Errorf("cannot decode number %s", tok)
+					return fmt.Errorf("cannot decode number %s", tok) //schedlint:allowalloc terminal error path, request aborts
 				}
 				switch {
 				case keyIs(key, "release"):
@@ -429,6 +443,8 @@ func (p *lineParser) parseJob(line []byte, j *Job) error {
 // applyValue interprets the raw value span with Job.UnmarshalJSON's
 // semantics: absent leaves zero, a number parses, null resolves to
 // zero, and the strings "inf"/"+inf" (any case) mean +Inf.
+//
+//schedlint:coldpath
 func (p *lineParser) applyValue(raw []byte, j *Job) error {
 	if raw == nil {
 		return nil
@@ -463,6 +479,8 @@ func (p *lineParser) applyValue(raw []byte, j *Job) error {
 // ASCII fold; keys containing non-ASCII bytes take the full Unicode
 // fold (characters like U+017F fold into ASCII, and encoding/json
 // would match them).
+//
+//schedlint:hotpath
 func keyIs(key []byte, name string) bool {
 	nonASCII := false
 	if len(key) == len(name) {
@@ -503,6 +521,7 @@ func foldIsInf(s []byte) bool {
 	return keyIs(s, "inf")
 }
 
+//schedlint:hotpath
 func (p *lineParser) peek() byte {
 	if p.i < len(p.b) {
 		return p.b[p.i]
@@ -510,20 +529,23 @@ func (p *lineParser) peek() byte {
 	return 0
 }
 
+//schedlint:hotpath
 func (p *lineParser) ws() {
 	for p.i < len(p.b) && isSpace(p.b[p.i]) {
 		p.i++
 	}
 }
 
+//schedlint:hotpath
 func (p *lineParser) expect(c byte) error {
 	if p.i < len(p.b) && p.b[p.i] == c {
 		p.i++
 		return nil
 	}
-	return p.errAt(fmt.Sprintf("looking for %q", c))
+	return p.errAt(fmt.Sprintf("looking for %q", c)) //schedlint:allowalloc terminal error path, request aborts
 }
 
+//schedlint:hotpath
 func (p *lineParser) lit(s string) error {
 	if len(p.b)-p.i >= len(s) && string(p.b[p.i:p.i+len(s)]) == s {
 		p.i += len(s)
@@ -532,6 +554,7 @@ func (p *lineParser) lit(s string) error {
 	return p.errAt("in literal")
 }
 
+//schedlint:coldpath
 func (p *lineParser) errAt(ctx string) error {
 	if p.i >= len(p.b) {
 		return fmt.Errorf("unexpected end of line %s", ctx)
@@ -542,6 +565,8 @@ func (p *lineParser) errAt(ctx string) error {
 // number scans one JSON number token via the shared grammar scanner
 // (stricter than strconv: no leading zeros, no "+", no bare "."
 // forms, no hex/underscores/Inf).
+//
+//schedlint:hotpath
 func (p *lineParser) number() ([]byte, error) {
 	tok, ni, ok := scanJSONNumber(p.b, p.i)
 	p.i = ni
@@ -553,6 +578,8 @@ func (p *lineParser) number() ([]byte, error) {
 
 // str parses a JSON string. The fast path returns a subslice of the
 // line; escapes fall back to unescaping into the reused scratch.
+//
+//schedlint:hotpath
 func (p *lineParser) str() ([]byte, error) {
 	if err := p.expect('"'); err != nil {
 		return nil, err
@@ -578,6 +605,8 @@ func (p *lineParser) str() ([]byte, error) {
 // strSlow unescapes from the first backslash on, mirroring
 // encoding/json: named escapes, \uXXXX with UTF-16 surrogate pairs,
 // and lone surrogates replaced by U+FFFD without error.
+//
+//schedlint:coldpath
 func (p *lineParser) strSlow(start int) ([]byte, error) {
 	p.scratch = append(p.scratch[:0], p.b[start:p.i]...)
 	for p.i < len(p.b) {
@@ -640,6 +669,8 @@ func (p *lineParser) strSlow(start int) ([]byte, error) {
 // pairLowSurrogate consumes a following \uXXXX escape if (and only
 // if) r1 is a high surrogate and the escape is a low surrogate,
 // returning the decoded rune.
+//
+//schedlint:coldpath
 func (p *lineParser) pairLowSurrogate(r1 rune) (rune, bool) {
 	if r1 >= 0xDC00 { // low surrogate first: never pairs
 		return 0, false
@@ -655,6 +686,7 @@ func (p *lineParser) pairLowSurrogate(r1 rune) (rune, bool) {
 	return 0, false
 }
 
+//schedlint:coldpath
 func (p *lineParser) hex4() (rune, error) {
 	if p.i+4 > len(p.b) {
 		return 0, p.errAt("in \\u escape")
@@ -680,6 +712,8 @@ func (p *lineParser) hex4() (rune, error) {
 // skipValue validates and discards one JSON value of any type — the
 // unknown-field path. Depth is bounded so a pathological line cannot
 // blow the stack.
+//
+//schedlint:coldpath
 func (p *lineParser) skipValue(depth int) error {
 	if depth > 64 {
 		return fmt.Errorf("value nested deeper than 64 levels")
@@ -758,6 +792,8 @@ func (p *lineParser) skipValue(depth int) error {
 // reflection or intermediate allocation. The job must be Validate-
 // clean: NaN or -Inf fields — which json.Marshal refuses — are the
 // caller's bug, not an encodable state.
+//
+//schedlint:hotpath
 func AppendJSON(dst []byte, j Job) []byte {
 	dst = append(dst, `{"id":`...)
 	dst = strconv.AppendInt(dst, int64(j.ID), 10)
@@ -781,10 +817,12 @@ func AppendJSON(dst []byte, j Job) []byte {
 // trimmed one-digit exponent outside it. It is the single source of
 // the wire float format — the daemon's hand-rolled snapshot encoding
 // uses it too, so hot- and cold-path responses cannot drift apart.
+//
+//schedlint:hotpath
 func AppendFloat(dst []byte, f float64) []byte {
 	abs := math.Abs(f)
 	format := byte('f')
-	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) { //schedlint:exactfloat zero sentinel picks the wire format
 		format = 'e'
 	}
 	dst = strconv.AppendFloat(dst, f, format, -1, 64)

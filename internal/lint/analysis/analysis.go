@@ -1,0 +1,144 @@
+// Package analysis is a deliberately small, stdlib-only re-creation
+// of the golang.org/x/tools/go/analysis surface the schedlint
+// analyzers need: an Analyzer runs once per package over parsed and
+// type-checked syntax, reports position-tagged diagnostics, and may
+// attach facts to objects that analyses of importing packages can read
+// back (the one-level interprocedural seam hotalloc uses). The module
+// vendors nothing and the build environment is offline, so depending
+// on x/tools is not an option; the subset below is API-shaped like the
+// real thing on purpose — if the module ever grows a tools dependency,
+// the analyzers port by changing imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// Analyzer describes one analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid identifier.
+	Name string
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics go through
+	// pass.Reportf; the result value is unused by the driver (kept for
+	// x/tools shape).
+	Run func(*Pass) (any, error)
+	// FactTypes lists the fact types Run may export, one zero value
+	// each. Exporting an undeclared fact type panics, exactly like the
+	// real framework, so fact plumbing mistakes fail loudly in tests.
+	FactTypes []Fact
+}
+
+// Fact is a serializable-in-spirit datum attached to a types.Object by
+// one package's pass and visible to passes over importing packages.
+type Fact interface{ AFact() }
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer names the producing analyzer (filled by the driver).
+	Analyzer string
+}
+
+// Pass carries one package's syntax, types and fact store to an
+// analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's parsed syntax, comments included,
+	// in deterministic (file name) order.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Module is the module path of the tree under analysis, so
+	// analyzers can distinguish in-module callees from the stdlib.
+	Module string
+
+	report func(Diagnostic)
+	facts  *FactStore
+}
+
+// NewPass assembles a pass; the driver and the test harness share it.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, module string, facts *FactStore, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg,
+		TypesInfo: info, Module: module, report: report, facts: facts}
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// ExportObjectFact attaches fact to obj for importing packages.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		panic("ExportObjectFact: nil object")
+	}
+	p.checkDeclared(fact)
+	p.facts.set(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact copies the fact attached to obj into *fact,
+// reporting whether one was found. The pointee type selects the fact.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	p.checkDeclared(fact)
+	return p.facts.get(p.Analyzer, obj, fact)
+}
+
+func (p *Pass) checkDeclared(fact Fact) {
+	t := reflect.TypeOf(fact)
+	for _, ft := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(ft) == t {
+			return
+		}
+	}
+	panic("analysis: fact type " + t.String() + " not declared in " + p.Analyzer.Name + ".FactTypes")
+}
+
+// FactStore holds every analyzer's object facts for one driver run.
+// The driver analyzes packages in dependency order within a single
+// process, so "export then import downstream" is just a shared map;
+// no serialization is needed.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+type factKey struct {
+	analyzer *Analyzer
+	obj      types.Object
+	typ      reflect.Type
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: map[factKey]Fact{}} }
+
+func (s *FactStore) set(a *Analyzer, obj types.Object, fact Fact) {
+	s.m[factKey{a, obj, reflect.TypeOf(fact)}] = fact
+}
+
+func (s *FactStore) get(a *Analyzer, obj types.Object, fact Fact) bool {
+	got, ok := s.m[factKey{a, obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	// Copy *got into *fact so callers own their value, mirroring the
+	// real framework's decode-into-pointer contract.
+	rv := reflect.ValueOf(fact)
+	gv := reflect.ValueOf(got)
+	if rv.Type() != gv.Type() {
+		return false
+	}
+	rv.Elem().Set(gv.Elem())
+	return true
+}

@@ -1,0 +1,174 @@
+// schedlint's annotation contract, shared by every analyzer:
+//
+//	//schedlint:hotpath            (function doc) — the function must not allocate
+//	//schedlint:coldpath           (function doc) — declared slow/error path; hot
+//	                               code may call it even though it allocates
+//	//schedlint:allowalloc <why>   (line) — justified allocation on this line
+//	//schedlint:exactfloat <why>   (line) — justified exact float comparison
+//	//schedlint:nocallout          (mutex field doc) — while this mutex is held,
+//	                               no calls into other module packages or into
+//	                               session/engine methods
+//	//schedlint:poolget            (function doc) — returns a pooled value the
+//	                               caller must release
+//	//schedlint:poolput            (function doc) — releases a pooled value
+//
+// Line directives must carry a reason (everything after the verb);
+// analyzers report directives whose reason is empty rather than
+// honoring them, so justifications cannot silently rot into bare
+// switches.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //schedlint:... comment.
+type Directive struct {
+	// Verb is the word after "schedlint:", e.g. "hotpath".
+	Verb string
+	// Reason is the remainder of the comment, trimmed.
+	Reason string
+	Pos    token.Pos
+}
+
+const prefix = "//schedlint:"
+
+// parseDirective decodes one comment, reporting whether it is a
+// schedlint directive at all.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, prefix)
+	if !ok {
+		return Directive{}, false
+	}
+	verb, reason, _ := strings.Cut(text, " ")
+	return Directive{Verb: verb, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+}
+
+// Directives indexes a package's schedlint comments two ways: by the
+// source line they govern (trailing comments govern their own line, a
+// comment alone on a line governs the next line) and by the doc
+// comment group they belong to.
+type Directives struct {
+	fset    *token.FileSet
+	byLine  map[lineKey][]Directive
+	byGroup map[*ast.CommentGroup][]Directive
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// NewDirectives scans the files' comments.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		fset:    fset,
+		byLine:  map[lineKey][]Directive{},
+		byGroup: map[*ast.CommentGroup][]Directive{},
+	}
+	for _, f := range files {
+		// Column 1 comments start their own line: the directive governs
+		// the following line. Anything else is a trailing comment
+		// governing its own line.
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				dir, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				d.byGroup[g] = append(d.byGroup[g], dir)
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if pos.Column == 1 || startsLine(fset, f, c) {
+					line++
+				}
+				k := lineKey{pos.Filename, line}
+				d.byLine[k] = append(d.byLine[k], dir)
+			}
+		}
+	}
+	return d
+}
+
+// startsLine reports whether c is the first token on its line (no code
+// precedes it), in which case the directive governs the next line.
+func startsLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	if pos.Column == 1 {
+		return true
+	}
+	// Find whether any node of the file starts on this line before the
+	// comment. A cheap over-approximation: inspect declarations whose
+	// span covers the line.
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		if fset.Position(n.Pos()).Line == pos.Line && n.Pos() < c.Pos() {
+			found = true
+			return false
+		}
+		return n.Pos() <= c.Pos() && c.Pos() <= n.End()
+	})
+	return !found
+}
+
+// OnLine returns the directives governing the line containing pos.
+func (d *Directives) OnLine(pos token.Pos) []Directive {
+	p := d.fset.Position(pos)
+	return d.byLine[lineKey{p.Filename, p.Line}]
+}
+
+// LineAllows reports whether a directive with the verb governs the
+// line of pos. Directives with an empty reason do not count (the
+// caller should have reported them via CheckReasons).
+func (d *Directives) LineAllows(pos token.Pos, verb string) bool {
+	for _, dir := range d.OnLine(pos) {
+		if dir.Verb == verb && dir.Reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHas reports whether fn's doc comment carries the verb.
+func (d *Directives) FuncHas(fn *ast.FuncDecl, verb string) bool {
+	return d.GroupHas(fn.Doc, verb)
+}
+
+// GroupHas reports whether the comment group carries the verb.
+func (d *Directives) GroupHas(g *ast.CommentGroup, verb string) bool {
+	if g == nil {
+		return false
+	}
+	for _, dir := range d.byGroup[g] {
+		if dir.Verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckReasons reports (via report) every directive with one of the
+// verbs whose reason is empty. Reason-carrying verbs must justify
+// themselves; the diagnostic keeps annotations honest.
+func (d *Directives) CheckReasons(report func(pos token.Pos, verb string), verbs ...string) {
+	seen := map[lineKey]bool{}
+	for k, dirs := range d.byLine {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		for _, dir := range dirs {
+			for _, v := range verbs {
+				if dir.Verb == v && dir.Reason == "" {
+					report(dir.Pos, v)
+				}
+			}
+		}
+	}
+}

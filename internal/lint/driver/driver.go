@@ -1,0 +1,366 @@
+// Package driver loads a Go module from source and runs schedlint
+// analyzers over its packages in dependency order. It is the stdlib
+// half of what golang.org/x/tools/go/packages + the multichecker would
+// provide: package discovery by directory walk, parsing with comments,
+// type checking against a source importer (the stdlib is type-checked
+// from GOROOT source, so the driver works with no export data and no
+// network), and a shared in-process fact store so analyses of
+// importing packages see facts exported by their dependencies.
+//
+// Scope: the driver analyzes non-test sources (_test.go files are
+// skipped — the test suite deliberately compares exact floats and
+// allocates freely) and skips testdata and hidden directories.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	// Path is the import path, e.g. "repro/internal/yds".
+	Path string
+	// Dir is the absolute directory.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Matched reports whether the package was named by the patterns
+	// (diagnostics are reported for matched packages only; unmatched
+	// dependencies are still analyzed so their facts exist).
+	Matched bool
+}
+
+// Load parses and type-checks the module rooted at root (the directory
+// containing go.mod), restricted to the packages matched by patterns:
+// "./..." matches everything; "./x/y" or "x/y" matches one directory.
+// Dependencies of matched packages are always loaded (facts flow from
+// them) but only matched packages are returned for analysis.
+func Load(fset *token.FileSet, root string, patterns []string) (module string, pkgs []*Package, err error) {
+	root, err = filepath.Abs(root)
+	if err != nil {
+		return "", nil, err
+	}
+	module, err = modulePath(root)
+	if err != nil {
+		return "", nil, err
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return "", nil, err
+	}
+	matched, err := matchPatterns(root, dirs, patterns)
+	if err != nil {
+		return "", nil, err
+	}
+
+	ld := &loader{
+		fset:   fset,
+		root:   root,
+		module: module,
+		dirOf:  map[string]string{},
+		loaded: map[string]*Package{},
+		source: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, d := range dirs {
+		rel, _ := filepath.Rel(root, d)
+		ip := module
+		if rel != "." {
+			ip = module + "/" + filepath.ToSlash(rel)
+		}
+		ld.dirOf[ip] = d
+	}
+
+	// Load matched packages (dependencies load recursively through the
+	// importer) in a deterministic order.
+	var matchedPaths []string
+	for ip, dir := range ld.dirOf {
+		if matched[dir] {
+			matchedPaths = append(matchedPaths, ip)
+		}
+	}
+	sort.Strings(matchedPaths)
+	for _, ip := range matchedPaths {
+		if _, err := ld.load(ip, nil); err != nil {
+			return "", nil, err
+		}
+	}
+
+	// Return every loaded package in load (dependency-first) order so
+	// facts exported by a dependency are in place before its importers
+	// run; Matched marks the ones diagnostics should be reported for.
+	for _, p := range ld.order {
+		p.Matched = matched[p.Dir]
+		pkgs = append(pkgs, p)
+	}
+	return module, pkgs, nil
+}
+
+// Analyze runs the analyzers over the packages (which must come from
+// one Load call, in the order Load returned) and returns the
+// diagnostics sorted by position.
+func Analyze(fset *token.FileSet, module string, pkgs []*Package, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	facts := analysis.NewFactStore()
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		for _, p := range pkgs {
+			report := func(d analysis.Diagnostic) {
+				if p.Matched {
+					diags = append(diags, d)
+				}
+			}
+			pass := analysis.NewPass(a, fset, p.Files, p.Types, p.Info, module, facts, report)
+			if _, err := a.Run(pass); err != nil {
+				diags = append(diags, analysis.Diagnostic{
+					Pos:      p.Files[0].Pos(),
+					Message:  fmt.Sprintf("analyzer error: %v", err),
+					Analyzer: a.Name,
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// loader loads module packages on demand, memoized, detecting cycles.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	module  string
+	dirOf   map[string]string   // import path → dir, module packages only
+	loaded  map[string]*Package // import path → package (nil while in progress)
+	order   []*Package          // completed packages, dependency-first
+	source  types.Importer      // stdlib fallback
+	loading []string            // cycle diagnostics
+}
+
+func (ld *loader) load(path string, from []string) (*Package, error) {
+	if p, ok := ld.loaded[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle: %s", strings.Join(append(ld.loading, path), " -> "))
+		}
+		return p, nil
+	}
+	dir, ok := ld.dirOf[path]
+	if !ok {
+		return nil, fmt.Errorf("no package %q in module %s", path, ld.module)
+	}
+	ld.loaded[path] = nil
+	ld.loading = append(ld.loading, path)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+
+	files, err := parseDir(ld.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ip string) (*types.Package, error) {
+			if ip == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if _, isModule := ld.dirOf[ip]; isModule {
+				p, err := ld.load(ip, append(from, path))
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			}
+			return ld.source.Import(ip)
+		}),
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	ld.loaded[path] = p
+	ld.order = append(ld.order, p)
+	return p, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// parseDir parses the non-test Go files of one directory, in name
+// order, with comments.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// packageDirs walks the module for directories containing buildable Go
+// files, skipping testdata, vendor and hidden directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") &&
+				!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// matchPatterns resolves the CLI patterns onto the discovered package
+// dirs. Supported: "./..." (everything), "dir/..." (subtree), plain
+// directories relative to the working directory or the module root.
+func matchPatterns(root string, dirs []string, patterns []string) (map[string]bool, error) {
+	matched := map[string]bool{}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			for _, d := range dirs {
+				matched[d] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base, err := resolveDir(root, strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				if d == base || strings.HasPrefix(d, base+string(filepath.Separator)) {
+					matched[d] = true
+				}
+			}
+		default:
+			d, err := resolveDir(root, pat)
+			if err != nil {
+				return nil, err
+			}
+			matched[d] = true
+		}
+	}
+	return matched, nil
+}
+
+func resolveDir(root, pat string) (string, error) {
+	cand := pat
+	if !filepath.IsAbs(cand) {
+		// Try relative to the working directory first (the go tool's
+		// behaviour), then relative to the module root.
+		if abs, err := filepath.Abs(pat); err == nil {
+			if st, err := os.Stat(abs); err == nil && st.IsDir() {
+				return abs, nil
+			}
+		}
+		cand = filepath.Join(root, pat)
+	}
+	st, err := os.Stat(cand)
+	if err != nil || !st.IsDir() {
+		return "", fmt.Errorf("pattern %q: no such directory", pat)
+	}
+	return cand, nil
+}
+
+// modulePath reads the module path out of root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(strings.TrimSuffix(rest, "// indirect")), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,106 @@
+// Package floateq enforces the repo's float-comparison discipline:
+// raw == or != on float operands (and switches over a float tag) are
+// errors outside internal/numeric unless the line carries a
+// //schedlint:exactfloat <reason> justification. PR 4 fixed two real
+// executor bugs that were sub-ulp float-equality mistakes; the
+// surviving exact comparisons in the tree are each deliberate
+// (dedupe/ordering invariants on values copied bit-for-bit), and this
+// analyzer makes "deliberate" a written, reviewable property instead
+// of tribal knowledge.
+//
+// Allowed without annotation:
+//
+//   - both operands constant (folded at compile time, no runtime ulp)
+//   - x != x / x == x on the syntactically identical expression (the
+//     NaN self-test idiom is exact by IEEE construction)
+//   - anything inside internal/numeric, whose whole purpose is owning
+//     tolerant comparison
+//
+// The driver analyzes non-test files only; tests pin byte-identical
+// schedules and compare exact floats on purpose.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the floateq pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "require //schedlint:exactfloat justification for raw float == / != / switch",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/numeric") {
+		return nil, nil
+	}
+	dirs := analysis.NewDirectives(pass.Fset, pass.Files)
+	dirs.CheckReasons(func(pos token.Pos, verb string) {
+		pass.Reportf(pos, "//schedlint:%s needs a reason", verb)
+	}, "exactfloat")
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass, n.X) && !isFloat(pass, n.Y) {
+					return true
+				}
+				if bothConstant(pass, n.X, n.Y) || sameExpr(n.X, n.Y) {
+					return true
+				}
+				if dirs.LineAllows(n.Pos(), "exactfloat") {
+					return true
+				}
+				pass.Reportf(n.OpPos, "raw float %s comparison (use a tolerant compare from internal/numeric, or justify with //schedlint:exactfloat <reason>)", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isFloat(pass, n.Tag) {
+					return true
+				}
+				if dirs.LineAllows(n.Pos(), "exactfloat") {
+					return true
+				}
+				pass.Reportf(n.Pos(), "switch on float tag compares exactly (justify with //schedlint:exactfloat <reason>)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func bothConstant(pass *analysis.Pass, x, y ast.Expr) bool {
+	return pass.TypesInfo.Types[x].Value != nil && pass.TypesInfo.Types[y].Value != nil
+}
+
+// sameExpr reports syntactic identity of two simple expressions — the
+// x != x NaN idiom. Only identifier/selector chains qualify; calls are
+// not pure, so f() == f() stays flagged.
+func sameExpr(x, y ast.Expr) bool {
+	switch x := x.(type) {
+	case *ast.Ident:
+		y, ok := y.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := y.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameExpr(x.X, y.X)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/floateq"
+	"repro/internal/lint/linttest"
+)
+
+func TestFloateqGolden(t *testing.T) {
+	linttest.Run(t, "testdata", floateq.Analyzer)
+}

@@ -1,0 +1,27 @@
+// Package fl exercises the float-comparison rules.
+package fl
+
+func compare(a, b float64, i, j int) {
+	_ = a == b // want `raw float == comparison`
+	_ = a != b // want `raw float != comparison`
+	_ = i == j // ints compare exactly by nature
+	_ = a != a // NaN self-test idiom: exact by IEEE construction
+	_ = 1.5 == 2.5
+	_ = a == b //schedlint:exactfloat values copied bit-for-bit upstream
+	switch a { // want `switch on float tag`
+	case 1:
+	}
+	switch i {
+	case 1:
+	}
+}
+
+func emptyReason(a, b float64) {
+	_ = a == b /* want `needs a reason` `raw float == comparison` */ //schedlint:exactfloat
+}
+
+type wrap float64
+
+func typed(x, y wrap) bool {
+	return x == y // want `raw float == comparison`
+}

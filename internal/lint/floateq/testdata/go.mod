@@ -1,0 +1,3 @@
+module sandbox
+
+go 1.24

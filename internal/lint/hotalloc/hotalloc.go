@@ -1,0 +1,445 @@
+// Package hotalloc enforces the repo's zero-allocation hot-path
+// contract: a function whose doc comment carries //schedlint:hotpath
+// must not contain allocating constructs. The bug class is real — the
+// PR 4/5 work got the per-arrival session path to ~0 allocs/arrival,
+// and a single stray map literal or fmt call quietly gives it back.
+//
+// Flagged inside a hotpath function:
+//
+//   - map and slice composite literals, and &Struct{...} pointer
+//     literals (value struct literals are stack-friendly and allowed)
+//   - make and new
+//   - append onto a slice variable freshly declared nil in the same
+//     function (guaranteed per-call growth; append onto fields,
+//     parameters or sliced scratch is the amortized idiom and allowed)
+//   - calls into fmt, encoding/json and reflect
+//   - string concatenation (+ / += on strings)
+//   - closures that escape (passed as arguments, returned, stored);
+//     a func literal assigned to a local and called directly stays
+//     legal — the compiler keeps it off the heap
+//   - calls to in-module functions that themselves allocate and are
+//     neither //schedlint:hotpath (checked on their own) nor
+//     //schedlint:coldpath (a declared slow/error path) — the
+//     one-level interprocedural check, carried by facts
+//
+// A justified exception is written on the line itself:
+// //schedlint:allowalloc <reason>. Directives without a reason are
+// themselves diagnostics.
+//
+// Limits (documented, deliberate): stdlib callees outside the fmt/
+// json/reflect denylist are trusted; []byte(s)/string(b) conversions
+// are not flagged (the compiler elides the copy in the non-escaping
+// cases this repo uses); the interprocedural check is one level deep.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "hotalloc",
+	Doc:       "forbid allocating constructs in //schedlint:hotpath functions",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*allocatesFact)(nil), (*roleFact)(nil)},
+}
+
+// allocatesFact marks a function whose body directly contains an
+// allocating construct.
+type allocatesFact struct {
+	// What names the first allocating construct, for diagnostics.
+	What string
+}
+
+func (*allocatesFact) AFact() {}
+
+// roleFact records a function's declared role (hotpath or coldpath).
+type roleFact struct {
+	Hot, Cold bool
+}
+
+func (*roleFact) AFact() {}
+
+// denied are the stdlib packages that always allocate on call.
+var denied = map[string]string{
+	"fmt":           "fmt",
+	"encoding/json": "encoding/json",
+	"reflect":       "reflect",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := analysis.NewDirectives(pass.Fset, pass.Files)
+	dirs.CheckReasons(func(pos token.Pos, verb string) {
+		pass.Reportf(pos, "//schedlint:%s needs a reason", verb)
+	}, "allowalloc")
+
+	// Pass 1: export facts for every declared function — its role and
+	// whether its body allocates — so importing packages (and pass 2
+	// below) can run the one-level interprocedural check.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			role := &roleFact{Hot: dirs.FuncHas(fd, "hotpath"), Cold: dirs.FuncHas(fd, "coldpath")}
+			if role.Hot || role.Cold {
+				pass.ExportObjectFact(obj, role)
+			}
+			if what := firstAllocation(pass, fd); what != "" {
+				pass.ExportObjectFact(obj, &allocatesFact{What: what})
+			}
+		}
+	}
+
+	// Pass 2: check every hotpath function.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !dirs.FuncHas(fd, "hotpath") {
+				continue
+			}
+			checkHot(pass, dirs, fd)
+		}
+	}
+	return nil, nil
+}
+
+// firstAllocation reports the first unconditional allocating construct
+// in the function body ("" when clean) — the fact callers consult.
+// Line directives are ignored here on purpose: the fact records what
+// the function does; whether a caller may rely on it is the caller's
+// check.
+func firstAllocation(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	var what string
+	w := &walker{
+		pass: pass,
+		flag: func(pos token.Pos, msg string) {
+			if what == "" {
+				what = msg
+			}
+		},
+		fresh: freshNilSlices(pass, fd),
+		fn:    fd,
+	}
+	w.walk(fd.Body, nil)
+	return what
+}
+
+// checkHot reports every allocating construct in a hotpath function,
+// honoring //schedlint:allowalloc lines, and applies the one-level
+// interprocedural call check.
+func checkHot(pass *analysis.Pass, dirs *analysis.Directives, fd *ast.FuncDecl) {
+	w := &walker{
+		pass: pass,
+		flag: func(pos token.Pos, msg string) {
+			if dirs.LineAllows(pos, "allowalloc") {
+				return
+			}
+			pass.Reportf(pos, "hotpath function %s: %s", fd.Name.Name, msg)
+		},
+		fresh:      freshNilSlices(pass, fd),
+		fn:         fd,
+		checkCalls: true,
+	}
+	w.walk(fd.Body, nil)
+}
+
+// walker finds allocating constructs. flag receives each finding;
+// checkCalls additionally applies the interprocedural rule.
+type walker struct {
+	pass       *analysis.Pass
+	flag       func(pos token.Pos, msg string)
+	fresh      map[types.Object]bool
+	fn         *ast.FuncDecl
+	checkCalls bool
+}
+
+func (w *walker) walk(body *ast.BlockStmt, _ []ast.Node) {
+	var visit func(n ast.Node, parent ast.Node)
+	visit = func(n ast.Node, parent ast.Node) {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			switch w.litKind(n) {
+			case "map":
+				w.flag(n.Pos(), "map literal allocates")
+			case "slice":
+				w.flag(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					w.flag(n.Pos(), "&"+exprName(cl.Type)+"{...} pointer literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && w.isString(n.X) {
+				w.flag(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && w.isString(n.Lhs[0]) {
+				w.flag(n.Pos(), "string += allocates")
+			}
+		case *ast.FuncLit:
+			if escapes(parent, n) && w.captures(n) {
+				w.flag(n.Pos(), "capturing closure escapes (heap-allocated func value)")
+			}
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		// Recurse with parent tracking.
+		children(n, func(c ast.Node) { visit(c, n) })
+	}
+	visit(body, nil)
+}
+
+// call classifies one call expression.
+func (w *walker) call(call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		switch {
+		case w.isBuiltin(id, "make"):
+			w.flag(call.Pos(), "make allocates")
+			return
+		case w.isBuiltin(id, "new"):
+			w.flag(call.Pos(), "new allocates")
+			return
+		case w.isBuiltin(id, "append"):
+			w.appendCall(call)
+			return
+		}
+	}
+	callee := calleeFunc(w.pass, call)
+	if callee == nil {
+		return
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return
+	}
+	if name, bad := denied[pkg.Path()]; bad {
+		w.flag(call.Pos(), "call to "+name+"."+callee.Name()+" allocates")
+		return
+	}
+	if !w.checkCalls {
+		return
+	}
+	// One-level interprocedural rule: calls into the module are fine
+	// when the callee is hotpath (checked on its own) or coldpath
+	// (declared slow path); otherwise an allocating callee is flagged.
+	if pkg.Path() == w.pass.Module || strings.HasPrefix(pkg.Path(), w.pass.Module+"/") {
+		var role roleFact
+		w.pass.ImportObjectFact(callee, &role)
+		if role.Hot || role.Cold {
+			return
+		}
+		var alloc allocatesFact
+		if w.pass.ImportObjectFact(callee, &alloc) {
+			w.flag(call.Pos(), "calls "+callee.Name()+", which allocates ("+alloc.What+
+				") and is neither //schedlint:hotpath nor //schedlint:coldpath")
+		}
+	}
+}
+
+// appendCall flags append onto a slice that is freshly nil in this
+// function — growth guaranteed on every call. Appends onto fields,
+// parameters and reused scratch are the amortized idiom and pass.
+func (w *walker) appendCall(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := unparen(call.Args[0])
+	// Unwrap s[:0]-style reslices of fields/scratch: those reuse.
+	if id, ok := base.(*ast.Ident); ok {
+		if obj := w.pass.TypesInfo.Uses[id]; obj != nil && w.fresh[obj] {
+			w.flag(call.Pos(), "append onto nil local "+id.Name+" grows on every call")
+		}
+	}
+}
+
+func (w *walker) litKind(cl *ast.CompositeLit) string {
+	tv, ok := w.pass.TypesInfo.Types[cl]
+	if !ok {
+		return ""
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return ""
+}
+
+func (w *walker) isString(e ast.Expr) bool {
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (w *walker) isBuiltin(id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// captures reports whether the func literal references a variable
+// declared in the enclosing function outside the literal — the case
+// where an escaping func value drags captured state onto the heap. A
+// capture-free literal compiles to a static func value and is free.
+func (w *walker) captures(fl *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := w.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.Pos() == token.NoPos {
+			return true
+		}
+		// Declared inside the enclosing function but outside the literal.
+		if v.Pos() >= w.fn.Pos() && v.Pos() < w.fn.End() &&
+			!(v.Pos() >= fl.Pos() && v.Pos() < fl.End()) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// freshNilSlices collects local slice variables declared with no
+// initial storage (var s []T, s := []T(nil)) — appending to those
+// allocates on every call.
+func freshNilSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// escapes reports whether a func literal's syntactic context forces it
+// onto the heap: passed as a call argument, returned, stored into a
+// composite/field/channel. Direct invocation and assignment to a
+// local keep it stack-allocated in practice.
+func escapes(parent ast.Node, fl *ast.FuncLit) bool {
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if p.Fun == fl {
+			return false // immediately-invoked
+		}
+		return true // argument
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr:
+		return true
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if rhs == fl && i < len(p.Lhs) {
+				if _, isIdent := unparen(p.Lhs[i]).(*ast.Ident); !isIdent {
+					return true // stored through a selector/index/deref
+				}
+			}
+		}
+		return false
+	case *ast.GoStmt, *ast.DeferStmt:
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves the called *types.Func, nil for indirect calls,
+// conversions and builtins.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		}
+		// Package-qualified call: pkg.F.
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case nil:
+		return "T"
+	}
+	return "T"
+}
+
+// children visits n's direct children (ast.Inspect descends the whole
+// subtree; we need one level to track parents).
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			f(c)
+		}
+		return false
+	})
+}

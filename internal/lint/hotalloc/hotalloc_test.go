@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotallocGolden(t *testing.T) {
+	linttest.Run(t, "testdata", hotalloc.Analyzer)
+}

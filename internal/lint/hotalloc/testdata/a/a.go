@@ -1,0 +1,92 @@
+// Package a exercises every hotalloc rule.
+package a
+
+import "fmt"
+
+type T struct{ x int }
+
+func take(func()) {}
+
+// allocHelper allocates and carries no role annotation: hot callers
+// must be flagged.
+func allocHelper() []int {
+	return make([]int, 4)
+}
+
+// AllocHelper is the exported twin for the cross-package fact test.
+func AllocHelper() []int {
+	return make([]int, 4)
+}
+
+// cleanHelper does not allocate; hot callers are fine.
+func cleanHelper(x int) int { return x + 1 }
+
+//schedlint:coldpath
+func coldHelper() []int { return make([]int, 8) }
+
+//schedlint:hotpath
+func hotLiterals() {
+	m := map[int]int{1: 2} // want `map literal allocates`
+	_ = m
+	sl := []int{1} // want `slice literal allocates`
+	_ = sl
+	p := &T{x: 1} // want `pointer literal allocates`
+	_ = p
+	v := T{x: 1} // value struct literal stays on the stack
+	_ = v
+}
+
+//schedlint:hotpath
+func hotBuiltins() {
+	b := make([]byte, 8) // want `make allocates`
+	_ = b
+	_ = new(T) // want `new allocates`
+}
+
+//schedlint:hotpath
+func hotStrings(s string) string {
+	t := s + "x" // want `string concatenation allocates`
+	t += "y"     // want `string \+= allocates`
+	return t
+}
+
+//schedlint:hotpath
+func hotStdlib(s string) {
+	fmt.Println(s) // want `call to fmt.Println allocates`
+}
+
+//schedlint:hotpath
+func hotAppend(dst []int) []int {
+	var fresh []int
+	fresh = append(fresh, 1) // want `append onto nil local fresh grows on every call`
+	_ = fresh
+	dst = append(dst, 1) // amortized append onto a parameter: fine
+	buf := dst[:0]
+	buf = append(buf, 2) // reslice scratch: fine
+	return dst
+}
+
+//schedlint:hotpath
+func hotClosures(n int) int {
+	take(func() { _ = n }) // want `capturing closure escapes`
+	take(func() {})        // capture-free: a static func value, fine
+	f := func() int { return n }
+	return f() // local, directly invoked: stays on the stack
+}
+
+//schedlint:hotpath
+func hotCalls() int {
+	_ = allocHelper() // want `calls allocHelper, which allocates`
+	_ = coldHelper()  // declared cold path: fine
+	return cleanHelper(1)
+}
+
+//schedlint:hotpath
+func hotAllowed() []int {
+	return make([]int, 4) //schedlint:allowalloc one-time setup per session
+}
+
+//schedlint:hotpath
+func hotEmptyReason() {
+	_ = make([]int, 1) /* want `needs a reason` `make allocates` */ //schedlint:allowalloc
+}

@@ -1,0 +1,9 @@
+// Package b checks that allocation facts cross package boundaries.
+package b
+
+import "sandbox/a"
+
+//schedlint:hotpath
+func hotCross() {
+	_ = a.AllocHelper() // want `calls AllocHelper, which allocates`
+}

@@ -1,0 +1,128 @@
+// Package linttest is the repo's analysistest: it loads a sandbox
+// module from a testdata directory, runs analyzers over it, and
+// compares the diagnostics against `want` comments in the sources.
+//
+// Expectation syntax, on the line the diagnostic lands on:
+//
+//	x := map[int]int{} // want `map literal allocates`
+//
+// Multiple backquoted regexes on one line expect multiple
+// diagnostics. When the line also carries a schedlint directive, the
+// want must ride in a block comment before it so the directive's
+// reason stays what the analyzer sees:
+//
+//	_ = make([]int, 1) /* want `needs a reason` */ //schedlint:allowalloc
+//
+// Every diagnostic must be wanted and every want must fire — both
+// directions fail the test, so golden files cannot silently rot.
+package linttest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// Run loads the module rooted at dir (which must contain a go.mod),
+// analyzes every package in it, and checks want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	module, pkgs, err := driver.Load(fset, dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := driver.Analyze(fset, module, pkgs, analyzers)
+
+	var wants []*expectation
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			ws, err := scanWants(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.used, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s (%s)",
+				rel(dir, pos.Filename), pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", rel(dir, w.file), w.line, w.raw)
+		}
+	}
+}
+
+var (
+	wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)$`)
+	rxRe   = regexp.MustCompile("`([^`]*)`")
+)
+
+func scanWants(path string) ([]*expectation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		spec := m[1]
+		if cut := strings.Index(spec, "*/"); cut >= 0 {
+			spec = spec[:cut]
+		}
+		for _, g := range rxRe.FindAllStringSubmatch(spec, -1) {
+			rx, err := regexp.Compile(g[1])
+			if err != nil {
+				return nil, err
+			}
+			wants = append(wants, &expectation{file: path, line: i + 1, rx: rx, raw: g[1]})
+		}
+	}
+	return wants, nil
+}
+
+func rel(dir, path string) string {
+	if r, err := filepath.Rel(dir, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}

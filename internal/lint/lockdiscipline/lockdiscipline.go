@@ -1,0 +1,433 @@
+// Package lockdiscipline enforces two serving-layer concurrency
+// rules that code review has had to carry by hand since PR 3:
+//
+//  1. No call-outs under infrastructure locks. A sync.Mutex field
+//     whose doc comment carries //schedlint:nocallout (the serve
+//     shard map lock, the MPSC ring lock, the host admission lock)
+//     is a short-critical-section lock shared across tenants.
+//     While one is held, calling into another module package —
+//     engine.Live.ApplyBatch can run an arbitrary policy — or into
+//     serve.Session methods turns "bounded ring push" into "every
+//     tenant waits for one tenant's policy". The analyzer tracks
+//     Lock/Unlock (including defer) through straight-line control
+//     flow and flags such calls inside the held region.
+//
+//  2. No mixed atomic/plain field access. A field passed by address
+//     to a sync/atomic function anywhere in the package must be
+//     accessed only that way; plain reads or writes of the same field
+//     elsewhere are racy-by-construction (the typed atomic.* wrappers
+//     make this impossible, which is why the repo prefers them —
+//     this catches the raw-uint64 backslide).
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the lockdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no module call-outs under //schedlint:nocallout mutexes; no mixed atomic/plain field access",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := analysis.NewDirectives(pass.Fset, pass.Files)
+	guarded := nocalloutMutexes(pass, dirs)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCallouts(pass, guarded, fd)
+		}
+	}
+	checkMixedAtomics(pass)
+	return nil, nil
+}
+
+// nocalloutMutexes collects the field objects of sync.Mutex (and
+// RWMutex) fields annotated //schedlint:nocallout.
+func nocalloutMutexes(pass *analysis.Pass, dirs *analysis.Directives) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if !dirs.GroupHas(fld.Doc, "nocallout") && !dirs.GroupHas(fld.Comment, "nocallout") {
+					continue
+				}
+				for _, name := range fld.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj != nil && isMutex(obj.Type()) {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkCallouts walks one function tracking which nocallout mutexes
+// are held, flagging module call-outs inside held regions. The
+// tracking is branch-aware in one specific way: a block that ends in
+// return/panic does not leak its lock-state changes to the code after
+// it (the unlock-and-early-return idiom).
+func checkCallouts(pass *analysis.Pass, guarded map[types.Object]bool, fd *ast.FuncDecl) {
+	if len(guarded) == 0 {
+		return
+	}
+	c := &callouts{pass: pass, guarded: guarded, held: map[types.Object]token.Pos{}}
+	c.stmts(fd.Body.List)
+}
+
+type callouts struct {
+	pass    *analysis.Pass
+	guarded map[types.Object]bool
+	// held maps a guarded mutex field to the position of its Lock.
+	held map[types.Object]token.Pos
+}
+
+// stmts processes a statement list in order, mutating c.held.
+func (c *callouts) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *callouts) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() → the lock is held until function exit;
+		// keep it held for the remainder of the walk. Other deferred
+		// calls are checked as expressions (they run eventually).
+		if obj, op := c.lockOp(s.Call); obj != nil && op == "Unlock" {
+			return
+		}
+		c.expr(s.Call)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.expr(s.Cond)
+		c.branch(s.Body.List)
+		if s.Else != nil {
+			c.branch([]ast.Stmt{s.Else})
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		c.branch(s.Body.List)
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.branch(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.branch(cl.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.branch(cl.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				c.branch(cl.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.GoStmt:
+		// The goroutine runs without our locks; check its body with a
+		// clean slate.
+		saved := c.save()
+		c.held = map[types.Object]token.Pos{}
+		c.expr(s.Call)
+		c.held = saved
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	}
+}
+
+// branch runs a conditional body. Lock-state changes propagate out of
+// the branch only when the branch can fall through (its last statement
+// is not return/panic) — the unlock-and-early-return idiom must not
+// unlock the main path.
+func (c *callouts) branch(list []ast.Stmt) {
+	saved := c.save()
+	c.stmts(list)
+	if terminates(list) {
+		c.held = saved
+	}
+}
+
+func (c *callouts) save() map[types.Object]token.Pos {
+	cp := make(map[types.Object]token.Pos, len(c.held))
+	for k, v := range c.held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expr scans one expression for Lock/Unlock transitions and for
+// forbidden calls while a guarded mutex is held.
+func (c *callouts) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, op := c.lockOp(call); obj != nil {
+			switch op {
+			case "Lock", "RLock":
+				c.held[obj] = call.Pos()
+			case "Unlock", "RUnlock":
+				delete(c.held, obj)
+			}
+			return true
+		}
+		if len(c.held) > 0 {
+			c.checkCall(call)
+		}
+		return true
+	})
+}
+
+// lockOp matches <expr>.<field>.Lock()/Unlock() where field is a
+// guarded mutex, returning the field object and the method name.
+func (c *callouts) lockOp(call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	if op != "Lock" && op != "Unlock" && op != "RLock" && op != "RUnlock" {
+		return nil, ""
+	}
+	fieldSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := c.pass.TypesInfo.Selections[fieldSel]
+	if !ok {
+		return nil, ""
+	}
+	obj := s.Obj()
+	if !c.guarded[obj] {
+		return nil, ""
+	}
+	return obj, op
+}
+
+// checkCall flags calls that must not happen under a guarded lock:
+// anything into another module package (policy code may block or
+// re-enter) and serve.Session methods.
+func (c *callouts) checkCall(call *ast.CallExpr) {
+	var callee *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = c.pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[fun]; ok {
+			callee, _ = sel.Obj().(*types.Func)
+		} else {
+			callee, _ = c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		}
+	}
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	path := callee.Pkg().Path()
+	inModule := path == c.pass.Module || strings.HasPrefix(path, c.pass.Module+"/")
+	crossPackage := inModule && path != c.pass.Pkg.Path()
+	sessionMethod := path == c.pass.Pkg.Path() && receiverNamed(callee, "Session")
+	if crossPackage || sessionMethod {
+		for obj, at := range c.held {
+			c.pass.Reportf(call.Pos(),
+				"call to %s.%s while %s (a //schedlint:nocallout mutex locked at %s) is held",
+				callee.Pkg().Name(), callee.Name(), obj.Name(),
+				c.pass.Fset.Position(at))
+			return
+		}
+	}
+}
+
+func receiverNamed(f *types.Func, name string) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// --- mixed atomic/plain field access ---
+
+type fieldAccess struct {
+	atomicPos token.Pos
+	plainPos  token.Pos
+}
+
+// checkMixedAtomics flags struct fields accessed both through
+// sync/atomic functions (by address) and directly.
+func checkMixedAtomics(pass *analysis.Pass) {
+	acc := map[types.Object]*fieldAccess{}
+	get := func(obj types.Object) *fieldAccess {
+		a := acc[obj]
+		if a == nil {
+			a = &fieldAccess{}
+			acc[obj] = a
+		}
+		return a
+	}
+	// atomicArgs marks the &x.f arguments consumed by atomic calls so
+	// the plain-access walk below does not double-count them.
+	atomicArgs := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && isAtomicCall(pass, call) {
+				for _, arg := range call.Args {
+					if obj := addrOfField(pass, arg); obj != nil {
+						a := get(obj)
+						if a.atomicPos == token.NoPos {
+							a.atomicPos = arg.Pos()
+						}
+						atomicArgs[arg] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || atomicArgs[n] {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			obj := s.Obj()
+			if a, tracked := acc[obj]; tracked && a.plainPos == token.NoPos {
+				a.plainPos = sel.Pos()
+			}
+			return true
+		})
+	}
+	for obj, a := range acc {
+		if a.atomicPos != token.NoPos && a.plainPos != token.NoPos {
+			pass.Reportf(a.plainPos,
+				"field %s is accessed with sync/atomic at %s but plainly here (racy mixed access; use the typed atomic wrappers)",
+				obj.Name(), pass.Fset.Position(a.atomicPos))
+		}
+	}
+}
+
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic"
+}
+
+// addrOfField matches &x.f and returns f's field object.
+func addrOfField(pass *analysis.Pass, arg ast.Expr) types.Object {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := un.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

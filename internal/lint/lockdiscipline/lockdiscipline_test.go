@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockdiscipline"
+)
+
+func TestLockdisciplineGolden(t *testing.T) {
+	linttest.Run(t, "testdata", lockdiscipline.Analyzer)
+}

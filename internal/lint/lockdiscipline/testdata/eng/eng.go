@@ -1,0 +1,6 @@
+// Package eng stands in for the engine: the module package hot code
+// must never call into while holding a nocallout lock.
+package eng
+
+// Apply models engine.Live.ApplyBatch — arbitrary policy work.
+func Apply() {}

@@ -1,0 +1,96 @@
+// Package s exercises the lock-discipline rules.
+package s
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sandbox/eng"
+)
+
+type ring struct {
+	mu sync.Mutex //schedlint:nocallout
+	n  int
+}
+
+// plain is an unannotated mutex: no restrictions.
+type plain struct {
+	mu sync.Mutex
+}
+
+// Session models serve.Session: its methods must not run under a
+// guarded lock even from the same package.
+type Session struct{}
+
+// Apply models Session.apply.
+func (s *Session) Apply() {}
+
+func local(r *ring) {}
+
+func (r *ring) bad(sess *Session) {
+	r.mu.Lock()
+	eng.Apply()  // want `call to eng.Apply while mu`
+	sess.Apply() // want `call to s.Apply while mu`
+	local(r)     // same-package non-Session call: fine
+	r.n++
+	r.mu.Unlock()
+	eng.Apply() // released: fine
+}
+
+func (r *ring) deferred() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	eng.Apply() // want `call to eng.Apply while mu`
+}
+
+func (r *ring) earlyReturn(ok bool) {
+	r.mu.Lock()
+	if ok {
+		r.mu.Unlock()
+		return
+	}
+	eng.Apply() // want `call to eng.Apply while mu`
+	r.mu.Unlock()
+}
+
+func (r *ring) unlockedBranch(ok bool) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	if ok {
+		eng.Apply() // not held: fine
+	}
+}
+
+func (r *ring) goroutine() {
+	r.mu.Lock()
+	go func() {
+		eng.Apply() // the goroutine does not inherit the lock: fine
+	}()
+	r.mu.Unlock()
+}
+
+func (p *plain) unannotated() {
+	p.mu.Lock()
+	eng.Apply() // mutex not marked nocallout: fine
+	p.mu.Unlock()
+}
+
+// counter mixes atomic and plain access to n — the backslide the
+// typed atomic wrappers exist to prevent.
+type counter struct {
+	n uint64
+	m uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&c.m, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.n // want `field n is accessed with sync/atomic`
+}
+
+func (c *counter) readAtomic() uint64 {
+	return atomic.LoadUint64(&c.m) // address-taken for atomics only: fine
+}

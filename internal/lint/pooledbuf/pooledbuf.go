@@ -1,0 +1,493 @@
+// Package pooledbuf checks the lifecycle of pooled values — the
+// sync.Pool render buffers and the //schedlint:poolget/poolput
+// decoder pool that PR 5's zero-allocation paths lean on. A pooled
+// value that leaks past its Put is a use-after-free with extra steps
+// (the next Get hands the same memory to another request); a pooled
+// value that never reaches Put on an error path silently shrinks the
+// pool until the hot path allocates again.
+//
+// Tracked sources (per function, locals only):
+//
+//	v := pool.Get()          // any sync.Pool, through type asserts
+//	v := GetX(...)           // module functions marked //schedlint:poolget
+//
+// Flagged:
+//
+//   - any mention of v after pool.Put(v) / PutX(v) in straight-line
+//     order (use after release)
+//   - returning v (unless the function is itself //schedlint:poolget —
+//     that is how pooled constructors hand ownership out)
+//   - storing v into anything that is not a plain local (field,
+//     global, map/slice element, channel send): the pool must stay
+//     the only long-term owner
+//   - a return statement while v is still live: the error path that
+//     skips Put. defer Put(v) (directly or inside a deferred closure)
+//     keeps every path covered; passing v as a plain argument to
+//     another module function transfers ownership and ends tracking
+//     (method calls on v do not).
+package pooledbuf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the pooledbuf pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "pooledbuf",
+	Doc:       "pooled values must reach Put on every path and never escape past it",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*poolRoleFact)(nil)},
+}
+
+// poolRoleFact marks module functions that hand out / take back pooled
+// values, so cross-package Get/Put pairs (job.GetDecoder from
+// internal/load) participate.
+type poolRoleFact struct{ Get, Put bool }
+
+func (*poolRoleFact) AFact() {}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := analysis.NewDirectives(pass.Fset, pass.Files)
+
+	// Export pool roles for this package's functions.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			get, put := dirs.FuncHas(fd, "poolget"), dirs.FuncHas(fd, "poolput")
+			if !get && !put {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				pass.ExportObjectFact(obj, &poolRoleFact{Get: get, Put: put})
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			t := &tracker{pass: pass, dirs: dirs, fn: fd, state: map[types.Object]*varState{}}
+			t.stmts(fd.Body.List)
+		}
+	}
+	return nil, nil
+}
+
+type phase int
+
+const (
+	live        phase = iota // obtained, not yet released
+	deferredPut              // a defer guarantees release at exit
+	released                 // Put already executed (or ownership transferred)
+)
+
+type varState struct {
+	phase phase
+	// putPos/putEnd bracket the releasing call: putPos names it in
+	// diagnostics, putEnd is the cutoff after which mentions are
+	// use-after-release (the Put's own argument is before it).
+	putPos token.Pos
+	putEnd token.Pos
+}
+
+type tracker struct {
+	pass  *analysis.Pass
+	dirs  *analysis.Directives
+	fn    *ast.FuncDecl
+	state map[types.Object]*varState
+}
+
+func (t *tracker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		t.stmt(s)
+	}
+}
+
+func (t *tracker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// v := pool.Get() / v := GetX(...)?
+		if s.Tok == token.DEFINE && len(s.Rhs) == 1 {
+			if lhs, ok := s.Lhs[0].(*ast.Ident); ok && t.isPoolGet(s.Rhs[0]) {
+				if obj := t.pass.TypesInfo.Defs[lhs]; obj != nil {
+					t.scanExprs(s.Rhs) // the Get expr itself is clean
+					t.state[obj] = &varState{phase: live}
+					return
+				}
+			}
+		}
+		t.scanExprs(s.Rhs)
+		t.checkStores(s)
+	case *ast.ExprStmt:
+		t.scan(s.X)
+	case *ast.DeferStmt:
+		// defer Put(v) / defer pool.Put(v) / defer func(){ ... Put(v) ... }()
+		for _, obj := range t.putTargets(s.Call) {
+			if st := t.state[obj]; st != nil && st.phase == live {
+				st.phase = deferredPut
+			}
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, obj := range t.putTargets(call) {
+					if st := t.state[obj]; st != nil && st.phase == live {
+						st.phase = deferredPut
+					}
+				}
+				return true
+			})
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			t.checkReturn(e)
+			t.scan(e)
+		}
+		for obj, st := range t.state {
+			if st.phase == live {
+				t.pass.Reportf(s.Pos(),
+					"return while pooled value %s has not been released (error path skips Put; use defer)",
+					obj.Name())
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		t.scan(s.Cond)
+		t.branch(s.Body.List)
+		if s.Else != nil {
+			t.branch([]ast.Stmt{s.Else})
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		t.scan(s.Cond)
+		t.branch(s.Body.List)
+	case *ast.RangeStmt:
+		t.scan(s.X)
+		t.branch(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		t.scan(s.Tag)
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				t.branch(cl.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				t.branch(cl.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				t.branch(cl.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		t.stmts(s.List)
+	case *ast.SendStmt:
+		t.scan(s.Chan)
+		if obj := t.localOf(s.Value); obj != nil && t.state[obj] != nil {
+			t.pass.Reportf(s.Pos(), "pooled value %s sent on a channel (escapes its pool lifecycle)", obj.Name())
+		}
+		t.scan(s.Value)
+	case *ast.GoStmt:
+		t.scan(s.Call)
+	case *ast.LabeledStmt:
+		t.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		t.scan(s.X)
+	}
+}
+
+// branch walks a conditional body; state mutations inside it persist
+// (a Put on one branch conservatively counts — the use-after-Put rule
+// is about textual order, and the skipped-Put rule is driven by
+// return statements, which each branch checks with its own state).
+func (t *tracker) branch(list []ast.Stmt) {
+	saved := t.snapshot()
+	t.stmts(list)
+	if terminates(list) {
+		t.restore(saved)
+	}
+}
+
+func (t *tracker) snapshot() map[types.Object]varState {
+	cp := make(map[types.Object]varState, len(t.state))
+	for k, v := range t.state {
+		cp[k] = *v
+	}
+	return cp
+}
+
+func (t *tracker) restore(snap map[types.Object]varState) {
+	for k, v := range snap {
+		vv := v
+		t.state[k] = &vv
+	}
+	for k := range t.state {
+		if _, ok := snap[k]; !ok {
+			delete(t.state, k)
+		}
+	}
+}
+
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanExprs / scan walk expressions looking for Put calls, ownership
+// transfers and uses of already-released values.
+func (t *tracker) scanExprs(list []ast.Expr) {
+	for _, e := range list {
+		t.scan(e)
+	}
+}
+
+func (t *tracker) scan(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, obj := range t.putTargets(n) {
+				if st := t.state[obj]; st != nil {
+					if st.phase == released {
+						t.pass.Reportf(n.Pos(), "pooled value %s released twice", obj.Name())
+					}
+					st.phase = released
+					st.putPos = n.Pos()
+					st.putEnd = n.End()
+				}
+			}
+			t.transfers(n)
+		case *ast.Ident:
+			obj, ok := t.pass.TypesInfo.Uses[n].(*types.Var)
+			if !ok {
+				return true
+			}
+			if st := t.state[obj]; st != nil && st.phase == released && st.putEnd <= n.Pos() {
+				t.pass.Reportf(n.Pos(), "pooled value %s used after Put at %s",
+					obj.Name(), t.pass.Fset.Position(st.putPos))
+				st.phase = live // one report per leak, not one per use
+			}
+		}
+		return true
+	})
+}
+
+// checkStores flags assignments whose RHS is a tracked pooled local
+// and whose LHS is not a plain local identifier (field, global, index,
+// deref of something else). Writing *through* the pooled pointer
+// (*bp = ...) is fine — that mutates the pooled object, not its
+// ownership.
+func (t *tracker) checkStores(s *ast.AssignStmt) {
+	for i, rhs := range s.Rhs {
+		obj := t.localOf(rhs)
+		if obj == nil || t.state[obj] == nil || i >= len(s.Lhs) {
+			continue
+		}
+		switch lhs := unparen(s.Lhs[i]).(type) {
+		case *ast.Ident:
+			// Aliasing to another local is not tracked (documented
+			// limit) and not an escape — but a package-level variable
+			// outlives the function and is.
+			if v, ok := t.pass.TypesInfo.Uses[lhs].(*types.Var); ok &&
+				v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				t.pass.Reportf(s.Pos(), "pooled value %s stored outside the function (escapes its pool lifecycle)", obj.Name())
+			}
+		case *ast.StarExpr:
+			_ = lhs
+		default:
+			t.pass.Reportf(s.Pos(), "pooled value %s stored outside the function (escapes its pool lifecycle)", obj.Name())
+		}
+	}
+}
+
+func (t *tracker) checkReturn(e ast.Expr) {
+	obj := t.localOf(e)
+	if obj == nil || t.state[obj] == nil {
+		return
+	}
+	if t.dirs.FuncHas(t.fn, "poolget") {
+		// Pooled constructors hand ownership to the caller; the value
+		// is no longer this function's to release.
+		t.state[obj].phase = deferredPut
+		return
+	}
+	t.pass.Reportf(e.Pos(), "pooled value %s returned (caller cannot see its pool; mark the function //schedlint:poolget or release before returning)", obj.Name())
+	// One diagnostic per leak: don't also report "not released".
+	t.state[obj].phase = deferredPut
+}
+
+// transfers ends tracking for pooled locals passed as plain arguments
+// to other module functions (ownership moved — writeRaw(w, status, bp)
+// is the idiom) and flags composite-literal captures.
+func (t *tracker) transfers(call *ast.CallExpr) {
+	if len(t.state) == 0 {
+		return
+	}
+	if t.putTargetsLen(call) > 0 || t.isPoolGet(call) {
+		return
+	}
+	callee := t.calleeFunc(call)
+	for _, arg := range call.Args {
+		obj := t.localOf(arg)
+		if obj == nil || t.state[obj] == nil || t.state[obj].phase == released {
+			continue
+		}
+		if callee != nil && callee.Pkg() != nil && t.inModule(callee.Pkg().Path()) {
+			// Ownership transferred to a module function: no later-use
+			// or skipped-Put reports for this value.
+			t.state[obj].phase = deferredPut
+		}
+	}
+}
+
+func (t *tracker) putTargetsLen(call *ast.CallExpr) int { return len(t.putTargets(call)) }
+
+// putTargets returns the tracked locals released by this call:
+// pool.Put(v) on a sync.Pool, or f(v) where f is //schedlint:poolput.
+func (t *tracker) putTargets(call *ast.CallExpr) []types.Object {
+	isPut := false
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Put" {
+		if t.isSyncPool(sel.X) {
+			isPut = true
+		}
+	}
+	if !isPut {
+		if f := t.calleeFunc(call); f != nil {
+			var role poolRoleFact
+			if t.pass.ImportObjectFact(f, &role) && role.Put {
+				isPut = true
+			}
+		}
+	}
+	if !isPut {
+		return nil
+	}
+	var out []types.Object
+	for _, arg := range call.Args {
+		if obj := t.localOf(arg); obj != nil && t.state[obj] != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// isPoolGet matches pool.Get() on a sync.Pool (through type asserts
+// and pointer derefs) and calls to //schedlint:poolget functions.
+func (t *tracker) isPoolGet(e ast.Expr) bool {
+	e = unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		return t.isPoolGet(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" && t.isSyncPool(sel.X) {
+		return true
+	}
+	if f := t.calleeFunc(call); f != nil {
+		var role poolRoleFact
+		if t.pass.ImportObjectFact(f, &role) && role.Get {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tracker) isSyncPool(e ast.Expr) bool {
+	tv, ok := t.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	typ := tv.Type
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = p.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+func (t *tracker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := t.pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := t.pass.TypesInfo.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := t.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func (t *tracker) localOf(e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, _ := t.pass.TypesInfo.Uses[id].(*types.Var)
+	if obj == nil {
+		return nil
+	}
+	return obj
+}
+
+func (t *tracker) inModule(path string) bool {
+	return path == t.pass.Module || strings.HasPrefix(path, t.pass.Module+"/")
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package pooledbuf_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/pooledbuf"
+)
+
+func TestPooledbufGolden(t *testing.T) {
+	linttest.Run(t, "testdata", pooledbuf.Analyzer)
+}

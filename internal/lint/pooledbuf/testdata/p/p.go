@@ -1,0 +1,92 @@
+// Package p exercises the pooled-value lifecycle rules.
+package p
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var global *[]byte
+
+type holder struct{ b *[]byte }
+
+// write models serve.writeRaw: takes ownership of the pooled buffer.
+func write(bp *[]byte) { pool.Put(bp) }
+
+//schedlint:poolget
+func getBuf() *[]byte {
+	bp := pool.Get().(*[]byte)
+	return bp // a poolget constructor hands ownership out: fine
+}
+
+//schedlint:poolput
+func putBuf(bp *[]byte) { pool.Put(bp) }
+
+func useAfter() {
+	bp := pool.Get().(*[]byte)
+	pool.Put(bp)
+	_ = *bp // want `used after Put`
+}
+
+func doublePut() {
+	bp := pool.Get().(*[]byte)
+	pool.Put(bp)
+	pool.Put(bp) // want `released twice`
+}
+
+func skipPut(fail bool) bool {
+	bp := pool.Get().(*[]byte)
+	if fail {
+		return true // want `return while pooled value bp has not been released`
+	}
+	pool.Put(bp)
+	return false
+}
+
+func deferredPut(fail bool) bool {
+	bp := pool.Get().(*[]byte)
+	defer pool.Put(bp)
+	if fail {
+		return true // covered by the defer: fine
+	}
+	return false
+}
+
+func deferredClosure() {
+	bp := pool.Get().(*[]byte)
+	defer func() { pool.Put(bp) }()
+	*bp = append(*bp, 'x')
+}
+
+func leak() *[]byte {
+	bp := pool.Get().(*[]byte)
+	return bp // want `pooled value bp returned`
+}
+
+func storeGlobal() {
+	bp := pool.Get().(*[]byte)
+	global = bp // want `stored outside the function`
+	pool.Put(bp)
+}
+
+func storeField(h *holder) {
+	bp := pool.Get().(*[]byte)
+	h.b = bp // want `stored outside the function`
+	pool.Put(bp)
+}
+
+func send(ch chan *[]byte) {
+	bp := pool.Get().(*[]byte)
+	ch <- bp // want `sent on a channel`
+	pool.Put(bp)
+}
+
+func transfer() {
+	bp := getBuf()
+	write(bp) // ownership moves to the callee: fine
+}
+
+func roundTrip() {
+	bp := getBuf()
+	*bp = append(*bp, 'x')
+	putBuf(bp)
+}

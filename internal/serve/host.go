@@ -81,7 +81,7 @@ func (c Config) withDefaults() Config {
 
 // shard is one slice of the tenant map.
 type shard struct {
-	mu       sync.Mutex
+	mu       sync.Mutex //schedlint:nocallout
 	sessions map[string]*Session
 }
 
@@ -96,7 +96,7 @@ type Host struct {
 	// scrape reads one atomic instead of walking the shards.
 	backlog atomic.Int64
 
-	mu       sync.Mutex // admission: live count + draining flag
+	mu       sync.Mutex //schedlint:nocallout admission: live count + draining flag
 	live     int
 	draining bool
 	// creating tracks creates that reserved a slot but have not yet

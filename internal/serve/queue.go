@@ -22,8 +22,8 @@ import (
 
 // arrq is the bounded multi-producer single-consumer arrival ring.
 type arrq struct {
-	mu     sync.Mutex
-	buf    []job.Job // ring storage; buf[head:head+n) wrapping
+	mu     sync.Mutex //schedlint:nocallout
+	buf    []job.Job  // ring storage; buf[head:head+n) wrapping
 	head   int
 	n      int
 	closed bool
@@ -55,6 +55,8 @@ func newArrq(capacity int, gauge *atomic.Int64) *arrq {
 // caller parks on space. When capacity remains after a successful
 // push, the space signal is forwarded so a second parked producer is
 // not stranded behind the first one's wakeup.
+//
+//schedlint:hotpath
 func (q *arrq) push(js []job.Job) (int, bool) {
 	q.mu.Lock()
 	if q.closed {
@@ -97,6 +99,8 @@ func (q *arrq) push(js []job.Job) (int, bool) {
 // drainTo moves up to max queued jobs (everything when max <= 0) into
 // dst without blocking. done reports closed-and-empty — the applier's
 // exit condition.
+//
+//schedlint:hotpath
 func (q *arrq) drainTo(dst []job.Job, max int) (out []job.Job, done bool) {
 	q.mu.Lock()
 	k := q.n

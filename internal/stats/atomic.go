@@ -35,6 +35,8 @@ type AtomicHistogram struct {
 
 // Observe records one observation; NaN is ignored and negative values
 // count as zero, exactly like Histogram.Observe.
+//
+//schedlint:hotpath
 func (h *AtomicHistogram) Observe(x float64) {
 	if math.IsNaN(x) {
 		return
@@ -73,6 +75,8 @@ func (h *AtomicHistogram) Observe(x float64) {
 // one bucket add of n, however large the batch. The daemon uses it to
 // charge a drained batch's amortized per-arrival latency to all of its
 // arrivals without n atomic updates.
+//
+//schedlint:hotpath
 func (h *AtomicHistogram) ObserveN(x float64, n uint64) {
 	if n == 0 || math.IsNaN(x) {
 		return
@@ -112,6 +116,8 @@ func (h *AtomicHistogram) Count() uint64 { return h.count.Load() }
 // buckets — not a separate load of the total — so the Prometheus
 // invariant `_count == le="+Inf" bucket` holds even when a scrape
 // races in-flight observations.
+//
+//schedlint:hotpath
 func (h *AtomicHistogram) Snapshot() Histogram {
 	var out Histogram
 	for i := range h.counts {

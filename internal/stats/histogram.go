@@ -211,21 +211,55 @@ func (h *Histogram) Buckets() []Bucket {
 // VisitBuckets walks the cumulative nonempty buckets plus the +Inf
 // terminator in upper-bound order — the same series Buckets returns,
 // but without allocating, for the daemon's pooled metrics scrape.
+//
+// Callers on allocation-free paths should prefer Cursor: a closure
+// that captures locals is itself a heap allocation at the call site.
 func (h *Histogram) VisitBuckets(visit func(upperBound float64, cum uint64)) {
-	var cum uint64
-	seen := false
-	for i, c := range h.counts {
-		if c == 0 {
+	for c := h.Cursor(); ; {
+		ub, cum, ok := c.Next()
+		if !ok {
+			return
+		}
+		visit(ub, cum)
+	}
+}
+
+// BucketCursor iterates the same cumulative bucket series as
+// VisitBuckets, closure-free: the cursor is a plain value the caller
+// keeps on its stack, so hot render paths pay zero allocations.
+type BucketCursor struct {
+	h          *Histogram
+	i          int
+	cum        uint64
+	emittedInf bool
+}
+
+// Cursor returns a bucket cursor positioned before the first nonempty
+// bucket.
+func (h *Histogram) Cursor() BucketCursor { return BucketCursor{h: h} }
+
+// Next returns the next cumulative bucket, or ok=false when the
+// series (including the +Inf terminator) is exhausted.
+func (c *BucketCursor) Next() (ub float64, cum uint64, ok bool) {
+	for c.i < len(c.h.counts) {
+		i := c.i
+		c.i++
+		cnt := c.h.counts[i]
+		if cnt == 0 {
 			continue
 		}
-		cum += c
-		ub := histUpperBound(i)
-		visit(ub, cum)
-		seen = seen || math.IsInf(ub, 1)
+		c.cum += cnt
+		ub = histUpperBound(i)
+		if math.IsInf(ub, 1) {
+			c.emittedInf = true
+		}
+		return ub, c.cum, true
 	}
-	if !seen {
-		visit(math.Inf(1), cum)
+	if !c.emittedInf {
+		c.emittedInf = true
+		return math.Inf(1), c.cum, true
 	}
+	return 0, 0, false
 }
 
 // String renders a compact one-line summary for reports.

@@ -56,10 +56,10 @@ func (c Config) withDefaults() Config {
 	if c.WorkMax <= c.WorkMin {
 		c.WorkMax = c.WorkMin + 1.9
 	}
-	if c.ValueScale == 0 {
+	if c.ValueScale == 0 { //schedlint:exactfloat unset-config sentinel
 		c.ValueScale = 1
 	}
-	if c.ValueSigma == 0 {
+	if c.ValueSigma == 0 { //schedlint:exactfloat unset-config sentinel
 		c.ValueSigma = 1
 	}
 	if c.TailIndex <= 0 {

@@ -45,6 +45,8 @@ const (
 )
 
 // add appends one segment.
+//
+//schedlint:hotpath
 func (l *segList) add(s sched.Segment) {
 	if len(l.cur) == cap(l.cur) {
 		if l.cur != nil {
@@ -54,7 +56,7 @@ func (l *segList) add(s sched.Segment) {
 		for size < l.n && size < segChunkMax {
 			size <<= 1
 		}
-		l.cur = make([]sched.Segment, 0, size)
+		l.cur = make([]sched.Segment, 0, size) //schedlint:allowalloc amortized chunk growth, doubling to segChunkMax
 	}
 	l.cur = append(l.cur, s)
 	l.n++
@@ -92,12 +94,14 @@ type liveSet struct {
 // insert adds an arrived job at its sorted position. The memmove is
 // O(live backlog), not O(arrivals): finished and expired jobs are
 // retired by the planners as the frontier passes them.
+//
+//schedlint:hotpath
 func (ls *liveSet) insert(j job.Job) {
 	lo, hi := 0, len(ls.jobs)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		if ls.jobs[mid].deadline < j.Deadline ||
-			(ls.jobs[mid].deadline == j.Deadline && ls.jobs[mid].id < j.ID) {
+			(ls.jobs[mid].deadline == j.Deadline && ls.jobs[mid].id < j.ID) { //schedlint:exactfloat deadlines are copied bit-for-bit, ties break by ID
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -124,6 +128,8 @@ type boundGrid struct {
 
 // insert registers a boundary (> frontier), keeping the queue sorted
 // and deduplicated.
+//
+//schedlint:hotpath
 func (g *boundGrid) insert(x float64) {
 	lo, hi := g.head, len(g.b)
 	for lo < hi {
@@ -134,7 +140,7 @@ func (g *boundGrid) insert(x float64) {
 			hi = mid
 		}
 	}
-	if lo < len(g.b) && g.b[lo] == x {
+	if lo < len(g.b) && g.b[lo] == x { //schedlint:exactfloat grid dedupe of bit-identical boundaries
 		return
 	}
 	g.b = append(g.b, 0)
@@ -146,12 +152,14 @@ func (g *boundGrid) insert(x float64) {
 // dst followed by t1 itself, consuming every entry ≤ t1. With the old
 // frontier leading dst, the result is exactly the slice of the batch
 // atomic-interval grid covering [frontier, t1].
+//
+//schedlint:hotpath
 func (g *boundGrid) appendUpTo(dst []float64, t1 float64) []float64 {
 	for g.head < len(g.b) && g.b[g.head] < t1 {
 		dst = append(dst, g.b[g.head])
 		g.head++
 	}
-	if g.head < len(g.b) && g.b[g.head] == t1 {
+	if g.head < len(g.b) && g.b[g.head] == t1 { //schedlint:exactfloat grid dedupe of bit-identical boundaries
 		g.head++ // dedupe with t1
 	}
 	dst = append(dst, t1)
@@ -204,20 +212,22 @@ type stair struct {
 // build computes the staircase plan for the live set at time t into
 // the reused block buffer. The arithmetic is Staircase's, operation
 // for operation, so the speeds are bit-identical.
+//
+//schedlint:hotpath
 func (st *stair) build(t float64, jobs []liveJob) error {
 	st.blocks = st.blocks[:0]
 	if len(jobs) == 0 {
 		return nil
 	}
 	if jobs[0].deadline <= t {
-		return fmt.Errorf("yds: job %d has %v work after its deadline %v (t=%v)",
+		return fmt.Errorf("yds: job %d has %v work after its deadline %v (t=%v)", //schedlint:allowalloc infeasible-instance error, session dies
 			jobs[0].id, jobs[0].rem, jobs[0].deadline, t)
 	}
 	st.points = st.points[:0]
 	var cum float64
 	for i, p := range jobs {
 		cum += p.rem
-		if n := len(st.points); n > 0 && st.points[n-1].d == p.deadline {
+		if n := len(st.points); n > 0 && st.points[n-1].d == p.deadline { //schedlint:exactfloat stair group-by on bit-identical deadlines
 			st.points[n-1].w, st.points[n-1].last = cum, i
 		} else {
 			st.points = append(st.points, stairPoint{p.deadline, cum, i})
@@ -251,6 +261,8 @@ func (st *stair) build(t float64, jobs []liveJob) error {
 // execPlan runs the staircase until horizon, emitting segments and
 // decrementing rem in the dense live set — ExecutePlan on index
 // ranges instead of a rem map, same floats.
+//
+//schedlint:hotpath
 func execPlan(blocks []planBlock, horizon float64, jobs []liveJob, segs *segList) {
 	const eps = 1e-12
 	for _, b := range blocks {
@@ -322,6 +334,8 @@ type gridSim struct {
 // made permanent — rem only decreases and the grid only advances),
 // asks the policy for a speed, and executes EDF at that speed with the
 // same deadline-pressure guard.
+//
+//schedlint:hotpath
 func (g *gridSim) span(t0, t1 float64, ls *liveSet, pol simPolicy, segs *segList) error {
 	const eps = 1e-12
 	dt := (t1 - t0) / stepsPerInterval
@@ -417,6 +431,7 @@ type qoaSim struct {
 
 func (p *qoaSim) observe(job.Job) {}
 
+//schedlint:hotpath
 func (p *qoaSim) speedAt(t float64, pend []liveJob) (float64, error) {
 	if err := p.st.build(t, pend); err != nil {
 		return 0, err

@@ -55,7 +55,7 @@ func Staircase(t float64, pend []Pending) ([]Block, error) {
 		return nil, nil
 	}
 	sort.Slice(left, func(i, k int) bool {
-		if left[i].Deadline != left[k].Deadline {
+		if left[i].Deadline != left[k].Deadline { //schedlint:exactfloat sort tie-break on bit-identical deadlines
 			return left[i].Deadline < left[k].Deadline
 		}
 		return left[i].ID < left[k].ID
@@ -74,7 +74,7 @@ func Staircase(t float64, pend []Pending) ([]Block, error) {
 	var cum float64
 	for i, p := range left {
 		cum += p.Rem
-		if n := len(points); n > 0 && points[n-1].d == p.Deadline {
+		if n := len(points); n > 0 && points[n-1].d == p.Deadline { //schedlint:exactfloat stair group-by on bit-identical deadlines
 			points[n-1].w, points[n-1].last = cum, i
 		} else {
 			points = append(points, point{p.Deadline, cum, i})
@@ -370,7 +370,7 @@ func simulate(in *job.Instance, pol simPolicy) (*sched.Schedule, error) {
 	next := 0
 	for k := 0; k+1 < len(bounds); k++ {
 		t0, t1 := bounds[k], bounds[k+1]
-		for next < len(order) && in.Jobs[order[next]].Release == t0 {
+		for next < len(order) && in.Jobs[order[next]].Release == t0 { //schedlint:exactfloat releases sit exactly on grid boundaries by construction
 			j := in.Jobs[order[next]]
 			ls.insert(j)
 			pol.observe(j)

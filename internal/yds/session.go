@@ -58,9 +58,11 @@ type frontier struct {
 // observe validates the arrival against the session lifecycle and
 // reports whether the frontier moved strictly forward (the session
 // must finalise [old frontier, j.Release] before absorbing j).
+//
+//schedlint:hotpath
 func (f *frontier) observe(j job.Job) (moved bool, err error) {
 	if f.closed {
-		return false, fmt.Errorf("yds: session already closed, cannot accept job %d", j.ID)
+		return false, fmt.Errorf("yds: session already closed, cannot accept job %d", j.ID) //schedlint:allowalloc misuse error path, arrival rejected
 	}
 	if !f.started {
 		f.started, f.t = true, j.Release
@@ -68,7 +70,7 @@ func (f *frontier) observe(j job.Job) (moved bool, err error) {
 		return false, nil
 	}
 	if j.Release < f.t {
-		return false, fmt.Errorf("yds: job %d released at %v arrives behind the frontier %v (feed jobs in release order)",
+		return false, fmt.Errorf("yds: job %d released at %v arrives behind the frontier %v (feed jobs in release order)", //schedlint:allowalloc misuse error path, arrival rejected
 			j.ID, j.Release, f.t)
 	}
 	f.arrivals++
@@ -94,6 +96,8 @@ type OASession struct {
 func NewOASession() *OASession { return &OASession{} }
 
 // Arrive absorbs the next job (release order required) and replans.
+//
+//schedlint:hotpath
 func (s *OASession) Arrive(j job.Job) error {
 	moved, err := s.fr.observe(j)
 	if err != nil {
@@ -114,6 +118,8 @@ func (s *OASession) Arrive(j job.Job) error {
 
 // retire compacts finished jobs out of the live set (rem clamped to
 // exactly zero — the batch pending filter is rem > 0).
+//
+//schedlint:hotpath
 func (s *OASession) retire() {
 	w := 0
 	for _, p := range s.live.jobs {
@@ -138,6 +144,8 @@ func (s *OASession) retire() {
 // absorbed (they are in the live set, exactly like the sequential
 // path's post-error state), so the caller's bookkeeping never
 // diverges from the policy's.
+//
+//schedlint:hotpath
 func (s *OASession) ArriveBatch(js []job.Job) (int, error) {
 	for i, j := range js {
 		moved, err := s.fr.observe(j)
@@ -218,6 +226,8 @@ func NewAVRSession() *AVRSession { return &AVRSession{} }
 // proportional to their densities, exactly as the batch loop does.
 // The interval boundaries come from the incremental grid, which holds
 // exactly the batch grid's boundaries beyond the frontier.
+//
+//schedlint:hotpath
 func (s *AVRSession) emit(T float64) {
 	s.bounds = append(s.bounds[:0], s.fr.t)
 	s.bounds = s.grid.appendUpTo(s.bounds, T)
@@ -249,6 +259,8 @@ func (s *AVRSession) emit(T float64) {
 // prune retires jobs whose windows closed at or before the frontier:
 // no future atomic interval can admit them (it would need deadline ≥
 // its right endpoint > frontier), so they can never contribute again.
+//
+//schedlint:hotpath
 func (s *AVRSession) prune() {
 	w := 0
 	for _, j := range s.known {
@@ -262,6 +274,8 @@ func (s *AVRSession) prune() {
 
 // Arrive absorbs the next job (release order required), finalising the
 // schedule up to its release first.
+//
+//schedlint:hotpath
 func (s *AVRSession) Arrive(j job.Job) error {
 	moved, err := s.fr.observe(j)
 	if err != nil {
@@ -281,6 +295,8 @@ func (s *AVRSession) Arrive(j job.Job) error {
 // per-arrival replanning beyond the frontier-move emit, so the batch
 // entry point is the sequential loop without per-call overhead; it
 // returns how many jobs were absorbed before the first error.
+//
+//schedlint:hotpath
 func (s *AVRSession) ArriveBatch(js []job.Job) (int, error) {
 	for i := range js {
 		if err := s.Arrive(js[i]); err != nil {
@@ -347,6 +363,8 @@ func NewQOASession(pm power.Model) *QOASession {
 
 // advance simulates [fr.t, T] on the same grid the batch simulator
 // would use there.
+//
+//schedlint:hotpath
 func (s *QOASession) advance(T float64) error {
 	s.bounds = append(s.bounds[:0], s.fr.t)
 	s.bounds = s.grid.appendUpTo(s.bounds, T)
@@ -360,6 +378,8 @@ func (s *QOASession) advance(T float64) error {
 
 // Arrive absorbs the next job (release order required), simulating up
 // to its release first.
+//
+//schedlint:hotpath
 func (s *QOASession) Arrive(j job.Job) error {
 	moved, err := s.fr.observe(j)
 	if err != nil {
@@ -380,6 +400,8 @@ func (s *QOASession) Arrive(j job.Job) error {
 // already happens only on frontier moves, so this is the sequential
 // loop minus per-call overhead. It returns how many jobs were
 // absorbed before the first error.
+//
+//schedlint:hotpath
 func (s *QOASession) ArriveBatch(js []job.Job) (int, error) {
 	for i := range js {
 		if err := s.Arrive(js[i]); err != nil {

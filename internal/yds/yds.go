@@ -150,10 +150,10 @@ type candHeap []cand
 
 func (h candHeap) Len() int { return len(h) }
 func (h candHeap) Less(i, k int) bool {
-	if h[i].density != h[k].density {
+	if h[i].density != h[k].density { //schedlint:exactfloat heap tie-break on bit-identical densities
 		return h[i].density > h[k].density
 	}
-	if h[i].t1 != h[k].t1 {
+	if h[i].t1 != h[k].t1 { //schedlint:exactfloat heap tie-break on bit-identical times
 		return h[i].t1 < h[k].t1
 	}
 	return h[i].t2 < h[k].t2
@@ -248,13 +248,13 @@ func YDS(in *job.Instance) (*sched.Schedule, error) {
 			var cum float64
 			for k := 0; k < len(eff); {
 				t2 := eff[k].effD
-				for k < len(eff) && eff[k].effD == t2 {
+				for k < len(eff) && eff[k].effD == t2 { //schedlint:exactfloat group-by on bit-identical effective deadlines
 					if eff[k].effR >= t1 {
 						cum += eff[k].j.Work
 					}
 					k++
 				}
-				if t2 <= t1 || cum == 0 {
+				if t2 <= t1 || cum == 0 { //schedlint:exactfloat zero-work sentinel, sums of zero terms are exactly zero
 					continue
 				}
 				avail := (t2 - t1) - removed.covered(t1, t2)
@@ -363,7 +363,7 @@ func YDSReference(in *job.Instance) (*sched.Schedule, error) {
 						work += j.Work
 					}
 				}
-				if work == 0 {
+				if work == 0 { //schedlint:exactfloat zero-work sentinel, sums of zero terms are exactly zero
 					continue
 				}
 				avail := (t2 - t1) - removed.covered(t1, t2)
