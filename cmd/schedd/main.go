@@ -8,7 +8,17 @@
 //
 //	schedd [-addr :8080] [-shards 16] [-max-sessions 1024]
 //	       [-max-backlog 256] [-apply-batch 0] [-drain-timeout 30s]
-//	       [-pprof]
+//	       [-data-dir ""] [-fsync-interval 5ms] [-checkpoint-every 4096]
+//	       [-wal-segment-bytes 4194304] [-pprof]
+//
+// With -data-dir the daemon is durable: every accepted arrival batch
+// is appended to a per-tenant write-ahead log and acknowledged only
+// after a group fsync covers it, and on startup the same directory is
+// recovered — surviving sessions are rebuilt byte-identically by
+// replaying their logs before the listener opens. A torn tail (a
+// record cut mid-write by the crash) is truncated and reported; any
+// other corruption refuses recovery and the process exits non-zero
+// rather than serve rewritten history.
 //
 // API (see internal/serve):
 //
@@ -39,6 +49,7 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/stats"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -55,6 +66,7 @@ type daemon struct {
 	host         *serve.Host
 	srv          *http.Server
 	ln           net.Listener
+	store        *wal.Store // nil without -data-dir
 	drainTimeout time.Duration
 }
 
@@ -126,6 +138,14 @@ func (d *daemon) shutdown(w io.Writer) error {
 	ctx, cancel := context.WithTimeout(context.Background(), d.drainTimeout)
 	defer cancel()
 	results, err := d.host.Drain(ctx)
+	// The drain closed every session (retiring its log); the store
+	// itself shuts after, so a session the timeout abandoned keeps its
+	// log on disk for the next boot's recovery.
+	if d.store != nil {
+		if cerr := d.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	tbl := &stats.Table{
 		Title:   "drained sessions",
 		Headers: []string{"session", "policy", "energy", "lost", "cost", "rejected", "status"},
@@ -157,23 +177,59 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxBacklog := fs.Int("max-backlog", 256, "per-session arrival queue bound")
 	applyBatch := fs.Int("apply-batch", 0, "max arrivals applied per batch (0 = drain everything queued)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
+	dataDir := fs.String("data-dir", "", "write-ahead log directory; empty runs without durability")
+	fsyncInterval := fs.Duration("fsync-interval", 5*time.Millisecond, "group-commit fsync interval (0 fsyncs every append)")
+	checkpointEvery := fs.Int("checkpoint-every", 4096, "arrivals between per-session checkpoint/truncate compactions (0 disables)")
+	walSegBytes := fs.Int64("wal-segment-bytes", 4<<20, "write-ahead log segment size before rotation")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	d := newDaemon(serve.Config{
+	cfg := serve.Config{
 		Shards: *shards, MaxSessions: *maxSessions,
 		MaxBacklog: *maxBacklog, MaxApplyBatch: *applyBatch,
-	}, *drainTimeout, *withPprof)
+	}
+	var store *wal.Store
+	if *dataDir != "" {
+		var err error
+		store, err = wal.Open(*dataDir, wal.Options{
+			FsyncInterval: *fsyncInterval, SegmentBytes: *walSegBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("opening wal: %w", err)
+		}
+		cfg.WAL = store
+		cfg.CheckpointEvery = *checkpointEvery
+	}
+	d := newDaemon(cfg, *drainTimeout, *withPprof)
+	d.store = store
+	if store != nil {
+		// Recover before the listener opens: no request ever observes a
+		// half-rebuilt host, and "listening" doubles as the recovered
+		// readiness marker. Corruption beyond a torn tail exits non-zero
+		// here — serving rewritten history is worse than not serving.
+		rs, err := d.host.Recover()
+		if err != nil {
+			store.Close()
+			return fmt.Errorf("recovery refused: %w", err)
+		}
+		fmt.Fprintf(stdout, "schedd: recovered %d sessions, %d arrivals replayed (%d torn bytes truncated, %d retired logs swept)\n",
+			rs.Sessions, rs.Arrivals, rs.TornBytes, rs.Removed)
+	}
 	if err := d.listen(*addr); err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return err
 	}
-	fmt.Fprintf(stdout, "schedd: listening on %s\n", d.addr())
-
+	// The handler must be installed before the listening line goes out:
+	// that line is the readiness marker, and an operator (or the crash
+	// e2e) may signal the instant they see it.
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
+	fmt.Fprintf(stdout, "schedd: listening on %s\n", d.addr())
 	errc := make(chan error, 1)
 	go func() { errc <- d.serveHTTP() }()
 

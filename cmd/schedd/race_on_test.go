@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors the race detector into the crash e2e so the
+// child schedd binary it builds is instrumented too.
+const raceEnabled = true

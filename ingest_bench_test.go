@@ -10,9 +10,11 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/job"
 	"repro/internal/serve"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -24,14 +26,21 @@ import (
 //   - batched: the shipping path — pooled zero-allocation NDJSON
 //     decoder, slice-batch submits, batch-draining applier with
 //     coalesced replans.
+//   - durable: the batched path over a write-ahead log — every drained
+//     batch appended and CRC-framed before it is applied, the final
+//     ack held for the group fsync. The batched/durable ratio is the
+//     price of durability (the PR 7 claim: durable ingest keeps ≥50%
+//     of the WAL-off arrivals/sec). Checkpointing is off so the arm
+//     measures the append+fsync path, not compaction policy.
 //   - unbatched: the pre-batching reference path — reflective
 //     json.Decoder per line, one Submit per job, one lock/replan per
 //     arrival (MaxApplyBatch 1), the ingest loop exactly as it shipped
 //     before the batched rework.
 //
-// The committed perf trajectory (BENCH_pr5.json) records both, so the
-// batched/unbatched ratio — the PR's ≥5× arrivals/sec claim — is
-// visible in one run, alongside allocs/arrival through the stack.
+// The committed perf trajectory (BENCH_pr7.json) records all three, so
+// the batched/unbatched ratio — PR 5's ≥5× arrivals/sec claim — and
+// the durability tax are visible in one run, alongside allocs/arrival
+// through the stack.
 func BenchmarkServeIngest(b *testing.B) {
 	for _, n := range []int{100_000} {
 		in := workload.HeavyTail(workload.Config{
@@ -53,11 +62,19 @@ func BenchmarkServeIngest(b *testing.B) {
 		}
 		spec := `{"id":%q,"spec":{"name":"oa","m":1,"alpha":2}}`
 
-		for _, mode := range []string{"batched", "unbatched"} {
+		for _, mode := range []string{"batched", "durable", "unbatched"} {
 			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
 				cfg := serve.Config{MaxSessions: 16, MaxBacklog: 4096}
 				if mode == "unbatched" {
 					cfg.MaxApplyBatch = 1
+				}
+				if mode == "durable" {
+					st, err := wal.Open(b.TempDir(), wal.Options{FsyncInterval: 5 * time.Millisecond})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer st.Close()
+					cfg.WAL = st
 				}
 				host := serve.NewHost(cfg)
 				handler := serve.NewHandler(host)

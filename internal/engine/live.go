@@ -56,6 +56,13 @@ func (l *Live) Policy() string { return l.p.Name() }
 // Arrivals returns the number of jobs accepted so far.
 func (l *Live) Arrivals() int { return len(l.jobs) }
 
+// History returns the accepted arrivals in application order — the
+// run's full deterministic input, which together with the Spec is
+// everything a byte-identical rebuild needs (the WAL's checkpoint
+// writer persists exactly this). The slice aliases live state: callers
+// must not mutate it and must not hold it across further arrivals.
+func (l *Live) History() []job.Job { return l.jobs }
+
 // Arrive validates the job (well-formed, unique ID, nondecreasing
 // release — the order every online algorithm here assumes) and hands
 // it to the policy, metering the decision latency. A rejected or

@@ -1,0 +1,68 @@
+// Hand-rolled append-encoders for the engine wire types the WAL
+// persists: a session-open record carries the Spec, a checkpoint
+// carries the Spec plus the Snapshot taken at the cut. Both are pinned
+// byte-identical to json.Marshal (tests diff them field-combination by
+// field-combination), so a log written by the hot path decodes with
+// plain encoding/json on the cold recovery path, and the recovery
+// integrity check — replayed-state snapshot vs the snapshot stored at
+// checkpoint time — can be a byte compare instead of a float-by-float
+// tolerance argument.
+
+package engine
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/job"
+)
+
+// AppendJSON appends the spec's JSON encoding to dst, byte-identical
+// to json.Marshal: fields in declaration order, params omitted when
+// empty and rendered with sorted keys (json.Marshal's map order).
+func (s Spec) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"name":`...)
+	dst = job.AppendString(dst, s.Name)
+	dst = append(dst, `,"m":`...)
+	dst = strconv.AppendInt(dst, int64(s.M), 10)
+	dst = append(dst, `,"alpha":`...)
+	dst = job.AppendFloat(dst, s.Alpha)
+	if len(s.Params) > 0 {
+		dst = append(dst, `,"params":{`...)
+		keys := make([]string, 0, len(s.Params))
+		for k := range s.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = job.AppendString(dst, k)
+			dst = append(dst, ':')
+			dst = job.AppendFloat(dst, s.Params[k])
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, '}')
+}
+
+// AppendJSON appends the snapshot's JSON encoding to dst,
+// byte-identical to json.Marshal (buffered carries omitempty, so a
+// false value vanishes exactly as the reflective encoder drops it).
+func (sn Snapshot) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"at":`...)
+	dst = job.AppendFloat(dst, sn.At)
+	dst = append(dst, `,"arrivals":`...)
+	dst = strconv.AppendInt(dst, int64(sn.Arrivals), 10)
+	dst = append(dst, `,"pending":`...)
+	dst = strconv.AppendInt(dst, int64(sn.Pending), 10)
+	dst = append(dst, `,"pendingWork":`...)
+	dst = job.AppendFloat(dst, sn.PendingWork)
+	dst = append(dst, `,"speed":`...)
+	dst = job.AppendFloat(dst, sn.Speed)
+	if sn.Buffered {
+		dst = append(dst, `,"buffered":true`...)
+	}
+	return append(dst, '}')
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// TestSpecAppendJSON pins the hand encoder byte-identical to
+// json.Marshal across the param-map and escaping corners.
+func TestSpecAppendJSON(t *testing.T) {
+	specs := []Spec{
+		{Name: "pd", M: 1, Alpha: 2},
+		{Name: "oa", M: 4, Alpha: 2.2},
+		{Name: "qoa", M: 1, Alpha: 3, Params: map[string]float64{"q": 1.5}},
+		{Name: "pd", M: 2, Alpha: 2, Params: map[string]float64{"delta": 0.125, "b": 2, "a": 1e-9}},
+		{Name: `we"ird<name>&`, M: 1, Alpha: 1.0000001},
+		{Name: "", M: 0, Alpha: 0},
+		{Name: "x", M: 1, Alpha: 2, Params: map[string]float64{}},
+	}
+	for _, s := range specs {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("json.Marshal(%+v): %v", s, err)
+		}
+		got := s.AppendJSON(nil)
+		if string(got) != string(want) {
+			t.Errorf("Spec%+v:\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+// TestSnapshotAppendJSON pins the snapshot encoder byte-identical to
+// json.Marshal, including the omitempty buffered flag and the float
+// formats the wire uses.
+func TestSnapshotAppendJSON(t *testing.T) {
+	snaps := []Snapshot{
+		{},
+		{At: 12.5, Arrivals: 3, Pending: 2, PendingWork: 7.25, Speed: 1.5},
+		{At: 1e-9, Arrivals: 1, Pending: 1, PendingWork: 1e21, Speed: 0.1},
+		{At: 4, Arrivals: 10, Pending: 10, PendingWork: 100, Buffered: true},
+		{At: math.MaxFloat64, Arrivals: 1 << 30, Pending: -1, PendingWork: -0.5, Speed: 3},
+	}
+	for _, sn := range snaps {
+		want, err := json.Marshal(sn)
+		if err != nil {
+			t.Fatalf("json.Marshal(%+v): %v", sn, err)
+		}
+		got := sn.AppendJSON(nil)
+		if string(got) != string(want) {
+			t.Errorf("Snapshot%+v:\n got %s\nwant %s", sn, got, want)
+		}
+	}
+}
+
+// TestLiveHistory checks History tracks exactly the accepted arrivals,
+// unwinding the refused suffix of a poisoned batch.
+func TestLiveHistory(t *testing.T) {
+	l, err := NewLive(Spec{Name: "oa", M: 1, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := math.Inf(1)
+	batch := []job.Job{
+		{ID: 1, Release: 0, Deadline: 10, Work: 1, Value: inf},
+		{ID: 2, Release: 1, Deadline: 11, Work: 2, Value: inf},
+		{ID: 2, Release: 2, Deadline: 12, Work: 3, Value: inf},
+	}
+	n, err := l.ApplyBatch(batch)
+	if err == nil || n != 2 {
+		t.Fatalf("ApplyBatch = %d, %v; want 2 applied and a duplicate-ID error", n, err)
+	}
+	h := l.History()
+	if len(h) != 2 || h[0].ID != 1 || h[1].ID != 2 {
+		t.Fatalf("History after poisoned batch = %+v; want jobs 1,2", h)
+	}
+}

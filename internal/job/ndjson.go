@@ -812,6 +812,86 @@ func AppendJSON(dst []byte, j Job) []byte {
 	return append(dst, '}')
 }
 
+// AppendNDJSON appends one NDJSON line per job — AppendJSON plus a
+// trailing newline each — the exact stream shape the ingest endpoint
+// consumes and the WAL's batch records store.
+//
+//schedlint:hotpath
+func AppendNDJSON(dst []byte, js []Job) []byte {
+	for i := range js {
+		dst = AppendJSON(dst, js[i])
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// DecodeAll parses a complete NDJSON byte slice, appending every job
+// onto dst. It is the cold-path counterpart of the streaming Decoder
+// — WAL recovery and tests use it to rehydrate batch records in one
+// call. The first malformed line fails the whole slice.
+func DecodeAll(dst []Job, b []byte) ([]Job, error) {
+	d := GetDecoder(bytes.NewReader(b))
+	defer PutDecoder(d)
+	for {
+		var j Job
+		if err := d.Next(&j); err != nil {
+			if err == io.EOF {
+				return dst, nil
+			}
+			return dst, err
+		}
+		dst = append(dst, j)
+	}
+}
+
+// AppendString appends s as a JSON string literal with
+// encoding/json-compatible escaping: control characters, quotes,
+// backslashes, the HTML-sensitive runes, the JS line separators
+// U+2028/U+2029, and invalid UTF-8 replaced by the escaped replacement
+// character — byte-identical to json.Marshal of the same string,
+// pinned by test. It is the single source of the wire string format;
+// the daemon's hand-rolled response paths and the engine's spec and
+// snapshot encoders all render strings through it.
+//
+//schedlint:hotpath
+func AppendString(b []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				b = append(b, '\\', '"')
+			case c == '\\':
+				b = append(b, '\\', '\\')
+			case c == '\n':
+				b = append(b, '\\', 'n')
+			case c == '\r':
+				b = append(b, '\\', 'r')
+			case c == '\t':
+				b = append(b, '\\', 't')
+			case c < 0x20, c == '<', c == '>', c == '&':
+				b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xF])
+			default:
+				b = append(b, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case r == utf8.RuneError && size == 1:
+			b = append(b, `\ufffd`...)
+		case r == '\u2028', r == '\u2029':
+			b = append(b, '\\', 'u', '2', '0', '2', byte('8'+r-'\u2028'))
+		default:
+			b = append(b, s[i:i+size]...)
+		}
+		i += size
+	}
+	return append(b, '"')
+}
+
 // AppendFloat appends a finite float64 formatted exactly like
 // encoding/json: the shortest 'f' form in mid-range, 'e' with a
 // trimmed one-digit exponent outside it. It is the single source of

@@ -26,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/job"
 	"repro/internal/pool"
+	"repro/internal/wal"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -55,6 +56,18 @@ type Config struct {
 	MaxApplyBatch int
 	// Registry resolves session specs (default engine.DefaultRegistry).
 	Registry *engine.Registry
+	// WAL, when non-nil, makes every session durable: the applier logs
+	// each drained batch before applying it, arrivals are acknowledged
+	// only after their batch is fsynced (the store's group-commit
+	// interval), and Recover rebuilds sessions byte-identical after a
+	// crash. Nil keeps the host purely in-memory.
+	WAL *wal.Store
+	// CheckpointEvery compacts a session's log (checkpoint + truncate)
+	// after this many arrivals since the last checkpoint. 0 disables
+	// checkpointing; ignored without WAL. A session whose stream ever
+	// refused an arrival is never checkpointed again, so the full log
+	// stays replayable into the exact error state.
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +160,14 @@ type Session struct {
 	mu  sync.Mutex // serializes the run against Snapshot/Close
 	run *engine.Live
 
+	// wlog is the session's write-ahead log (nil on an in-memory host).
+	// Only the applier appends to it, so the logged order is the applied
+	// order; base is the log's arrival count when the session attached
+	// (zero when fresh, the replayed count when recovered), which maps
+	// the queue's enqueue positions onto log positions for durable acks.
+	wlog *wal.Log
+	base uint64
+
 	// err is guarded separately from the run: the applier holds mu for
 	// the whole of a (possibly slow) batch apply, and Submit must be
 	// able to fail fast on a recorded error without waiting for it.
@@ -188,18 +209,35 @@ func (h *Host) Create(id string, spec engine.Spec) (*Session, error) {
 	if id == "" {
 		id = fmt.Sprintf("s-%d", h.nextID.Add(1))
 	}
+	var wlog *wal.Log
+	if h.cfg.WAL != nil {
+		// The open record — everything recovery needs to rebuild the
+		// session shell — is durable before the create is acknowledged.
+		wlog, err = h.cfg.WAL.Create(id, appendOpenJSON(make([]byte, 0, 128), id, spec))
+		if err != nil {
+			release()
+			if errors.Is(err, wal.ErrExists) {
+				return nil, fmt.Errorf("%w: %q", ErrDuplicate, id)
+			}
+			return nil, err
+		}
+	}
 	s := &Session{
 		ID: id, Spec: spec, host: h,
 		queue:   newArrq(h.cfg.MaxBacklog, &h.backlog),
 		done:    make(chan struct{}),
 		closeCh: make(chan struct{}),
 		run:     run,
+		wlog:    wlog,
 	}
 	sh := h.shardOf(id)
 	sh.mu.Lock()
 	if _, dup := sh.sessions[id]; dup {
 		sh.mu.Unlock()
 		release()
+		if wlog != nil {
+			_ = wlog.CloseAndRemove() // nothing was ever logged
+		}
 		return nil, fmt.Errorf("%w: %q", ErrDuplicate, id)
 	}
 	sh.sessions[id] = s
@@ -352,6 +390,19 @@ func (s *Session) apply() {
 	for {
 		batch, done := s.queue.drainTo(scratch[:0], max)
 		if len(batch) > 0 {
+			if s.wlog != nil {
+				// Log the raw drained batch — refusals included, so replay
+				// reproduces them — before the engine sees it. The append
+				// hits the page cache only; durability is the group
+				// fsync's job, and acks wait on it, not here. A dead log
+				// fails the batch without applying it: state the WAL
+				// never saw must not exist in memory either.
+				if _, err := s.wlog.AppendBatch(batch); err != nil {
+					s.recordErr(err)
+					s.host.metrics.arrivalsFailed(len(batch))
+					continue
+				}
+			}
 			s.mu.Lock()
 			start := time.Now()
 			applied, err := s.run.ApplyBatch(batch)
@@ -361,12 +412,10 @@ func (s *Session) apply() {
 				s.host.metrics.arrivalsApplied(applied, d)
 			}
 			if err != nil {
-				s.errMu.Lock()
-				if s.err == nil {
-					s.err = err
-				}
-				s.errMu.Unlock()
+				s.recordErr(err)
 				s.host.metrics.arrivalsFailed(len(batch) - applied)
+			} else {
+				s.maybeCheckpoint()
 			}
 			continue // the queue may have refilled while we applied
 		}
@@ -375,6 +424,14 @@ func (s *Session) apply() {
 		}
 		s.queue.waitData()
 	}
+}
+
+func (s *Session) recordErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
 }
 
 // Submit queues one arrival for application. A full queue blocks —
@@ -468,6 +525,15 @@ func (s *Session) finish(ctx context.Context) (*engine.Result, error) {
 		return nil, fmt.Errorf("session %q: close abandoned: %w", s.ID, context.Cause(ctx))
 	}
 
+	// The session is over either way: retire its log — close record
+	// made durable first, then the tenant directory removed — so a
+	// restart does not resurrect a session whose final answer was
+	// already delivered. (An abandoned wait above keeps the log: the
+	// applier may still be running, and the next boot recovers it.)
+	var walErr error
+	if s.wlog != nil {
+		walErr = s.wlog.CloseAndRemove()
+	}
 	if err := s.firstErr(); err != nil {
 		return nil, fmt.Errorf("session %q: arrival refused: %w", s.ID, err)
 	}
@@ -476,6 +542,9 @@ func (s *Session) finish(ctx context.Context) (*engine.Result, error) {
 	res, err := s.run.Close()
 	if err != nil {
 		return nil, fmt.Errorf("session %q: %w", s.ID, err)
+	}
+	if walErr != nil {
+		return nil, fmt.Errorf("session %q: retiring wal: %w", s.ID, walErr)
 	}
 	return res, nil
 }

@@ -17,7 +17,7 @@ import (
 )
 
 // feed streams an instance's jobs into the session in release order.
-func feed(t *testing.T, s *Session, in *job.Instance) {
+func feed(t testing.TB, s *Session, in *job.Instance) {
 	t.Helper()
 	if err := workload.NewStream(in, 0).Play(context.Background(), func(j job.Job) error {
 		return s.Submit(context.Background(), j)

@@ -33,7 +33,6 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
-	"unicode/utf8"
 
 	"repro/internal/engine"
 	"repro/internal/job"
@@ -62,7 +61,10 @@ func NewHandler(h *Host) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = h.Metrics().WritePrometheus(w, h.Backlog())
+		if err := h.Metrics().WritePrometheus(w, h.Backlog()); err != nil {
+			return
+		}
+		_ = h.WriteWalMetrics(w)
 	})
 	return mux
 }
@@ -113,49 +115,11 @@ func writeRaw(w http.ResponseWriter, status int, bp *[]byte) {
 	respPool.Put(bp)
 }
 
-// appendJSONString appends s as a JSON string literal with
-// encoding/json-compatible escaping: control characters, quotes,
-// backslashes, the HTML-sensitive runes, the JS line separators
-// U+2028/U+2029, and invalid UTF-8 replaced by the escaped
-// replacement character — byte-identical to the cold path's
-// writeJSON, pinned by test.
-func appendJSONString(b []byte, s string) []byte {
-	const hex = "0123456789abcdef"
-	b = append(b, '"')
-	for i := 0; i < len(s); {
-		if c := s[i]; c < utf8.RuneSelf {
-			switch {
-			case c == '"':
-				b = append(b, '\\', '"')
-			case c == '\\':
-				b = append(b, '\\', '\\')
-			case c == '\n':
-				b = append(b, '\\', 'n')
-			case c == '\r':
-				b = append(b, '\\', 'r')
-			case c == '\t':
-				b = append(b, '\\', 't')
-			case c < 0x20, c == '<', c == '>', c == '&':
-				b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xF])
-			default:
-				b = append(b, c)
-			}
-			i++
-			continue
-		}
-		r, size := utf8.DecodeRuneInString(s[i:])
-		switch {
-		case r == utf8.RuneError && size == 1:
-			b = append(b, `\ufffd`...)
-		case r == '\u2028', r == '\u2029':
-			b = append(b, '\\', 'u', '2', '0', '2', byte('8'+r-'\u2028'))
-		default:
-			b = append(b, s[i:i+size]...)
-		}
-		i += size
-	}
-	return append(b, '"')
-}
+// appendJSONString renders a JSON string literal through the wire
+// format's single escaper, job.AppendString (moved there so the WAL's
+// spec/snapshot encoders share it) — still byte-identical to the cold
+// path's writeJSON, pinned by test.
+func appendJSONString(b []byte, s string) []byte { return job.AppendString(b, s) }
 
 // createRequest is the body of POST /v1/sessions.
 type createRequest struct {
@@ -284,6 +248,15 @@ func handleArrivals(h *Host, w http.ResponseWriter, r *http.Request) {
 	if serr := flush(); serr != nil {
 		writeArrivals(w, statusOf(serr), s.ID, accepted, serr.Error())
 		return
+	}
+	// Durable ack: on a WAL-backed host the 200 means "on disk", so
+	// park until the group fsync covers everything this stream queued.
+	if accepted > 0 {
+		if derr := s.waitDurable(r.Context()); derr != nil {
+			writeArrivals(w, http.StatusInternalServerError, s.ID, accepted,
+				fmt.Sprintf("durability not confirmed: %v", derr))
+			return
+		}
 	}
 	writeArrivals(w, http.StatusOK, s.ID, accepted, "")
 }

@@ -27,6 +27,10 @@ type arrq struct {
 	head   int
 	n      int
 	closed bool
+	// enq counts every job ever admitted. The applier drains (and the
+	// WAL logs) in admission order, so enq is also the log position of
+	// the last admitted job — the durable-ack wait point.
+	enq uint64
 
 	// qlen mirrors n for lock-free Backlog reads; gauge (shared across
 	// the host) feeds the lock-free /metrics backlog fast path.
@@ -77,6 +81,7 @@ func (q *arrq) push(js []job.Job) (int, bool) {
 			q.buf[p] = js[i]
 		}
 		q.n += k
+		q.enq += uint64(k)
 		q.qlen.Store(int64(q.n))
 		if q.gauge != nil {
 			q.gauge.Add(int64(k))
@@ -152,3 +157,12 @@ func (q *arrq) close() {
 
 // length returns the queued-but-undrained count without locking.
 func (q *arrq) length() int { return int(q.qlen.Load()) }
+
+// enqueued returns how many jobs were ever admitted — the durable-ack
+// position of the most recent one.
+func (q *arrq) enqueued() uint64 {
+	q.mu.Lock()
+	e := q.enq
+	q.mu.Unlock()
+	return e
+}

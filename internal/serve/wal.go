@@ -1,0 +1,268 @@
+// The host's durability face: what the serve layer writes into the
+// WAL's opaque payloads and how it rebuilds sessions from them.
+//
+// The WAL stores bytes; this file owns their meaning. A session-open
+// record is {"id","spec"} (rendered with the engine's hand encoders,
+// byte-identical to encoding/json). A checkpoint's meta is
+// {"id","spec","snapshot"} where snapshot is the engine state at the
+// cut — not replayed at recovery, but byte-compared against the
+// snapshot of the rebuilt session, so a divergent replay refuses to
+// serve instead of silently rewriting history.
+//
+// Recovery ordering: Host.Recover must run after NewHost and before
+// any traffic. Each surviving tenant's checkpoint history and log
+// tail are streamed through engine.Live.ApplyBatch exactly as the
+// applier fed them — same batch boundaries, same refusals — so the
+// rebuilt session is byte-identical to the uninterrupted run (modulo
+// wall-clock timings), which the crash e2e pins.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/job"
+	"repro/internal/wal"
+)
+
+// walOpen mirrors the session-open payload for decoding.
+type walOpen struct {
+	ID   string      `json:"id"`
+	Spec engine.Spec `json:"spec"`
+}
+
+// walCkptMeta mirrors a checkpoint's meta payload for decoding.
+// Snapshot stays raw: it is compared byte-for-byte, never re-encoded.
+type walCkptMeta struct {
+	ID       string          `json:"id"`
+	Spec     engine.Spec     `json:"spec"`
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+// appendOpenJSON renders the session-open payload.
+func appendOpenJSON(dst []byte, id string, spec engine.Spec) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = job.AppendString(dst, id)
+	dst = append(dst, `,"spec":`...)
+	dst = spec.AppendJSON(dst)
+	return append(dst, '}')
+}
+
+// appendCkptMeta renders a checkpoint's meta payload.
+func appendCkptMeta(dst []byte, id string, spec engine.Spec, snap engine.Snapshot) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = job.AppendString(dst, id)
+	dst = append(dst, `,"spec":`...)
+	dst = spec.AppendJSON(dst)
+	dst = append(dst, `,"snapshot":`...)
+	dst = snap.AppendJSON(dst)
+	return append(dst, '}')
+}
+
+// maybeCheckpoint compacts the session's log when enough arrivals
+// accumulated since the last cut. Called by the applier after a clean
+// batch, so "logged" and "accepted" agree; any refusal anywhere in
+// the stream disables checkpointing for good (the full log must stay
+// replayable into the exact error state). Runs on the applier
+// goroutine — the checkpoint's file IO stalls this one tenant, never
+// the host.
+func (s *Session) maybeCheckpoint() {
+	every := s.host.cfg.CheckpointEvery
+	if s.wlog == nil || every <= 0 || s.wlog.SinceCheckpoint() < uint64(every) {
+		return
+	}
+	if s.firstErr() != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta := appendCkptMeta(nil, s.ID, s.Spec, s.run.Snapshot())
+	if err := s.wlog.Checkpoint(meta, s.run.History()); err != nil {
+		s.recordErr(fmt.Errorf("checkpoint: %w", err))
+	}
+}
+
+// waitDurable parks until every arrival the session's queue has
+// admitted so far is covered by an fsync — the ack-after-durable gate
+// the arrivals handler passes through before answering 200. The
+// position is read after the caller's last submit, so it may include
+// a concurrent producer's later arrivals: waiting for those too is
+// merely conservative.
+func (s *Session) waitDurable(ctx context.Context) error {
+	if s.wlog == nil {
+		return nil
+	}
+	return s.wlog.WaitDurable(ctx, s.base+s.queue.enqueued())
+}
+
+// Recover rebuilds every session the WAL's data directory survives
+// with, registering them on the host exactly as Create would. It must
+// run before the host serves traffic and refuses (with an error) on
+// any corruption short of a torn tail — the daemon exits rather than
+// serve rewritten history.
+func (h *Host) Recover() (wal.RecoveryStats, error) {
+	if h.cfg.WAL == nil {
+		return wal.RecoveryStats{}, nil
+	}
+	return h.cfg.WAL.Recover(func(r *wal.Recovered) error {
+		var id string
+		var spec engine.Spec
+		var wantSnap []byte
+		if r.CkptMeta != nil {
+			var m walCkptMeta
+			if err := json.Unmarshal(r.CkptMeta, &m); err != nil {
+				return fmt.Errorf("serve: recovering %q: checkpoint meta: %w", r.Tenant, err)
+			}
+			id, spec, wantSnap = m.ID, m.Spec, m.Snapshot
+		} else {
+			var m walOpen
+			if err := json.Unmarshal(r.Open, &m); err != nil {
+				return fmt.Errorf("serve: recovering %q: open record: %w", r.Tenant, err)
+			}
+			id, spec = m.ID, m.Spec
+		}
+		if id != r.Tenant {
+			return fmt.Errorf("serve: recovering %q: log claims to belong to %q", r.Tenant, id)
+		}
+		run, err := h.reg.NewLive(spec)
+		if err != nil {
+			return fmt.Errorf("serve: recovering %q: %w", id, err)
+		}
+		// Replay with the recorded batch boundaries; a refused arrival
+		// is replayed state (the uninterrupted run refused it too), not
+		// a recovery failure.
+		var firstErr error
+		apply := func(js []job.Job) error {
+			if _, err := run.ApplyBatch(js); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			return nil
+		}
+		if err := r.ReplayCheckpoint(apply); err != nil {
+			return err
+		}
+		if wantSnap != nil {
+			// Integrity gate: the session rebuilt from checkpointed
+			// history must reproduce the exact snapshot stored at the
+			// cut. Checkpoints only ever cover clean streams, so a
+			// refusal here is corruption too.
+			if firstErr != nil {
+				return fmt.Errorf("serve: recovering %q: checkpointed history refused an arrival: %v", id, firstErr)
+			}
+			if got := run.Snapshot().AppendJSON(nil); !bytes.Equal(got, wantSnap) {
+				return fmt.Errorf("serve: recovering %q: checkpoint integrity check failed: replayed snapshot %s != stored %s", id, got, wantSnap)
+			}
+		}
+		if err := r.ReplayTail(apply); err != nil {
+			return err
+		}
+		l, err := r.Resume()
+		if err != nil {
+			return err
+		}
+		if _, err := h.attach(id, spec, run, l, firstErr); err != nil {
+			return fmt.Errorf("serve: recovering %q: %w", id, err)
+		}
+		return nil
+	})
+}
+
+// attach registers a recovered session: the same admission,
+// registration and applier startup as Create, around a run and log
+// that already exist.
+func (h *Host) attach(id string, spec engine.Spec, run *engine.Live, wlog *wal.Log, err0 error) (*Session, error) {
+	h.mu.Lock()
+	if h.draining {
+		h.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if h.live >= h.cfg.MaxSessions {
+		h.mu.Unlock()
+		h.metrics.admissionRefused()
+		return nil, fmt.Errorf("%w (%d live)", ErrAdmission, h.cfg.MaxSessions)
+	}
+	h.live++
+	h.creating.Add(1)
+	h.mu.Unlock()
+	defer h.creating.Done()
+
+	s := &Session{
+		ID: id, Spec: spec, host: h,
+		queue:   newArrq(h.cfg.MaxBacklog, &h.backlog),
+		done:    make(chan struct{}),
+		closeCh: make(chan struct{}),
+		run:     run,
+		wlog:    wlog,
+		base:    wlog.Arrivals(),
+		err:     err0,
+	}
+	sh := h.shardOf(id)
+	sh.mu.Lock()
+	if _, dup := sh.sessions[id]; dup {
+		sh.mu.Unlock()
+		h.mu.Lock()
+		h.live--
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, id)
+	}
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	go s.apply()
+	h.metrics.sessionOpened()
+	return s, nil
+}
+
+// WriteWalMetrics renders the WAL section of the /metrics scrape; a
+// host without a WAL writes nothing.
+func (h *Host) WriteWalMetrics(w io.Writer) error {
+	store := h.cfg.WAL
+	if store == nil {
+		return nil
+	}
+	st := store.Stats()
+	bp := scrapePool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = appendUintMetric(b, "schedd_wal_appends_total", "Batches appended to the write-ahead log.", "counter", st.Appends)
+	b = appendUintMetric(b, "schedd_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", "counter", st.AppendBytes)
+	b = appendUintMetric(b, "schedd_wal_fsyncs_total", "Group-commit fsyncs issued.", "counter", st.Fsyncs)
+	b = appendUintMetric(b, "schedd_wal_checkpoints_total", "Checkpoint/truncate compactions completed.", "counter", st.Checkpoints)
+	b = appendUintMetric(b, "schedd_wal_recovered_sessions", "Sessions rebuilt by the last recovery pass.", "gauge", uint64(st.Recovery.Sessions))
+	b = appendUintMetric(b, "schedd_wal_recovered_arrivals", "Arrivals replayed by the last recovery pass.", "gauge", st.Recovery.Arrivals)
+	b = appendUintMetric(b, "schedd_wal_recovery_torn_bytes", "Unacked torn-tail bytes truncated by the last recovery pass.", "gauge", uint64(st.Recovery.TornBytes))
+	b = appendUintMetric(b, "schedd_wal_recovery_swept_tenants", "Closed or aborted tenant logs swept by the last recovery pass.", "gauge", uint64(st.Recovery.Removed))
+
+	lat := store.FsyncLatency()
+	b = appendMetricHeader(b, "schedd_wal_fsync_seconds", "Group-commit fsync latency.", "histogram")
+	for cur := lat.Cursor(); ; {
+		ub, cum, ok := cur.Next()
+		if !ok {
+			break
+		}
+		b = append(b, `schedd_wal_fsync_seconds_bucket{le="`...)
+		if math.IsInf(ub, 1) {
+			b = append(b, "+Inf"...)
+		} else {
+			b = strconv.AppendFloat(b, ub, 'g', -1, 64)
+		}
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, "schedd_wal_fsync_seconds_sum "...)
+	b = strconv.AppendFloat(b, lat.Sum(), 'g', -1, 64)
+	b = append(b, "\nschedd_wal_fsync_seconds_count "...)
+	b = strconv.AppendUint(b, lat.Count(), 10)
+	b = append(b, '\n')
+
+	_, err := w.Write(b)
+	*bp = b[:0]
+	scrapePool.Put(bp)
+	return err
+}

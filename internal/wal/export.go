@@ -1,0 +1,242 @@
+// Export/Import: ship one tenant's durable state — checkpoint plus
+// tail segments — as a single self-describing stream. This is the
+// migration primitive the distributed mode will consume: Export on
+// the source, Import on the target, and the target's next Recover
+// pass rebuilds the session byte-identical there.
+//
+// The stream reuses the record framing for its structure (a file
+// header record per file, then that file's raw bytes, then a
+// terminator record) and adds a whole-file CRC per file, so transport
+// damage is caught at Import, not at the target's recovery.
+//
+// Export of a live log is crash-consistent, not quiescent: the log is
+// fsynced first, so every acked arrival is in the stream, and a
+// concurrently appended tail beyond that behaves exactly like a torn
+// tail at the target — truncated by recovery, never half-applied. A
+// checkpoint racing the export can delete a listed segment mid-read;
+// Export fails cleanly then and the caller retries.
+
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// expFile is the per-file header record of an export stream.
+type expFile struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc"`
+}
+
+// exportable reports whether name is a file an export stream may
+// carry — exactly the files recovery understands.
+func exportable(name string) bool {
+	if name == "checkpoint" {
+		return true
+	}
+	if len(name) != 12 || !strings.HasSuffix(name, ".wal") {
+		return false
+	}
+	for _, c := range name[:8] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Export writes the tenant's durable state to w. The tenant must
+// exist on disk; if its log is open, it is fsynced first so the
+// stream covers every acked arrival.
+func (s *Store) Export(tenant string, w io.Writer) error {
+	s.mu.Lock()
+	l := s.logs[tenant]
+	s.mu.Unlock()
+	if l != nil {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	dir := filepath.Join(s.dir, encTenant(tenant))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if exportable(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic stream; import does not care about order
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(expMagic); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var frame []byte
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("wal: export raced a checkpoint: %w", err)
+		}
+		hdr, err := json.Marshal(expFile{Name: name, Size: int64(len(data)), CRC: crc32.Checksum(data, castagnoli)})
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		frame = appendFrame(frame[:0], recFile, hdr)
+		if _, err := bw.Write(frame); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if _, err := bw.Write(data); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	frame = appendFrame(frame[:0], recExportEnd, nil)
+	if _, err := bw.Write(frame); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one framed record from br into buf, returning the
+// type, payload and the (possibly grown) buffer.
+func readFrame(br *bufio.Reader, buf []byte) (byte, []byte, []byte, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return 0, nil, buf, err
+	}
+	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	sum := uint32(hdr[4]) | uint32(hdr[5])<<8 | uint32(hdr[6])<<16 | uint32(hdr[7])<<24
+	if n < 1 || n > maxRecord {
+		return 0, nil, buf, fmt.Errorf("frame length %d out of range", n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	if crc32.Checksum(buf, castagnoli) != sum {
+		return 0, nil, buf, fmt.Errorf("frame crc mismatch")
+	}
+	return buf[0], buf[1:], buf, nil
+}
+
+// Import materialises an exported tenant into this store's data
+// directory, atomically: files land in a .tmp directory that is
+// renamed into place only after everything verified, so a torn import
+// is swept at the next recovery, never half-adopted. The tenant must
+// not already exist here, and the imported session only goes live at
+// the next Recover pass — Import is a data-plane primitive, not a
+// session attach.
+func (s *Store) Import(tenant string, r io.Reader) error {
+	if len(tenant) > maxTenant {
+		return fmt.Errorf("wal: tenant id longer than %d bytes", maxTenant)
+	}
+	s.mu.Lock()
+	_, open := s.logs[tenant]
+	s.mu.Unlock()
+	if open {
+		return fmt.Errorf("%w: %q", ErrExists, tenant)
+	}
+	dir := filepath.Join(s.dir, encTenant(tenant))
+	if _, err := os.Stat(dir); err == nil {
+		return fmt.Errorf("%w: %q", ErrExists, tenant)
+	}
+	tmp := dir + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Mkdir(tmp, 0o755); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err := s.importInto(tmp, r)
+	if err != nil {
+		os.RemoveAll(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		os.RemoveAll(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) importInto(tmp string, r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(expMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("wal: import: %w", err)
+	}
+	if string(magic) != expMagic {
+		return fmt.Errorf("wal: import: bad stream magic")
+	}
+	var buf []byte
+	files := 0
+	for {
+		typ, payload, nbuf, err := readFrame(br, buf)
+		buf = nbuf
+		if err != nil {
+			return fmt.Errorf("wal: import: %w", err)
+		}
+		if typ == recExportEnd {
+			break
+		}
+		if typ != recFile {
+			return fmt.Errorf("wal: import: unexpected record type %d", typ)
+		}
+		var hdr expFile
+		if err := json.Unmarshal(payload, &hdr); err != nil {
+			return fmt.Errorf("wal: import: file header: %w", err)
+		}
+		if !exportable(hdr.Name) || hdr.Size < 0 || hdr.Size > 1<<40 {
+			return fmt.Errorf("wal: import: stream names illegal file %q (%d bytes)", hdr.Name, hdr.Size)
+		}
+		data := make([]byte, hdr.Size)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return fmt.Errorf("wal: import: %w", err)
+		}
+		if crc32.Checksum(data, castagnoli) != hdr.CRC {
+			return fmt.Errorf("wal: import: %s: content crc mismatch", hdr.Name)
+		}
+		path := filepath.Join(tmp, hdr.Name)
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: import: %w", err)
+		}
+		_, werr := f.Write(data)
+		if werr == nil {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("wal: import: %w", werr)
+		}
+		files++
+	}
+	if files == 0 {
+		return fmt.Errorf("wal: import: empty stream")
+	}
+	if err := syncDir(tmp); err != nil {
+		return fmt.Errorf("wal: import: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,509 @@
+// Recovery: turn whatever a crash left on disk back into live
+// sessions, byte-identical to the uninterrupted run. The rules are
+// strict because the acknowledgement contract is: an acked arrival is
+// durable, an unacked one may vanish, and nothing else may change.
+//
+//   - A torn tail — an invalid frame suffix of the FINAL segment — is
+//     the signature of a crash mid-append: those bytes were never
+//     covered by an fsync, so no client holds an ack for them. They
+//     are truncated away and counted, never replayed.
+//   - The same damage anywhere else (a non-final segment, a
+//     checkpoint, a missing segment in the chain) cannot be a torn
+//     write, so it is corruption: recovery refuses and the daemon
+//     exits non-zero rather than serve silently rewritten history.
+//   - A close record means the session finished and was acked as
+//     closed; its directory is swept, not resurrected.
+//
+// The store stays out of the session business: Recover hands each
+// surviving tenant to a callback as a Recovered handle, and the serve
+// layer streams ReplayCheckpoint + ReplayTail into a fresh
+// engine.Live, then calls Resume to reopen the log for appending.
+
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// RecoveryStats summarizes one boot's Recover pass.
+type RecoveryStats struct {
+	Sessions    int    // live sessions handed to the callback
+	Removed     int    // cleanly-closed or aborted tenants swept
+	Arrivals    uint64 // jobs replayed (checkpoint + tail)
+	Batches     uint64 // batch records replayed
+	TornBytes   int64  // unacked tail bytes truncated away
+	TornTenants int    // tenants that had a torn tail
+}
+
+// walkFrames walks the framed records in b (magic already stripped),
+// calling fn per record. It returns the length of the valid prefix, a
+// damage error describing the first invalid frame (nil on a clean
+// walk), and fn's abort error. Damage and abort are distinct on
+// purpose: damage at the end of the last segment is a torn tail to
+// truncate, while an fn abort is always fatal.
+func walkFrames(b []byte, fn func(typ byte, payload []byte) error) (valid int, damage, err error) {
+	off := 0
+	for off < len(b) {
+		rest := b[off:]
+		if len(rest) < frameSize {
+			return off, fmt.Errorf("%d trailing bytes, short of a frame header", len(rest)), nil
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n < 1 || n > maxRecord || int(n) > len(rest)-8 {
+			return off, fmt.Errorf("frame length %d out of range", n), nil
+		}
+		body := rest[8 : 8+int(n)]
+		if crc32.Checksum(body, castagnoli) != sum {
+			return off, fmt.Errorf("frame crc mismatch"), nil
+		}
+		if err := fn(body[0], body[1:]); err != nil {
+			return off, nil, err
+		}
+		off += 8 + int(n)
+	}
+	return off, nil, nil
+}
+
+type segInfo struct {
+	n    uint64
+	path string
+}
+
+// Replay stages: the Recovered handle enforces checkpoint-then-tail-
+// then-resume so a caller cannot resume a half-replayed session.
+const (
+	stageNew = iota
+	stageCkpt
+	stageTail
+	stageResumed
+)
+
+// Recovered is one surviving tenant's on-disk state, ready to replay.
+// Exactly one of Open/CkptMeta is set: Open is the session-open
+// payload when the log still starts at segment 1, CkptMeta is the
+// checkpoint's meta payload once a checkpoint superseded it.
+type Recovered struct {
+	Tenant   string
+	Open     []byte
+	CkptMeta []byte
+
+	store    *Store
+	dir      string
+	segs     []segInfo
+	ckpt     *ckptHeader
+	ckptBody []byte // checkpoint records (magic stripped)
+
+	lastValid int64 // valid record bytes in the final segment
+	lastSize  int64 // actual file size of the final segment
+	remagic   bool  // final segment torn before its magic completed
+
+	tailArrivals uint64
+	batches      uint64
+	stage        int
+}
+
+// TornBytes reports how many unacked bytes the final segment loses at
+// Resume.
+func (r *Recovered) TornBytes() int64 {
+	if r.remagic {
+		return r.lastSize
+	}
+	return r.lastSize - (int64(len(segMagic)) + r.lastValid)
+}
+
+// Arrivals returns the total replayed arrival count; valid after
+// ReplayTail.
+func (r *Recovered) Arrivals() uint64 {
+	var ck uint64
+	if r.ckpt != nil {
+		ck = r.ckpt.Arrivals
+	}
+	return ck + r.tailArrivals
+}
+
+// ReplayCheckpoint streams the checkpoint's history batches, oldest
+// first, into fn. Without a checkpoint it is a no-op. Must precede
+// ReplayTail.
+func (r *Recovered) ReplayCheckpoint(fn func(js []job.Job) error) error {
+	if r.stage != stageNew {
+		return fmt.Errorf("wal: ReplayCheckpoint called twice")
+	}
+	r.stage = stageCkpt
+	if r.ckpt == nil {
+		return nil
+	}
+	var buf []job.Job
+	_, damage, err := walkFrames(r.ckptBody, func(typ byte, payload []byte) error {
+		if typ != recBatch {
+			return nil // header/terminator, validated by parseCkpt
+		}
+		js, err := job.DecodeAll(buf[:0], payload)
+		if err != nil {
+			return fmt.Errorf("checkpoint batch: %w", err)
+		}
+		buf = js
+		r.batches++
+		return fn(js)
+	})
+	if err != nil {
+		return fmt.Errorf("wal: %s: %w", r.Tenant, err)
+	}
+	if damage != nil { // parseCkpt already walked cleanly; unreachable
+		return fmt.Errorf("wal: %s: checkpoint: %w", r.Tenant, damage)
+	}
+	return nil
+}
+
+// ReplayTail streams the tail segments' batch records, oldest first,
+// into fn, validating every frame on the way. Frame damage before the
+// final segment's tail refuses recovery.
+func (r *Recovered) ReplayTail(fn func(js []job.Job) error) error {
+	if r.stage != stageCkpt {
+		return fmt.Errorf("wal: ReplayTail must follow ReplayCheckpoint")
+	}
+	r.stage = stageTail
+	var buf []job.Job
+	for i, seg := range r.segs {
+		last := i == len(r.segs)-1
+		if last && r.remagic {
+			break // nothing valid in it
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+			return fmt.Errorf("wal: %s: bad segment magic", seg.path)
+		}
+		body := data[len(segMagic):]
+		if last {
+			body = body[:r.lastValid] // prescan located the torn tail
+		}
+		first := i == 0 && seg.n == 1
+		rec := 0
+		_, damage, err := walkFrames(body, func(typ byte, payload []byte) error {
+			rec++
+			switch typ {
+			case recOpen:
+				if !first || rec != 1 {
+					return fmt.Errorf("stray open record (record %d of segment %d)", rec, seg.n)
+				}
+				return nil
+			case recClose:
+				return nil // prescan verified it is final; tenant was not swept only on prescan damage, unreachable here
+			case recBatch:
+				js, err := job.DecodeAll(buf[:0], payload)
+				if err != nil {
+					return fmt.Errorf("segment %d record %d: %w", seg.n, rec, err)
+				}
+				buf = js
+				r.tailArrivals += uint64(len(js))
+				r.batches++
+				return fn(js)
+			default:
+				return fmt.Errorf("unexpected record type %d in segment %d", typ, seg.n)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("wal: %s: %w", r.Tenant, err)
+		}
+		if damage != nil {
+			// The final segment was pre-truncated to its valid prefix, so
+			// damage here is always mid-log corruption.
+			return fmt.Errorf("wal: %s: corrupt mid-log: %w", seg.path, damage)
+		}
+		if first && rec == 0 {
+			return fmt.Errorf("wal: %s: segment 1 is missing its open record", seg.path)
+		}
+	}
+	return nil
+}
+
+// Resume truncates any torn tail from the final segment, reopens it
+// for appending and registers the live Log with the store. Everything
+// replayed is on disk already, so the log starts fully durable.
+func (r *Recovered) Resume() (*Log, error) {
+	if r.stage != stageTail {
+		return nil, fmt.Errorf("wal: Resume must follow ReplayTail")
+	}
+	r.stage = stageResumed
+	last := r.segs[len(r.segs)-1]
+	size := int64(len(segMagic)) + r.lastValid
+	if r.remagic {
+		size = 0
+	}
+	if size < r.lastSize {
+		if err := os.Truncate(last.path, size); err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if r.remagic {
+		if _, err := f.Write([]byte(segMagic)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		size = int64(len(segMagic))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	arr := r.Arrivals()
+	var ckptAt uint64
+	if r.ckpt != nil {
+		ckptAt = r.ckpt.Arrivals
+	}
+	l := &Log{
+		store:    r.store,
+		tenant:   r.Tenant,
+		dir:      r.dir,
+		f:        f,
+		seg:      last.n,
+		size:     size,
+		arrivals: arr,
+		ckptAt:   ckptAt,
+		durable:  arr,
+		notify:   make(chan struct{}),
+	}
+	if err := r.store.register(l); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Recover scans the store's tenant directories and hands every
+// surviving session to fn as a Recovered handle; fn must replay it
+// (checkpoint, then tail) and Resume it. Cleanly closed tenants and
+// aborted creations are swept; corruption anywhere aborts the whole
+// pass with an error — the caller is expected to exit rather than
+// serve. Recover must run before the store starts serving appends.
+func (s *Store) Recover(fn func(*Recovered) error) (RecoveryStats, error) {
+	var st RecoveryStats
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return st, fmt.Errorf("wal: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dir := filepath.Join(s.dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			// An import that never committed.
+			if err := os.RemoveAll(dir); err != nil {
+				return st, fmt.Errorf("wal: %w", err)
+			}
+			st.Removed++
+			continue
+		}
+		tenant, err := decTenant(name)
+		if err != nil {
+			return st, err
+		}
+		r, closed, err := s.scanTenant(tenant, dir)
+		if err != nil {
+			return st, err
+		}
+		if r == nil {
+			// Closed session, or an aborted creation with nothing in it.
+			if err := os.RemoveAll(dir); err != nil {
+				return st, fmt.Errorf("wal: %w", err)
+			}
+			st.Removed++
+			_ = closed
+			continue
+		}
+		torn := r.TornBytes()
+		if err := fn(r); err != nil {
+			return st, err
+		}
+		if r.stage != stageResumed {
+			return st, fmt.Errorf("wal: recovery callback for %q returned without Resume", tenant)
+		}
+		st.Sessions++
+		st.Arrivals += r.Arrivals()
+		st.Batches += r.batches
+		if torn > 0 {
+			st.TornBytes += torn
+			st.TornTenants++
+		}
+	}
+	s.recovered = st
+	return st, nil
+}
+
+// scanTenant inspects one tenant directory: parses the checkpoint,
+// validates the segment chain, sweeps stale pre-checkpoint segments a
+// crash left behind, and pre-walks the final segment to classify its
+// tail (clean, torn, or closed). Returns (nil, true, nil) when the
+// tenant should be swept, an error when recovery must refuse.
+func (s *Store) scanTenant(tenant, dir string) (*Recovered, bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segInfo
+	haveCkpt := false
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case name == "checkpoint":
+			haveCkpt = true
+		case name == "checkpoint.tmp":
+			// Died before the rename: the old state is authoritative.
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, false, fmt.Errorf("wal: %w", err)
+			}
+		case strings.HasSuffix(name, ".wal") && len(name) == 12:
+			n, err := strconv.ParseUint(name[:8], 10, 64)
+			if err != nil || n == 0 {
+				return nil, false, fmt.Errorf("wal: %s: unrecognized segment name", filepath.Join(dir, name))
+			}
+			segs = append(segs, segInfo{n: n, path: filepath.Join(dir, name)})
+		default:
+			return nil, false, fmt.Errorf("wal: %s: unexpected file in tenant dir", filepath.Join(dir, name))
+		}
+	}
+	if !haveCkpt && len(segs) == 0 {
+		return nil, true, nil // died inside Create; nothing was acked
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].n < segs[j].n })
+
+	r := &Recovered{Tenant: tenant, store: s, dir: dir}
+	first := uint64(1)
+	if haveCkpt {
+		hdr, body, err := parseCkpt(filepath.Join(dir, "checkpoint"))
+		if err != nil {
+			return nil, false, err
+		}
+		r.ckpt, r.ckptBody = hdr, body
+		r.CkptMeta = []byte(hdr.Meta)
+		first = hdr.Seg + 1
+		// Sweep segments the checkpoint superseded but a crash kept.
+		keep := segs[:0]
+		for _, seg := range segs {
+			if seg.n <= hdr.Seg {
+				if err := os.Remove(seg.path); err != nil {
+					return nil, false, fmt.Errorf("wal: %w", err)
+				}
+				continue
+			}
+			keep = append(keep, seg)
+		}
+		segs = keep
+	}
+	if len(segs) == 0 {
+		return nil, false, fmt.Errorf("wal: %s: checkpoint names segment %d as its cut but no tail segment exists", dir, first-1)
+	}
+	for i, seg := range segs {
+		if seg.n != first+uint64(i) {
+			return nil, false, fmt.Errorf("wal: %s: segment chain broken: have segment %d, want %d", dir, seg.n, first+uint64(i))
+		}
+	}
+	r.segs = segs
+
+	// Pre-walk the final segment: classify its tail and spot a close
+	// record. Damage here is a torn write (truncated at Resume); a
+	// close record means the tenant finished cleanly and is swept.
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(last.path)
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: %w", err)
+	}
+	r.lastSize = int64(len(data))
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		// A strict prefix of the magic means the crash hit inside
+		// openSegment (rotation died mid-create): the segment holds
+		// nothing and its magic is rewritten at Resume. Anything else
+		// is corruption.
+		if len(data) < len(segMagic) && strings.HasPrefix(segMagic, string(data)) {
+			r.remagic = true
+		} else {
+			return nil, false, fmt.Errorf("wal: %s: bad segment magic", last.path)
+		}
+	}
+	sawClose := false
+	if !r.remagic {
+		body := data[len(segMagic):]
+		rec := 0
+		valid, damage, err := walkFrames(body, func(typ byte, payload []byte) error {
+			rec++
+			if sawClose {
+				return fmt.Errorf("record after close record in segment %d", last.n)
+			}
+			switch typ {
+			case recOpen, recBatch:
+			case recClose:
+				sawClose = true
+			default:
+				return fmt.Errorf("unexpected record type %d in segment %d", typ, last.n)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, false, fmt.Errorf("wal: %s: %w", last.path, err)
+		}
+		r.lastValid = int64(valid)
+		_ = damage // a torn tail: TornBytes counts it, Resume truncates it
+	}
+	if sawClose {
+		return nil, true, nil
+	}
+	if !haveCkpt {
+		// The open record is the first record of segment 1; hand its
+		// payload to the callback. A log whose only segment lost even
+		// the open record to a torn tail was never acked: sweep it.
+		firstSeg := segs[0]
+		var openPayload []byte
+		var data0 []byte
+		if firstSeg.path == last.path {
+			data0 = data
+			if r.remagic || r.lastValid == 0 {
+				return nil, true, nil
+			}
+		} else {
+			if data0, err = os.ReadFile(firstSeg.path); err != nil {
+				return nil, false, fmt.Errorf("wal: %w", err)
+			}
+			if len(data0) < len(segMagic) || string(data0[:len(segMagic)]) != segMagic {
+				return nil, false, fmt.Errorf("wal: %s: bad segment magic", firstSeg.path)
+			}
+		}
+		stop := fmt.Errorf("stop")
+		_, damage, err := walkFrames(data0[len(segMagic):], func(typ byte, payload []byte) error {
+			if typ != recOpen {
+				return fmt.Errorf("segment 1 starts with record type %d, want the open record", typ)
+			}
+			openPayload = append([]byte(nil), payload...)
+			return stop
+		})
+		if err != nil && err != stop {
+			return nil, false, fmt.Errorf("wal: %s: %w", firstSeg.path, err)
+		}
+		if openPayload == nil {
+			if firstSeg.path != last.path && damage != nil {
+				return nil, false, fmt.Errorf("wal: %s: corrupt mid-log: %w", firstSeg.path, damage)
+			}
+			return nil, true, nil // only segment, open record torn: sweep
+		}
+		r.Open = openPayload
+	}
+	return r, false, nil
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# chaoskill.sh — SIGKILL a durable schedd at random points under load,
+# restart it, and let recovery prove itself. A shell-level companion
+# to the in-tree crash differential (cmd/schedd TestEndToEndCrashRecovery):
+# that test pins byte-identical recovery; this script shakes a real
+# deployment-shaped loop for as many rounds as you like.
+#
+#   ./scripts/chaoskill.sh [rounds] [data-dir]
+#
+# Each round: boot schedd on a random port against the same data dir,
+# start a loadgen stream against it, sleep a random 1-3s slice of the
+# run, SIGKILL the daemon mid-ingest, and boot again — the next boot's
+# "recovered N sessions" line is the health signal. Any boot that
+# refuses recovery (corruption beyond a torn tail) exits this script
+# non-zero with the daemon's complaint. The final round drains
+# cleanly and expects the last boot to find zero sessions.
+set -eu
+cd "$(dirname "$0")/.."
+
+rounds="${1:-5}"
+dir="${2:-$(mktemp -d)}"
+log="$(mktemp)"
+trap 'rm -f "$log"; [ -n "${pid:-}" ] && kill -9 "$pid" 2>/dev/null || true' EXIT
+
+go build -o /tmp/schedd.chaos ./cmd/schedd
+go build -o /tmp/loadgen.chaos ./cmd/loadgen
+
+echo "chaoskill: $rounds rounds over $dir" >&2
+i=0
+while [ "$i" -lt "$rounds" ]; do
+  i=$((i + 1))
+  : > "$log"
+  /tmp/schedd.chaos -addr 127.0.0.1:0 -data-dir "$dir" \
+    -checkpoint-every 500 -drain-timeout 10s > "$log" 2>&1 &
+  pid=$!
+  # Wait for the post-recovery readiness line; a refused recovery
+  # exits the daemon first, and that is this script's failure.
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^schedd: listening on //p' "$log")"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "chaoskill: round $i: daemon refused to boot:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "chaoskill: round $i: no listen line" >&2; cat "$log" >&2; exit 1; }
+  sed -n 's/^schedd: \(recovered .*\)$/chaoskill: round '"$i"': \1/p' "$log" >&2
+
+  /tmp/loadgen.chaos -url "http://$addr" -prefix "r$i" -tenants 4 -n 2000 -scale 5ms >/dev/null 2>&1 &
+  lpid=$!
+  if [ "$i" -lt "$rounds" ]; then
+    sleep "$(awk -v s="$i" 'BEGIN{srand(s); printf "%.1f", 1+2*rand()}')"
+    kill -9 "$pid"
+    wait "$pid" 2>/dev/null || true
+    kill "$lpid" 2>/dev/null || true
+    wait "$lpid" 2>/dev/null || true
+    echo "chaoskill: round $i: killed mid-ingest" >&2
+  else
+    # Last round: let the load finish, then drain cleanly.
+    wait "$lpid" || true
+    kill -TERM "$pid"
+    wait "$pid" || { echo "chaoskill: clean drain failed:" >&2; cat "$log" >&2; exit 1; }
+    echo "chaoskill: final drain ok" >&2
+  fi
+done
+
+# One more boot: a drained daemon leaves nothing to recover.
+/tmp/schedd.chaos -addr 127.0.0.1:0 -data-dir "$dir" > "$log" 2>&1 &
+pid=$!
+for _ in $(seq 1 100); do
+  grep -q '^schedd: listening on ' "$log" && break
+  sleep 0.1
+done
+if ! grep -q '^schedd: recovered 0 sessions' "$log"; then
+  echo "chaoskill: post-drain boot still recovered state:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+kill -TERM "$pid" && wait "$pid" || true
+echo "chaoskill: $rounds rounds survived" >&2
