@@ -11,6 +11,20 @@
 //	       [-data-dir ""] [-fsync-interval 5ms] [-checkpoint-every 4096]
 //	       [-wal-segment-bytes 4194304] [-pprof]
 //
+// Cluster modes (see internal/cluster):
+//
+//	schedd -controller [-addr :8080] [-lease 5s] [-vnodes 64]
+//	schedd -join http://controller:8080 -data-dir DIR
+//	       [-node-name NAME] [-advertise URL] [other worker flags]
+//
+// A controller owns tenant placement: workers join it and heartbeat,
+// tenant creates/closes proxy through it, arrivals and snapshots are
+// 307-redirected to the owning worker, and GET /metrics merges every
+// worker's stats (exact histogram merge) into one fleet scrape. A
+// worker is a normal durable daemon plus the migration endpoints and
+// the join/heartbeat loop; -join requires -data-dir because live
+// migration ships the tenant's write-ahead log.
+//
 // With -data-dir the daemon is durable: every accepted arrival batch
 // is appended to a per-tenant write-ahead log and acknowledged only
 // after a group fsync covers it, and on startup the same directory is
@@ -47,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/wal"
@@ -70,20 +85,25 @@ type daemon struct {
 	drainTimeout time.Duration
 }
 
+// withPprofMux wraps a handler with the opt-in profiling endpoints:
+// they expose process internals and belong behind the operator's
+// explicit choice (-pprof).
+func withPprofMux(handler http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func newDaemon(cfg serve.Config, drainTimeout time.Duration, withPprof bool) *daemon {
 	host := serve.NewHost(cfg)
 	handler := serve.NewHandler(host)
 	if withPprof {
-		// Profiling endpoints are opt-in (-pprof): they expose process
-		// internals and belong behind the operator's explicit choice.
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
+		handler = withPprofMux(handler)
 	}
 	return &daemon{
 		host:         host,
@@ -182,8 +202,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	checkpointEvery := fs.Int("checkpoint-every", 4096, "arrivals between per-session checkpoint/truncate compactions (0 disables)")
 	walSegBytes := fs.Int64("wal-segment-bytes", 4<<20, "write-ahead log segment size before rotation")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	controllerMode := fs.Bool("controller", false, "run as the cluster controller instead of a worker")
+	lease := fs.Duration("lease", 5*time.Second, "controller: worker lease; silence past it marks the node dead")
+	vnodes := fs.Int("vnodes", 64, "controller: virtual nodes per worker on the placement ring")
+	join := fs.String("join", "", "worker: controller base URL to join (requires -data-dir)")
+	nodeName := fs.String("node-name", "", "worker: stable identity for rejoin reconciliation (default: the advertise URL)")
+	advertise := fs.String("advertise", "", "worker: base URL peers reach this worker at (default http://<bound addr>)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *controllerMode {
+		return runController(*addr, *lease, *vnodes, stdout)
+	}
+	if *join != "" && *dataDir == "" {
+		return fmt.Errorf("-join requires -data-dir: live migration ships the tenant's write-ahead log")
 	}
 
 	cfg := serve.Config{
@@ -226,6 +259,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// The handler must be installed before the listening line goes out:
 	// that line is the readiness marker, and an operator (or the crash
 	// e2e) may signal the instant they see it.
+	agentCtx, agentCancel := context.WithCancel(context.Background())
+	defer agentCancel()
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + d.addr()
+		}
+		name := *nodeName
+		if name == "" {
+			name = adv
+		}
+		handler := cluster.NewNodeHandler(name, d.host, store)
+		if *withPprof {
+			handler = withPprofMux(handler)
+		}
+		d.srv.Handler = handler
+		agent := cluster.NewAgent(cluster.NodeConfig{
+			Name: name, Advertise: adv, Controller: *join,
+		}, d.host, store)
+		// The agent joins with the recovered tenant list (recovery ran
+		// above), then heartbeats until shutdown. A controller that is
+		// briefly unreachable is retried — the worker keeps serving its
+		// tenants on its own either way.
+		go func() {
+			for agentCtx.Err() == nil {
+				err := agent.Run(agentCtx)
+				if agentCtx.Err() != nil {
+					return
+				}
+				fmt.Fprintf(stderr, "schedd: cluster agent: %v (retrying)\n", err)
+				select {
+				case <-agentCtx.Done():
+					return
+				case <-time.After(time.Second):
+				}
+			}
+		}()
+		fmt.Fprintf(stdout, "schedd: worker %q joining %s\n", name, *join)
+	}
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
@@ -242,6 +314,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 			<-sig
 			os.Exit(1)
 		}()
+		agentCancel()
 		return d.shutdown(stdout)
+	}
+}
+
+// runController serves the cluster control plane: the join/heartbeat
+// surface, the placement proxy and redirects, the migration verbs and
+// the fleet-merged /metrics. It holds no sessions itself — shutdown is
+// just closing the listener; the workers keep serving.
+func runController(addr string, lease time.Duration, vnodes int, stdout io.Writer) error {
+	c := cluster.NewController(cluster.Options{Lease: lease, VNodes: vnodes})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: cluster.NewHTTPHandler(c)}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.RunLeaseChecker(ctx)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	fmt.Fprintf(stdout, "schedd: controller listening on %s (lease %v, %d vnodes)\n",
+		ln.Addr(), lease, vnodes)
+	errc := make(chan error, 1)
+	go func() {
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(stdout, "schedd: controller %v, shutting down\n", s)
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			srv.Close()
+		}
+		return nil
 	}
 }

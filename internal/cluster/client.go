@@ -1,0 +1,95 @@
+// The controller's node-facing client: small JSON/stream calls against
+// the worker endpoints node.go serves. All calls honor the caller's
+// ctx; bodies are always drained and closed so connections recycle.
+
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// nodeErr extracts the {"error": ...} payload of a non-2xx node reply.
+func nodeErr(op string, resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("cluster: %s: %s (status %d)", op, e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("cluster: %s: status %d: %s", op, resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+func (c *Controller) nodePost(ctx context.Context, addr, path string, q url.Values) error {
+	u := addr + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nodeErr("POST "+path, resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.Body.Close()
+}
+
+// nodePull asks the target node to pull a tenant from the source node.
+func (c *Controller) nodePull(ctx context.Context, targetAddr, tenant, fromAddr string) error {
+	return c.nodePost(ctx, targetAddr, "/v1/node/pull", url.Values{"tenant": {tenant}, "from": {fromAddr}})
+}
+
+// nodeAdopt asks a node to (re-)attach a tenant from its local WAL.
+func (c *Controller) nodeAdopt(ctx context.Context, addr, tenant string) error {
+	return c.nodePost(ctx, addr, "/v1/node/adopt", url.Values{"tenant": {tenant}})
+}
+
+// nodeDrop asks a node to delete a detached tenant's local WAL state.
+func (c *Controller) nodeDrop(ctx context.Context, addr, tenant string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		addr+"/v1/node/data?"+url.Values{"tenant": {tenant}}.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nodeErr("DELETE /v1/node/data", resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.Body.Close()
+}
+
+// nodeStats scrapes one node's stats endpoint.
+func (c *Controller) nodeStats(ctx context.Context, addr string) (NodeStats, error) {
+	var ns NodeStats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/node/stats", nil)
+	if err != nil {
+		return ns, err
+	}
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return ns, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ns, nodeErr("GET /v1/node/stats", resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ns)
+	resp.Body.Close()
+	return ns, err
+}

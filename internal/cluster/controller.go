@@ -1,0 +1,421 @@
+// The controller: the cluster's placement brain. It owns three pieces
+// of state — the node table (who is in the fleet and when they last
+// proved it), the ring (where new tenants go), and the placement map
+// (where every existing tenant actually lives) — and the migration
+// choreography that keeps the last two converging.
+//
+// Failure detection is lease-based: a worker joins, then heartbeats;
+// a node silent past its lease is marked dead and drained from the
+// ring so no new tenant lands on it. Its placements survive — the
+// tenants' durable state is on its disk and nowhere else — and when
+// the node rejoins (same name, recovered sessions in hand) the
+// controller reconciles: tenants still placed on it resume service,
+// tenants migrated elsewhere while it was gone are returned as a
+// purge list for the worker to discard.
+//
+// A migration is controller-initiated but target-executed: the
+// controller asks the target node to pull the tenant (the source
+// detaches, exports its WAL over the wire, the target imports and
+// adopts), then tells the source to drop the shipped state. If the
+// pull fails the controller re-adopts the tenant on the source, so a
+// failed migration degrades to "nothing happened" rather than "tenant
+// lost".
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	ErrUnknownNode   = errors.New("cluster: unknown node")
+	ErrUnknownTenant = errors.New("cluster: tenant not placed")
+	ErrNodeDown      = errors.New("cluster: node is down")
+	ErrNoNodes       = errors.New("cluster: no live nodes")
+)
+
+// Options configures a Controller. The zero value gets defaults.
+type Options struct {
+	// Lease is how long a silent node stays alive (default 5s).
+	// Workers heartbeat at a third of this.
+	Lease time.Duration
+	// VNodes is the virtual-node count per worker (default 64).
+	VNodes int
+	// Now is the clock, injectable for lease tests (default time.Now).
+	Now func() time.Time
+	// Client issues the controller's node-facing calls (migrations,
+	// fleet stat scrapes). Default http.DefaultClient.
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lease <= 0 {
+		o.Lease = 5 * time.Second
+	}
+	if o.VNodes <= 0 {
+		o.VNodes = 64
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// Node is one worker's control-plane state.
+type Node struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"` // base URL, e.g. http://10.0.0.7:8080
+	// Alive reports the lease verdict as of the last CheckLeases.
+	Alive bool `json:"alive"`
+	// Draining marks a node being emptied: it serves its tenants but
+	// receives no new ones.
+	Draining bool `json:"draining"`
+
+	lastBeat time.Time
+}
+
+// Controller owns cluster placement. All methods are safe for
+// concurrent use.
+type Controller struct {
+	opt Options
+
+	mu        sync.Mutex
+	nodes     map[string]*Node
+	ring      *Ring
+	placement map[string]string // tenant -> node name
+	seq       uint64            // fresh tenant-id counter for unnamed creates
+}
+
+// NewController builds a controller from the options.
+func NewController(opt Options) *Controller {
+	opt = opt.withDefaults()
+	return &Controller{
+		opt:       opt,
+		nodes:     make(map[string]*Node),
+		ring:      NewRing(opt.VNodes),
+		placement: make(map[string]string),
+	}
+}
+
+// Lease returns the configured lease duration.
+func (c *Controller) Lease() time.Duration { return c.opt.Lease }
+
+// Join registers (or re-registers) a worker. tenants is the worker's
+// recovered tenant list; the return value is the subset it must purge
+// — tenants the cluster migrated elsewhere while the worker was gone.
+// Tenants the controller never heard of (a worker from a previous
+// cluster life) are adopted into the placement map: their durable
+// state is real, and the controller's job is to route to it.
+func (c *Controller) Join(name, addr string, tenants []string) (purge []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[name]
+	if n == nil {
+		n = &Node{Name: name}
+		c.nodes[name] = n
+	}
+	n.Addr = addr
+	n.Alive = true
+	n.lastBeat = c.opt.Now()
+	// An explicit (re)join declares the node back in service: a drain
+	// takes a node out of the ring until it is stopped, and joining
+	// again is how it returns. Heartbeats deliberately do not do this
+	// — they keep flowing while the drain itself is in progress.
+	n.Draining = false
+	c.ring.Add(name)
+	for _, t := range tenants {
+		owner, ok := c.placement[t]
+		switch {
+		case !ok:
+			c.placement[t] = name
+		case owner != name:
+			purge = append(purge, t)
+		}
+	}
+	sort.Strings(purge)
+	return purge
+}
+
+// Heartbeat renews a worker's lease. An unknown name errors — the
+// worker must rejoin (the controller may have restarted).
+func (c *Controller) Heartbeat(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[name]
+	if n == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	n.lastBeat = c.opt.Now()
+	if !n.Alive {
+		// A lease-expired node heartbeating again without a rejoin:
+		// treat it as alive — its state never left.
+		n.Alive = true
+		if !n.Draining {
+			c.ring.Add(name)
+		}
+	}
+	return nil
+}
+
+// CheckLeases marks every node silent past its lease dead and drains
+// it from the ring, returning the names it expired. The node's
+// placements stay: its tenants' only durable copy is on its disk.
+func (c *Controller) CheckLeases() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.Now()
+	var expired []string
+	for name, n := range c.nodes {
+		if n.Alive && now.Sub(n.lastBeat) > c.opt.Lease {
+			n.Alive = false
+			c.ring.Remove(name)
+			expired = append(expired, name)
+		}
+	}
+	sort.Strings(expired)
+	return expired
+}
+
+// Place picks (and records) the home node for a tenant id. An already
+// placed tenant keeps its home. Empty id gets a fresh "c-<n>" id.
+// The returned node is alive — placement never routes at a corpse.
+func (c *Controller) Place(id string) (tenant string, n Node, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id == "" {
+		c.seq++
+		id = fmt.Sprintf("c-%d", c.seq)
+	}
+	if owner, ok := c.placement[id]; ok {
+		n := c.nodes[owner]
+		if !n.Alive {
+			return id, Node{}, fmt.Errorf("%w: %q on %q", ErrNodeDown, id, owner)
+		}
+		return id, *n, nil
+	}
+	owner := c.ring.Lookup(id)
+	if owner == "" {
+		return id, Node{}, ErrNoNodes
+	}
+	c.placement[id] = owner
+	return id, *c.nodes[owner], nil
+}
+
+// dropPlacement forgets a tenant's placement — the rollback when the
+// chosen node never committed the create, or the cleanup when a close
+// succeeded.
+func (c *Controller) dropPlacement(tenant string) {
+	c.mu.Lock()
+	delete(c.placement, tenant)
+	c.mu.Unlock()
+}
+
+// Lookup resolves a tenant's current home.
+func (c *Controller) Lookup(tenant string) (Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	owner, ok := c.placement[tenant]
+	if !ok {
+		return Node{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	n := c.nodes[owner]
+	if !n.Alive {
+		return Node{}, fmt.Errorf("%w: %q on %q", ErrNodeDown, tenant, owner)
+	}
+	return *n, nil
+}
+
+// Topology is the GET /v1/cluster payload.
+type Topology struct {
+	Nodes      []NodeInfo `json:"nodes"`
+	Placements int        `json:"placements"`
+	VNodes     int        `json:"vnodes"`
+	LeaseMs    int64      `json:"leaseMs"`
+}
+
+// NodeInfo is one node's row in the topology.
+type NodeInfo struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Alive    bool   `json:"alive"`
+	Draining bool   `json:"draining,omitempty"`
+	Tenants  int    `json:"tenants"`
+	// BeatAgeMs is how long ago the node last proved liveness.
+	BeatAgeMs int64 `json:"beatAgeMs"`
+}
+
+// Topology snapshots the cluster for the topology endpoint.
+func (c *Controller) Topology() Topology {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.Now()
+	perNode := map[string]int{}
+	for _, owner := range c.placement {
+		perNode[owner]++
+	}
+	top := Topology{Placements: len(c.placement), VNodes: c.opt.VNodes, LeaseMs: c.opt.Lease.Milliseconds()}
+	for _, n := range c.nodes {
+		top.Nodes = append(top.Nodes, NodeInfo{
+			Name: n.Name, Addr: n.Addr, Alive: n.Alive, Draining: n.Draining,
+			Tenants: perNode[n.Name], BeatAgeMs: now.Sub(n.lastBeat).Milliseconds(),
+		})
+	}
+	sort.Slice(top.Nodes, func(i, j int) bool { return top.Nodes[i].Name < top.Nodes[j].Name })
+	return top
+}
+
+// Tenants lists placed tenants and their homes, sorted by tenant.
+func (c *Controller) Tenants() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.placement))
+	for t, n := range c.placement {
+		out[t] = n
+	}
+	return out
+}
+
+// Move migrates one tenant to the named target node: the target pulls
+// the tenant's WAL from its current home (which detaches it first),
+// imports, adopts, and only then does the source drop its copy. On a
+// pull failure the tenant is re-adopted at the source — service
+// continues where the state is.
+func (c *Controller) Move(ctx context.Context, tenant, to string) error {
+	c.mu.Lock()
+	from, ok := c.placement[tenant]
+	src := c.nodes[from]
+	dst := c.nodes[to]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	if dst == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	if src == nil || !src.Alive {
+		return fmt.Errorf("%w: source %q", ErrNodeDown, from)
+	}
+	if !dst.Alive {
+		return fmt.Errorf("%w: target %q", ErrNodeDown, to)
+	}
+	if from == to {
+		return nil
+	}
+	if err := c.nodePull(ctx, dst.Addr, tenant, src.Addr); err != nil {
+		// Best effort: put the tenant back in service at the source.
+		if aerr := c.nodeAdopt(ctx, src.Addr, tenant); aerr != nil {
+			return fmt.Errorf("cluster: pull of %q to %q failed (%v) and source re-adopt failed: %w", tenant, to, err, aerr)
+		}
+		return fmt.Errorf("cluster: pull of %q to %q: %w", tenant, to, err)
+	}
+	c.mu.Lock()
+	c.placement[tenant] = to
+	c.mu.Unlock()
+	// The target owns the tenant now; the source's copy is garbage.
+	// Failure here leaks disk on the source, not correctness: the
+	// source's host no longer serves the tenant, and a later rejoin
+	// reports it and gets it back as a purge order.
+	if err := c.nodeDrop(ctx, src.Addr, tenant); err != nil {
+		return fmt.Errorf("cluster: %q moved to %q but source cleanup failed: %w", tenant, to, err)
+	}
+	return nil
+}
+
+// Rebalance migrates every tenant whose ring-ideal home differs from
+// its current one (and both ends are alive), returning the tenants
+// moved. Called after a node joins to spread load, or any time to
+// converge placement onto the ring.
+func (c *Controller) Rebalance(ctx context.Context) (moved []string, err error) {
+	c.mu.Lock()
+	type mv struct{ tenant, to string }
+	var plan []mv
+	for t, owner := range c.placement {
+		want := c.ring.Lookup(t)
+		if want == "" || want == owner {
+			continue
+		}
+		if src := c.nodes[owner]; src == nil || !src.Alive {
+			continue // its home is down; nothing to pull from
+		}
+		plan = append(plan, mv{t, want})
+	}
+	c.mu.Unlock()
+	sort.Slice(plan, func(i, j int) bool { return plan[i].tenant < plan[j].tenant })
+	for _, m := range plan {
+		if err := c.Move(ctx, m.tenant, m.to); err != nil {
+			return moved, err
+		}
+		moved = append(moved, m.tenant)
+	}
+	return moved, nil
+}
+
+// Drain empties a node: it stops receiving new tenants, every tenant
+// it hosts is migrated to its ring-ideal home among the remaining
+// nodes, and the node is removed from the ring. The node stays in the
+// table (alive, draining) so it can be watched until shutdown.
+func (c *Controller) Drain(ctx context.Context, name string) (moved []string, err error) {
+	c.mu.Lock()
+	n := c.nodes[name]
+	if n == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	n.Draining = true
+	c.ring.Remove(name)
+	var tenants []string
+	for t, owner := range c.placement {
+		if owner == name {
+			tenants = append(tenants, t)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		c.mu.Lock()
+		to := c.ring.Lookup(t)
+		c.mu.Unlock()
+		if to == "" {
+			// No destination exists: nothing can be drained to, now or on
+			// a retry. Put the node back in service — it still holds its
+			// tenants, and a stranded not-in-the-ring node serves no one.
+			c.mu.Lock()
+			n.Draining = false
+			if n.Alive {
+				c.ring.Add(name)
+			}
+			c.mu.Unlock()
+			return moved, fmt.Errorf("cluster: draining %q: %w", name, ErrNoNodes)
+		}
+		if err := c.Move(ctx, t, to); err != nil {
+			return moved, err
+		}
+		moved = append(moved, t)
+	}
+	return moved, nil
+}
+
+// RunLeaseChecker ticks CheckLeases at a third of the lease until ctx
+// ends — the controller daemon's failure-detector loop.
+func (c *Controller) RunLeaseChecker(ctx context.Context) {
+	t := time.NewTicker(c.opt.Lease / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.CheckLeases()
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the controller's injectable time source for lease
+// tests: no sleeps, no flakes — the test owns the clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// TestLeaseExpiry is the failure detector's unit test: a worker that
+// stops heartbeating is marked dead exactly when its lease runs out,
+// leaves the placement ring, and comes back on its next heartbeat.
+func TestLeaseExpiry(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Options{Lease: 5 * time.Second, Now: clock.now})
+	c.Join("n1", "http://n1", nil)
+	c.Join("n2", "http://n2", nil)
+
+	// Both inside their lease: nothing expires.
+	clock.advance(3 * time.Second)
+	if got := c.CheckLeases(); len(got) != 0 {
+		t.Fatalf("expired %v inside the lease", got)
+	}
+	if err := c.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// n2 is now 6s silent (lease 5s); n1 renewed 3s ago.
+	clock.advance(3 * time.Second)
+	if got := c.CheckLeases(); len(got) != 1 || got[0] != "n2" {
+		t.Fatalf("expired %v, want [n2]", got)
+	}
+	// Expiry is edge-triggered: a dead node does not expire again.
+	if got := c.CheckLeases(); len(got) != 0 {
+		t.Fatalf("re-expired %v", got)
+	}
+
+	// New tenants never land on the corpse.
+	for i := 0; i < 200; i++ {
+		_, n, err := c.Place("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Name == "n2" {
+			t.Fatal("placed a tenant on a dead node")
+		}
+	}
+
+	// Routing at a tenant whose home is dead refuses loudly.
+	c.mu.Lock()
+	c.placement["stranded"] = "n2"
+	c.mu.Unlock()
+	if _, err := c.Lookup("stranded"); err == nil {
+		t.Fatal("lookup of a tenant on a dead node succeeded")
+	}
+
+	// A heartbeat resurrects the node and its tenant.
+	if err := c.Heartbeat("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Lookup("stranded"); err != nil || n.Name != "n2" {
+		t.Fatalf("after resurrection: node %v err %v", n, err)
+	}
+
+	// An unknown node's heartbeat demands a rejoin.
+	if err := c.Heartbeat("ghost"); err == nil {
+		t.Fatal("heartbeat for unknown node succeeded")
+	}
+}
+
+// TestJoinReconciliation pins the rejoin contract: tenants the
+// controller still places on the joining node survive, tenants that
+// migrated away while it was gone come back as purge orders, and
+// tenants the controller never knew are adopted.
+func TestJoinReconciliation(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Options{Lease: time.Second, Now: clock.now})
+	c.Join("a", "http://a", []string{"t1"})
+	c.Join("b", "http://b", []string{"t2"})
+	if got := c.Tenants(); got["t1"] != "a" || got["t2"] != "b" {
+		t.Fatalf("adopted placements = %v", got)
+	}
+
+	// While a was dead, t1 moved to b (placement says so); a rejoins
+	// still holding its stale copy plus an unknown tenant t3.
+	c.mu.Lock()
+	c.placement["t1"] = "b"
+	c.mu.Unlock()
+	purge := c.Join("a", "http://a2", []string{"t1", "t3"})
+	if len(purge) != 1 || purge[0] != "t1" {
+		t.Fatalf("purge = %v, want [t1]", purge)
+	}
+	got := c.Tenants()
+	if got["t3"] != "a" {
+		t.Fatalf("unknown tenant not adopted: %v", got)
+	}
+	// The rejoin updated the advertised address.
+	if n, err := c.Lookup("t3"); err != nil || n.Addr != "http://a2" {
+		t.Fatalf("addr after rejoin = %v, %v", n, err)
+	}
+}
+
+// TestPlaceStability pins that placement is sticky: a placed tenant
+// keeps its home even when the ring changes under it.
+func TestPlaceStability(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Options{Lease: time.Minute, Now: clock.now})
+	c.Join("n1", "http://n1", nil)
+	id, n1, err := c.Place("sticky")
+	if err != nil || id != "sticky" {
+		t.Fatalf("place: %v %v", id, err)
+	}
+	c.Join("n2", "http://n2", nil)
+	c.Join("n3", "http://n3", nil)
+	_, n2, err := c.Place("sticky")
+	if err != nil || n2.Name != n1.Name {
+		t.Fatalf("tenant moved from %s to %s without a migration", n1.Name, n2.Name)
+	}
+	// Fresh ids get distinct generated names.
+	a, _, _ := c.Place("")
+	b, _, _ := c.Place("")
+	if a == b || a == "" {
+		t.Fatalf("generated ids collide: %q %q", a, b)
+	}
+}
+
+// TestDrainRejoinReturnsToService pins the drain lifecycle: a drained
+// node takes no new tenants, an explicit rejoin puts it back in
+// service, and a drain with nowhere to move to rolls itself back
+// instead of stranding the node outside the ring.
+func TestDrainRejoinReturnsToService(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Options{Lease: 5 * time.Second, Now: clock.now})
+	c.Join("n1", "http://n1", nil)
+	c.Join("n2", "http://n2", nil)
+
+	// Draining an empty node moves nothing but marks it out.
+	if moved, err := c.Drain(t.Context(), "n2"); err != nil || len(moved) != 0 {
+		t.Fatalf("drain n2: moved %v, err %v", moved, err)
+	}
+	for i := 0; i < 200; i++ {
+		_, n, err := c.Place("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Name == "n2" {
+			t.Fatal("placed a tenant on a draining node")
+		}
+	}
+
+	// The node restarts and rejoins: that is its declaration of being
+	// back in service, so the drain flag clears and placements resume.
+	c.Join("n2", "http://n2", nil)
+	landed := false
+	for i := 0; i < 200 && !landed; i++ {
+		_, n, err := c.Place("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		landed = n.Name == "n2"
+	}
+	if !landed {
+		t.Fatal("no tenant landed on n2 after its rejoin")
+	}
+
+	// Discard the probe placements: the phases above only asked where
+	// new tenants would land, and a later drain would otherwise try to
+	// migrate them over real HTTP.
+	c.mu.Lock()
+	c.placement = map[string]string{}
+	c.mu.Unlock()
+
+	// Drain the other node, leaving n2 the only ring member, then try
+	// to drain n2 too while it holds a tenant: there is no destination,
+	// so the drain must fail AND undo itself — n2 keeps serving.
+	if _, err := c.Drain(t.Context(), "n1"); err != nil {
+		t.Fatal(err)
+	}
+	tenant, n, err := c.Place("")
+	if err != nil || n.Name != "n2" {
+		t.Fatalf("place with only n2 in the ring: node %v err %v", n, err)
+	}
+	if _, err := c.Drain(t.Context(), "n2"); err == nil {
+		t.Fatal("draining the last node with a tenant succeeded")
+	}
+	if got, err := c.Lookup(tenant); err != nil || got.Name != "n2" {
+		t.Fatalf("after failed drain: lookup %v err %v", got, err)
+	}
+	if _, n, err := c.Place(""); err != nil || n.Name != "n2" {
+		t.Fatalf("after failed drain, place: node %v err %v", n, err)
+	}
+}

@@ -1,0 +1,317 @@
+// The worker side of the cluster: today's serve.Host unchanged, plus
+// the node endpoints migration needs and the agent loop that keeps
+// the controller's lease fed.
+//
+// Node endpoints (mounted next to the serve API):
+//
+//	GET    /v1/node/export?tenant=X         detach the tenant and stream its WAL
+//	POST   /v1/node/pull?tenant=X&from=URL  pull a tenant from another node and adopt it
+//	POST   /v1/node/adopt?tenant=X          (re-)attach a tenant from the local WAL
+//	DELETE /v1/node/data?tenant=X           drop a detached tenant's WAL state
+//	GET    /v1/node/stats                   JSON stats incl. the exact latency histogram
+//
+// Export streams with a 200 already committed, so a mid-stream failure
+// cannot change the status — that is fine by design: the stream's CRC
+// framing means the *importer* is the integrity gate, and a truncated
+// or damaged transfer is refused there, atomically.
+
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/wal"
+)
+
+// NodeStats is one worker's stat snapshot: the counters the fleet
+// view aggregates, with the latency histogram in its exact wire form
+// so the controller's merge loses nothing.
+type NodeStats struct {
+	Node         string          `json:"node"`
+	SessionsLive int64           `json:"sessionsLive"`
+	Backlog      int             `json:"backlog"`
+	Arrivals     uint64          `json:"arrivals"`
+	Latency      stats.Histogram `json:"latency"`
+}
+
+// NodeConfig wires a worker into a cluster.
+type NodeConfig struct {
+	// Name is the worker's stable identity; reusing a name across
+	// restarts is what makes rejoin-reconciliation work.
+	Name string
+	// Advertise is the base URL peers reach this worker at.
+	Advertise string
+	// Controller is the controller's base URL.
+	Controller string
+	// Client issues the agent's calls (default http.DefaultClient).
+	Client *http.Client
+}
+
+// NewNodeHandler mounts the node endpoints over the serve API.
+func NewNodeHandler(name string, h *serve.Host, st *wal.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(h))
+	mux.HandleFunc("GET /v1/node/export", func(w http.ResponseWriter, r *http.Request) {
+		handleExport(h, st, w, r)
+	})
+	mux.HandleFunc("POST /v1/node/pull", func(w http.ResponseWriter, r *http.Request) {
+		handlePull(h, st, w, r)
+	})
+	mux.HandleFunc("POST /v1/node/adopt", func(w http.ResponseWriter, r *http.Request) {
+		handleAdopt(h, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/node/data", func(w http.ResponseWriter, r *http.Request) {
+		handleDrop(st, w, r)
+	})
+	mux.HandleFunc("GET /v1/node/stats", func(w http.ResponseWriter, r *http.Request) {
+		m := h.Metrics()
+		writeNodeJSON(w, http.StatusOK, NodeStats{
+			Node:         name,
+			SessionsLive: m.SessionsLive(),
+			Backlog:      h.Backlog(),
+			Arrivals:     m.Arrivals(),
+			Latency:      m.Latency(),
+		})
+	})
+	return mux
+}
+
+func writeNodeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeNodeErr(w http.ResponseWriter, status int, err error) {
+	writeNodeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func tenantParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	t := r.URL.Query().Get("tenant")
+	if t == "" {
+		writeNodeErr(w, http.StatusBadRequest, errors.New("missing tenant parameter"))
+		return "", false
+	}
+	return t, true
+}
+
+// handleExport is the source half of a migration: detach the tenant
+// (idempotent — a retry after a failed pull finds it already
+// detached) and stream its WAL. After this the tenant serves nowhere
+// on this node until re-adopted or dropped.
+func handleExport(h *serve.Host, st *wal.Store, w http.ResponseWriter, r *http.Request) {
+	tenant, ok := tenantParam(w, r)
+	if !ok {
+		return
+	}
+	if err := h.Detach(r.Context(), tenant); err != nil && !errors.Is(err, serve.ErrNotFound) {
+		writeNodeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := st.Export(tenant, w); err != nil {
+		// Either the tenant never existed here (the 404 case, headers
+		// not yet written) or the stream died mid-flight (the importer
+		// will refuse the truncation).
+		if r.Context().Err() == nil {
+			writeNodeErr(w, http.StatusNotFound, err)
+		}
+	}
+}
+
+// handlePull is the target half: fetch the tenant's WAL from the
+// source node, import it atomically, and adopt the session live.
+func handlePull(h *serve.Host, st *wal.Store, w http.ResponseWriter, r *http.Request) {
+	tenant, ok := tenantParam(w, r)
+	if !ok {
+		return
+	}
+	from := r.URL.Query().Get("from")
+	if from == "" {
+		writeNodeErr(w, http.StatusBadRequest, errors.New("missing from parameter"))
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		from+"/v1/node/export?tenant="+tenant, nil)
+	if err != nil {
+		writeNodeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		writeNodeErr(w, http.StatusBadGateway, fmt.Errorf("fetching export from %s: %w", from, err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		writeNodeErr(w, http.StatusBadGateway, fmt.Errorf("source %s refused export: status %d", from, resp.StatusCode))
+		return
+	}
+	if err := st.Import(tenant, resp.Body); err != nil {
+		writeNodeErr(w, http.StatusConflict, err)
+		return
+	}
+	if _, err := h.Adopt(tenant); err != nil {
+		writeNodeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeNodeJSON(w, http.StatusOK, map[string]string{"tenant": tenant, "pulled": from})
+}
+
+// handleAdopt re-attaches a tenant from the local WAL — the failure
+// recovery path after a pull that never completed. Already live is
+// success: adopt is about the end state, not the transition.
+func handleAdopt(h *serve.Host, w http.ResponseWriter, r *http.Request) {
+	tenant, ok := tenantParam(w, r)
+	if !ok {
+		return
+	}
+	if _, err := h.Get(tenant); err == nil {
+		writeNodeJSON(w, http.StatusOK, map[string]string{"tenant": tenant})
+		return
+	}
+	if _, err := h.Adopt(tenant); err != nil {
+		writeNodeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeNodeJSON(w, http.StatusOK, map[string]string{"tenant": tenant})
+}
+
+// handleDrop deletes a detached tenant's WAL state — the source's
+// final migration step, or a purge order at rejoin.
+func handleDrop(st *wal.Store, w http.ResponseWriter, r *http.Request) {
+	tenant, ok := tenantParam(w, r)
+	if !ok {
+		return
+	}
+	if err := st.Remove(tenant); err != nil {
+		writeNodeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeNodeJSON(w, http.StatusOK, map[string]string{"tenant": tenant, "removed": "true"})
+}
+
+// Agent is the worker's control-plane loop: join with the recovered
+// tenant list, purge what the controller says moved away, then
+// heartbeat until the context ends; a controller that forgot us (a
+// restart) triggers a rejoin.
+type Agent struct {
+	cfg   NodeConfig
+	host  *serve.Host
+	store *wal.Store
+	lease time.Duration
+}
+
+// NewAgent builds a worker agent.
+func NewAgent(cfg NodeConfig, h *serve.Host, st *wal.Store) *Agent {
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	return &Agent{cfg: cfg, host: h, store: st}
+}
+
+// joinRequest is the body of POST /v1/cluster/join.
+type joinRequest struct {
+	Name    string   `json:"name"`
+	Addr    string   `json:"addr"`
+	Tenants []string `json:"tenants,omitempty"`
+}
+
+// joinResponse acknowledges a join.
+type joinResponse struct {
+	LeaseMs int64    `json:"leaseMs"`
+	Purge   []string `json:"purge,omitempty"`
+}
+
+// Join registers with the controller and executes its purge orders.
+// It returns the granted lease.
+func (a *Agent) Join(ctx context.Context) (time.Duration, error) {
+	body, err := json.Marshal(joinRequest{Name: a.cfg.Name, Addr: a.cfg.Advertise, Tenants: a.host.SessionIDs()})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := a.post(ctx, "/v1/cluster/join", body)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nodeErr("join", resp)
+	}
+	var jr joinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return 0, fmt.Errorf("cluster: join response: %w", err)
+	}
+	for _, tenant := range jr.Purge {
+		// This tenant moved to another node while we were dead; our copy
+		// is stale history. Detach (sealing its applier) and drop it.
+		if err := a.host.Detach(ctx, tenant); err != nil && !errors.Is(err, serve.ErrNotFound) {
+			return 0, fmt.Errorf("cluster: purging %q: %w", tenant, err)
+		}
+		if err := a.store.Remove(tenant); err != nil {
+			return 0, fmt.Errorf("cluster: purging %q: %w", tenant, err)
+		}
+	}
+	a.lease = time.Duration(jr.LeaseMs) * time.Millisecond
+	if a.lease <= 0 {
+		a.lease = 5 * time.Second
+	}
+	return a.lease, nil
+}
+
+func (a *Agent) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.cfg.Controller+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return a.cfg.Client.Do(req)
+}
+
+// Run joins and heartbeats at a third of the lease until ctx ends.
+// A heartbeat the controller refuses (it restarted and forgot us)
+// triggers a rejoin; transient transport errors are retried at the
+// next tick — the lease absorbs them.
+func (a *Agent) Run(ctx context.Context) error {
+	if _, err := a.Join(ctx); err != nil {
+		return err
+	}
+	hb, err := json.Marshal(joinRequest{Name: a.cfg.Name})
+	if err != nil {
+		return err
+	}
+	t := time.NewTicker(a.lease / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+		resp, err := a.post(ctx, "/v1/cluster/heartbeat", hb)
+		if err != nil {
+			continue // transient; the lease absorbs a missed beat or two
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusNotFound {
+			if _, err := a.Join(ctx); err != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// The placement ring: consistent hashing of tenants onto worker
+// nodes. Each node contributes VNodes virtual points (fnv-1a of
+// "name#i") on a 64-bit circle; a tenant hashes to a point and walks
+// clockwise to the first node point. Virtual nodes smooth the split —
+// with enough of them each node owns many small arcs, so adding or
+// removing one node only re-homes the tenants in its arcs instead of
+// reshuffling the world.
+//
+// The ring decides where *new* tenants go. Existing tenants move only
+// by explicit migration: the controller's placement map is the source
+// of truth for where a tenant lives, and Rebalance computes the
+// ring-ideal home to drive migrations toward it. That separation is
+// deliberate — a ring change must never silently re-route traffic for
+// a tenant whose state still lives on its old node.
+
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringPoint is one virtual node: a position on the hash circle owned
+// by a named node.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring. Not safe for concurrent use; the
+// controller guards it with its own lock.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// node (minimum 1; 64 is a good default).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+func hash64(s string, i int) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	if i >= 0 {
+		f.Write([]byte{'#'})
+		f.Write([]byte(strconv.Itoa(i)))
+	}
+	return mix64(f.Sum64())
+}
+
+// mix64 is a finalizing avalanche (murmur3's fmix64): raw fnv-1a of
+// short, similar strings ("n2#17") leaves the high bits correlated,
+// which clumps virtual nodes into contiguous arcs and wrecks the
+// balance the vnodes exist to provide. The mix spreads every input
+// bit across the word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a node's virtual points. Adding a present node is a
+// no-op.
+func (r *Ring) Add(node string) {
+	for _, p := range r.points {
+		if p.node == node {
+			return
+		}
+	}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node's virtual points. Removing an absent node is
+// a no-op.
+func (r *Ring) Remove(node string) {
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Nodes returns the distinct node names on the ring, sorted.
+func (r *Ring) Nodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of distinct nodes.
+func (r *Ring) Len() int { return len(r.Nodes()) }
+
+// Lookup returns the node owning the tenant's position, or "" on an
+// empty ring.
+func (r *Ring) Lookup(tenant string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(tenant, -1)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point means the first point owns it
+	}
+	return r.points[i].node
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism pins that placement is a pure function of the
+// node set: same nodes in any insertion order, same lookups.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(64)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		a.Add(n)
+	}
+	b := NewRing(64)
+	for _, n := range []string{"n3", "n1", "n2"} {
+		b.Add(n)
+	}
+	for i := 0; i < 1000; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		if a.Lookup(tenant) != b.Lookup(tenant) {
+			t.Fatalf("insertion order changed placement of %s", tenant)
+		}
+	}
+	a.Add("n2") // duplicate add is a no-op
+	if got := a.Len(); got != 3 {
+		t.Fatalf("Len = %d after duplicate add", got)
+	}
+}
+
+// TestRingBalance checks virtual nodes spread tenants: across 3 nodes
+// and 3000 tenants, no node owns more than twice its fair share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	nodes := []string{"n1", "n2", "n3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const tenants = 3000
+	for i := 0; i < tenants; i++ {
+		counts[r.Lookup(fmt.Sprintf("tenant-%d", i))]++
+	}
+	for _, n := range nodes {
+		if c := counts[n]; c > 2*tenants/len(nodes) || c < tenants/(2*len(nodes)) {
+			t.Fatalf("node %s owns %d of %d tenants — ring is unbalanced: %v", n, c, tenants, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the consistent-hashing property: when
+// one of three nodes leaves, only the tenants it owned move.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		r.Add(n)
+	}
+	before := map[string]string{}
+	const tenants = 2000
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		before[id] = r.Lookup(id)
+	}
+	r.Remove("n2")
+	for id, owner := range before {
+		got := r.Lookup(id)
+		if owner != "n2" && got != owner {
+			t.Fatalf("%s moved from %s to %s although its node never left", id, owner, got)
+		}
+		if owner == "n2" && got == "n2" {
+			t.Fatalf("%s still maps to the removed node", id)
+		}
+	}
+	if r.Lookup("anything") == "" {
+		t.Fatal("non-empty ring returned no owner")
+	}
+	r.Remove("n1")
+	r.Remove("n3")
+	if got := r.Lookup("anything"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+}

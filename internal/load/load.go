@@ -58,7 +58,16 @@ func Generator(kind string) (func(workload.Config) *job.Instance, error) {
 // Config shapes one load run.
 type Config struct {
 	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8080".
+	// Pointing it at a cluster controller also works as-is: arrivals
+	// and snapshots come back as 307 redirects, and the client
+	// re-sends the NDJSON body (a bytes.Reader, so replayable)
+	// straight at the owning worker.
 	BaseURL string
+	// Endpoints, when non-empty, spreads tenants round-robin across
+	// several daemons (tenant i drives Endpoints[i%len]) and the
+	// report adds a per-node breakdown next to the fleet-merged view.
+	// BaseURL is ignored when set.
+	Endpoints []string
 	// Client issues the HTTP requests (default http.DefaultClient).
 	Client *http.Client
 	// Spec is the policy every tenant's session is created from.
@@ -148,6 +157,24 @@ type Report struct {
 	// Results holds every tenant's outcome, in tenant index order
 	// (the numeric suffix of the ids).
 	Results []TenantResult
+	// PerNode breaks the run down by endpoint when Endpoints spread
+	// tenants across several daemons; empty on single-endpoint runs.
+	// The fleet-level fields above are the exact merge across nodes
+	// (Latency merges losslessly; counts add).
+	PerNode []NodeReport
+}
+
+// NodeReport is one endpoint's share of a multi-endpoint run.
+type NodeReport struct {
+	URL      string
+	Tenants  int
+	Arrivals int
+	// Throughput is this node's acknowledged arrivals over the run's
+	// shared wall-clock window.
+	Throughput float64
+	// Latency is the per-arrival round-trip histogram of this node's
+	// tenants only.
+	Latency stats.Histogram
 }
 
 // Run drives the full load: create K sessions, stream every tenant's
@@ -157,18 +184,22 @@ type Report struct {
 // abort other tenants — all errors come back joined.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	targets := cfg.Endpoints
+	if len(targets) == 0 {
+		targets = []string{cfg.BaseURL}
+	}
 	instances := workload.Fleet(cfg.Gen, cfg.Workload, cfg.Tenants)
 	results := make([]TenantResult, cfg.Tenants)
 	hists := make([]stats.Histogram, cfg.Tenants)
 
-	serverBefore, serverOK := scrapeArrivalsTotal(ctx, cfg)
+	serverBefore, serverOK := scrapeFleetArrivals(ctx, cfg, targets)
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	err := pool.RunCtx(ctx, cfg.Tenants, cfg.Workers, func(i int) error {
 		id := fmt.Sprintf("%s-%d", cfg.Prefix, i)
 		results[i] = TenantResult{ID: id, Instance: instances[i]}
-		tc := &tenantClient{cfg: cfg, id: id}
+		tc := &tenantClient{cfg: cfg, id: id, base: targets[i%len(targets)]}
 		return tc.run(ctx, instances[i], &results[i], &hists[i])
 	})
 	rep := &Report{Tenants: cfg.Tenants, Elapsed: time.Since(start)}
@@ -184,7 +215,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if s := rep.Elapsed.Seconds(); s > 0 {
 		rep.Throughput = float64(rep.Arrivals) / s
 		if serverOK {
-			if serverAfter, ok := scrapeArrivalsTotal(ctx, cfg); ok && serverAfter >= serverBefore {
+			if serverAfter, ok := scrapeFleetArrivals(ctx, cfg, targets); ok && serverAfter >= serverBefore {
 				rep.ServerThroughput = float64(serverAfter-serverBefore) / s
 			}
 		}
@@ -193,6 +224,23 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.AllocsPerArrival = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(rep.Arrivals)
 	}
 	rep.Results = results
+	if len(targets) > 1 {
+		rep.PerNode = make([]NodeReport, len(targets))
+		for n := range targets {
+			rep.PerNode[n].URL = targets[n]
+		}
+		for i := range results {
+			nr := &rep.PerNode[i%len(targets)]
+			nr.Tenants++
+			nr.Arrivals += results[i].Arrivals
+			nr.Latency.Merge(&hists[i])
+		}
+		if s := rep.Elapsed.Seconds(); s > 0 {
+			for n := range rep.PerNode {
+				rep.PerNode[n].Throughput = float64(rep.PerNode[n].Arrivals) / s
+			}
+		}
+	}
 	return rep, err
 }
 
@@ -203,6 +251,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 type tenantClient struct {
 	cfg  Config
 	id   string
+	base string // this tenant's endpoint
 	body []byte
 	resp bytes.Buffer
 }
@@ -250,7 +299,7 @@ func (tc *tenantClient) run(ctx context.Context, in *job.Instance, out *TenantRe
 // reused). Non-2xx responses become errors carrying the server's
 // message.
 func (tc *tenantClient) do(ctx context.Context, method, path string, body io.Reader) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, method, tc.cfg.BaseURL+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, tc.base+path, body)
 	if err != nil {
 		return nil, err
 	}
@@ -339,11 +388,28 @@ func (tc *tenantClient) close(ctx context.Context) (*engine.Result, error) {
 	return closed.Result, nil
 }
 
-// scrapeArrivalsTotal reads the daemon's applied-arrival counter off
+// scrapeFleetArrivals sums the applied-arrival counter across every
+// target's /metrics; ok is false when no target exposed one. A single
+// daemon answers schedd_arrivals_total, a cluster controller answers
+// the fleet-merged schedd_fleet_arrivals_total — both count the same
+// thing, arrivals applied, so the sum is coherent either way.
+func scrapeFleetArrivals(ctx context.Context, cfg Config, targets []string) (uint64, bool) {
+	var total uint64
+	any := false
+	for _, base := range targets {
+		if v, ok := scrapeArrivalsTotal(ctx, cfg, base); ok {
+			total += v
+			any = true
+		}
+	}
+	return total, any
+}
+
+// scrapeArrivalsTotal reads one daemon's applied-arrival counter off
 // /metrics; ok is false when the endpoint is unreachable or does not
 // expose the counter.
-func scrapeArrivalsTotal(ctx context.Context, cfg Config) (uint64, bool) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/metrics", nil)
+func scrapeArrivalsTotal(ctx context.Context, cfg Config, base string) (uint64, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
 	if err != nil {
 		return 0, false
 	}
@@ -359,7 +425,11 @@ func scrapeArrivalsTotal(ctx context.Context, cfg Config) (uint64, bool) {
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, "schedd_arrivals_total "); ok {
+		rest, ok := strings.CutPrefix(line, "schedd_arrivals_total ")
+		if !ok {
+			rest, ok = strings.CutPrefix(line, "schedd_fleet_arrivals_total ")
+		}
+		if ok {
 			v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
 			if err != nil {
 				return 0, false
@@ -387,6 +457,12 @@ func (r *Report) Render(w io.Writer, verbose bool) error {
 	if _, err := fmt.Fprintf(w, "latency (s): %s\nclient allocs/arrival: %.1f\n",
 		r.Latency.String(), r.AllocsPerArrival); err != nil {
 		return err
+	}
+	for _, nr := range r.PerNode {
+		if _, err := fmt.Fprintf(w, "node %s: %d tenants, %d arrivals (%.1f arrivals/s), latency (s): %s\n",
+			nr.URL, nr.Tenants, nr.Arrivals, nr.Throughput, nr.Latency.String()); err != nil {
+			return err
+		}
 	}
 	if !verbose {
 		return nil

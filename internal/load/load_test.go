@@ -66,7 +66,7 @@ func TestPostBatchBody(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	tc := &tenantClient{cfg: Config{BaseURL: srv.URL, Client: srv.Client()}.withDefaults(), id: "t-0"}
+	tc := &tenantClient{cfg: Config{BaseURL: srv.URL, Client: srv.Client()}.withDefaults(), id: "t-0", base: srv.URL}
 	batch := []job.Job{
 		{ID: 7, Release: 0.5, Deadline: 1.5, Work: 0.25},
 		{ID: 8, Release: 0.75, Deadline: 2, Work: 0.5},
@@ -97,7 +97,7 @@ func TestPostBatchRejectionAttribution(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	tc := &tenantClient{cfg: Config{BaseURL: srv.URL, Client: srv.Client()}.withDefaults(), id: "t-0"}
+	tc := &tenantClient{cfg: Config{BaseURL: srv.URL, Client: srv.Client()}.withDefaults(), id: "t-0", base: srv.URL}
 	batch := []job.Job{
 		{ID: 41, Release: 0, Deadline: 1, Work: 0.1},
 		{ID: 42, Release: 1, Deadline: 2, Work: 0.1},
@@ -129,18 +129,18 @@ func TestScrapeArrivalsTotal(t *testing.T) {
 	defer srv.Close()
 
 	cfg := Config{BaseURL: srv.URL, Client: srv.Client()}.withDefaults()
-	v, ok := scrapeArrivalsTotal(context.Background(), cfg)
+	v, ok := scrapeArrivalsTotal(context.Background(), cfg, cfg.BaseURL)
 	if !ok || v != 12345 {
 		t.Fatalf("scrapeArrivalsTotal = %d, %v; want 12345, true", v, ok)
 	}
 
 	metrics = "schedd_arrivals_total not-a-number\n"
-	if _, ok := scrapeArrivalsTotal(context.Background(), cfg); ok {
+	if _, ok := scrapeArrivalsTotal(context.Background(), cfg, cfg.BaseURL); ok {
 		t.Fatal("scrapeArrivalsTotal parsed a garbage counter")
 	}
 
 	cfg.BaseURL = srv.URL + "/missing"
-	if _, ok := scrapeArrivalsTotal(context.Background(), cfg); ok {
+	if _, ok := scrapeArrivalsTotal(context.Background(), cfg, cfg.BaseURL); ok {
 		t.Fatal("scrapeArrivalsTotal reported ok for a 404 endpoint")
 	}
 }
@@ -229,6 +229,64 @@ func TestRunAgainstStubDaemon(t *testing.T) {
 		if tr.Arrivals != jobsPerTenant {
 			t.Fatalf("tenant %d delivered %d arrivals, want %d", i, tr.Arrivals, jobsPerTenant)
 		}
+	}
+}
+
+// TestRunMultiEndpoint pins the fleet mode: tenants spread round-robin
+// across endpoints, the per-node breakdown accounts for every arrival,
+// and the fleet numbers are the exact sum of the nodes.
+func TestRunMultiEndpoint(t *testing.T) {
+	d1, d2 := &stubDaemon{}, &stubDaemon{}
+	s1 := httptest.NewServer(d1.handler())
+	defer s1.Close()
+	s2 := httptest.NewServer(d2.handler())
+	defer s2.Close()
+
+	const tenants, jobsPerTenant = 5, 6
+	rep, err := Run(context.Background(), Config{
+		Endpoints: []string{s1.URL, s2.URL},
+		Spec:      engine.Spec{Name: "stub", M: 1, Alpha: 2},
+		Workload:  workload.Config{N: jobsPerTenant, Seed: 9},
+		Tenants:   tenants,
+		Batch:     4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Arrivals != tenants*jobsPerTenant {
+		t.Fatalf("fleet arrivals = %d, want %d", rep.Arrivals, tenants*jobsPerTenant)
+	}
+	if len(rep.PerNode) != 2 {
+		t.Fatalf("PerNode has %d entries, want 2", len(rep.PerNode))
+	}
+	// Round-robin over 5 tenants: 3 on the first endpoint, 2 on the
+	// second — and each daemon saw exactly its tenants' arrivals.
+	if rep.PerNode[0].Tenants != 3 || rep.PerNode[1].Tenants != 2 {
+		t.Fatalf("tenant split = %d/%d, want 3/2", rep.PerNode[0].Tenants, rep.PerNode[1].Tenants)
+	}
+	if got := d1.arrivals.Load(); got != uint64(rep.PerNode[0].Arrivals) {
+		t.Fatalf("node 1 decoded %d arrivals, report says %d", got, rep.PerNode[0].Arrivals)
+	}
+	if got := d2.arrivals.Load(); got != uint64(rep.PerNode[1].Arrivals) {
+		t.Fatalf("node 2 decoded %d arrivals, report says %d", got, rep.PerNode[1].Arrivals)
+	}
+	sum := rep.PerNode[0].Arrivals + rep.PerNode[1].Arrivals
+	if sum != rep.Arrivals {
+		t.Fatalf("per-node arrivals sum to %d, fleet says %d", sum, rep.Arrivals)
+	}
+	if rep.PerNode[0].Latency.Count()+rep.PerNode[1].Latency.Count() != rep.Latency.Count() {
+		t.Fatal("per-node latency counts do not sum to the fleet merge")
+	}
+	// The server-side view sums both daemons' counters.
+	if rep.ServerThroughput <= 0 {
+		t.Fatalf("ServerThroughput = %v, want > 0 (summed across endpoints)", rep.ServerThroughput)
+	}
+	var out bytes.Buffer
+	if err := rep.Render(&out, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "node "+s1.URL) || !strings.Contains(out.String(), "node "+s2.URL) {
+		t.Fatalf("render missing the per-node breakdown:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,110 @@
+// Package promtext renders Prometheus text exposition format by hand:
+// strconv appends into a caller-owned buffer, no client library, no
+// fmt, no reflection. It exists so every scrape in the tree — the
+// daemon's /metrics, the WAL section, the cluster controller's
+// fleet-merged view — shares one implementation of the format and one
+// allocation discipline (the caller pools the buffer; these helpers
+// only append).
+package promtext
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// AppendHeader emits one # HELP / # TYPE preamble.
+//
+//schedlint:hotpath
+func AppendHeader(b []byte, name, help, typ string) []byte {
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, help...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	return b
+}
+
+// AppendUint emits a full uint-valued metric: preamble plus sample.
+//
+//schedlint:hotpath
+func AppendUint(b []byte, name, help, typ string, v uint64) []byte {
+	b = AppendHeader(b, name, help, typ)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, v, 10)
+	return append(b, '\n')
+}
+
+// AppendInt emits a full int-valued metric: preamble plus sample.
+//
+//schedlint:hotpath
+func AppendInt(b []byte, name, help, typ string, v int64) []byte {
+	b = AppendHeader(b, name, help, typ)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, v, 10)
+	return append(b, '\n')
+}
+
+// AppendFloat emits a full float-valued metric: preamble plus sample.
+//
+//schedlint:hotpath
+func AppendFloat(b []byte, name, help, typ string, v float64) []byte {
+	b = AppendHeader(b, name, help, typ)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	return append(b, '\n')
+}
+
+// AppendHistogram emits a full Prometheus histogram — cumulative
+// buckets, sum and count — from a stats.Histogram snapshot.
+//
+//schedlint:hotpath
+func AppendHistogram(b []byte, name, help string, h stats.Histogram) []byte {
+	b = AppendHeader(b, name, help, "histogram")
+	for cur := h.Cursor(); ; {
+		ub, cum, ok := cur.Next()
+		if !ok {
+			break
+		}
+		b = append(b, name...)
+		b = append(b, `_bucket{le="`...)
+		if math.IsInf(ub, 1) {
+			b = append(b, "+Inf"...)
+		} else {
+			b = strconv.AppendFloat(b, ub, 'g', -1, 64)
+		}
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, name...)
+	b = append(b, "_sum "...)
+	b = strconv.AppendFloat(b, h.Sum(), 'g', -1, 64)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count "...)
+	b = strconv.AppendUint(b, h.Count(), 10)
+	return append(b, '\n')
+}
+
+// AppendGauge emits an untyped single-sample gauge with only the
+// # TYPE line — the compact form the quantile gauges use.
+//
+//schedlint:hotpath
+func AppendGauge(b []byte, name string, v float64) []byte {
+	b = append(b, "# TYPE "...)
+	b = append(b, name...)
+	b = append(b, " gauge\n"...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	return append(b, '\n')
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/job"
 	"repro/internal/pool"
+	"repro/internal/stats"
 	"repro/internal/wal"
 )
 
@@ -106,8 +107,11 @@ type Host struct {
 	shards  []shard
 	metrics *Metrics
 	// backlog aggregates every session queue's depth so the /metrics
-	// scrape reads one atomic instead of walking the shards.
-	backlog atomic.Int64
+	// scrape never walks the shards. It is sharded into cache-line
+	// padded cells — each session's queue writes through its own
+	// stripe's cell — so concurrent appliers on different cores do not
+	// contend on one gauge line.
+	backlog *stats.ShardedInt64
 
 	mu       sync.Mutex //schedlint:nocallout admission: live count + draining flag
 	live     int
@@ -123,7 +127,12 @@ type Host struct {
 // NewHost builds a host from the config.
 func NewHost(cfg Config) *Host {
 	cfg = cfg.withDefaults()
-	h := &Host{cfg: cfg, reg: cfg.Registry, shards: make([]shard, cfg.Shards), metrics: newMetrics()}
+	h := &Host{
+		cfg: cfg, reg: cfg.Registry,
+		shards:  make([]shard, cfg.Shards),
+		metrics: newMetrics(),
+		backlog: stats.NewShardedInt64(stats.HistStripes),
+	}
 	for i := range h.shards {
 		h.shards[i].sessions = make(map[string]*Session)
 	}
@@ -142,6 +151,16 @@ func (h *Host) shardOf(id string) *shard {
 	return &h.shards[f.Sum32()&uint32(len(h.shards)-1)]
 }
 
+// stripeOf maps a tenant onto a metrics stripe: stable per tenant (a
+// recovered or migrated session lands on the same stripe), spread by
+// the same hash as the shard map so concurrent appliers write
+// different cache lines.
+func stripeOf(id string) int {
+	f := fnv.New32a()
+	f.Write([]byte(id))
+	return int(f.Sum32())
+}
+
 // Session is one tenant's live run: a bounded arrival ring drained in
 // batches by a dedicated applier goroutine into an engine.Live.
 type Session struct {
@@ -153,6 +172,9 @@ type Session struct {
 	host  *Host
 	queue *arrq
 	done  chan struct{} // applier exited
+	// stripe is the session's stable index into the host's striped hot
+	// counters (latency histogram, backlog cells).
+	stripe int
 
 	closeCh chan struct{} // closed when closing begins; releases parked submitters
 	closed  sync.Once     // guards closeCh
@@ -222,11 +244,13 @@ func (h *Host) Create(id string, spec engine.Spec) (*Session, error) {
 			return nil, err
 		}
 	}
+	stripe := stripeOf(id)
 	s := &Session{
 		ID: id, Spec: spec, host: h,
-		queue:   newArrq(h.cfg.MaxBacklog, &h.backlog),
+		queue:   newArrq(h.cfg.MaxBacklog, h.backlog.Cell(stripe)),
 		done:    make(chan struct{}),
 		closeCh: make(chan struct{}),
+		stripe:  stripe,
 		run:     run,
 		wlog:    wlog,
 	}
@@ -297,9 +321,43 @@ func (h *Host) CloseCtx(ctx context.Context, id string) (*engine.Result, error) 
 	return s.finish(ctx)
 }
 
+// Detach seals a session for migration: the tenant is unregistered
+// (new submits 404), parked submitters are released, the applier
+// drains what was already queued — so everything acked is in the log —
+// and the log is closed *keeping* its directory, ready for
+// wal.Store.Export. The engine run is abandoned, not finalized: the
+// target rebuilds it from the exported log, byte-identical, and this
+// host's copy was never asked for a final Result. After the target
+// acknowledges the import, the caller drops the source state with the
+// WAL store's Remove. A done ctx abandons the wait (the session stays
+// unregistered; the log stays open and recovers at next boot).
+func (h *Host) Detach(ctx context.Context, id string) error {
+	if h.cfg.WAL == nil {
+		return fmt.Errorf("serve: detach of %q: host has no WAL to export from", id)
+	}
+	s, err := h.Get(id)
+	if err != nil {
+		return err
+	}
+	if !h.remove(id) {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	s.closed.Do(func() { close(s.closeCh) })
+	s.queue.close()
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: detach of %q abandoned: %w", id, context.Cause(ctx))
+	}
+	if err := s.wlog.Close(); err != nil {
+		return fmt.Errorf("serve: detach of %q: %w", id, err)
+	}
+	return nil
+}
+
 // Backlog returns the total queued-but-undrained arrivals across all
-// sessions (the /metrics backlog gauge). It reads one aggregate
-// atomic — the metrics scrape takes no shard or session lock.
+// sessions (the /metrics backlog gauge). It sums the sharded gauge's
+// cells — the metrics scrape takes no shard or session lock.
 func (h *Host) Backlog() int {
 	if n := h.backlog.Load(); n > 0 {
 		return int(n)
@@ -409,7 +467,7 @@ func (s *Session) apply() {
 			d := time.Since(start)
 			s.mu.Unlock()
 			if applied > 0 {
-				s.host.metrics.arrivalsApplied(applied, d)
+				s.host.metrics.arrivalsApplied(s.stripe, applied, d)
 			}
 			if err != nil {
 				s.recordErr(err)

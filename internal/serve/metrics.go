@@ -16,12 +16,11 @@ package serve
 
 import (
 	"io"
-	"math"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/promtext"
 	"repro/internal/stats"
 )
 
@@ -33,10 +32,15 @@ type Metrics struct {
 	sessionsLive   atomic.Int64
 	sessionsTotal  atomic.Uint64
 	sessionsClosed atomic.Uint64
-	arrivals       atomic.Uint64
 	arrivalErrors  atomic.Uint64
 	refused        atomic.Uint64
-	latency        stats.AtomicHistogram // amortized per-arrival apply latency, seconds
+	// latency is the amortized per-arrival apply latency in seconds,
+	// striped across cache-line padded histogram stripes: each session's
+	// applier writes through its own stripe, so many-core ingest never
+	// ping-pongs the count/sum lines between cores. Its Count() is also
+	// the applied-arrivals counter — every applied arrival is observed
+	// exactly once — so there is no separate (contended) arrivals atomic.
+	latency stats.StripedHistogram
 }
 
 func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
@@ -54,18 +58,17 @@ func (m *Metrics) sessionClosed() {
 func (m *Metrics) admissionRefused() { m.refused.Add(1) }
 
 // arrivalsApplied records a drained batch: n arrivals applied in d of
-// policy time. Each arrival is charged the batch's amortized
-// per-arrival latency, so the histogram's count stays one entry per
-// arrival (not per batch) and quantiles remain comparable across
-// batch sizes.
+// policy time, observed through the session's histogram stripe. Each
+// arrival is charged the batch's amortized per-arrival latency, so the
+// histogram's count stays one entry per arrival (not per batch) and
+// quantiles remain comparable across batch sizes.
 //
 //schedlint:hotpath
-func (m *Metrics) arrivalsApplied(n int, d time.Duration) {
+func (m *Metrics) arrivalsApplied(stripe, n int, d time.Duration) {
 	if n <= 0 {
 		return
 	}
-	m.arrivals.Add(uint64(n))
-	m.latency.ObserveN(d.Seconds()/float64(n), uint64(n))
+	m.latency.ObserveN(stripe, d.Seconds()/float64(n), uint64(n))
 }
 
 //schedlint:hotpath
@@ -78,8 +81,9 @@ func (m *Metrics) arrivalsFailed(n int) {
 // SessionsLive returns the live-session gauge.
 func (m *Metrics) SessionsLive() int64 { return m.sessionsLive.Load() }
 
-// Arrivals returns the applied-arrivals counter.
-func (m *Metrics) Arrivals() uint64 { return m.arrivals.Load() }
+// Arrivals returns the applied-arrivals counter (the latency
+// histogram's observation count — one entry per applied arrival).
+func (m *Metrics) Arrivals() uint64 { return m.latency.Count() }
 
 // Latency returns a snapshot of the arrival-latency histogram,
 // mergeable with any other stats.Histogram.
@@ -111,93 +115,31 @@ var quantileGauges = [...]struct {
 	q    float64
 }{{"schedd_arrival_latency_seconds_p50", 0.5}, {"schedd_arrival_latency_seconds_p99", 0.99}}
 
-// appendMetricHeader emits one # HELP / # TYPE preamble.
-//
-//schedlint:hotpath
-func appendMetricHeader(b []byte, name, help, typ string) []byte {
-	b = append(b, "# HELP "...)
-	b = append(b, name...)
-	b = append(b, ' ')
-	b = append(b, help...)
-	b = append(b, "\n# TYPE "...)
-	b = append(b, name...)
-	b = append(b, ' ')
-	b = append(b, typ...)
-	b = append(b, '\n')
-	return b
-}
-
-//schedlint:hotpath
-func appendUintMetric(b []byte, name, help, typ string, v uint64) []byte {
-	b = appendMetricHeader(b, name, help, typ)
-	b = append(b, name...)
-	b = append(b, ' ')
-	b = strconv.AppendUint(b, v, 10)
-	return append(b, '\n')
-}
-
-//schedlint:hotpath
-func appendIntMetric(b []byte, name, help, typ string, v int64) []byte {
-	b = appendMetricHeader(b, name, help, typ)
-	b = append(b, name...)
-	b = append(b, ' ')
-	b = strconv.AppendInt(b, v, 10)
-	return append(b, '\n')
-}
-
-//schedlint:hotpath
-func appendFloatMetric(b []byte, name, help, typ string, v float64) []byte {
-	b = appendMetricHeader(b, name, help, typ)
-	b = append(b, name...)
-	b = append(b, ' ')
-	b = strconv.AppendFloat(b, v, 'g', -1, 64)
-	return append(b, '\n')
-}
-
 //schedlint:hotpath
 func (m *Metrics) appendPrometheus(b []byte, backlog int) []byte {
 	live := m.sessionsLive.Load()
 	total, closed := m.sessionsTotal.Load(), m.sessionsClosed.Load()
-	arrivals, arrErrs, refused := m.arrivals.Load(), m.arrivalErrors.Load(), m.refused.Load()
+	arrErrs, refused := m.arrivalErrors.Load(), m.refused.Load()
 	lat := m.latency.Snapshot()
+	arrivals := lat.Count()
 	uptime := time.Since(m.start).Seconds()
 
 	var rate float64
 	if uptime > 0 {
 		rate = float64(arrivals) / uptime
 	}
-	b = appendIntMetric(b, "schedd_sessions_live", "Sessions currently hosted.", "gauge", live)
-	b = appendUintMetric(b, "schedd_sessions_opened_total", "Sessions ever created.", "counter", total)
-	b = appendUintMetric(b, "schedd_sessions_closed_total", "Sessions closed (drained or deleted).", "counter", closed)
-	b = appendUintMetric(b, "schedd_admission_refused_total", "Session creations refused by admission control.", "counter", refused)
-	b = appendUintMetric(b, "schedd_arrivals_total", "Arrivals applied to live sessions.", "counter", arrivals)
-	b = appendUintMetric(b, "schedd_arrival_errors_total", "Arrivals the policy or validator refused.", "counter", arrErrs)
-	b = appendIntMetric(b, "schedd_backlog", "Arrivals queued but not yet applied, across all sessions.", "gauge", int64(backlog))
-	b = appendFloatMetric(b, "schedd_arrivals_per_second", "Applied arrival rate over the process lifetime.", "gauge", rate)
-	b = appendFloatMetric(b, "schedd_uptime_seconds", "Seconds since the host started.", "gauge", uptime)
+	b = promtext.AppendInt(b, "schedd_sessions_live", "Sessions currently hosted.", "gauge", live)
+	b = promtext.AppendUint(b, "schedd_sessions_opened_total", "Sessions ever created.", "counter", total)
+	b = promtext.AppendUint(b, "schedd_sessions_closed_total", "Sessions closed (drained or deleted).", "counter", closed)
+	b = promtext.AppendUint(b, "schedd_admission_refused_total", "Session creations refused by admission control.", "counter", refused)
+	b = promtext.AppendUint(b, "schedd_arrivals_total", "Arrivals applied to live sessions.", "counter", arrivals)
+	b = promtext.AppendUint(b, "schedd_arrival_errors_total", "Arrivals the policy or validator refused.", "counter", arrErrs)
+	b = promtext.AppendInt(b, "schedd_backlog", "Arrivals queued but not yet applied, across all sessions.", "gauge", int64(backlog))
+	b = promtext.AppendFloat(b, "schedd_arrivals_per_second", "Applied arrival rate over the process lifetime.", "gauge", rate)
+	b = promtext.AppendFloat(b, "schedd_uptime_seconds", "Seconds since the host started.", "gauge", uptime)
 
-	b = appendMetricHeader(b, "schedd_arrival_latency_seconds",
-		"Amortized policy apply latency per arrival (batch time / batch size).", "histogram")
-	for cur := lat.Cursor(); ; {
-		ub, cum, ok := cur.Next()
-		if !ok {
-			break
-		}
-		b = append(b, `schedd_arrival_latency_seconds_bucket{le="`...)
-		if math.IsInf(ub, 1) {
-			b = append(b, "+Inf"...)
-		} else {
-			b = strconv.AppendFloat(b, ub, 'g', -1, 64)
-		}
-		b = append(b, `"} `...)
-		b = strconv.AppendUint(b, cum, 10)
-		b = append(b, '\n')
-	}
-	b = append(b, "schedd_arrival_latency_seconds_sum "...)
-	b = strconv.AppendFloat(b, lat.Sum(), 'g', -1, 64)
-	b = append(b, "\nschedd_arrival_latency_seconds_count "...)
-	b = strconv.AppendUint(b, lat.Count(), 10)
-	b = append(b, '\n')
+	b = promtext.AppendHistogram(b, "schedd_arrival_latency_seconds",
+		"Amortized policy apply latency per arrival (batch time / batch size).", lat)
 	// p50/p99 as plain gauges so dashboards (and the e2e test) need no
 	// histogram math.
 	for _, q := range quantileGauges {
@@ -205,13 +147,7 @@ func (m *Metrics) appendPrometheus(b []byte, backlog int) []byte {
 		if lat.Count() > 0 {
 			v = lat.Quantile(q.q)
 		}
-		b = append(b, "# TYPE "...)
-		b = append(b, q.name...)
-		b = append(b, " gauge\n"...)
-		b = append(b, q.name...)
-		b = append(b, ' ')
-		b = strconv.AppendFloat(b, v, 'g', -1, 64)
-		b = append(b, '\n')
+		b = promtext.AppendGauge(b, q.name, v)
 	}
 	return b
 }

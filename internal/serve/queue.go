@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/job"
+	"repro/internal/stats"
 )
 
 // arrq is the bounded multi-producer single-consumer arrival ring.
@@ -32,10 +33,12 @@ type arrq struct {
 	// the last admitted job — the durable-ack wait point.
 	enq uint64
 
-	// qlen mirrors n for lock-free Backlog reads; gauge (shared across
-	// the host) feeds the lock-free /metrics backlog fast path.
+	// qlen mirrors n for lock-free Backlog reads; gauge — the session's
+	// cell of the host's sharded backlog counter — feeds the lock-free
+	// /metrics backlog fast path without sharing a cache line with
+	// other sessions' queues.
 	qlen  atomic.Int64
-	gauge *atomic.Int64
+	gauge *stats.Int64Cell
 
 	// space and data are 1-buffered wake signals: a producer parks on
 	// space when the ring is full, the consumer parks on data when it
@@ -45,7 +48,7 @@ type arrq struct {
 	data  chan struct{}
 }
 
-func newArrq(capacity int, gauge *atomic.Int64) *arrq {
+func newArrq(capacity int, gauge *stats.Int64Cell) *arrq {
 	return &arrq{
 		buf:   make([]job.Job, capacity),
 		gauge: gauge,
@@ -83,9 +86,6 @@ func (q *arrq) push(js []job.Job) (int, bool) {
 		q.n += k
 		q.enq += uint64(k)
 		q.qlen.Store(int64(q.n))
-		if q.gauge != nil {
-			q.gauge.Add(int64(k))
-		}
 		select {
 		case q.data <- struct{}{}:
 		default:
@@ -98,6 +98,12 @@ func (q *arrq) push(js []job.Job) (int, bool) {
 		}
 	}
 	q.mu.Unlock()
+	// The backlog gauge is a padded atomic cell; updating it outside
+	// the queue lock keeps the critical section call-free (the gauge
+	// may momentarily lag the queue, which a gauge is allowed to do).
+	if k > 0 && q.gauge != nil {
+		q.gauge.Add(int64(k))
+	}
 	return k, false
 }
 
@@ -126,9 +132,6 @@ func (q *arrq) drainTo(dst []job.Job, max int) (out []job.Job, done bool) {
 		}
 		q.n -= k
 		q.qlen.Store(int64(q.n))
-		if q.gauge != nil {
-			q.gauge.Add(int64(-k))
-		}
 		select {
 		case q.space <- struct{}{}:
 		default:
@@ -136,6 +139,9 @@ func (q *arrq) drainTo(dst []job.Job, max int) (out []job.Job, done bool) {
 	}
 	done = q.closed && q.n == 0
 	q.mu.Unlock()
+	if k > 0 && q.gauge != nil {
+		q.gauge.Add(int64(-k))
+	}
 	return dst, done
 }
 

@@ -24,11 +24,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
-	"strconv"
 
 	"repro/internal/engine"
 	"repro/internal/job"
+	"repro/internal/promtext"
 	"repro/internal/wal"
 )
 
@@ -111,67 +110,90 @@ func (h *Host) Recover() (wal.RecoveryStats, error) {
 	if h.cfg.WAL == nil {
 		return wal.RecoveryStats{}, nil
 	}
-	return h.cfg.WAL.Recover(func(r *wal.Recovered) error {
-		var id string
-		var spec engine.Spec
-		var wantSnap []byte
-		if r.CkptMeta != nil {
-			var m walCkptMeta
-			if err := json.Unmarshal(r.CkptMeta, &m); err != nil {
-				return fmt.Errorf("serve: recovering %q: checkpoint meta: %w", r.Tenant, err)
-			}
-			id, spec, wantSnap = m.ID, m.Spec, m.Snapshot
-		} else {
-			var m walOpen
-			if err := json.Unmarshal(r.Open, &m); err != nil {
-				return fmt.Errorf("serve: recovering %q: open record: %w", r.Tenant, err)
-			}
-			id, spec = m.ID, m.Spec
+	return h.cfg.WAL.Recover(h.recoverOne)
+}
+
+// Adopt attaches one tenant whose log was just imported into the
+// host's WAL store (wal.Store.Import) — the target half of a live
+// migration: the tenant's checkpoint and tail replay through the same
+// integrity-gated path as boot-time recovery, and the session goes
+// live on this host exactly as if it had always run here.
+func (h *Host) Adopt(id string) (*Session, error) {
+	if h.cfg.WAL == nil {
+		return nil, fmt.Errorf("serve: adopting %q: host has no WAL", id)
+	}
+	if err := h.cfg.WAL.RecoverTenant(id, h.recoverOne); err != nil {
+		return nil, err
+	}
+	return h.Get(id)
+}
+
+// recoverOne rebuilds one surviving tenant from its Recovered handle —
+// the shared body of boot-time Recover and per-tenant Adopt.
+func (h *Host) recoverOne(r *wal.Recovered) error {
+	var id string
+	var spec engine.Spec
+	var wantSnap []byte
+	if r.CkptMeta != nil {
+		var m walCkptMeta
+		if err := json.Unmarshal(r.CkptMeta, &m); err != nil {
+			return fmt.Errorf("serve: recovering %q: checkpoint meta: %w", r.Tenant, err)
 		}
-		if id != r.Tenant {
-			return fmt.Errorf("serve: recovering %q: log claims to belong to %q", r.Tenant, id)
+		id, spec, wantSnap = m.ID, m.Spec, m.Snapshot
+	} else {
+		var m walOpen
+		if err := json.Unmarshal(r.Open, &m); err != nil {
+			return fmt.Errorf("serve: recovering %q: open record: %w", r.Tenant, err)
 		}
-		run, err := h.reg.NewLive(spec)
-		if err != nil {
-			return fmt.Errorf("serve: recovering %q: %w", id, err)
-		}
-		// Replay with the recorded batch boundaries; a refused arrival
-		// is replayed state (the uninterrupted run refused it too), not
-		// a recovery failure.
-		var firstErr error
-		apply := func(js []job.Job) error {
-			if _, err := run.ApplyBatch(js); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			return nil
-		}
-		if err := r.ReplayCheckpoint(apply); err != nil {
-			return err
-		}
-		if wantSnap != nil {
-			// Integrity gate: the session rebuilt from checkpointed
-			// history must reproduce the exact snapshot stored at the
-			// cut. Checkpoints only ever cover clean streams, so a
-			// refusal here is corruption too.
-			if firstErr != nil {
-				return fmt.Errorf("serve: recovering %q: checkpointed history refused an arrival: %v", id, firstErr)
-			}
-			if got := run.Snapshot().AppendJSON(nil); !bytes.Equal(got, wantSnap) {
-				return fmt.Errorf("serve: recovering %q: checkpoint integrity check failed: replayed snapshot %s != stored %s", id, got, wantSnap)
-			}
-		}
-		if err := r.ReplayTail(apply); err != nil {
-			return err
-		}
-		l, err := r.Resume()
-		if err != nil {
-			return err
-		}
-		if _, err := h.attach(id, spec, run, l, firstErr); err != nil {
-			return fmt.Errorf("serve: recovering %q: %w", id, err)
+		id, spec = m.ID, m.Spec
+	}
+	if id != r.Tenant {
+		return fmt.Errorf("serve: recovering %q: log claims to belong to %q", r.Tenant, id)
+	}
+	run, err := h.reg.NewLive(spec)
+	if err != nil {
+		return fmt.Errorf("serve: recovering %q: %w", id, err)
+	}
+	// Replay with the recorded batch boundaries; a refused arrival
+	// is replayed state (the uninterrupted run refused it too), not
+	// a recovery failure.
+	var firstErr error
+	apply := func(js []job.Job) error {
+		if _, err := run.ApplyBatch(js); err != nil && firstErr == nil {
+			firstErr = err
 		}
 		return nil
-	})
+	}
+	if err := r.ReplayCheckpoint(apply); err != nil {
+		return err
+	}
+	if wantSnap != nil {
+		// Integrity gate: the session rebuilt from checkpointed
+		// history must reproduce the exact snapshot stored at the
+		// cut. Checkpoints only ever cover clean streams, so a
+		// refusal here is corruption too.
+		if firstErr != nil {
+			return fmt.Errorf("serve: recovering %q: checkpointed history refused an arrival: %v", id, firstErr)
+		}
+		if got := run.Snapshot().AppendJSON(nil); !bytes.Equal(got, wantSnap) {
+			return fmt.Errorf("serve: recovering %q: checkpoint integrity check failed: replayed snapshot %s != stored %s", id, got, wantSnap)
+		}
+	}
+	if err := r.ReplayTail(apply); err != nil {
+		return err
+	}
+	l, err := r.Resume()
+	if err != nil {
+		return err
+	}
+	if _, err := h.attach(id, spec, run, l, firstErr); err != nil {
+		// Leave the log closed, not registered: at boot the daemon exits
+		// on this error; on an Adopt the tenant's files stay importable
+		// for a retry instead of being pinned by a zombie open log.
+		_ = l.Close()
+		return fmt.Errorf("serve: recovering %q: %w", id, err)
+	}
+	return nil
 }
 
 // attach registers a recovered session: the same admission,
@@ -193,11 +215,13 @@ func (h *Host) attach(id string, spec engine.Spec, run *engine.Live, wlog *wal.L
 	h.mu.Unlock()
 	defer h.creating.Done()
 
+	stripe := stripeOf(id)
 	s := &Session{
 		ID: id, Spec: spec, host: h,
-		queue:   newArrq(h.cfg.MaxBacklog, &h.backlog),
+		queue:   newArrq(h.cfg.MaxBacklog, h.backlog.Cell(stripe)),
 		done:    make(chan struct{}),
 		closeCh: make(chan struct{}),
+		stripe:  stripe,
 		run:     run,
 		wlog:    wlog,
 		base:    wlog.Arrivals(),
@@ -229,37 +253,15 @@ func (h *Host) WriteWalMetrics(w io.Writer) error {
 	st := store.Stats()
 	bp := scrapePool.Get().(*[]byte)
 	b := (*bp)[:0]
-	b = appendUintMetric(b, "schedd_wal_appends_total", "Batches appended to the write-ahead log.", "counter", st.Appends)
-	b = appendUintMetric(b, "schedd_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", "counter", st.AppendBytes)
-	b = appendUintMetric(b, "schedd_wal_fsyncs_total", "Group-commit fsyncs issued.", "counter", st.Fsyncs)
-	b = appendUintMetric(b, "schedd_wal_checkpoints_total", "Checkpoint/truncate compactions completed.", "counter", st.Checkpoints)
-	b = appendUintMetric(b, "schedd_wal_recovered_sessions", "Sessions rebuilt by the last recovery pass.", "gauge", uint64(st.Recovery.Sessions))
-	b = appendUintMetric(b, "schedd_wal_recovered_arrivals", "Arrivals replayed by the last recovery pass.", "gauge", st.Recovery.Arrivals)
-	b = appendUintMetric(b, "schedd_wal_recovery_torn_bytes", "Unacked torn-tail bytes truncated by the last recovery pass.", "gauge", uint64(st.Recovery.TornBytes))
-	b = appendUintMetric(b, "schedd_wal_recovery_swept_tenants", "Closed or aborted tenant logs swept by the last recovery pass.", "gauge", uint64(st.Recovery.Removed))
-
-	lat := store.FsyncLatency()
-	b = appendMetricHeader(b, "schedd_wal_fsync_seconds", "Group-commit fsync latency.", "histogram")
-	for cur := lat.Cursor(); ; {
-		ub, cum, ok := cur.Next()
-		if !ok {
-			break
-		}
-		b = append(b, `schedd_wal_fsync_seconds_bucket{le="`...)
-		if math.IsInf(ub, 1) {
-			b = append(b, "+Inf"...)
-		} else {
-			b = strconv.AppendFloat(b, ub, 'g', -1, 64)
-		}
-		b = append(b, `"} `...)
-		b = strconv.AppendUint(b, cum, 10)
-		b = append(b, '\n')
-	}
-	b = append(b, "schedd_wal_fsync_seconds_sum "...)
-	b = strconv.AppendFloat(b, lat.Sum(), 'g', -1, 64)
-	b = append(b, "\nschedd_wal_fsync_seconds_count "...)
-	b = strconv.AppendUint(b, lat.Count(), 10)
-	b = append(b, '\n')
+	b = promtext.AppendUint(b, "schedd_wal_appends_total", "Batches appended to the write-ahead log.", "counter", st.Appends)
+	b = promtext.AppendUint(b, "schedd_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", "counter", st.AppendBytes)
+	b = promtext.AppendUint(b, "schedd_wal_fsyncs_total", "Group-commit fsyncs issued.", "counter", st.Fsyncs)
+	b = promtext.AppendUint(b, "schedd_wal_checkpoints_total", "Checkpoint/truncate compactions completed.", "counter", st.Checkpoints)
+	b = promtext.AppendUint(b, "schedd_wal_recovered_sessions", "Sessions rebuilt by the last recovery pass.", "gauge", uint64(st.Recovery.Sessions))
+	b = promtext.AppendUint(b, "schedd_wal_recovered_arrivals", "Arrivals replayed by the last recovery pass.", "gauge", st.Recovery.Arrivals)
+	b = promtext.AppendUint(b, "schedd_wal_recovery_torn_bytes", "Unacked torn-tail bytes truncated by the last recovery pass.", "gauge", uint64(st.Recovery.TornBytes))
+	b = promtext.AppendUint(b, "schedd_wal_recovery_swept_tenants", "Closed or aborted tenant logs swept by the last recovery pass.", "gauge", uint64(st.Recovery.Removed))
+	b = promtext.AppendHistogram(b, "schedd_wal_fsync_seconds", "Group-commit fsync latency.", store.FsyncLatency())
 
 	_, err := w.Write(b)
 	*bp = b[:0]

@@ -156,8 +156,16 @@ func TestHostWALCheckpointRecovery(t *testing.T) {
 	if err := s.waitDurable(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if got := st.Stats().Checkpoints; got == 0 {
-		t.Fatal("no checkpoint happened; the test would not cover compaction")
+	// waitDurable covers the append, not the apply: on a starved
+	// scheduler (one core under -race) the applier may still be inside
+	// its final ApplyBatch here, with maybeCheckpoint yet to run. A
+	// checkpoint is inevitable — 200 arrivals since the last cut with
+	// CheckpointEvery 40 — so poll for it instead of racing it.
+	for deadline := time.Now().Add(10 * time.Second); st.Stats().Checkpoints == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint happened; the test would not cover compaction")
+		}
+		time.Sleep(time.Millisecond)
 	}
 	// Compaction really truncated: segment 1 must be gone.
 	td, err := os.ReadDir(filepath.Join(dir, "tenants"))

@@ -1,0 +1,123 @@
+// Striped twins of the hot write-path counters, against cache-line
+// false sharing. AtomicHistogram made per-arrival observation
+// lock-free, but on a many-core ingest every applier goroutine still
+// lands its adds on the same cache lines — the count/sum words and
+// whatever latency bucket the fleet's arrivals cluster in — so the
+// lines ping-pong between cores and the "contention-free" path pays
+// coherence traffic per batch. StripedHistogram and Int64Cell spread
+// the writes: each writer owns a stripe (the serve layer hands every
+// session a stripe index at creation), stripes are padded a full
+// cache line apart so no two ever share one, and readers merge — which
+// the fixed bucket layout makes exact, so striping is invisible in the
+// numbers.
+
+package stats
+
+import "sync/atomic"
+
+// HistStripes is the stripe count of a StripedHistogram — a power of
+// two so stripe selection is a mask, sized past the core counts the
+// ingest benchmarks sweep (GOMAXPROCS 1/4/16).
+const HistStripes = 16
+
+// paddedAtomicHistogram keeps neighbouring stripes at least a cache
+// line apart; 64 bytes of padding guarantees no byte of one stripe
+// shares a line with the next regardless of struct alignment.
+type paddedAtomicHistogram struct {
+	h AtomicHistogram
+	_ [64]byte
+}
+
+// StripedHistogram is an AtomicHistogram sharded into cache-line
+// padded stripes. Writers pass a stripe index (any int; it is masked)
+// and should keep using the same one — a stable writer→stripe mapping
+// is what turns contended lines into core-local ones. The zero value
+// is ready to use.
+type StripedHistogram struct {
+	stripes [HistStripes]paddedAtomicHistogram
+}
+
+// Observe records one observation on the stripe.
+//
+//schedlint:hotpath
+func (s *StripedHistogram) Observe(stripe int, x float64) {
+	s.stripes[stripe&(HistStripes-1)].h.Observe(x)
+}
+
+// ObserveN records n identical observations on the stripe in O(1).
+//
+//schedlint:hotpath
+func (s *StripedHistogram) ObserveN(stripe int, x float64, n uint64) {
+	s.stripes[stripe&(HistStripes-1)].h.ObserveN(x, n)
+}
+
+// Count returns the total observation count across stripes.
+func (s *StripedHistogram) Count() uint64 {
+	var n uint64
+	for i := range s.stripes {
+		n += s.stripes[i].h.Count()
+	}
+	return n
+}
+
+// Snapshot merges every stripe into one mergeable Histogram — exact,
+// because all stripes share the fixed bucket layout.
+func (s *StripedHistogram) Snapshot() Histogram {
+	var out Histogram
+	for i := range s.stripes {
+		snap := s.stripes[i].h.Snapshot()
+		out.Merge(&snap)
+	}
+	return out
+}
+
+// Int64Cell is one cache-line padded cell of a sharded counter. The
+// padding puts successive cells 64 bytes apart, so two writers on
+// different cells never invalidate each other's line.
+type Int64Cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add adds d to the cell.
+//
+//schedlint:hotpath
+func (c *Int64Cell) Add(d int64) { c.v.Add(d) }
+
+// Load returns the cell's value.
+func (c *Int64Cell) Load() int64 { return c.v.Load() }
+
+// ShardedInt64 is one logical gauge/counter spread over padded cells:
+// writers Add through the cell a stable index hands them, readers sum.
+// The read is not a point-in-time cut across cells — exactly the
+// contract a metrics gauge needs, nothing stronger.
+type ShardedInt64 struct {
+	cells []Int64Cell
+}
+
+// NewShardedInt64 builds a sharded counter with at least n cells,
+// rounded up to a power of two so Cell's index math is a mask.
+func NewShardedInt64(n int) *ShardedInt64 {
+	if n < 1 {
+		n = 1
+	}
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return &ShardedInt64{cells: make([]Int64Cell, k)}
+}
+
+// Cell returns the cell for a stable writer index (any int; masked).
+func (s *ShardedInt64) Cell(i int) *Int64Cell {
+	return &s.cells[i&(len(s.cells)-1)]
+}
+
+// Load sums every cell.
+func (s *ShardedInt64) Load() int64 {
+	var n int64
+	for i := range s.cells {
+		n += s.cells[i].v.Load()
+	}
+	return n
+}

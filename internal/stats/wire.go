@@ -1,0 +1,84 @@
+// The histogram's JSON wire format: the exact state — every bucket
+// count plus sum and extremes — so a histogram shipped between
+// processes merges on the far side exactly as if the observations had
+// been recorded there. This is what makes cluster-wide p50/p99 exact
+// rather than approximated: each worker serializes its latency
+// histogram, the controller unmarshals and Merges, and because every
+// Histogram shares one fixed bucket layout (guarded by the layout tag)
+// the merged quantiles equal those of a single histogram fed the union
+// of all observations.
+//
+// Counts are serialized with trailing zeros trimmed; sum/min/max ride
+// as plain JSON numbers, which Go encodes in shortest round-trip form,
+// so decode(encode(h)) == h bit for bit.
+
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// histLayout names the fixed bucket layout; a histogram serialized by
+// a binary with a different layout is refused at decode instead of
+// merged wrong.
+const histLayout = "log5x16"
+
+// histogramWire is the JSON shape of a Histogram.
+type histogramWire struct {
+	Layout string   `json:"layout"`
+	Counts []uint64 `json:"counts"`
+	Sum    float64  `json:"sum"`
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+}
+
+// MarshalJSON encodes the histogram's exact state. Observations are
+// finite by construction (NaN dropped, negatives clamped at Observe),
+// but a histogram whose sum overflowed to +Inf is refused rather than
+// emitted as invalid JSON.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	if math.IsInf(h.sum, 0) || math.IsNaN(h.sum) {
+		return nil, fmt.Errorf("stats: histogram sum %v is not JSON-encodable", h.sum)
+	}
+	last := -1
+	for i, c := range h.counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	w := histogramWire{
+		Layout: histLayout,
+		Counts: h.counts[:last+1],
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a histogram serialized by MarshalJSON; the
+// count is rederived from the buckets, so the invariant
+// count == Σ counts cannot be broken by a forged payload.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.Layout != histLayout {
+		return fmt.Errorf("stats: histogram layout %q, this binary speaks %q", w.Layout, histLayout)
+	}
+	if len(w.Counts) > len(h.counts) {
+		return fmt.Errorf("stats: histogram carries %d buckets, layout has %d", len(w.Counts), len(h.counts))
+	}
+	*h = Histogram{sum: w.Sum, min: w.Min, max: w.Max}
+	for i, c := range w.Counts {
+		h.counts[i] = c
+		h.count += c
+	}
+	if h.count == 0 && (w.Min != 0 || w.Max != 0) { //schedlint:exactfloat zero sentinels of the empty histogram
+		return fmt.Errorf("stats: empty histogram claims extremes [%v, %v]", w.Min, w.Max)
+	}
+	return nil
+}

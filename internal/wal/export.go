@@ -178,6 +178,68 @@ func (s *Store) Import(tenant string, r io.Reader) error {
 	return nil
 }
 
+// RecoverTenant recovers one tenant on a live, already-serving store —
+// the attach half of a migration. Import lands the files; RecoverTenant
+// hands the tenant to fn as a Recovered handle exactly like a boot-time
+// Recover pass would, and fn must replay and Resume it. The tenant must
+// not be open here, and a tenant with nothing to recover (cleanly
+// closed, or never acked) is an error rather than a silent sweep: a
+// migration target that imported a stream expects a session.
+func (s *Store) RecoverTenant(tenant string, fn func(*Recovered) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrStoreDown
+	}
+	_, open := s.logs[tenant]
+	s.mu.Unlock()
+	if open {
+		return fmt.Errorf("%w: %q", ErrExists, tenant)
+	}
+	dir := filepath.Join(s.dir, encTenant(tenant))
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	r, _, err := s.scanTenant(tenant, dir)
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		return fmt.Errorf("wal: tenant %q has nothing to recover", tenant)
+	}
+	if err := fn(r); err != nil {
+		return err
+	}
+	if r.stage != stageResumed {
+		return fmt.Errorf("wal: recovery callback for %q returned without Resume", tenant)
+	}
+	return nil
+}
+
+// Remove deletes a detached tenant's on-disk state — the source's
+// final migration step, after the target acknowledged the import. It
+// refuses while the tenant's log is open: detach first (Log.Close
+// keeps the directory and unregisters the log), then Remove.
+func (s *Store) Remove(tenant string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrStoreDown
+	}
+	_, open := s.logs[tenant]
+	s.mu.Unlock()
+	if open {
+		return fmt.Errorf("wal: tenant %q is still open; detach before Remove", tenant)
+	}
+	if err := os.RemoveAll(filepath.Join(s.dir, encTenant(tenant))); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
 func (s *Store) importInto(tmp string, r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(expMagic))

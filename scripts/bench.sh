@@ -11,7 +11,7 @@
 # measurement).
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 bench="${BENCH:-BenchmarkSessionPerArrival|BenchmarkServeIngest}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
