@@ -1,0 +1,142 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/serve"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// BenchmarkClusterIngest measures aggregate ingest through the full
+// cluster stack at 2, 3 and 4 workers: a live controller owns
+// placement, one durable tenant per worker, and every arrival stream
+// enters at the controller's URL and follows its 307 redirect to the
+// owning worker — the deployment's actual data path. The committed
+// trajectory (BENCH_pr9.json) records the series, so the scale-out
+// claim — aggregate arrivals/sec growing with workers rather than
+// collapsing on the control plane — is visible in one run.
+func BenchmarkClusterIngest(b *testing.B) {
+	const n = 20_000 // arrivals per tenant per iteration
+	in := workload.HeavyTail(workload.Config{
+		N: n, M: 1, Alpha: 2, Seed: 17, Horizon: float64(n) / 10, ValueScale: math.Inf(1),
+	})
+	for i := range in.Jobs {
+		in.Jobs[i].Release = math.Floor(in.Jobs[i].Release)
+	}
+	in.Normalize()
+	body := make([]byte, 0, 64*n)
+	for _, j := range in.Jobs {
+		body = job.AppendJSON(body, j)
+		body = append(body, '\n')
+	}
+
+	for _, workers := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cluster.NewController(cluster.Options{})
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			c.Start(ctx)
+			ctrl := httptest.NewServer(cluster.NewHTTPHandler(c))
+			defer ctrl.Close()
+			for w := 0; w < workers; w++ {
+				st, err := wal.Open(b.TempDir(), wal.Options{FsyncInterval: 5 * time.Millisecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				h := serve.NewHost(serve.Config{MaxSessions: 64, MaxBacklog: 4096, WAL: st})
+				fence := cluster.NewEpochFence()
+				name := fmt.Sprintf("w%d", w)
+				srv := httptest.NewServer(cluster.NewNodeHandler(name, h, st, fence))
+				defer srv.Close()
+				agent := cluster.NewAgent(cluster.NodeConfig{
+					Name: name, Advertise: srv.URL, Controller: ctrl.URL, Fence: fence,
+				}, h, st)
+				if _, err := agent.Join(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			do := func(method, path string, payload []byte, want int) {
+				b.Helper()
+				req, err := http.NewRequest(method, ctrl.URL+path, bytes.NewReader(payload))
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != want {
+					b.Fatalf("%s %s: %s", method, path, resp.Status)
+				}
+			}
+
+			spec := `{"id":%q,"spec":{"name":"oa","m":1,"alpha":2}}`
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ids := make([]string, workers)
+				for t := range ids {
+					ids[t] = fmt.Sprintf("cb-%d-%d", i, t)
+					do("POST", "/v1/sessions", []byte(fmt.Sprintf(spec, ids[t])), http.StatusCreated)
+				}
+				b.StartTimer()
+				// One concurrent stream per tenant, every one entering at
+				// the controller and redirected to its owning worker.
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				for _, id := range ids {
+					wg.Add(1)
+					go func(id string) {
+						defer wg.Done()
+						req, err := http.NewRequest(http.MethodPost,
+							ctrl.URL+"/v1/sessions/"+id+"/arrivals", bytes.NewReader(body))
+						if err != nil {
+							errs <- err
+							return
+						}
+						resp, err := http.DefaultClient.Do(req)
+						if err != nil {
+							errs <- err
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							errs <- fmt.Errorf("ingest %s: %s", id, resp.Status)
+						}
+					}(id)
+				}
+				wg.Wait()
+				close(errs)
+				b.StopTimer()
+				for err := range errs {
+					b.Fatal(err)
+				}
+				for _, id := range ids {
+					do("DELETE", "/v1/sessions/"+id, nil, http.StatusOK)
+				}
+				b.StartTimer()
+			}
+			total := float64(b.N) * float64(workers) * float64(n)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/arrival")
+			b.ReportMetric(total/b.Elapsed().Seconds(), "arrivals/sec")
+		})
+	}
+}

@@ -82,6 +82,41 @@ func waitTopology(t *testing.T, base, why string, cond func(clusterTopo) bool) {
 	}
 }
 
+// migProgress mirrors GET /v1/cluster/migrations.
+type migProgress struct {
+	Counts struct {
+		Running int    `json:"running"`
+		Queued  int    `json:"queued"`
+		Waiting int    `json:"waiting"`
+		Parked  int    `json:"parked"`
+		Done    uint64 `json:"done"`
+	} `json:"counts"`
+}
+
+// waitMigrations polls a 202's watch handle until the supervisor has
+// nothing in flight — the async analogue of the old synchronous 200.
+func waitMigrations(t *testing.T, watchURL, why string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := httpDo(t, "GET", watchURL, nil)
+		if code != http.StatusOK {
+			t.Fatalf("migrations: %d %s", code, body)
+		}
+		var mp migProgress
+		if err := json.Unmarshal(body, &mp); err != nil {
+			t.Fatal(err)
+		}
+		if mp.Counts.Running+mp.Counts.Queued+mp.Counts.Waiting == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("migrations never reached %q: %s", why, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 // getPlacements decodes tenant -> node off the controller.
 func getPlacements(t *testing.T, base string) map[string]string {
 	t.Helper()
@@ -138,7 +173,8 @@ func settledSnapshot(t *testing.T, base, id string, arrivals int) []byte {
 
 func TestEndToEndCluster(t *testing.T) {
 	bin := buildSchedd(t)
-	ctrl := startController(t, bin, "-controller", "-addr", "127.0.0.1:0", "-lease", "1s")
+	ctrl := startController(t, bin, "-controller", "-addr", "127.0.0.1:0", "-lease", "1s",
+		"-data-dir", t.TempDir())
 
 	dirs := map[string]string{"w1": t.TempDir(), "w2": t.TempDir()}
 	wargs := func(name string) []string {
@@ -267,23 +303,29 @@ func TestEndToEndCluster(t *testing.T) {
 		}
 	}
 
-	// Rebalance by draining the victim: every one of its tenants
-	// live-migrates (WAL shipped over HTTP, imported, adopted) to the
-	// survivor, mid-stream.
+	// Rebalance by draining the victim: the drain is accepted (202) with
+	// the planned tenant list, then the supervisor live-migrates each
+	// one (WAL shipped over HTTP, imported, adopted) to the survivor,
+	// mid-stream, while we watch the progress handle it pointed at.
 	drain, _ := json.Marshal(map[string]string{"node": victim})
 	code, body := httpDo(t, "POST", ctrl.base+"/v1/cluster/drain", drain)
-	if code != http.StatusOK {
+	if code != http.StatusAccepted {
 		t.Fatalf("drain: %d %s", code, body)
 	}
 	var drained struct {
-		Moved []string `json:"moved"`
+		Planned []string `json:"planned"`
+		Watch   string   `json:"watch"`
 	}
 	if err := json.Unmarshal(body, &drained); err != nil {
 		t.Fatal(err)
 	}
-	if len(drained.Moved) != len(victimIDs) {
-		t.Fatalf("drain moved %v, want all of %v", drained.Moved, victimIDs)
+	if len(drained.Planned) != len(victimIDs) {
+		t.Fatalf("drain planned %v, want all of %v", drained.Planned, victimIDs)
 	}
+	if drained.Watch == "" {
+		t.Fatalf("drain response carries no watch handle: %s", body)
+	}
+	waitMigrations(t, ctrl.base+drained.Watch, "drain converged")
 	for id, node := range getPlacements(t, ctrl.base) {
 		if node == victim {
 			t.Fatalf("tenant %s still placed on the drained node", id)

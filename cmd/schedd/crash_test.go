@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -57,6 +59,36 @@ type proc struct {
 	cmd       *exec.Cmd
 	base      string // http://host:port
 	recovered string // the "schedd: recovered ..." boot line, if any
+	mu        sync.Mutex
+	lines     []string // post-readiness stdout (startWatchedDaemon only)
+}
+
+// sawLine reports whether a captured post-readiness line starts with
+// the prefix (processes started with startWatchedDaemon only).
+func (p *proc) sawLine(prefix string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, l := range p.lines {
+		if strings.HasPrefix(l, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitExit waits for the process to end on its own and returns its
+// exit code — the failpoint crashes assert on it.
+func (p *proc) waitExit(t *testing.T) int {
+	t.Helper()
+	err := p.cmd.Wait()
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return 0
 }
 
 // startSchedd launches the binary and waits for the listening line —

@@ -13,7 +13,9 @@
 //
 // Cluster modes (see internal/cluster):
 //
-//	schedd -controller [-addr :8080] [-lease 5s] [-vnodes 64]
+//	schedd -controller -data-dir DIR [-addr :8080] [-lease 5s] [-vnodes 64]
+//	       [-advertise URL] [-standby http://primary:8080]
+//	       [-max-migrations 2] [-migration-deadline 60s]
 //	schedd -join http://controller:8080 -data-dir DIR
 //	       [-node-name NAME] [-advertise URL] [other worker flags]
 //
@@ -24,6 +26,14 @@
 // worker is a normal durable daemon plus the migration endpoints and
 // the join/heartbeat loop; -join requires -data-dir because live
 // migration ships the tenant's write-ahead log.
+//
+// The controller itself is durable: -data-dir (required) holds its
+// placement WAL, recovered on boot under the same torn-vs-corrupt
+// contract as tenant logs. Migrations run under a supervisor —
+// bounded concurrency, retries with backoff, permanent failures
+// parked and visible in the topology. With -standby URL the process
+// starts as a hot standby tailing that primary's state stream and
+// takes over (with a fenced epoch) when the primary's lease lapses.
 //
 // With -data-dir the daemon is durable: every accepted arrival batch
 // is appended to a per-tenant write-ahead log and acknowledged only
@@ -205,15 +215,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	controllerMode := fs.Bool("controller", false, "run as the cluster controller instead of a worker")
 	lease := fs.Duration("lease", 5*time.Second, "controller: worker lease; silence past it marks the node dead")
 	vnodes := fs.Int("vnodes", 64, "controller: virtual nodes per worker on the placement ring")
+	standby := fs.String("standby", "", "controller: run as hot standby of this primary URL; take over when its lease lapses")
+	maxMigrations := fs.Int("max-migrations", 2, "controller: concurrent migration bound")
+	migrationDeadline := fs.Duration("migration-deadline", 60*time.Second, "controller: per-migration attempt deadline")
 	join := fs.String("join", "", "worker: controller base URL to join (requires -data-dir)")
 	nodeName := fs.String("node-name", "", "worker: stable identity for rejoin reconciliation (default: the advertise URL)")
-	advertise := fs.String("advertise", "", "worker: base URL peers reach this worker at (default http://<bound addr>)")
+	advertise := fs.String("advertise", "", "base URL peers reach this process at (default http://<bound addr>)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *controllerMode {
-		return runController(*addr, *lease, *vnodes, stdout)
+		return runController(controllerConfig{
+			addr: *addr, lease: *lease, vnodes: *vnodes,
+			dataDir: *dataDir, advertise: *advertise, standby: *standby,
+			maxMigrations: *maxMigrations, migrationDeadline: *migrationDeadline,
+		}, stdout)
 	}
 	if *join != "" && *dataDir == "" {
 		return fmt.Errorf("-join requires -data-dir: live migration ships the tenant's write-ahead log")
@@ -270,14 +287,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if name == "" {
 			name = adv
 		}
-		handler := cluster.NewNodeHandler(name, d.host, store)
+		agent := cluster.NewAgent(cluster.NodeConfig{
+			Name: name, Advertise: adv, Controller: *join,
+		}, d.host, store)
+		handler := cluster.NewNodeHandler(name, d.host, store, agent.Fence())
 		if *withPprof {
 			handler = withPprofMux(handler)
 		}
 		d.srv.Handler = handler
-		agent := cluster.NewAgent(cluster.NodeConfig{
-			Name: name, Advertise: adv, Controller: *join,
-		}, d.host, store)
 		// The agent joins with the recovered tenant list (recovery ran
 		// above), then heartbeats until shutdown. A controller that is
 		// briefly unreachable is retried — the worker keeps serving its
@@ -319,26 +336,66 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 }
 
+// controllerConfig carries the controller-mode flags.
+type controllerConfig struct {
+	addr, dataDir, advertise, standby string
+	lease, migrationDeadline          time.Duration
+	vnodes, maxMigrations             int
+}
+
 // runController serves the cluster control plane: the join/heartbeat
 // surface, the placement proxy and redirects, the migration verbs and
 // the fleet-merged /metrics. It holds no sessions itself — shutdown is
-// just closing the listener; the workers keep serving.
-func runController(addr string, lease time.Duration, vnodes int, stdout io.Writer) error {
-	c := cluster.NewController(cluster.Options{Lease: lease, VNodes: vnodes})
-	ln, err := net.Listen("tcp", addr)
+// just closing the listener; the workers keep serving. The placement
+// WAL under -data-dir is recovered before the listener opens, under
+// the tenant-log contract: torn tail truncated, anything worse
+// refuses boot non-zero.
+func runController(cc controllerConfig, stdout io.Writer) error {
+	if cc.dataDir == "" {
+		return fmt.Errorf("-controller requires -data-dir: the placement log is what survives a controller crash")
+	}
+	ln, err := net.Listen("tcp", cc.addr)
 	if err != nil {
 		return err
 	}
+	adv := cc.advertise
+	if adv == "" {
+		adv = "http://" + ln.Addr().String()
+	}
+	c, err := cluster.OpenController(cluster.Options{
+		Lease: cc.lease, VNodes: cc.vnodes, DataDir: cc.dataDir,
+		Advertise: adv, Standby: cc.standby,
+		MaxMigrations: cc.maxMigrations, MigrateTimeout: cc.migrationDeadline,
+	})
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("recovery refused: %w", err)
+	}
+	defer c.Close()
 	srv := &http.Server{Handler: cluster.NewHTTPHandler(c)}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	c.Start(ctx)
 	go c.RunLeaseChecker(ctx)
+	if cc.standby != "" {
+		// Tail the primary; when its lease lapses this controller takes
+		// over, and the printed line is the e2e's takeover marker.
+		go func() {
+			if err := c.RunStandby(ctx); err == nil {
+				fmt.Fprintf(stdout, "schedd: controller takeover (epoch %d)\n", c.Epoch())
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
-	fmt.Fprintf(stdout, "schedd: controller listening on %s (lease %v, %d vnodes)\n",
-		ln.Addr(), lease, vnodes)
+	role := "controller"
+	if cc.standby != "" {
+		role = "standby controller"
+	}
+	fmt.Fprintf(stdout, "schedd: %s listening on %s (lease %v, %d vnodes, epoch %d)\n",
+		role, ln.Addr(), cc.lease, cc.vnodes, c.Epoch())
 	errc := make(chan error, 1)
 	go func() {
 		err := srv.Serve(ln)

@@ -1,18 +1,53 @@
 // The controller's node-facing client: small JSON/stream calls against
-// the worker endpoints node.go serves. All calls honor the caller's
-// ctx; bodies are always drained and closed so connections recycle.
+// the worker endpoints node.go serves. Every call carries a deadline —
+// Options.CallTimeout unless the caller's ctx already has one (the
+// supervisor's migration deadline does) — and the controller's fencing
+// headers, so a hung worker costs a bounded wait and a deposed
+// controller's calls are refused at the door. Bodies are always
+// drained and closed so connections recycle.
 
 package cluster
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
 )
+
+// statusError is a non-2xx node reply: the status survives so callers
+// can distinguish "tenant not there" (a clean 404 probe answer) from
+// transport trouble, and a fencing 403 unwraps to ErrFenced.
+type statusError struct {
+	op     string
+	status int
+	msg    string
+	fenced bool
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("cluster: %s: %s (status %d)", e.op, e.msg, e.status)
+	}
+	return fmt.Sprintf("cluster: %s: status %d", e.op, e.status)
+}
+
+func (e *statusError) Unwrap() error {
+	if e.fenced {
+		return ErrFenced
+	}
+	return nil
+}
+
+// isNodeStatus reports whether err is a node reply with this status.
+func isNodeStatus(err error, status int) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.status == status
+}
 
 // nodeErr extracts the {"error": ...} payload of a non-2xx node reply.
 func nodeErr(op string, resp *http.Response) error {
@@ -21,13 +56,26 @@ func nodeErr(op string, resp *http.Response) error {
 		Error string `json:"error"`
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := strings.TrimSpace(string(body))
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("cluster: %s: %s (status %d)", op, e.Error, resp.StatusCode)
+		msg = e.Error
 	}
-	return fmt.Errorf("cluster: %s: status %d: %s", op, resp.StatusCode, strings.TrimSpace(string(body)))
+	return &statusError{op: op, status: resp.StatusCode, msg: msg,
+		fenced: resp.Header.Get(fencedHeader) != ""}
+}
+
+// callCtx bounds a control call: the caller's deadline if it has one,
+// Options.CallTimeout otherwise.
+func (c *Controller) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.opt.CallTimeout)
 }
 
 func (c *Controller) nodePost(ctx context.Context, addr, path string, q url.Values) error {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	u := addr + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -36,6 +84,7 @@ func (c *Controller) nodePost(ctx context.Context, addr, path string, q url.Valu
 	if err != nil {
 		return err
 	}
+	c.fenceHeaders(req)
 	resp, err := c.opt.Client.Do(req)
 	if err != nil {
 		return err
@@ -48,6 +97,7 @@ func (c *Controller) nodePost(ctx context.Context, addr, path string, q url.Valu
 }
 
 // nodePull asks the target node to pull a tenant from the source node.
+// The caller's ctx is expected to carry the migration deadline.
 func (c *Controller) nodePull(ctx context.Context, targetAddr, tenant, fromAddr string) error {
 	return c.nodePost(ctx, targetAddr, "/v1/node/pull", url.Values{"tenant": {tenant}, "from": {fromAddr}})
 }
@@ -59,11 +109,14 @@ func (c *Controller) nodeAdopt(ctx context.Context, addr, tenant string) error {
 
 // nodeDrop asks a node to delete a detached tenant's local WAL state.
 func (c *Controller) nodeDrop(ctx context.Context, addr, tenant string) error {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
 		addr+"/v1/node/data?"+url.Values{"tenant": {tenant}}.Encode(), nil)
 	if err != nil {
 		return err
 	}
+	c.fenceHeaders(req)
 	resp, err := c.opt.Client.Do(req)
 	if err != nil {
 		return err
@@ -77,6 +130,8 @@ func (c *Controller) nodeDrop(ctx context.Context, addr, tenant string) error {
 
 // nodeStats scrapes one node's stats endpoint.
 func (c *Controller) nodeStats(ctx context.Context, addr string) (NodeStats, error) {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	var ns NodeStats
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/node/stats", nil)
 	if err != nil {

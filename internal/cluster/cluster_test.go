@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/job"
@@ -35,10 +36,11 @@ func newTestWorker(t *testing.T, name, controllerURL string) *testWorker {
 		t.Fatal(err)
 	}
 	h := serve.NewHost(serve.Config{WAL: st, CheckpointEvery: 25})
-	srv := httptest.NewServer(NewNodeHandler(name, h, st))
+	fence := NewEpochFence()
+	srv := httptest.NewServer(NewNodeHandler(name, h, st, fence))
 	w := &testWorker{name: name, store: st, host: h, srv: srv}
 	w.agent = NewAgent(NodeConfig{
-		Name: name, Advertise: srv.URL, Controller: controllerURL,
+		Name: name, Advertise: srv.URL, Controller: controllerURL, Fence: fence,
 	}, h, st)
 	t.Cleanup(func() {
 		srv.Close()
@@ -67,6 +69,21 @@ func maskResult(r *engine.Result) *engine.Result {
 	cp := *r
 	cp.MaxArrive, cp.TotalArrive, cp.PlanTime = 0, 0, 0
 	return &cp
+}
+
+// waitMigrated polls until the supervisor's queue is empty — the
+// rebalance/drain verbs answer 202 and converge in the background.
+func waitMigrated(t *testing.T, c *Controller) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		mc := c.sup.counts()
+		if mc.Running+mc.Queued+mc.Waiting == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("migrations did not converge: %+v", c.sup.counts())
 }
 
 // TestClusterMigrationDifferential drives the full cluster surface in
@@ -240,6 +257,7 @@ func TestClusterMigrationDifferential(t *testing.T) {
 // serves through the controller afterwards.
 func TestClusterRebalanceAfterJoin(t *testing.T) {
 	c := NewController(Options{})
+	c.Start(t.Context())
 	ctrl := httptest.NewServer(NewHTTPHandler(c))
 	defer ctrl.Close()
 
@@ -264,25 +282,26 @@ func TestClusterRebalanceAfterJoin(t *testing.T) {
 
 	w2 := newTestWorker(t, "w2", ctrl.URL)
 	resp := postJSON(t, ctrl.URL+"/v1/cluster/rebalance", map[string]string{})
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusAccepted {
 		b, _ := io.ReadAll(resp.Body)
 		t.Fatalf("rebalance: status %d: %s", resp.StatusCode, b)
 	}
 	var reb struct {
-		Moved []string `json:"moved"`
+		Planned []string `json:"planned"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&reb); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(reb.Moved) == 0 {
-		t.Fatal("rebalance moved nothing onto the new worker")
+	if len(reb.Planned) == 0 {
+		t.Fatal("rebalance planned nothing onto the new worker")
 	}
+	waitMigrated(t, c)
 	// Rebalance converged placement onto the ring, and moved tenants
 	// really live on w2 now (adopted sessions, shipped WALs).
 	placed := c.Tenants()
 	movedToW2 := 0
-	for _, id := range reb.Moved {
+	for _, id := range reb.Planned {
 		if placed[id] == "w2" {
 			movedToW2++
 			if _, err := w2.host.Get(id); err != nil {
@@ -294,19 +313,19 @@ func TestClusterRebalanceAfterJoin(t *testing.T) {
 		}
 	}
 	if movedToW2 == 0 {
-		t.Fatalf("no moved tenant landed on w2: moved=%v placed=%v", reb.Moved, placed)
+		t.Fatalf("no moved tenant landed on w2: planned=%v placed=%v", reb.Planned, placed)
 	}
 	// A second rebalance is a no-op: placement already matches the ring.
 	resp2 := postJSON(t, ctrl.URL+"/v1/cluster/rebalance", map[string]string{})
 	var reb2 struct {
-		Moved []string `json:"moved"`
+		Planned []string `json:"planned"`
 	}
 	if err := json.NewDecoder(resp2.Body).Decode(&reb2); err != nil {
 		t.Fatal(err)
 	}
 	resp2.Body.Close()
-	if len(reb2.Moved) != 0 {
-		t.Fatalf("second rebalance moved %v", reb2.Moved)
+	if len(reb2.Planned) != 0 {
+		t.Fatalf("second rebalance planned %v", reb2.Planned)
 	}
 	// Every tenant still closes with a verified result through the
 	// controller, wherever it ended up.

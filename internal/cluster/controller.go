@@ -2,7 +2,7 @@
 // of state — the node table (who is in the fleet and when they last
 // proved it), the ring (where new tenants go), and the placement map
 // (where every existing tenant actually lives) — and the migration
-// choreography that keeps the last two converging.
+// machinery that keeps the last two converging.
 //
 // Failure detection is lease-based: a worker joins, then heartbeats;
 // a node silent past its lease is marked dead and drained from the
@@ -19,8 +19,14 @@
 // adopts), then tells the source to drop the shipped state. If the
 // pull fails the controller re-adopts the tenant on the source, so a
 // failed migration degrades to "nothing happened" rather than "tenant
-// lost".
-
+// lost". Bulk migration (Rebalance, Drain) is supervised, not inline:
+// the verbs enqueue and return, and the supervisor (supervisor.go)
+// executes with bounded concurrency, deadlines, backoff and parking.
+//
+// With Options.DataDir set the controller is durable (cwal.go): every
+// mutation is journaled, a restart recovers the placement map and
+// node table byte-identically, and each boot bumps a fenced epoch so
+// workers reject a superseded controller (fence.go, standby.go).
 package cluster
 
 import (
@@ -28,9 +34,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -39,12 +48,16 @@ var (
 	ErrUnknownTenant = errors.New("cluster: tenant not placed")
 	ErrNodeDown      = errors.New("cluster: node is down")
 	ErrNoNodes       = errors.New("cluster: no live nodes")
+	ErrNotPrimary    = errors.New("cluster: standby controller")
+	ErrFenced        = errors.New("cluster: fenced by a newer controller epoch")
+	ErrMigrating     = errors.New("cluster: tenant migration already in flight")
 )
 
 // Options configures a Controller. The zero value gets defaults.
 type Options struct {
 	// Lease is how long a silent node stays alive (default 5s).
-	// Workers heartbeat at a third of this.
+	// Workers heartbeat at a third of this; a standby takes over after
+	// this much primary silence.
 	Lease time.Duration
 	// VNodes is the virtual-node count per worker (default 64).
 	VNodes int
@@ -53,6 +66,34 @@ type Options struct {
 	// Client issues the controller's node-facing calls (migrations,
 	// fleet stat scrapes). Default http.DefaultClient.
 	Client *http.Client
+
+	// DataDir, when set, makes the controller durable: mutations are
+	// journaled to <DataDir>/controller.wal and recovered on boot (use
+	// OpenController).
+	DataDir string
+	// Advertise is this controller's own base URL — its fencing
+	// identity and the address workers fail over to when it is the
+	// standby.
+	Advertise string
+	// Standby, when set, boots this controller as a hot standby
+	// tailing the primary at this URL (see RunStandby).
+	Standby string
+
+	// MaxMigrations bounds concurrently executing migrations
+	// (default 2).
+	MaxMigrations int
+	// MigrateTimeout is the per-migration deadline (default 60s).
+	MigrateTimeout time.Duration
+	// CallTimeout bounds every other node-facing call — adopt, drop,
+	// stats, proxied create/close (default 10s).
+	CallTimeout time.Duration
+	// MaxAttempts is how many times a migration is tried before it is
+	// parked (default 5).
+	MaxAttempts int
+	// RetryBase is the exponential backoff base between attempts
+	// (default 250ms, doubling per attempt, capped at 10s, ±50%
+	// jitter).
+	RetryBase time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +108,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Client == nil {
 		o.Client = http.DefaultClient
+	}
+	if o.MaxMigrations <= 0 {
+		o.MaxMigrations = 2
+	}
+	if o.MigrateTimeout <= 0 {
+		o.MigrateTimeout = 60 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 250 * time.Millisecond
 	}
 	return o
 }
@@ -88,27 +144,154 @@ type Node struct {
 // concurrent use.
 type Controller struct {
 	opt Options
+	id  string      // fencing identity (Advertise, or a fixed default)
+	sup *supervisor // migration queue; runs once Start is called
 
 	mu        sync.Mutex
 	nodes     map[string]*Node
 	ring      *Ring
 	placement map[string]string // tenant -> node name
 	seq       uint64            // fresh tenant-id counter for unnamed creates
+	epoch     uint64            // fencing token; bumps on boot/takeover
+	primary   bool              // false while a standby mirrors the primary
+	intents   map[string]*Intent
+	parked    map[string]*ParkedMigration
+	standbys  map[string]time.Time // standby URL -> last stream activity
+	log       *wal.RecLog          // nil without DataDir
+	version   uint64               // bumped on every mutation
+	watch     chan struct{}        // closed+replaced on version bump
+
+	// crashAfterIntent is the chaos failpoint the mid-migration crash
+	// e2e uses: exit hard right after an intent-begin record is
+	// durable (set via SCHEDD_CRASH_AFTER_INTENT=1, OpenController
+	// only).
+	crashAfterIntent bool
 }
 
-// NewController builds a controller from the options.
+// NewController builds an in-memory controller (no WAL). Tests and
+// embedded uses; daemons with a data dir use OpenController.
 func NewController(opt Options) *Controller {
 	opt = opt.withDefaults()
-	return &Controller{
+	c := &Controller{
 		opt:       opt,
+		id:        opt.Advertise,
 		nodes:     make(map[string]*Node),
 		ring:      NewRing(opt.VNodes),
 		placement: make(map[string]string),
+		intents:   make(map[string]*Intent),
+		parked:    make(map[string]*ParkedMigration),
+		standbys:  make(map[string]time.Time),
+		watch:     make(chan struct{}),
+		epoch:     1,
+		primary:   opt.Standby == "",
 	}
+	if c.id == "" {
+		c.id = "controller"
+	}
+	if !c.primary {
+		c.epoch = 0 // a standby adopts the primary's epoch, then bumps past it
+	}
+	c.sup = newSupervisor(c)
+	return c
+}
+
+// OpenController builds a durable controller: it recovers the journal
+// at <DataDir>/controller.wal (same contract as tenant recovery — a
+// torn tail is truncated, anything else refuses), bumps the fenced
+// epoch when booting as primary, and queues resolution of every
+// migration intent the crash left open. Callers then Start it.
+func OpenController(opt Options) (*Controller, error) {
+	if opt.DataDir == "" {
+		return nil, errors.New("cluster: OpenController needs Options.DataDir")
+	}
+	c := NewController(opt)
+	log, rec, err := wal.OpenRecLog(controllerWALPath(opt.DataDir))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: controller recovery refused: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recoveredEpoch := uint64(0)
+	for i, r := range rec.Records {
+		if err := c.applyRecord(r.Type, r.Payload); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("cluster: controller recovery refused: record %d: %w", i, err)
+		}
+	}
+	recoveredEpoch = c.epoch
+	for t := range c.placement {
+		c.bumpSeqFromID(t)
+	}
+	c.log = log
+	c.crashAfterIntent = os.Getenv("SCHEDD_CRASH_AFTER_INTENT") != ""
+	if c.primary {
+		// A fresh boot is a new reign: anything still acting on the old
+		// epoch (a pre-crash standby that took over and then lost, or a
+		// partitioned twin) must not be mistaken for us.
+		c.epoch = recoveredEpoch + 1
+		c.mustLog(crecEpoch, epochRec{Epoch: c.epoch})
+		for _, in := range c.intents {
+			c.sup.enqueue(in.Tenant, in.From, in.To, true)
+		}
+	} else {
+		c.epoch = recoveredEpoch
+	}
+	c.compactLocked()
+	return c, nil
+}
+
+// Start launches the migration supervisor. Stop with Close (or ctx).
+func (c *Controller) Start(ctx context.Context) { c.sup.start(ctx) }
+
+// Close stops the supervisor and releases the WAL.
+func (c *Controller) Close() error {
+	c.sup.stopWait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log != nil {
+		err := c.log.Close()
+		c.log = nil
+		return err
+	}
+	return nil
 }
 
 // Lease returns the configured lease duration.
 func (c *Controller) Lease() time.Duration { return c.opt.Lease }
+
+// Epoch returns the controller's fencing epoch.
+func (c *Controller) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// ID returns the controller's fencing identity.
+func (c *Controller) ID() string { return c.id }
+
+// IsPrimary reports whether this controller currently owns the
+// cluster (false while a standby mirrors).
+func (c *Controller) IsPrimary() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primary
+}
+
+// bumpLocked advances the state version and wakes watchers (the
+// standby stream). c.mu held.
+func (c *Controller) bumpLocked() {
+	c.version++
+	close(c.watch)
+	c.watch = make(chan struct{})
+}
+
+// WatchVersion returns the current state version and a channel closed
+// at the next mutation — the standby stream's change signal.
+func (c *Controller) WatchVersion() (uint64, <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version, c.watch
+}
 
 // Join registers (or re-registers) a worker. tenants is the worker's
 // recovered tenant list; the return value is the subset it must purge
@@ -133,15 +316,18 @@ func (c *Controller) Join(name, addr string, tenants []string) (purge []string) 
 	// — they keep flowing while the drain itself is in progress.
 	n.Draining = false
 	c.ring.Add(name)
+	c.mustLog(crecNodeJoin, nodeRec{Name: name, Addr: addr})
 	for _, t := range tenants {
 		owner, ok := c.placement[t]
 		switch {
 		case !ok:
 			c.placement[t] = name
+			c.mustLog(crecPlace, placeRec{Tenant: t, Node: name})
 		case owner != name:
 			purge = append(purge, t)
 		}
 	}
+	c.bumpLocked()
 	sort.Strings(purge)
 	return purge
 }
@@ -163,6 +349,8 @@ func (c *Controller) Heartbeat(name string) error {
 		if !n.Draining {
 			c.ring.Add(name)
 		}
+		c.mustLog(crecNodeAlive, nodeRec{Name: name})
+		c.bumpLocked()
 	}
 	return nil
 }
@@ -180,7 +368,11 @@ func (c *Controller) CheckLeases() []string {
 			n.Alive = false
 			c.ring.Remove(name)
 			expired = append(expired, name)
+			c.mustLog(crecNodeDead, nodeRec{Name: name})
 		}
+	}
+	if len(expired) > 0 {
+		c.bumpLocked()
 	}
 	sort.Strings(expired)
 	return expired
@@ -208,6 +400,8 @@ func (c *Controller) Place(id string) (tenant string, n Node, err error) {
 		return id, Node{}, ErrNoNodes
 	}
 	c.placement[id] = owner
+	c.mustLog(crecPlace, placeRec{Tenant: id, Node: owner, Seq: c.seq})
+	c.bumpLocked()
 	return id, *c.nodes[owner], nil
 }
 
@@ -217,6 +411,8 @@ func (c *Controller) Place(id string) (tenant string, n Node, err error) {
 func (c *Controller) dropPlacement(tenant string) {
 	c.mu.Lock()
 	delete(c.placement, tenant)
+	c.mustLog(crecDrop, placeRec{Tenant: tenant})
+	c.bumpLocked()
 	c.mu.Unlock()
 }
 
@@ -235,12 +431,18 @@ func (c *Controller) Lookup(tenant string) (Node, error) {
 	return *n, nil
 }
 
-// Topology is the GET /v1/cluster payload.
+// Topology is the GET /v1/cluster (and /v1/cluster/topology) payload.
 type Topology struct {
+	Role       string     `json:"role"` // "primary" or "standby"
+	Epoch      uint64     `json:"epoch"`
 	Nodes      []NodeInfo `json:"nodes"`
 	Placements int        `json:"placements"`
 	VNodes     int        `json:"vnodes"`
 	LeaseMs    int64      `json:"leaseMs"`
+	// Migrations summarizes the supervisor queue; Parked carries the
+	// migrations it permanently gave up on, with their reasons.
+	Migrations MigrationCounts   `json:"migrations"`
+	Parked     []ParkedMigration `json:"parked,omitempty"`
 }
 
 // NodeInfo is one node's row in the topology.
@@ -256,6 +458,7 @@ type NodeInfo struct {
 
 // Topology snapshots the cluster for the topology endpoint.
 func (c *Controller) Topology() Topology {
+	counts := c.sup.counts()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.opt.Now()
@@ -263,7 +466,15 @@ func (c *Controller) Topology() Topology {
 	for _, owner := range c.placement {
 		perNode[owner]++
 	}
-	top := Topology{Placements: len(c.placement), VNodes: c.opt.VNodes, LeaseMs: c.opt.Lease.Milliseconds()}
+	role := "primary"
+	if !c.primary {
+		role = "standby"
+	}
+	top := Topology{
+		Role: role, Epoch: c.epoch,
+		Placements: len(c.placement), VNodes: c.opt.VNodes,
+		LeaseMs: c.opt.Lease.Milliseconds(), Migrations: counts,
+	}
 	for _, n := range c.nodes {
 		top.Nodes = append(top.Nodes, NodeInfo{
 			Name: n.Name, Addr: n.Addr, Alive: n.Alive, Draining: n.Draining,
@@ -271,6 +482,10 @@ func (c *Controller) Topology() Topology {
 		})
 	}
 	sort.Slice(top.Nodes, func(i, j int) bool { return top.Nodes[i].Name < top.Nodes[j].Name })
+	for _, p := range c.parked {
+		top.Parked = append(top.Parked, *p)
+	}
+	sort.Slice(top.Parked, func(i, j int) bool { return top.Parked[i].Tenant < top.Parked[j].Tenant })
 	return top
 }
 
@@ -285,42 +500,82 @@ func (c *Controller) Tenants() map[string]string {
 	return out
 }
 
-// Move migrates one tenant to the named target node: the target pulls
-// the tenant's WAL from its current home (which detaches it first),
-// imports, adopts, and only then does the source drop its copy. On a
-// pull failure the tenant is re-adopted at the source — service
-// continues where the state is.
-func (c *Controller) Move(ctx context.Context, tenant, to string) error {
+// beginIntent validates a migration and journals its intent-begin
+// record. It returns the resolved source, or ok=false with the state
+// unchanged.
+func (c *Controller) beginIntent(tenant, to string) (from string, src, dst Node, err error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	from, ok := c.placement[tenant]
-	src := c.nodes[from]
-	dst := c.nodes[to]
-	c.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+		return "", Node{}, Node{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
 	}
-	if dst == nil {
-		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	d := c.nodes[to]
+	if d == nil {
+		return "", Node{}, Node{}, fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
-	if src == nil || !src.Alive {
-		return fmt.Errorf("%w: source %q", ErrNodeDown, from)
+	s := c.nodes[from]
+	if s == nil || !s.Alive {
+		return "", Node{}, Node{}, fmt.Errorf("%w: source %q", ErrNodeDown, from)
 	}
-	if !dst.Alive {
-		return fmt.Errorf("%w: target %q", ErrNodeDown, to)
+	if !d.Alive {
+		return "", Node{}, Node{}, fmt.Errorf("%w: target %q", ErrNodeDown, to)
+	}
+	if from == to {
+		return from, *s, *d, nil
+	}
+	if _, busy := c.intents[tenant]; busy {
+		return "", Node{}, Node{}, fmt.Errorf("%w: %q", ErrMigrating, tenant)
+	}
+	c.intents[tenant] = &Intent{Tenant: tenant, From: from, To: to}
+	c.mustLog(crecIntent, intentRec{Tenant: tenant, From: from, To: to, Phase: intentBegin})
+	c.bumpLocked()
+	return from, *s, *d, nil
+}
+
+// endIntent journals the intent's outcome and, on success, flips the
+// placement.
+func (c *Controller) endIntent(tenant, from, to, phase string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.intents, tenant)
+	if phase == intentDone {
+		c.placement[tenant] = to
+		c.mustLog(crecPlace, placeRec{Tenant: tenant, Node: to})
+	}
+	c.mustLog(crecIntent, intentRec{Tenant: tenant, From: from, To: to, Phase: phase})
+	c.bumpLocked()
+}
+
+// Move migrates one tenant to the named target node: an intent-begin
+// record makes the attempt crash-safe, then the target pulls the
+// tenant's WAL from its current home (which detaches it first),
+// imports, adopts — and only then is the placement flipped and the
+// source told to drop its copy. On a pull failure the tenant is
+// re-adopted at the source and the intent aborted — service continues
+// where the state is, "nothing happened".
+func (c *Controller) Move(ctx context.Context, tenant, to string) error {
+	from, src, dst, err := c.beginIntent(tenant, to)
+	if err != nil {
+		return err
 	}
 	if from == to {
 		return nil
 	}
+	if c.crashAfterIntent {
+		// Chaos failpoint: the mid-migration crash the e2e injects —
+		// the intent record is durable, nothing else has happened.
+		os.Exit(7)
+	}
 	if err := c.nodePull(ctx, dst.Addr, tenant, src.Addr); err != nil {
 		// Best effort: put the tenant back in service at the source.
+		c.endIntent(tenant, from, to, intentAbort)
 		if aerr := c.nodeAdopt(ctx, src.Addr, tenant); aerr != nil {
 			return fmt.Errorf("cluster: pull of %q to %q failed (%v) and source re-adopt failed: %w", tenant, to, err, aerr)
 		}
 		return fmt.Errorf("cluster: pull of %q to %q: %w", tenant, to, err)
 	}
-	c.mu.Lock()
-	c.placement[tenant] = to
-	c.mu.Unlock()
+	c.endIntent(tenant, from, to, intentDone)
 	// The target owns the tenant now; the source's copy is garbage.
 	// Failure here leaks disk on the source, not correctness: the
 	// source's host no longer serves the tenant, and a later rejoin
@@ -331,13 +586,53 @@ func (c *Controller) Move(ctx context.Context, tenant, to string) error {
 	return nil
 }
 
-// Rebalance migrates every tenant whose ring-ideal home differs from
-// its current one (and both ends are alive), returning the tenants
-// moved. Called after a node joins to spread load, or any time to
-// converge placement onto the ring.
-func (c *Controller) Rebalance(ctx context.Context) (moved []string, err error) {
+// resolveIntent finishes a migration a crash left open: if the target
+// already serves (or holds) the tenant the pull completed and the
+// move is committed; otherwise it is rolled back to the source. The
+// probe asks the target to adopt — idempotent if the import landed,
+// a clean 404 if it never did.
+func (c *Controller) resolveIntent(ctx context.Context, in Intent) error {
 	c.mu.Lock()
-	type mv struct{ tenant, to string }
+	cur, open := c.intents[in.Tenant]
+	if !open || cur.From != in.From || cur.To != in.To {
+		c.mu.Unlock()
+		return nil // already resolved (or superseded)
+	}
+	dst := c.nodes[in.To]
+	src := c.nodes[in.From]
+	c.mu.Unlock()
+	if dst != nil && dst.Alive {
+		if err := c.nodeAdopt(ctx, dst.Addr, in.Tenant); err == nil {
+			// The pull completed before the crash: commit the flip the
+			// old controller never recorded, then clean up the source.
+			c.endIntent(in.Tenant, in.From, in.To, intentDone)
+			if src != nil {
+				_ = c.nodeDrop(ctx, src.Addr, in.Tenant) // best effort; rejoin reconciliation sweeps leaks
+			}
+			return nil
+		} else if !isNodeStatus(err, http.StatusNotFound) {
+			return fmt.Errorf("cluster: resolving intent %q->%q: probing target: %w", in.Tenant, in.To, err)
+		}
+	}
+	if src == nil || !src.Alive {
+		return fmt.Errorf("cluster: resolving intent for %q: %w: source %q", in.Tenant, ErrNodeDown, in.From)
+	}
+	if err := c.nodeAdopt(ctx, src.Addr, in.Tenant); err != nil {
+		return fmt.Errorf("cluster: resolving intent for %q: source re-adopt: %w", in.Tenant, err)
+	}
+	c.endIntent(in.Tenant, in.From, in.To, intentAbort)
+	return nil
+}
+
+// Rebalance plans a move for every tenant whose ring-ideal home
+// differs from its current one (both ends alive), hands the plan to
+// the supervisor, and returns the planned tenants immediately —
+// convergence is the supervisor's job, progress is Migrations().
+// Tenants parked by earlier failures are re-queued: a rebalance is
+// the operator saying "try again".
+func (c *Controller) Rebalance() (planned []string) {
+	c.mu.Lock()
+	type mv struct{ tenant, from, to string }
 	var plan []mv
 	for t, owner := range c.placement {
 		want := c.ring.Lookup(t)
@@ -347,24 +642,35 @@ func (c *Controller) Rebalance(ctx context.Context) (moved []string, err error) 
 		if src := c.nodes[owner]; src == nil || !src.Alive {
 			continue // its home is down; nothing to pull from
 		}
-		plan = append(plan, mv{t, want})
+		if _, busy := c.intents[t]; busy {
+			continue // already mid-flight
+		}
+		if _, wasParked := c.parked[t]; wasParked {
+			delete(c.parked, t)
+			c.mustLog(crecUnpark, ParkedMigration{Tenant: t})
+		}
+		plan = append(plan, mv{t, owner, want})
+	}
+	if len(plan) > 0 {
+		c.bumpLocked()
 	}
 	c.mu.Unlock()
 	sort.Slice(plan, func(i, j int) bool { return plan[i].tenant < plan[j].tenant })
 	for _, m := range plan {
-		if err := c.Move(ctx, m.tenant, m.to); err != nil {
-			return moved, err
+		if c.sup.enqueue(m.tenant, m.from, m.to, false) {
+			planned = append(planned, m.tenant)
 		}
-		moved = append(moved, m.tenant)
 	}
-	return moved, nil
+	return planned
 }
 
-// Drain empties a node: it stops receiving new tenants, every tenant
-// it hosts is migrated to its ring-ideal home among the remaining
-// nodes, and the node is removed from the ring. The node stays in the
-// table (alive, draining) so it can be watched until shutdown.
-func (c *Controller) Drain(ctx context.Context, name string) (moved []string, err error) {
+// Drain empties a node: it stops receiving new tenants, is removed
+// from the ring, and every tenant it hosts is queued to migrate to
+// its ring-ideal home among the remaining nodes. The plan is returned
+// immediately; the supervisor executes it. The node stays in the
+// table (alive, draining) so it can be watched until shutdown. A
+// drain with no possible destination rolls itself back.
+func (c *Controller) Drain(name string) (planned []string, err error) {
 	c.mu.Lock()
 	n := c.nodes[name]
 	if n == nil {
@@ -373,40 +679,74 @@ func (c *Controller) Drain(ctx context.Context, name string) (moved []string, er
 	}
 	n.Draining = true
 	c.ring.Remove(name)
-	var tenants []string
+	type mv struct{ tenant, to string }
+	var plan []mv
 	for t, owner := range c.placement {
-		if owner == name {
-			tenants = append(tenants, t)
+		if owner != name {
+			continue
 		}
-	}
-	c.mu.Unlock()
-	sort.Strings(tenants)
-	for _, t := range tenants {
-		c.mu.Lock()
 		to := c.ring.Lookup(t)
-		c.mu.Unlock()
 		if to == "" {
 			// No destination exists: nothing can be drained to, now or on
 			// a retry. Put the node back in service — it still holds its
 			// tenants, and a stranded not-in-the-ring node serves no one.
-			c.mu.Lock()
 			n.Draining = false
 			if n.Alive {
 				c.ring.Add(name)
 			}
 			c.mu.Unlock()
-			return moved, fmt.Errorf("cluster: draining %q: %w", name, ErrNoNodes)
+			return nil, fmt.Errorf("cluster: draining %q: %w", name, ErrNoNodes)
 		}
-		if err := c.Move(ctx, t, to); err != nil {
-			return moved, err
-		}
-		moved = append(moved, t)
+		plan = append(plan, mv{t, to})
 	}
-	return moved, nil
+	c.mustLog(crecNodeDrain, nodeRec{Name: name, Draining: true})
+	c.bumpLocked()
+	c.mu.Unlock()
+	sort.Slice(plan, func(i, j int) bool { return plan[i].tenant < plan[j].tenant })
+	for _, m := range plan {
+		if c.sup.enqueue(m.tenant, name, m.to, false) {
+			planned = append(planned, m.tenant)
+		}
+	}
+	return planned, nil
+}
+
+// park records a migration the supervisor gave up on; visible in the
+// topology until a rebalance re-queues it.
+func (c *Controller) park(p ParkedMigration) {
+	c.mu.Lock()
+	c.parked[p.Tenant] = &p
+	c.mustLog(crecPark, p)
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+// Migrations snapshots the supervisor queue for the progress
+// endpoint.
+func (c *Controller) Migrations() MigrationsProgress { return c.sup.progress() }
+
+// Standbys lists the standby controllers currently tailing this one
+// (stream activity within three leases), sorted.
+func (c *Controller) Standbys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.Now()
+	var out []string
+	for url, seen := range c.standbys {
+		if now.Sub(seen) <= 3*c.opt.Lease {
+			out = append(out, url)
+		} else {
+			delete(c.standbys, url)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RunLeaseChecker ticks CheckLeases at a third of the lease until ctx
-// ends — the controller daemon's failure-detector loop.
+// ends — the controller daemon's failure-detector loop. A standby
+// does not judge leases (it is not being heartbeated); the gate flips
+// when it takes over.
 func (c *Controller) RunLeaseChecker(ctx context.Context) {
 	t := time.NewTicker(c.opt.Lease / 3)
 	defer t.Stop()
@@ -415,7 +755,9 @@ func (c *Controller) RunLeaseChecker(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			c.CheckLeases()
+			if c.IsPrimary() {
+				c.CheckLeases()
+			}
 		}
 	}
 }

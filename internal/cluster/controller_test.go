@@ -157,7 +157,7 @@ func TestDrainRejoinReturnsToService(t *testing.T) {
 	c.Join("n2", "http://n2", nil)
 
 	// Draining an empty node moves nothing but marks it out.
-	if moved, err := c.Drain(t.Context(), "n2"); err != nil || len(moved) != 0 {
+	if moved, err := c.Drain("n2"); err != nil || len(moved) != 0 {
 		t.Fatalf("drain n2: moved %v, err %v", moved, err)
 	}
 	for i := 0; i < 200; i++ {
@@ -195,14 +195,14 @@ func TestDrainRejoinReturnsToService(t *testing.T) {
 	// Drain the other node, leaving n2 the only ring member, then try
 	// to drain n2 too while it holds a tenant: there is no destination,
 	// so the drain must fail AND undo itself — n2 keeps serving.
-	if _, err := c.Drain(t.Context(), "n1"); err != nil {
+	if _, err := c.Drain("n1"); err != nil {
 		t.Fatal(err)
 	}
 	tenant, n, err := c.Place("")
 	if err != nil || n.Name != "n2" {
 		t.Fatalf("place with only n2 in the ring: node %v err %v", n, err)
 	}
-	if _, err := c.Drain(t.Context(), "n2"); err == nil {
+	if _, err := c.Drain("n2"); err == nil {
 		t.Fatal("draining the last node with a tenant succeeded")
 	}
 	if got, err := c.Lookup(tenant); err != nil || got.Name != "n2" {

@@ -1,0 +1,364 @@
+// The controller's write-ahead log: the placement map, the node
+// table, the epoch and every migration intent, journaled through a
+// wal.RecLog in the controller's data dir so a controller restart is
+// a non-event for the cluster — workers keep heartbeating into a
+// brain that still knows them, tenants keep routing to the homes they
+// had, and a migration the crash cut mid-flight is resumed or rolled
+// back from its intent record instead of being forgotten.
+//
+// Record types (payloads are JSON):
+//
+//	snapshot    full ClusterState — the compaction unit; replaces
+//	            everything before it on replay
+//	node-join   {name, addr}: upsert, alive, in the ring, not draining
+//	node-alive  {name}: a lease-expired node heartbeat back to life
+//	node-dead   {name}: lease expired; out of the ring
+//	node-drain  {name, draining}: drain flag flip (both directions)
+//	place       {tenant, node, seq}: placement written or adopted
+//	drop        {tenant}: placement forgotten (close, rollback)
+//	epoch       {epoch}: fencing token; bumped on every boot/takeover
+//	intent      {tenant, from, to, phase}: migration begin/done/abort
+//	park        {tenant, to, reason, attempts}: permanent failure
+//	unpark      {tenant}: a parked migration re-queued
+//
+// Write order is state-then-record under the controller mutex, and a
+// mutation is acknowledged only after its record's fsync returned —
+// so everything a client or worker ever observed is in the log. A
+// controller that cannot write its log stops instead of diverging
+// from its own history (fail-stop; see mustLog).
+
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+// Controller record types (the wal.RecLog type byte).
+const (
+	crecSnapshot  = 1
+	crecNodeJoin  = 2
+	crecNodeAlive = 3
+	crecNodeDead  = 4
+	crecNodeDrain = 5
+	crecPlace     = 6
+	crecDrop      = 7
+	crecEpoch     = 8
+	crecIntent    = 9
+	crecPark      = 10
+	crecUnpark    = 11
+)
+
+// compactEvery is how many records accumulate before the log is
+// rewritten as one snapshot record.
+const compactEvery = 512
+
+// Intent phases.
+const (
+	intentBegin = "begin"
+	intentDone  = "done"
+	intentAbort = "abort"
+)
+
+// NodeState is one node's durable row: everything about it except the
+// ephemeral heartbeat clock, which restarts from "just beat" on
+// recovery and re-expires on its own if the node is truly gone.
+type NodeState struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Alive    bool   `json:"alive"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// Intent is one in-flight migration's crash record.
+type Intent struct {
+	Tenant string `json:"tenant"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+}
+
+// ParkedMigration is a migration the supervisor gave up retrying,
+// surfaced in the topology until an operator (or a new rebalance)
+// re-queues it.
+type ParkedMigration struct {
+	Tenant   string `json:"tenant"`
+	To       string `json:"to"`
+	Reason   string `json:"reason"`
+	Attempts int    `json:"attempts"`
+}
+
+// ClusterState is the controller's full durable state: the snapshot
+// record's payload, the standby stream's line format, and the GET
+// /v1/cluster/state body. json.Marshal sorts the placement map and
+// Nodes are sorted by name, so equal states are byte-equal — the
+// property the kill-and-restore differential leans on.
+type ClusterState struct {
+	Epoch     uint64            `json:"epoch"`
+	Seq       uint64            `json:"seq"`
+	LeaseMs   int64             `json:"leaseMs"`
+	Primary   bool              `json:"primary"`
+	Nodes     []NodeState       `json:"nodes"`
+	Placement map[string]string `json:"placement"`
+	Intents   []Intent          `json:"intents,omitempty"`
+	Parked    []ParkedMigration `json:"parked,omitempty"`
+}
+
+type nodeRec struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr,omitempty"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+type placeRec struct {
+	Tenant string `json:"tenant"`
+	Node   string `json:"node"`
+	Seq    uint64 `json:"seq,omitempty"`
+}
+
+type epochRec struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+type intentRec struct {
+	Tenant string `json:"tenant"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Phase  string `json:"phase"`
+}
+
+// controllerWALPath is where a controller journals inside its data
+// dir; the name is distinct from the tenants/ tree so one dir could
+// host both roles without collision.
+func controllerWALPath(dataDir string) string {
+	return filepath.Join(dataDir, "controller.wal")
+}
+
+// mustLog appends one record to the controller WAL (no-op without
+// one). Called with c.mu held, after the in-memory mutation: the
+// mutation is observable only once the record is durable because the
+// mutex is released after the fsync. A controller that cannot append
+// panics — fail-stop keeps the invariant that served state is logged
+// state; restarting on a healed disk recovers everything it ever
+// acknowledged.
+func (c *Controller) mustLog(typ byte, v any) {
+	if c.log == nil {
+		return
+	}
+	payload, err := json.Marshal(v)
+	if err == nil {
+		err = c.log.Append(typ, payload)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("cluster: controller wal append: %v", err))
+	}
+	if c.log.Count() >= compactEvery {
+		c.compactLocked()
+	}
+}
+
+// compactLocked rewrites the log as one snapshot record.
+func (c *Controller) compactLocked() {
+	if c.log == nil {
+		return
+	}
+	payload, err := json.Marshal(c.stateLocked())
+	if err == nil {
+		err = c.log.Rewrite([]wal.RecLogRecord{{Type: crecSnapshot, Payload: payload}})
+	}
+	if err != nil {
+		panic(fmt.Sprintf("cluster: controller wal compaction: %v", err))
+	}
+}
+
+// stateLocked snapshots the controller's durable state. c.mu held.
+func (c *Controller) stateLocked() ClusterState {
+	st := ClusterState{
+		Epoch:     c.epoch,
+		Seq:       c.seq,
+		LeaseMs:   c.opt.Lease.Milliseconds(),
+		Primary:   c.primary,
+		Placement: make(map[string]string, len(c.placement)),
+	}
+	for t, n := range c.placement {
+		st.Placement[t] = n
+	}
+	for _, n := range c.nodes {
+		st.Nodes = append(st.Nodes, NodeState{Name: n.Name, Addr: n.Addr, Alive: n.Alive, Draining: n.Draining})
+	}
+	sort.Slice(st.Nodes, func(i, j int) bool { return st.Nodes[i].Name < st.Nodes[j].Name })
+	for _, in := range c.intents {
+		st.Intents = append(st.Intents, *in)
+	}
+	sort.Slice(st.Intents, func(i, j int) bool { return st.Intents[i].Tenant < st.Intents[j].Tenant })
+	for _, p := range c.parked {
+		st.Parked = append(st.Parked, *p)
+	}
+	sort.Slice(st.Parked, func(i, j int) bool { return st.Parked[i].Tenant < st.Parked[j].Tenant })
+	return st
+}
+
+// State snapshots the controller's durable state (the
+// /v1/cluster/state body and the standby stream line).
+func (c *Controller) State() ClusterState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stateLocked()
+}
+
+// adoptStateLocked replaces the controller's durable state wholesale —
+// snapshot-record replay and the standby's mirror path. The heartbeat
+// clocks restart at now. c.mu held.
+func (c *Controller) adoptStateLocked(st ClusterState) {
+	now := c.opt.Now()
+	c.epoch = st.Epoch
+	c.seq = st.Seq
+	c.nodes = make(map[string]*Node, len(st.Nodes))
+	c.ring = NewRing(c.opt.VNodes)
+	for _, ns := range st.Nodes {
+		c.nodes[ns.Name] = &Node{Name: ns.Name, Addr: ns.Addr, Alive: ns.Alive, Draining: ns.Draining, lastBeat: now}
+		if ns.Alive && !ns.Draining {
+			c.ring.Add(ns.Name)
+		}
+	}
+	c.placement = make(map[string]string, len(st.Placement))
+	for t, n := range st.Placement {
+		c.placement[t] = n
+	}
+	c.intents = make(map[string]*Intent, len(st.Intents))
+	for _, in := range st.Intents {
+		in := in
+		c.intents[in.Tenant] = &in
+	}
+	c.parked = make(map[string]*ParkedMigration, len(st.Parked))
+	for _, p := range st.Parked {
+		p := p
+		c.parked[p.Tenant] = &p
+	}
+}
+
+// applyRecord folds one recovered record into the in-memory state —
+// the replay half of every mustLog call site. No logging, no version
+// bumps: recovery rebuilds, it does not re-journal.
+func (c *Controller) applyRecord(typ byte, payload []byte) error {
+	switch typ {
+	case crecSnapshot:
+		var st ClusterState
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return fmt.Errorf("snapshot record: %w", err)
+		}
+		c.adoptStateLocked(st)
+	case crecNodeJoin:
+		var r nodeRec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("node-join record: %w", err)
+		}
+		n := c.nodes[r.Name]
+		if n == nil {
+			n = &Node{Name: r.Name}
+			c.nodes[r.Name] = n
+		}
+		n.Addr = r.Addr
+		n.Alive = true
+		n.Draining = false
+		n.lastBeat = c.opt.Now()
+		c.ring.Add(r.Name)
+	case crecNodeAlive:
+		var r nodeRec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("node-alive record: %w", err)
+		}
+		if n := c.nodes[r.Name]; n != nil {
+			n.Alive = true
+			n.lastBeat = c.opt.Now()
+			if !n.Draining {
+				c.ring.Add(r.Name)
+			}
+		}
+	case crecNodeDead:
+		var r nodeRec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("node-dead record: %w", err)
+		}
+		if n := c.nodes[r.Name]; n != nil {
+			n.Alive = false
+			c.ring.Remove(r.Name)
+		}
+	case crecNodeDrain:
+		var r nodeRec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("node-drain record: %w", err)
+		}
+		if n := c.nodes[r.Name]; n != nil {
+			n.Draining = r.Draining
+			if r.Draining {
+				c.ring.Remove(r.Name)
+			} else if n.Alive {
+				c.ring.Add(r.Name)
+			}
+		}
+	case crecPlace:
+		var r placeRec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("place record: %w", err)
+		}
+		c.placement[r.Tenant] = r.Node
+		if r.Seq > c.seq {
+			c.seq = r.Seq
+		}
+	case crecDrop:
+		var r placeRec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("drop record: %w", err)
+		}
+		delete(c.placement, r.Tenant)
+	case crecEpoch:
+		var r epochRec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("epoch record: %w", err)
+		}
+		c.epoch = r.Epoch
+	case crecIntent:
+		var r intentRec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("intent record: %w", err)
+		}
+		if r.Phase == intentBegin {
+			c.intents[r.Tenant] = &Intent{Tenant: r.Tenant, From: r.From, To: r.To}
+		} else {
+			delete(c.intents, r.Tenant)
+		}
+	case crecPark:
+		var p ParkedMigration
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return fmt.Errorf("park record: %w", err)
+		}
+		c.parked[p.Tenant] = &p
+	case crecUnpark:
+		var p ParkedMigration
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return fmt.Errorf("unpark record: %w", err)
+		}
+		delete(c.parked, p.Tenant)
+	default:
+		return fmt.Errorf("unknown record type %d", typ)
+	}
+	return nil
+}
+
+// bumpSeqFromID keeps the fresh-id counter ahead of every generated id
+// the log replayed, so a recovered controller never reissues one.
+func (c *Controller) bumpSeqFromID(id string) {
+	rest, ok := strings.CutPrefix(id, "c-")
+	if !ok {
+		return
+	}
+	if n, err := strconv.ParseUint(rest, 10, 64); err == nil && n > c.seq {
+		c.seq = n
+	}
+}

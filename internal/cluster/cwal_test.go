@@ -1,0 +1,159 @@
+// Controller WAL tests: the placement journal round-trips a
+// controller's whole life byte-identically, compacts itself, and
+// refuses corrupt history — the same contract the tenant logs pin.
+
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+func openTestController(t *testing.T, dir string, clock *fakeClock) *Controller {
+	t.Helper()
+	c, err := OpenController(Options{Lease: 5 * time.Second, DataDir: dir, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// maskEpoch clears the fields a reboot legitimately changes: the epoch
+// (every boot is a new fenced reign) so the rest compares byte-equal.
+func maskEpoch(st ClusterState) ClusterState {
+	st.Epoch = 0
+	return st
+}
+
+// TestControllerWALRoundTrip pins recovery: a controller that joined
+// nodes, placed tenants, judged a lease, opened an intent and parked a
+// failure reopens from its WAL with byte-identical state.
+func TestControllerWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	c := openTestController(t, dir, clock)
+	c.Join("n1", "http://n1", []string{"t1", "t2"})
+	c.Join("n2", "http://n2", nil)
+	if _, _, err := c.Place("t3"); err != nil {
+		t.Fatal(err)
+	}
+
+	// n2 dies; t-dead was its tenant (hand-placed so no HTTP happens).
+	c.mu.Lock()
+	c.placement["t-dead"] = "n2"
+	c.mustLog(crecPlace, placeRec{Tenant: "t-dead", Node: "n2"})
+	c.mu.Unlock()
+	clock.advance(3 * time.Second)
+	if err := c.Heartbeat("n1"); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(3 * time.Second)
+	if got := c.CheckLeases(); len(got) != 1 || got[0] != "n2" {
+		t.Fatalf("expired %v, want [n2]", got)
+	}
+
+	// An intent opens (crash-safe record) and a migration parks.
+	c.mu.Lock()
+	c.placement["t-move"] = "n1"
+	c.mustLog(crecPlace, placeRec{Tenant: "t-move", Node: "n1"})
+	c.intents["t-move"] = &Intent{Tenant: "t-move", From: "n1", To: "n2"}
+	c.mustLog(crecIntent, intentRec{Tenant: "t-move", From: "n1", To: "n2", Phase: intentBegin})
+	c.mu.Unlock()
+	c.park(ParkedMigration{Tenant: "t2", To: "n2", Reason: "pull refused", Attempts: 5})
+
+	want, err := json.Marshal(maskEpoch(c.State()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTestController(t, dir, clock)
+	defer re.Close()
+	got, err := json.Marshal(maskEpoch(re.State()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("recovered state differs:\n got %s\nwant %s", got, want)
+	}
+	// The reboot is a new fenced reign that outranks the old one.
+	if re.Epoch() <= c.epoch {
+		t.Fatalf("reboot epoch %d did not advance past %d", re.Epoch(), c.epoch)
+	}
+	// The crash-open intent is queued for resolution, not forgotten.
+	if mc := re.sup.counts(); mc.Queued+mc.Running != 1 {
+		t.Fatalf("open intent not queued for resolution: %+v", mc)
+	}
+	// Generated tenant ids never collide with recovered ones.
+	id, _, err := re.Place("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, taken := map[string]string{"t1": "", "t2": "", "t3": "", "t-dead": "", "t-move": ""}[id]; taken {
+		t.Fatalf("generated id %q collides with a recovered tenant", id)
+	}
+}
+
+// TestControllerWALCompaction pins that the journal folds itself into
+// a snapshot instead of growing without bound.
+func TestControllerWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	c := openTestController(t, dir, clock)
+	c.Join("n1", "http://n1", nil)
+	// Far more records than compactEvery: heartbeat resurrections and
+	// placements both journal.
+	for i := 0; i < 3*compactEvery; i++ {
+		if _, _, err := c.Place(""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.log.Count(); n > compactEvery {
+		t.Fatalf("log holds %d records after compaction threshold %d", n, compactEvery)
+	}
+	want, _ := json.Marshal(maskEpoch(c.State()))
+	c.Close()
+	re := openTestController(t, dir, clock)
+	defer re.Close()
+	got, _ := json.Marshal(maskEpoch(re.State()))
+	if string(got) != string(want) {
+		t.Fatalf("state differs after compaction:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestControllerWALRefusesCorruption: a flipped byte in the middle of
+// the journal must refuse recovery, not silently truncate it.
+func TestControllerWALRefusesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	c := openTestController(t, dir, clock)
+	c.Join("n1", "http://n1", nil)
+	for i := 0; i < 20; i++ {
+		if _, _, err := c.Place(""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	path := filepath.Join(dir, "controller.wal")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenController(Options{Lease: 5 * time.Second, DataDir: dir, Now: clock.now})
+	if !errors.Is(err, wal.ErrRecLogCorrupt) {
+		t.Fatalf("corrupt controller WAL: err = %v, want ErrRecLogCorrupt", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Epoch fencing: how a worker tells its real controller from a ghost.
+//
+// Every controller reign has an epoch — recovered from its WAL and
+// bumped on every boot, jumped past the primary's on a standby
+// takeover. Controller-to-node calls carry the epoch and the
+// controller's identity in headers; the worker's fence remembers the
+// highest (epoch, id) pair it has ever been governed by (learned from
+// join/heartbeat responses and from fenced calls themselves) and
+// rejects anything older with 403 — so a deposed primary that wakes
+// up mid-migration cannot detach, drop or overwrite tenants the new
+// reign already rearranged. Ties on the epoch (possible when a failed
+// primary restarts after exactly one takeover) break by identity:
+// first reign seen at this worker wins, deterministically per worker.
+
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Fencing headers on controller-originated node calls.
+const (
+	epochHeader  = "X-Schedd-Epoch"
+	ctlIDHeader  = "X-Schedd-Controller"
+	fencedHeader = "X-Schedd-Fenced" // set on 403s the fence issues
+)
+
+// EpochFence is a worker's record of the newest controller reign it
+// has observed. The zero value admits everything until an epoch is
+// observed.
+type EpochFence struct {
+	mu    sync.Mutex
+	epoch uint64
+	id    string
+}
+
+// NewEpochFence returns an empty fence.
+func NewEpochFence() *EpochFence { return &EpochFence{} }
+
+// Observe raises the fence to (epoch, id) if it is newer than what is
+// held. Called with join/heartbeat response data and by Admit.
+func (f *EpochFence) Observe(epoch uint64, id string) {
+	if epoch == 0 {
+		return
+	}
+	f.mu.Lock()
+	if epoch > f.epoch {
+		f.epoch, f.id = epoch, id
+	}
+	f.mu.Unlock()
+}
+
+// Admit decides whether a call from (epoch, id) may act on this
+// worker: yes if it is the held reign or a newer one (which also
+// raises the fence), no if it is older — or the same epoch under a
+// different identity, the restarted-twin tie, where the reign seen
+// first keeps the worker.
+func (f *EpochFence) Admit(epoch uint64, id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case epoch > f.epoch:
+		f.epoch, f.id = epoch, id
+		return nil
+	case epoch == f.epoch && id == f.id:
+		return nil
+	default:
+		return fmt.Errorf("%w: caller epoch %d (%s), worker governed by epoch %d (%s)",
+			ErrFenced, epoch, id, f.epoch, f.id)
+	}
+}
+
+// Current returns the held reign.
+func (f *EpochFence) Current() (uint64, string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch, f.id
+}
+
+// fenceMiddleware checks the fencing headers on every request that
+// carries them; requests without (data-plane clients, operators
+// poking a node directly) pass untouched.
+func fenceMiddleware(f *EpochFence, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get(epochHeader); v != "" {
+			epoch, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeNodeErr(w, http.StatusBadRequest, fmt.Errorf("bad %s header: %w", epochHeader, err))
+				return
+			}
+			if err := f.Admit(epoch, r.Header.Get(ctlIDHeader)); err != nil {
+				w.Header().Set(fencedHeader, "1")
+				writeNodeErr(w, http.StatusForbidden, err)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// fenceHeaders stamps the controller's reign onto a node-facing call.
+func (c *Controller) fenceHeaders(req *http.Request) {
+	c.mu.Lock()
+	epoch := c.epoch
+	c.mu.Unlock()
+	req.Header.Set(epochHeader, strconv.FormatUint(epoch, 10))
+	req.Header.Set(ctlIDHeader, c.id)
+}

@@ -1,0 +1,84 @@
+// Epoch-fence tests: a worker governed by a reign rejects older (and
+// tied-but-different) controllers, admits newer ones, and the
+// middleware turns a stale caller into a marked 403 while leaving
+// unfenced traffic alone.
+
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestEpochFenceAdmit(t *testing.T) {
+	f := NewEpochFence()
+	// The zero fence admits anything and adopts it.
+	if err := f.Admit(3, "c-a"); err != nil {
+		t.Fatal(err)
+	}
+	// The same reign keeps working.
+	if err := f.Admit(3, "c-a"); err != nil {
+		t.Fatal(err)
+	}
+	// An older epoch is a ghost.
+	if err := f.Admit(2, "c-old"); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale epoch admitted: %v", err)
+	}
+	// A tied epoch under a different identity is the restarted twin:
+	// first reign seen keeps the worker.
+	if err := f.Admit(3, "c-b"); !errors.Is(err, ErrFenced) {
+		t.Fatalf("tied twin admitted: %v", err)
+	}
+	// A newer reign takes over and raises the fence.
+	if err := f.Admit(5, "c-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Admit(3, "c-a"); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed reign re-admitted: %v", err)
+	}
+	// Observe never lowers.
+	f.Observe(4, "c-x")
+	if e, id := f.Current(); e != 5 || id != "c-b" {
+		t.Fatalf("fence lowered to (%d, %s)", e, id)
+	}
+}
+
+func TestFenceMiddleware(t *testing.T) {
+	f := NewEpochFence()
+	f.Observe(7, "c-new")
+	h := fenceMiddleware(f, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+
+	do := func(epoch, id string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/node/pull", nil)
+		if epoch != "" {
+			req.Header.Set(epochHeader, epoch)
+			req.Header.Set(ctlIDHeader, id)
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+
+	// Unfenced traffic (data plane, operators) passes untouched.
+	if rr := do("", ""); rr.Code != http.StatusNoContent {
+		t.Fatalf("unfenced request: %d", rr.Code)
+	}
+	// The reigning controller passes.
+	if rr := do("7", "c-new"); rr.Code != http.StatusNoContent {
+		t.Fatalf("reigning controller refused: %d", rr.Code)
+	}
+	// A deposed controller gets a marked 403 the client maps to
+	// ErrFenced.
+	rr := do("6", "c-old")
+	if rr.Code != http.StatusForbidden || rr.Header().Get(fencedHeader) == "" {
+		t.Fatalf("stale controller: code %d, fenced header %q", rr.Code, rr.Header().Get(fencedHeader))
+	}
+	// A garbage epoch is a 400, not a fence verdict.
+	if rr := do("not-a-number", "c"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("garbage epoch: %d", rr.Code)
+	}
+}

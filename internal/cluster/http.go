@@ -3,16 +3,30 @@
 //	POST   /v1/cluster/join         worker join/rejoin (name, addr, tenant list)
 //	POST   /v1/cluster/heartbeat    lease renewal
 //	GET    /v1/cluster              topology (nodes, liveness, placements)
+//	GET    /v1/cluster/topology     alias of GET /v1/cluster
 //	GET    /v1/cluster/tenants      tenant → node placement map
-//	POST   /v1/cluster/move         migrate one tenant ({tenant, to})
-//	POST   /v1/cluster/rebalance    converge placement onto the ring
-//	POST   /v1/cluster/drain        empty a node ({node})
+//	GET    /v1/cluster/state        full durable state (ClusterState)
+//	GET    /v1/cluster/stream       NDJSON state stream (the standby tail)
+//	GET    /v1/cluster/migrations   supervisor queue: progress handle for 202s
+//	POST   /v1/cluster/move         migrate one tenant ({tenant, to}), synchronous
+//	POST   /v1/cluster/rebalance    queue convergence onto the ring → 202
+//	POST   /v1/cluster/drain        queue emptying a node ({node}) → 202
 //	POST   /v1/sessions             proxied create (controller picks the node)
 //	DELETE /v1/sessions/{id}        proxied close (relays the final Result)
 //	POST   /v1/sessions/{id}/arrivals   307 → the tenant's node
 //	GET    /v1/sessions/{id}/snapshot   307 → the tenant's node
 //	GET    /v1/sessions             all placed tenants
 //	GET    /metrics                 fleet-merged Prometheus scrape
+//
+// Rebalance and drain answer 202 with the planned tenants and a
+// progress handle: execution belongs to the migration supervisor
+// (bounded concurrency, retries, parking), not the request goroutine
+// — a long drain no longer holds an HTTP request open past proxy
+// timeouts. Poll /v1/cluster/migrations (or the topology's counts)
+// for convergence.
+//
+// On a standby controller every mutating route answers 503 with the
+// primary's URL; the read routes serve the mirrored state.
 //
 // The tenant data plane stays off the controller: arrivals and
 // snapshots are 307 redirects — the client re-issues the identical
@@ -46,39 +60,60 @@ import (
 
 // NewHTTPHandler returns the controller daemon's handler.
 func NewHTTPHandler(c *Controller) http.Handler {
+	// primary wraps a mutating handler: a standby refuses with the
+	// primary's address rather than diverging the mirrored state.
+	primary := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if !c.IsPrimary() {
+				writeNodeErr(w, http.StatusServiceUnavailable, notPrimaryErr(c))
+				return
+			}
+			h(w, r)
+		}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/cluster/join", primary(func(w http.ResponseWriter, r *http.Request) {
 		handleJoin(c, w, r)
-	})
-	mux.HandleFunc("POST /v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/cluster/heartbeat", primary(func(w http.ResponseWriter, r *http.Request) {
 		handleHeartbeat(c, w, r)
-	})
+	}))
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeNodeJSON(w, http.StatusOK, c.Topology())
+	})
+	mux.HandleFunc("GET /v1/cluster/topology", func(w http.ResponseWriter, r *http.Request) {
 		writeNodeJSON(w, http.StatusOK, c.Topology())
 	})
 	mux.HandleFunc("GET /v1/cluster/tenants", func(w http.ResponseWriter, r *http.Request) {
 		writeNodeJSON(w, http.StatusOK, map[string]any{"tenants": c.Tenants()})
 	})
-	mux.HandleFunc("POST /v1/cluster/move", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/cluster/state", func(w http.ResponseWriter, r *http.Request) {
+		handleState(c, w)
+	})
+	mux.HandleFunc("GET /v1/cluster/stream", func(w http.ResponseWriter, r *http.Request) {
+		handleStateStream(c, w, r)
+	})
+	mux.HandleFunc("GET /v1/cluster/migrations", func(w http.ResponseWriter, r *http.Request) {
+		writeNodeJSON(w, http.StatusOK, c.Migrations())
+	})
+	mux.HandleFunc("POST /v1/cluster/move", primary(func(w http.ResponseWriter, r *http.Request) {
 		handleMove(c, w, r)
-	})
-	mux.HandleFunc("POST /v1/cluster/rebalance", func(w http.ResponseWriter, r *http.Request) {
-		moved, err := c.Rebalance(r.Context())
-		if err != nil {
-			writeClusterErr(w, err)
-			return
-		}
-		writeNodeJSON(w, http.StatusOK, map[string]any{"moved": moved})
-	})
-	mux.HandleFunc("POST /v1/cluster/drain", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/cluster/rebalance", primary(func(w http.ResponseWriter, r *http.Request) {
+		planned := c.Rebalance()
+		writeNodeJSON(w, http.StatusAccepted, map[string]any{
+			"planned": planned, "watch": "/v1/cluster/migrations",
+		})
+	}))
+	mux.HandleFunc("POST /v1/cluster/drain", primary(func(w http.ResponseWriter, r *http.Request) {
 		handleDrain(c, w, r)
-	})
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/sessions", primary(func(w http.ResponseWriter, r *http.Request) {
 		handleProxyCreate(c, w, r)
-	})
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", primary(func(w http.ResponseWriter, r *http.Request) {
 		handleProxyClose(c, w, r)
-	})
+	}))
 	mux.HandleFunc("POST /v1/sessions/{id}/arrivals", func(w http.ResponseWriter, r *http.Request) {
 		redirectToOwner(c, w, r, "/arrivals")
 	})
@@ -99,8 +134,10 @@ func clusterStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownTenant), errors.Is(err, ErrUnknownNode):
 		return http.StatusNotFound
-	case errors.Is(err, ErrNodeDown), errors.Is(err, ErrNoNodes):
+	case errors.Is(err, ErrNodeDown), errors.Is(err, ErrNoNodes), errors.Is(err, ErrNotPrimary):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrMigrating):
+		return http.StatusConflict
 	default:
 		return http.StatusBadGateway
 	}
@@ -121,7 +158,10 @@ func handleJoin(c *Controller, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	purge := c.Join(req.Name, req.Addr, req.Tenants)
-	writeNodeJSON(w, http.StatusOK, joinResponse{LeaseMs: c.Lease().Milliseconds(), Purge: purge})
+	writeNodeJSON(w, http.StatusOK, joinResponse{
+		LeaseMs: c.Lease().Milliseconds(), Purge: purge,
+		Epoch: c.Epoch(), Controller: c.ID(), Standbys: c.Standbys(),
+	})
 }
 
 func handleHeartbeat(c *Controller, w http.ResponseWriter, r *http.Request) {
@@ -134,7 +174,13 @@ func handleHeartbeat(c *Controller, w http.ResponseWriter, r *http.Request) {
 		writeNodeErr(w, http.StatusNotFound, err)
 		return
 	}
-	writeNodeJSON(w, http.StatusOK, map[string]string{"name": req.Name})
+	// The ack carries the reign and the failover list: heartbeats are
+	// how a long-lived worker learns about a standby that arrived (or
+	// an epoch that moved) after its join.
+	writeNodeJSON(w, http.StatusOK, joinResponse{
+		LeaseMs: c.Lease().Milliseconds(),
+		Epoch:   c.Epoch(), Controller: c.ID(), Standbys: c.Standbys(),
+	})
 }
 
 func handleMove(c *Controller, w http.ResponseWriter, r *http.Request) {
@@ -161,12 +207,14 @@ func handleDrain(c *Controller, w http.ResponseWriter, r *http.Request) {
 		writeNodeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	moved, err := c.Drain(r.Context(), req.Node)
+	planned, err := c.Drain(req.Node)
 	if err != nil {
 		writeClusterErr(w, err)
 		return
 	}
-	writeNodeJSON(w, http.StatusOK, map[string]any{"node": req.Node, "moved": moved})
+	writeNodeJSON(w, http.StatusAccepted, map[string]any{
+		"node": req.Node, "planned": planned, "watch": "/v1/cluster/migrations",
+	})
 }
 
 func handleListSessions(c *Controller, w http.ResponseWriter) {
@@ -269,8 +317,11 @@ func handleProxyClose(c *Controller, w http.ResponseWriter, r *http.Request) {
 }
 
 // forward issues one proxied call and returns the node's status and
-// body.
+// body. Bounded by CallTimeout (a hung worker must not wedge the
+// proxy handler) and fenced like every controller-originated call.
 func (c *Controller) forward(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -282,6 +333,7 @@ func (c *Controller) forward(ctx context.Context, method, url string, body []byt
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.fenceHeaders(req)
 	resp, err := c.opt.Client.Do(req)
 	if err != nil {
 		return 0, nil, err

@@ -50,14 +50,23 @@ type NodeConfig struct {
 	Name string
 	// Advertise is the base URL peers reach this worker at.
 	Advertise string
-	// Controller is the controller's base URL.
+	// Controller is the controller's base URL (the first entry of the
+	// failover list; joins and heartbeats extend it with the standbys
+	// the controller advertises).
 	Controller string
 	// Client issues the agent's calls (default http.DefaultClient).
 	Client *http.Client
+	// Fence is the worker's controller-epoch fence, shared with
+	// NewNodeHandler so the agent's observations (join/heartbeat
+	// responses) govern the node endpoints. Defaults to a fresh fence.
+	Fence *EpochFence
 }
 
-// NewNodeHandler mounts the node endpoints over the serve API.
-func NewNodeHandler(name string, h *serve.Host, st *wal.Store) http.Handler {
+// NewNodeHandler mounts the node endpoints over the serve API. fence
+// (nil for an unfenced, single-controller setup) guards every request
+// that carries controller fencing headers: a deposed controller's
+// migration verbs are refused with 403.
+func NewNodeHandler(name string, h *serve.Host, st *wal.Store, fence *EpochFence) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.NewHandler(h))
 	mux.HandleFunc("GET /v1/node/export", func(w http.ResponseWriter, r *http.Request) {
@@ -82,7 +91,10 @@ func NewNodeHandler(name string, h *serve.Host, st *wal.Store) http.Handler {
 			Latency:      m.Latency(),
 		})
 	})
-	return mux
+	if fence == nil {
+		return mux
+	}
+	return fenceMiddleware(fence, mux)
 }
 
 func writeNodeJSON(w http.ResponseWriter, status int, v any) {
@@ -203,12 +215,17 @@ func handleDrop(st *wal.Store, w http.ResponseWriter, r *http.Request) {
 // Agent is the worker's control-plane loop: join with the recovered
 // tenant list, purge what the controller says moved away, then
 // heartbeat until the context ends; a controller that forgot us (a
-// restart) triggers a rejoin.
+// restart) triggers a rejoin. The agent holds a failover list — the
+// controller it joined plus every standby that controller advertises
+// — and rotates to the next entry when the current one goes silent,
+// so a standby takeover needs no worker configuration at all.
 type Agent struct {
 	cfg   NodeConfig
 	host  *serve.Host
 	store *wal.Store
 	lease time.Duration
+	urls  []string // failover list; urls[cur] is the reigning controller
+	cur   int
 }
 
 // NewAgent builds a worker agent.
@@ -216,8 +233,15 @@ func NewAgent(cfg NodeConfig, h *serve.Host, st *wal.Store) *Agent {
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
 	}
-	return &Agent{cfg: cfg, host: h, store: st}
+	if cfg.Fence == nil {
+		cfg.Fence = NewEpochFence()
+	}
+	return &Agent{cfg: cfg, host: h, store: st, urls: []string{cfg.Controller}}
 }
+
+// Fence returns the agent's controller-epoch fence — hand it to
+// NewNodeHandler so agent observations govern the node endpoints.
+func (a *Agent) Fence() *EpochFence { return a.cfg.Fence }
 
 // joinRequest is the body of POST /v1/cluster/join.
 type joinRequest struct {
@@ -226,31 +250,58 @@ type joinRequest struct {
 	Tenants []string `json:"tenants,omitempty"`
 }
 
-// joinResponse acknowledges a join.
+// joinResponse acknowledges a join or a heartbeat: the lease, the
+// purge orders (join only), the controller's fencing reign, and the
+// standby list the agent fails over to.
 type joinResponse struct {
-	LeaseMs int64    `json:"leaseMs"`
-	Purge   []string `json:"purge,omitempty"`
+	LeaseMs    int64    `json:"leaseMs"`
+	Purge      []string `json:"purge,omitempty"`
+	Epoch      uint64   `json:"epoch,omitempty"`
+	Controller string   `json:"controller,omitempty"`
+	Standbys   []string `json:"standbys,omitempty"`
 }
 
-// Join registers with the controller and executes its purge orders.
-// It returns the granted lease.
+// observe folds a response's reign and standby list into the agent:
+// the fence learns the epoch, and the failover list becomes [current
+// controller, its standbys...].
+func (a *Agent) observe(jr joinResponse) {
+	a.cfg.Fence.Observe(jr.Epoch, jr.Controller)
+	urls := []string{a.urls[a.cur]}
+	for _, s := range jr.Standbys {
+		if s != urls[0] {
+			urls = append(urls, s)
+		}
+	}
+	a.urls, a.cur = urls, 0
+}
+
+// rotate advances to the next controller in the failover list.
+func (a *Agent) rotate() { a.cur = (a.cur + 1) % len(a.urls) }
+
+// Join registers with the current controller and executes its purge
+// orders. It returns the granted lease. On failure the agent has
+// already rotated to the next failover candidate, so the caller's
+// retry tries somewhere new.
 func (a *Agent) Join(ctx context.Context) (time.Duration, error) {
 	body, err := json.Marshal(joinRequest{Name: a.cfg.Name, Addr: a.cfg.Advertise, Tenants: a.host.SessionIDs()})
 	if err != nil {
 		return 0, err
 	}
-	resp, err := a.post(ctx, "/v1/cluster/join", body)
+	resp, err := a.post(ctx, "/v1/cluster/join", body, 10*time.Second)
 	if err != nil {
+		a.rotate()
 		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		a.rotate()
 		return 0, nodeErr("join", resp)
 	}
 	var jr joinResponse
 	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
 		return 0, fmt.Errorf("cluster: join response: %w", err)
 	}
+	a.observe(jr)
 	for _, tenant := range jr.Purge {
 		// This tenant moved to another node while we were dead; our copy
 		// is stale history. Detach (sealing its applier) and drop it.
@@ -268,23 +319,57 @@ func (a *Agent) Join(ctx context.Context) (time.Duration, error) {
 	return a.lease, nil
 }
 
-func (a *Agent) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+// post issues one bounded control call to the current controller.
+func (a *Agent) post(ctx context.Context, path string, body []byte, timeout time.Duration) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.cfg.Controller+path, rd)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.urls[a.cur]+path, rd)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return a.cfg.Client.Do(req)
+	resp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// The cancel rides the body: callers close it promptly.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// hbTimeout bounds one heartbeat: a beat slower than the tick is a
+// missed beat, so there is no point waiting longer than the interval
+// (floored at 1s for tiny test leases).
+func (a *Agent) hbTimeout() time.Duration {
+	d := a.lease / 3
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 // Run joins and heartbeats at a third of the lease until ctx ends.
 // A heartbeat the controller refuses (it restarted and forgot us)
-// triggers a rejoin; transient transport errors are retried at the
-// next tick — the lease absorbs them.
+// triggers a rejoin; a transient transport error is retried at the
+// next tick — the lease absorbs it — but two consecutive failures
+// rotate to the next controller in the failover list: that is the
+// standby-takeover path, driven by the same silence the standby saw.
 func (a *Agent) Run(ctx context.Context) error {
 	if _, err := a.Join(ctx); err != nil {
 		return err
@@ -295,22 +380,53 @@ func (a *Agent) Run(ctx context.Context) error {
 	}
 	t := time.NewTicker(a.lease / 3)
 	defer t.Stop()
+	fails := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-t.C:
 		}
-		resp, err := a.post(ctx, "/v1/cluster/heartbeat", hb)
+		resp, err := a.post(ctx, "/v1/cluster/heartbeat", hb, a.hbTimeout())
 		if err != nil {
-			continue // transient; the lease absorbs a missed beat or two
+			fails++
+			if fails >= 2 && len(a.urls) > 1 {
+				a.rotate()
+				if _, err := a.Join(ctx); err == nil {
+					fails = 0
+				} else if ctx.Err() != nil {
+					return ctx.Err()
+				}
+			}
+			continue
 		}
+		var jr joinResponse
+		derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&jr)
 		code := resp.StatusCode
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		if code == http.StatusNotFound {
+		switch {
+		case code == http.StatusOK:
+			fails = 0
+			if derr == nil {
+				a.observe(jr)
+			}
+		case code == http.StatusNotFound:
+			// The controller forgot us (a restart): rejoin right here.
 			if _, err := a.Join(ctx); err != nil && ctx.Err() != nil {
 				return ctx.Err()
+			}
+		default:
+			// A standby answering 503, a proxy in the way — either way
+			// not a renewal. Treat like silence.
+			fails++
+			if fails >= 2 && len(a.urls) > 1 {
+				a.rotate()
+				if _, err := a.Join(ctx); err == nil {
+					fails = 0
+				} else if ctx.Err() != nil {
+					return ctx.Err()
+				}
 			}
 		}
 	}

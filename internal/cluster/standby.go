@@ -1,0 +1,210 @@
+// The standby controller: a second schedd -controller process that
+// tails the primary's state stream (GET /v1/cluster/stream — NDJSON,
+// one full ClusterState per line, sent on every mutation and at least
+// every lease/3 as a liveness beat) and mirrors it into its own WAL.
+// While the primary answers, the standby refuses mutations and points
+// callers at the primary. When the primary falls silent past the
+// lease, the standby takes over: it bumps the epoch past anything the
+// dead primary could boot back up with, starts judging worker leases
+// and supervising migrations, and re-resolves every migration intent
+// the primary left open. Workers find it because every join and
+// heartbeat response carries the current standby list — their agents
+// fail over on the same silence that triggered the takeover.
+//
+// Split brain is bounded, not impossible: a partitioned-but-alive
+// primary keeps serving reads and may attempt migrations, and those
+// are what the epoch fence stops — every worker that has seen the new
+// reign rejects the old one's calls with 403, which the old
+// supervisor parks as permanently failed. Epoch arithmetic makes the
+// common collision benign: a takeover jumps +2 while a reboot bumps
+// +1, so the deposed primary's next boot still loses, and an exact
+// tie (two takeovers vs. two reboots) breaks by first-reign-seen at
+// each worker.
+
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// failoverAfter is how much primary silence the standby tolerates
+// before taking over: the lease, the same verdict workers get.
+func (c *Controller) failoverAfter() time.Duration { return c.opt.Lease }
+
+// RunStandby tails the primary until either the context ends (error
+// returned) or the primary's lease lapses and this controller takes
+// over (nil returned — the caller now runs a primary).
+func (c *Controller) RunStandby(ctx context.Context) error {
+	if c.opt.Standby == "" {
+		return errors.New("cluster: RunStandby without Options.Standby")
+	}
+	last := c.opt.Now()
+	for {
+		c.tailPrimary(ctx, &last)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if c.opt.Now().Sub(last) > c.failoverAfter() {
+			c.Takeover()
+			return nil
+		}
+		// The stream dropped inside the grace window: reconnect fast,
+		// the primary may just have restarted.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// tailPrimary holds one stream connection open, mirroring every state
+// line, until the stream breaks or the watchdog (no line for a full
+// failover window — a wedged-but-connected primary) kills it.
+func (c *Controller) tailPrimary(ctx context.Context, last *time.Time) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	u := c.opt.Standby + "/v1/cluster/stream"
+	if c.opt.Advertise != "" {
+		u += "?advertise=" + url.QueryEscape(c.opt.Advertise)
+	}
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	watchdog := time.AfterFunc(c.failoverAfter(), cancel)
+	defer watchdog.Stop()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var st ClusterState
+		if err := json.Unmarshal(line, &st); err != nil {
+			return
+		}
+		c.mirror(st)
+		*last = c.opt.Now()
+		watchdog.Reset(c.failoverAfter())
+	}
+}
+
+// mirror adopts one streamed state wholesale and persists it as the
+// standby WAL's single snapshot record — so a standby that restarts
+// (or takes over) while the primary is already gone still knows the
+// cluster as of the last line it ever saw.
+func (c *Controller) mirror(st ClusterState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.primary {
+		return // took over already; a straggling line must not demote us
+	}
+	c.adoptStateLocked(st)
+	c.compactLocked()
+	c.bumpLocked()
+}
+
+// Takeover promotes the standby: a new fenced reign over the mirrored
+// state. Worker heartbeat clocks restart at now (a worker that is
+// truly gone re-expires after one lease under the new management),
+// and every migration intent the primary left open is queued for
+// resolution, exactly as a primary restart would.
+func (c *Controller) Takeover() {
+	c.mu.Lock()
+	if c.primary {
+		c.mu.Unlock()
+		return
+	}
+	c.primary = true
+	// +2, not +1: the dead primary's own next boot bumps +1 off the
+	// same history, and the reign that carried the cluster forward
+	// must outrank it.
+	c.epoch += 2
+	c.mustLog(crecEpoch, epochRec{Epoch: c.epoch})
+	now := c.opt.Now()
+	for _, n := range c.nodes {
+		n.lastBeat = now
+	}
+	var resolves []Intent
+	for _, in := range c.intents {
+		resolves = append(resolves, *in)
+	}
+	c.compactLocked()
+	c.bumpLocked()
+	c.mu.Unlock()
+	for _, in := range resolves {
+		c.sup.enqueue(in.Tenant, in.From, in.To, true)
+	}
+}
+
+// touchStandby records stream activity from a standby's advertise URL
+// so joins and heartbeats can hand workers the failover list.
+func (c *Controller) touchStandby(url string) {
+	if url == "" {
+		return
+	}
+	c.mu.Lock()
+	c.standbys[url] = c.opt.Now()
+	c.mu.Unlock()
+}
+
+// PrimaryURL is where a standby points refused callers.
+func (c *Controller) PrimaryURL() string { return c.opt.Standby }
+
+// handleStateStream is the primary half of the standby protocol: an
+// NDJSON stream of full ClusterStates, one line immediately, then a
+// line on every state change and at least one per lease/3 as the
+// liveness beat the standby's watchdog feeds on.
+func handleStateStream(c *Controller, w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeNodeErr(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	adv := r.URL.Query().Get("advertise")
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	beat := c.Lease() / 3
+	for {
+		_, watch := c.WatchVersion()
+		if err := enc.Encode(c.State()); err != nil {
+			return
+		}
+		fl.Flush()
+		c.touchStandby(adv)
+		select {
+		case <-r.Context().Done():
+			return
+		case <-watch:
+		case <-time.After(beat):
+		}
+	}
+}
+
+// handleState serves the one-shot GET /v1/cluster/state body.
+func handleState(c *Controller, w http.ResponseWriter) {
+	writeNodeJSON(w, http.StatusOK, c.State())
+}
+
+// notPrimaryErr is the 503 body a standby answers mutations with.
+func notPrimaryErr(c *Controller) error {
+	return fmt.Errorf("%w; primary is %s", ErrNotPrimary, c.PrimaryURL())
+}

@@ -1,0 +1,96 @@
+// Standby failover, in process: a standby tails the primary's state
+// stream and mirrors it into its own WAL; when the primary goes
+// silent past the lease it takes over with the mirrored placement
+// intact and an epoch that outranks the dead primary's next boot.
+
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestStandbyMirrorsAndTakesOver(t *testing.T) {
+	lease := 400 * time.Millisecond
+	primary, err := OpenController(Options{Lease: lease, DataDir: t.TempDir(), Advertise: "http://primary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.Start(t.Context())
+	psrv := httptest.NewServer(NewHTTPHandler(primary))
+
+	standby, err := OpenController(Options{
+		Lease: lease, DataDir: t.TempDir(),
+		Advertise: "http://standby", Standby: psrv.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+	standby.Start(t.Context())
+	if standby.IsPrimary() {
+		t.Fatal("a -standby controller booted as primary")
+	}
+
+	// Mutations on the primary: two nodes, three tenants.
+	primary.Join("n1", "http://n1", []string{"s-a"})
+	primary.Join("n2", "http://n2", []string{"s-b", "s-c"})
+	wantEpoch := primary.Epoch()
+
+	sctx, scancel := context.WithCancel(t.Context())
+	done := make(chan error, 1)
+	go func() { done <- standby.RunStandby(sctx) }()
+	defer scancel()
+
+	// The standby mirrors the primary's state — epochs included.
+	waitCond(t, "standby mirrored primary state", func() bool {
+		st := standby.State()
+		return st.Epoch == wantEpoch && len(st.Nodes) == 2 && len(st.Placement) == 3
+	})
+	// And the primary learned who is tailing it: the failover list its
+	// join/heartbeat responses hand every worker.
+	waitCond(t, "primary lists the standby", func() bool {
+		sb := primary.Standbys()
+		return len(sb) == 1 && sb[0] == "http://standby"
+	})
+	wantState, _ := json.Marshal(maskEpoch(primary.State()))
+
+	// The primary dies without a word.
+	psrv.CloseClientConnections()
+	psrv.Close()
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The standby takes over within the failover window.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunStandby: %v", err)
+		}
+	case <-time.After(10 * lease):
+		t.Fatal("standby never took over")
+	}
+	if !standby.IsPrimary() {
+		t.Fatal("takeover did not promote the standby")
+	}
+	// The mirrored placement survived the transition byte-identically.
+	gotState, _ := json.Marshal(maskEpoch(standby.State()))
+	if string(gotState) != string(wantState) {
+		t.Fatalf("post-takeover state differs:\n got %s\nwant %s", gotState, wantState)
+	}
+	// The new reign outranks the dead primary's next boot (+1): the
+	// takeover jumped +2.
+	if got := standby.Epoch(); got != wantEpoch+2 {
+		t.Fatalf("takeover epoch = %d, want %d", got, wantEpoch+2)
+	}
+	// A worker that saw the new reign fences the old one out.
+	f := NewEpochFence()
+	f.Observe(standby.Epoch(), standby.ID())
+	if err := f.Admit(wantEpoch+1, "http://primary"); err == nil {
+		t.Fatal("rebooted old primary admitted past the fence")
+	}
+}

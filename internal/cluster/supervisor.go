@@ -1,0 +1,331 @@
+// The migration supervisor: the queue between deciding a tenant
+// should move and actually moving it. Rebalance and Drain used to
+// execute their plans inline on the request goroutine — one failed
+// pull aborted the whole convergence, and nothing bounded how many
+// multi-megabyte WAL transfers ran at once. Now the verbs enqueue and
+// return, and the supervisor executes:
+//
+//   - bounded: at most Options.MaxMigrations migrations run
+//     concurrently; the rest wait their turn,
+//   - deadlined: each attempt runs under Options.MigrateTimeout, so a
+//     hung worker costs one slot for one deadline, not forever,
+//   - retried: a failed attempt backs off exponentially
+//     (Options.RetryBase, doubling, capped, ±50% jitter so a herd of
+//     retries against a recovering node spreads out),
+//   - parked: after Options.MaxAttempts failures — or immediately on
+//     a fencing rejection, which no retry can fix — the migration is
+//     parked with its reason, surfaced in the topology, and stays
+//     visible until a rebalance re-queues it.
+//
+// One job per tenant at a time: a tenant is either where it is or
+// mid-flight to exactly one destination. Jobs survive controller
+// crashes by proxy — not the queue itself, but the intent records
+// Move journals; OpenController turns every open intent into a
+// resolve job that commits or rolls back the interrupted transfer.
+//
+// The state machine per job:
+//
+//	queued -> running -> (gone: success)
+//	                  -> waiting(backoff) -> queued
+//	                  -> parked -> (rebalance) -> queued
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Migration job states (MigrationInfo.State).
+const (
+	migQueued  = "queued"
+	migRunning = "running"
+	migWaiting = "waiting" // backing off between attempts
+	migParked  = "parked"
+)
+
+// MigrationInfo is one queue entry in the progress endpoint.
+type MigrationInfo struct {
+	Tenant   string `json:"tenant"`
+	From     string `json:"from,omitempty"`
+	To       string `json:"to"`
+	State    string `json:"state"`
+	Attempts int    `json:"attempts,omitempty"`
+	Reason   string `json:"reason,omitempty"` // last failure
+	// Resolve marks a crash-recovery job: committing or rolling back
+	// an intent found open in the WAL rather than starting a transfer.
+	Resolve bool `json:"resolve,omitempty"`
+}
+
+// MigrationCounts is the topology's one-line queue summary.
+type MigrationCounts struct {
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+	Waiting int `json:"waiting"`
+	Parked  int `json:"parked"`
+	// Done counts migrations completed since this controller started.
+	Done uint64 `json:"done"`
+}
+
+// MigrationsProgress is the GET /v1/cluster/migrations body.
+type MigrationsProgress struct {
+	Counts MigrationCounts `json:"counts"`
+	Jobs   []MigrationInfo `json:"jobs,omitempty"`
+}
+
+type migJob struct {
+	tenant, from, to string
+	resolve          bool
+	state            string
+	attempts         int
+	notBefore        time.Time
+	reason           string
+}
+
+type supervisor struct {
+	c *Controller
+
+	mu      sync.Mutex
+	jobs    map[string]*migJob
+	running int
+	done    uint64
+	started bool
+
+	wake chan struct{}
+	quit chan struct{}
+	dead chan struct{}
+}
+
+func newSupervisor(c *Controller) *supervisor {
+	return &supervisor{
+		c:    c,
+		jobs: make(map[string]*migJob),
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		dead: make(chan struct{}),
+	}
+}
+
+// enqueue adds a migration (or intent-resolve) job for a tenant,
+// deduplicating: a tenant already queued, running or waiting keeps
+// its existing job. Parked jobs are superseded — enqueueing is the
+// retry. Reports whether a job was added.
+func (s *supervisor) enqueue(tenant, from, to string, resolve bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[tenant]; ok && j.state != migParked {
+		return false
+	}
+	s.jobs[tenant] = &migJob{tenant: tenant, from: from, to: to, resolve: resolve, state: migQueued}
+	s.kick()
+	return true
+}
+
+// kick wakes the dispatcher (never blocks). s.mu held.
+func (s *supervisor) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// start launches the dispatcher; idempotent. The supervisor stops
+// when ctx ends or stopWait is called.
+func (s *supervisor) start(ctx context.Context) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.dispatch(ctx)
+}
+
+func (s *supervisor) stopWait() {
+	s.mu.Lock()
+	started := s.started
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	s.mu.Unlock()
+	if started {
+		<-s.dead
+	}
+}
+
+// dispatch is the scheduler loop: launch due jobs while slots remain,
+// sleep until the next backoff expires or something wakes it.
+func (s *supervisor) dispatch(ctx context.Context) {
+	defer close(s.dead)
+	for {
+		s.mu.Lock()
+		now := s.c.opt.Now()
+		var nextDue time.Time
+		var launch []*migJob
+		// Deterministic launch order: oldest-state first by tenant so
+		// tests (and operators reading the queue) see a stable order.
+		var due []*migJob
+		for _, j := range s.jobs {
+			switch j.state {
+			case migQueued:
+				due = append(due, j)
+			case migWaiting:
+				if !j.notBefore.After(now) {
+					due = append(due, j)
+				} else if nextDue.IsZero() || j.notBefore.Before(nextDue) {
+					nextDue = j.notBefore
+				}
+			}
+		}
+		sort.Slice(due, func(i, k int) bool { return due[i].tenant < due[k].tenant })
+		for _, j := range due {
+			if s.running >= s.c.opt.MaxMigrations {
+				break
+			}
+			j.state = migRunning
+			s.running++
+			launch = append(launch, j)
+		}
+		s.mu.Unlock()
+		for _, j := range launch {
+			go s.run(ctx, j)
+		}
+
+		var timer <-chan time.Time
+		if !nextDue.IsZero() {
+			d := nextDue.Sub(s.c.opt.Now())
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			t := time.NewTimer(d)
+			timer = t.C
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-s.quit:
+				t.Stop()
+				return
+			case <-s.wake:
+				t.Stop()
+			case <-timer:
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.quit:
+			return
+		case <-s.wake:
+		}
+	}
+}
+
+// run executes one attempt of one job under the migration deadline
+// and files the outcome.
+func (s *supervisor) run(ctx context.Context, j *migJob) {
+	actx, cancel := context.WithTimeout(ctx, s.c.opt.MigrateTimeout)
+	var err error
+	if j.resolve {
+		err = s.c.resolveIntent(actx, Intent{Tenant: j.tenant, From: j.from, To: j.to})
+	} else {
+		err = s.c.Move(actx, j.tenant, j.to)
+	}
+	cancel()
+
+	var park *ParkedMigration
+	s.mu.Lock()
+	s.running--
+	switch {
+	case err == nil, errors.Is(err, ErrUnknownTenant):
+		// Success — or the tenant closed while queued, which is the
+		// same thing: nothing left to move.
+		delete(s.jobs, j.tenant)
+		s.done++
+	case errors.Is(err, ErrFenced):
+		// Non-retryable: a newer controller owns the cluster; no retry
+		// under this epoch can ever land. Park with the reason — a
+		// rebalance under the surviving controller re-queues what
+		// still needs moving.
+		j.state = migParked
+		j.attempts++
+		j.reason = err.Error()
+		park = &ParkedMigration{Tenant: j.tenant, To: j.to, Reason: j.reason, Attempts: j.attempts}
+	default:
+		j.attempts++
+		j.reason = err.Error()
+		if j.attempts >= s.c.opt.MaxAttempts {
+			j.state = migParked
+			park = &ParkedMigration{Tenant: j.tenant, To: j.to, Reason: j.reason, Attempts: j.attempts}
+		} else {
+			j.state = migWaiting
+			j.notBefore = s.c.opt.Now().Add(backoff(s.c.opt.RetryBase, j.attempts))
+		}
+	}
+	s.kick()
+	s.mu.Unlock()
+	if park != nil {
+		// Outside s.mu: park journals under the controller mutex, and
+		// no lock order between the two may exist.
+		s.c.park(*park)
+	}
+}
+
+// backoff is the retry delay after the n-th failed attempt (n >= 1):
+// base doubling per attempt, capped at 10s, jittered ±50% so retries
+// against a shared recovering node decorrelate.
+func backoff(base time.Duration, n int) time.Duration {
+	d := base << (n - 1)
+	if d > 10*time.Second || d <= 0 {
+		d = 10 * time.Second
+	}
+	// Jitter in [0.5d, 1.5d). Not crypto, not seeded for replay: pure
+	// decorrelation.
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// counts summarizes the queue.
+func (s *supervisor) counts() MigrationCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.countsLocked()
+}
+
+func (s *supervisor) countsLocked() MigrationCounts {
+	mc := MigrationCounts{Done: s.done}
+	for _, j := range s.jobs {
+		switch j.state {
+		case migQueued:
+			mc.Queued++
+		case migRunning:
+			mc.Running++
+		case migWaiting:
+			mc.Waiting++
+		case migParked:
+			mc.Parked++
+		}
+	}
+	return mc
+}
+
+// progress snapshots the queue for GET /v1/cluster/migrations.
+func (s *supervisor) progress() MigrationsProgress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := MigrationsProgress{Counts: s.countsLocked()}
+	for _, j := range s.jobs {
+		p.Jobs = append(p.Jobs, MigrationInfo{
+			Tenant: j.tenant, From: j.from, To: j.to, State: j.state,
+			Attempts: j.attempts, Reason: j.reason, Resolve: j.resolve,
+		})
+	}
+	sort.Slice(p.Jobs, func(i, k int) bool { return p.Jobs[i].Tenant < p.Jobs[k].Tenant })
+	return p
+}

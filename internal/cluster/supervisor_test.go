@@ -1,0 +1,180 @@
+// Supervisor tests against instrumented fake workers: migrations run
+// at most MaxMigrations at a time, transient pull failures retry with
+// backoff until they converge, and permanent failures park visibly —
+// until a rebalance re-queues them.
+
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeWorker fakes the node endpoints the controller drives during a
+// migration, instrumenting pull concurrency and failing the first
+// failFirst pull attempts per tenant.
+type fakeWorker struct {
+	mu          sync.Mutex
+	pulls       map[string]int
+	failFirst   int
+	delay       time.Duration
+	inflight    atomic.Int32
+	maxInflight atomic.Int32
+	srv         *httptest.Server
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	t.Helper()
+	f := &fakeWorker{pulls: map[string]int{}}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/node/pull":
+			cur := f.inflight.Add(1)
+			for {
+				max := f.maxInflight.Load()
+				if cur <= max || f.maxInflight.CompareAndSwap(max, cur) {
+					break
+				}
+			}
+			if f.delay > 0 {
+				time.Sleep(f.delay)
+			}
+			f.inflight.Add(-1)
+			tenant := r.URL.Query().Get("tenant")
+			f.mu.Lock()
+			f.pulls[tenant]++
+			fail := f.pulls[tenant] <= f.failFirst
+			f.mu.Unlock()
+			if fail {
+				http.Error(w, `{"error":"injected pull failure"}`, http.StatusBadGateway)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+		case "/v1/node/adopt", "/v1/node/data":
+			w.WriteHeader(http.StatusOK)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeWorker) attempts(tenant string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pulls[tenant]
+}
+
+func (f *fakeWorker) setFailFirst(n int) {
+	f.mu.Lock()
+	f.failFirst = n
+	f.mu.Unlock()
+}
+
+func waitCond(t *testing.T, why string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached: %s", why)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSupervisorBoundedConcurrencyAndRetry drives six migrations whose
+// first pull each fails: all converge, every tenant took exactly one
+// retry, and the destination never saw more than MaxMigrations pulls
+// in flight.
+func TestSupervisorBoundedConcurrencyAndRetry(t *testing.T) {
+	src, dst := newFakeWorker(t), newFakeWorker(t)
+	dst.failFirst = 1
+	dst.delay = 20 * time.Millisecond
+
+	c := NewController(Options{MaxMigrations: 2, RetryBase: 2 * time.Millisecond, MigrateTimeout: 5 * time.Second})
+	c.Start(t.Context())
+	c.Join("src", src.srv.URL, []string{"m-a", "m-b", "m-c", "m-d", "m-e", "m-f"})
+	c.Join("dst", dst.srv.URL, nil)
+
+	tenants := []string{"m-a", "m-b", "m-c", "m-d", "m-e", "m-f"}
+	for _, id := range tenants {
+		if !c.sup.enqueue(id, "src", "dst", false) {
+			t.Fatalf("enqueue %s refused", id)
+		}
+	}
+	waitCond(t, "all migrations done", func() bool {
+		mc := c.sup.counts()
+		return mc.Running+mc.Queued+mc.Waiting+mc.Parked == 0 && mc.Done == uint64(len(tenants))
+	})
+	placed := c.Tenants()
+	for _, id := range tenants {
+		if placed[id] != "dst" {
+			t.Fatalf("tenant %s placed on %q after migration", id, placed[id])
+		}
+		if got := dst.attempts(id); got != 2 {
+			t.Fatalf("tenant %s pulled %d times, want 2 (one injected failure, one retry)", id, got)
+		}
+	}
+	if max := dst.maxInflight.Load(); max > 2 {
+		t.Fatalf("observed %d concurrent pulls, bound is 2", max)
+	}
+	// The journal held up: no intent left open.
+	if st := c.State(); len(st.Intents) != 0 {
+		t.Fatalf("intents left open after convergence: %+v", st.Intents)
+	}
+}
+
+// TestSupervisorParksPermanentFailure drains a node whose tenant can
+// never be pulled: after MaxAttempts the migration parks with its
+// reason in the topology — and a later rebalance, once the fault is
+// fixed, re-queues it to convergence.
+func TestSupervisorParksPermanentFailure(t *testing.T) {
+	src, dst := newFakeWorker(t), newFakeWorker(t)
+	dst.failFirst = 1 << 30 // every pull fails
+
+	c := NewController(Options{MaxMigrations: 2, MaxAttempts: 3, RetryBase: time.Millisecond, MigrateTimeout: 5 * time.Second})
+	c.Start(t.Context())
+	c.Join("src", src.srv.URL, []string{"p-a"})
+	c.Join("dst", dst.srv.URL, nil)
+
+	planned, err := c.Drain("src")
+	if err != nil || len(planned) != 1 || planned[0] != "p-a" {
+		t.Fatalf("drain planned %v, err %v", planned, err)
+	}
+	waitCond(t, "migration parked", func() bool {
+		return c.sup.counts().Parked == 1
+	})
+	if got := dst.attempts("p-a"); got != 3 {
+		t.Fatalf("pull attempted %d times before parking, want MaxAttempts=3", got)
+	}
+	top := c.Topology()
+	if len(top.Parked) != 1 || top.Parked[0].Tenant != "p-a" || top.Parked[0].Reason == "" {
+		t.Fatalf("topology parked = %+v, want p-a with a reason", top.Parked)
+	}
+	if top.Parked[0].Attempts != 3 {
+		t.Fatalf("parked attempts = %d, want 3", top.Parked[0].Attempts)
+	}
+	// The tenant never moved and still serves from its source.
+	if got := c.Tenants()["p-a"]; got != "src" {
+		t.Fatalf("parked tenant placed on %q, want src", got)
+	}
+
+	// Operator fixes the target and rebalances: the park clears and the
+	// migration converges (src is draining, so the ring says dst).
+	dst.setFailFirst(0)
+	if planned := c.Rebalance(); len(planned) != 1 || planned[0] != "p-a" {
+		t.Fatalf("rebalance planned %v, want [p-a]", planned)
+	}
+	waitCond(t, "parked migration retried to done", func() bool {
+		mc := c.sup.counts()
+		return mc.Parked == 0 && mc.Running+mc.Queued+mc.Waiting == 0 && c.Tenants()["p-a"] == "dst"
+	})
+	if top := c.Topology(); len(top.Parked) != 0 {
+		t.Fatalf("parked list not cleared by rebalance: %+v", top.Parked)
+	}
+}

@@ -1,0 +1,229 @@
+// RecLog: a single-file framed record log for small, rare control
+// state — the controller's placement/node/epoch journal. It reuses the
+// tenant WAL's frame format ([length u32][crc32c u32][type u8]
+// [payload]) and its recovery contract: a torn tail (the one record a
+// crash can cut mid-write) is truncated and reported; damage anywhere
+// the file keeps valid records *after* is corruption and refuses to
+// open. Where the tenant log optimizes the hot append path (group
+// fsync, segment rotation), RecLog optimizes for trust: every Append
+// is one write plus one fsync, because control-plane mutations are
+// measured per second, not per microsecond, and each one is a fact the
+// cluster must not forget.
+//
+// Compaction is whole-file: Rewrite replaces the log with a fresh one
+// (typically a single snapshot record) via the tmp+rename+dirsync
+// dance the checkpoint writer uses, so a crash anywhere leaves either
+// the old log or the new one, never a hybrid.
+
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// recLogMagic heads every RecLog file; a file that does not start with
+// it is not ours and refuses to open.
+const recLogMagic = "SLOG0001"
+
+// ErrRecLogCorrupt marks damage beyond a torn tail: valid records
+// exist after the broken region, so the file was rewritten, not cut.
+var ErrRecLogCorrupt = errors.New("wal: record log corrupt")
+
+// RecLogRecord is one recovered record.
+type RecLogRecord struct {
+	Type    byte
+	Payload []byte
+}
+
+// RecLogRecovery reports what OpenRecLog found.
+type RecLogRecovery struct {
+	Records []RecLogRecord
+	// TornBytes is the length of the truncated torn tail (0 on a clean
+	// open).
+	TornBytes int64
+}
+
+// RecLog is an open record log. Append/Rewrite/Close are safe for a
+// single goroutine; callers serialize (the controller appends under
+// its state mutex — mutations must hit the disk in the order they hit
+// memory).
+type RecLog struct {
+	path  string
+	f     *os.File
+	count int // records in the file (recovered + appended)
+}
+
+// OpenRecLog opens (creating if needed) the record log at path and
+// replays it. The recovery contract matches tenant recovery: a torn
+// tail is truncated, anything else refuses with ErrRecLogCorrupt.
+func OpenRecLog(path string) (*RecLog, RecLogRecovery, error) {
+	var rec RecLogRecovery
+	b, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		f, err := createRecLog(path)
+		if err != nil {
+			return nil, rec, err
+		}
+		return &RecLog{path: path, f: f}, rec, nil
+	case err != nil:
+		return nil, rec, fmt.Errorf("wal: record log: %w", err)
+	}
+	if len(b) < len(recLogMagic) || string(b[:len(recLogMagic)]) != recLogMagic {
+		return nil, rec, fmt.Errorf("%w: %s: bad magic", ErrRecLogCorrupt, path)
+	}
+	body := b[len(recLogMagic):]
+	valid, damage, _ := walkFrames(body, func(typ byte, payload []byte) error {
+		rec.Records = append(rec.Records, RecLogRecord{Type: typ, Payload: append([]byte(nil), payload...)})
+		return nil
+	})
+	if damage != nil {
+		// Torn tail or rewritten history? A crash mid-append can only
+		// damage the final record, so if any complete, CRC-valid frame
+		// survives past the damage point the file was corrupted, not cut.
+		if off := nextValidFrame(body[valid:]); off >= 0 {
+			return nil, RecLogRecovery{}, fmt.Errorf("%w: %s: %v at byte %d with intact records after it",
+				ErrRecLogCorrupt, path, damage, len(recLogMagic)+valid)
+		}
+		rec.TornBytes = int64(len(body) - valid)
+		if err := os.Truncate(path, int64(len(recLogMagic)+valid)); err != nil {
+			return nil, RecLogRecovery{}, fmt.Errorf("wal: record log: truncating torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, RecLogRecovery{}, fmt.Errorf("wal: record log: %w", err)
+	}
+	if rec.TornBytes > 0 {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, RecLogRecovery{}, fmt.Errorf("wal: record log: %w", err)
+		}
+	}
+	return &RecLog{path: path, f: f, count: len(rec.Records)}, rec, nil
+}
+
+// nextValidFrame scans b for any offset at which a complete,
+// CRC-valid frame parses, returning -1 if none exists. It is the
+// torn-vs-corrupt classifier: a torn tail is garbage to EOF; a bit
+// flip mid-log leaves the later records parseable at their original
+// offsets.
+func nextValidFrame(b []byte) int {
+	for off := 1; off+frameSize <= len(b); off++ {
+		rest := b[off:]
+		n := binary.LittleEndian.Uint32(rest)
+		if n < 1 || n > maxRecord || int(n) > len(rest)-8 {
+			continue
+		}
+		if crc32.Checksum(rest[8:8+int(n)], castagnoli) == binary.LittleEndian.Uint32(rest[4:]) {
+			return off
+		}
+	}
+	return -1
+}
+
+func createRecLog(path string) (*os.File, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("wal: record log: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: record log: %w", err)
+	}
+	if _, err := f.Write([]byte(recLogMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: record log: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: record log: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: record log: %w", err)
+	}
+	return f, nil
+}
+
+// Append writes one record and fsyncs before returning: when Append
+// returns nil the record is durable.
+func (l *RecLog) Append(typ byte, payload []byte) error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	frame := appendFrame(make([]byte, 0, frameSize+len(payload)), typ, payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: record log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: record log: %w", err)
+	}
+	l.count++
+	return nil
+}
+
+// Count reports the records currently in the file — the compaction
+// trigger.
+func (l *RecLog) Count() int { return l.count }
+
+// Rewrite atomically replaces the log's contents with recs (tmp +
+// fsync + rename + dirsync) and leaves the log open for appending.
+func (l *RecLog) Rewrite(recs []RecLogRecord) error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: record log: %w", err)
+	}
+	buf := []byte(recLogMagic)
+	for _, r := range recs {
+		buf = appendFrame(buf, r.Type, r.Payload)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: record log: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: record log: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: record log: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: record log: %w", err)
+	}
+	if err := syncDir(filepath.Dir(l.path)); err != nil {
+		return fmt.Errorf("wal: record log: %w", err)
+	}
+	old := l.f
+	nf, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: record log: %w", err)
+	}
+	old.Close()
+	l.f = nf
+	l.count = len(recs)
+	return nil
+}
+
+// Close releases the file handle. Further Appends fail with ErrClosed.
+func (l *RecLog) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -5,14 +5,15 @@
 #   ./scripts/bench.sh [output.json]
 #
 # BENCH overrides the benchmark regex (default: the per-arrival
-# session benchmark pinning the online hot path, plus the serve-ingest
-# benchmark pinning end-to-end arrivals/sec through the HTTP stack),
-# BENCHTIME the -benchtime (e.g. 1x for a CI smoke run, 1s for a real
-# measurement).
+# session benchmark pinning the online hot path, the serve-ingest
+# benchmark pinning end-to-end arrivals/sec through the HTTP stack,
+# and the cluster-ingest series pinning aggregate scale-out across
+# 2-4 workers behind a live controller), BENCHTIME the -benchtime
+# (e.g. 1x for a CI smoke run, 1s for a real measurement).
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr8.json}"
-bench="${BENCH:-BenchmarkSessionPerArrival|BenchmarkServeIngest}"
+out="${1:-BENCH_pr9.json}"
+bench="${BENCH:-BenchmarkSessionPerArrival|BenchmarkServeIngest|BenchmarkClusterIngest}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT

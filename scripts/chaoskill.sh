@@ -6,6 +6,7 @@
 # deployment-shaped loop for as many rounds as you like.
 #
 #   ./scripts/chaoskill.sh [rounds] [data-dir]
+#   ./scripts/chaoskill.sh cluster
 #
 # Each round: boot schedd on a random port against the same data dir,
 # start a loadgen stream against it, sleep a random 1-3s slice of the
@@ -14,16 +15,104 @@
 # refuses recovery (corruption beyond a torn tail) exits this script
 # non-zero with the daemon's complaint. The final round drains
 # cleanly and expects the last boot to find zero sessions.
+#
+# Cluster mode shakes the control plane instead: a primary controller
+# with a hot standby and two durable workers, loadgen streaming at the
+# workers directly (-endpoints — the data plane must not care who
+# governs), then the primary is SIGKILLed right after a rebalance is
+# kicked off. Health is the standby taking over (topology role
+# "primary") with both workers following it within a few leases, and
+# loadgen finishing with verified results throughout.
 set -eu
 cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+
+go build -o /tmp/schedd.chaos ./cmd/schedd
+go build -o /tmp/loadgen.chaos ./cmd/loadgen
+
+# wait_line FILE PATTERN [tries] — poll a daemon log for its readiness
+# (or takeover) line.
+wait_line() {
+  wl_file="$1"; wl_pat="$2"; wl_tries="${3:-100}"
+  while [ "$wl_tries" -gt 0 ]; do
+    grep -q "$wl_pat" "$wl_file" && return 0
+    wl_tries=$((wl_tries - 1))
+    sleep 0.1
+  done
+  return 1
+}
+
+if [ "$mode" = "cluster" ]; then
+  base=$((20000 + $$ % 20000))
+  pport=$base; sport=$((base + 1)); w1port=$((base + 2)); w2port=$((base + 3))
+  root="$(mktemp -d)"
+  plog="$root/primary.log"; slog="$root/standby.log"
+  trap 'kill -9 $(jobs -p) 2>/dev/null || true' EXIT
+
+  /tmp/schedd.chaos -controller -addr "127.0.0.1:$pport" \
+    -advertise "http://127.0.0.1:$pport" -lease 1s \
+    -data-dir "$root/ctl-primary" > "$plog" 2>&1 &
+  ppid=$!
+  wait_line "$plog" '^schedd: controller listening on ' \
+    || { echo "chaoskill: primary never listened" >&2; cat "$plog" >&2; exit 1; }
+  /tmp/schedd.chaos -controller -standby "http://127.0.0.1:$pport" \
+    -addr "127.0.0.1:$sport" -advertise "http://127.0.0.1:$sport" -lease 1s \
+    -data-dir "$root/ctl-standby" > "$slog" 2>&1 &
+  wait_line "$slog" '^schedd: standby controller listening on ' \
+    || { echo "chaoskill: standby never listened" >&2; cat "$slog" >&2; exit 1; }
+  for w in 1 2; do
+    eval port=\$w${w}port
+    /tmp/schedd.chaos -addr "127.0.0.1:$port" -data-dir "$root/w$w" \
+      -join "http://127.0.0.1:$pport" -node-name "w$w" \
+      -drain-timeout 10s > "$root/w$w.log" 2>&1 &
+  done
+  # Both workers alive on the primary, and the standby tailing it.
+  for _ in $(seq 1 100); do
+    alive="$(curl -fsS "http://127.0.0.1:$pport/v1/cluster" 2>/dev/null \
+      | grep -o '"alive":true' | wc -l)"
+    [ "$alive" -eq 2 ] && break
+    sleep 0.1
+  done
+  [ "$alive" -eq 2 ] || { echo "chaoskill: workers never joined" >&2; exit 1; }
+  echo "chaoskill[cluster]: primary :$pport, standby :$sport, workers :$w1port :$w2port" >&2
+
+  # The data plane streams at the workers directly; the control plane
+  # being beheaded below must not cost it a single arrival.
+  /tmp/loadgen.chaos -endpoints "http://127.0.0.1:$w1port,http://127.0.0.1:$w2port" \
+    -prefix chaos -tenants 4 -n 4000 -scale 2ms >/dev/null 2>&1 &
+  lpid=$!
+  sleep 1
+
+  # Kick a rebalance and behead the primary mid-flight.
+  curl -fsS -X POST "http://127.0.0.1:$pport/v1/cluster/rebalance" -d '{}' >/dev/null 2>&1 || true
+  kill -9 "$ppid"
+  wait "$ppid" 2>/dev/null || true
+  echo "chaoskill[cluster]: primary SIGKILLed mid-rebalance" >&2
+
+  # The standby must take over and the workers must follow it.
+  wait_line "$slog" '^schedd: controller takeover ' 150 \
+    || { echo "chaoskill: standby never took over" >&2; cat "$slog" >&2; exit 1; }
+  role="$(curl -fsS "http://127.0.0.1:$sport/v1/cluster/topology" | grep -o '"role":"primary"')" \
+    || { echo "chaoskill: takeover line printed but role is not primary" >&2; exit 1; }
+  for _ in $(seq 1 150); do
+    alive="$(curl -fsS "http://127.0.0.1:$sport/v1/cluster" 2>/dev/null \
+      | grep -o '"alive":true' | wc -l)"
+    [ "$alive" -eq 2 ] && break
+    sleep 0.1
+  done
+  [ "$alive" -eq 2 ] || { echo "chaoskill: workers never followed the new primary" >&2; exit 1; }
+  echo "chaoskill[cluster]: standby took over ($role), both workers followed" >&2
+
+  wait "$lpid" || { echo "chaoskill: loadgen failed across the failover" >&2; exit 1; }
+  echo "chaoskill[cluster]: loadgen finished verified across the failover" >&2
+  exit 0
+fi
 
 rounds="${1:-5}"
 dir="${2:-$(mktemp -d)}"
 log="$(mktemp)"
 trap 'rm -f "$log"; [ -n "${pid:-}" ] && kill -9 "$pid" 2>/dev/null || true' EXIT
-
-go build -o /tmp/schedd.chaos ./cmd/schedd
-go build -o /tmp/loadgen.chaos ./cmd/loadgen
 
 echo "chaoskill: $rounds rounds over $dir" >&2
 i=0
