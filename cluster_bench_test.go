@@ -24,7 +24,7 @@ import (
 // placement, one durable tenant per worker, and every arrival stream
 // enters at the controller's URL and follows its 307 redirect to the
 // owning worker — the deployment's actual data path. The committed
-// trajectory (BENCH_pr9.json) records the series, so the scale-out
+// trajectory (BENCH_pr10.json) records the series, so the scale-out
 // claim — aggregate arrivals/sec growing with workers rather than
 // collapsing on the control plane — is visible in one run.
 func BenchmarkClusterIngest(b *testing.B) {

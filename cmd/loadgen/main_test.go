@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/serve"
 )
@@ -47,8 +48,10 @@ func TestRunSurfacesServerRefusals(t *testing.T) {
 	srv := httptest.NewServer(serve.NewHandler(serve.NewHost(serve.Config{MaxSessions: 1})))
 	defer srv.Close()
 	var out, errs bytes.Buffer
+	// -retries 0: with retries on, the refusal is transient — the
+	// retried create wins the slot a finished tenant freed.
 	err := run(context.Background(), []string{
-		"-url", srv.URL, "-tenants", "3", "-n", "4", "-scale", "0",
+		"-url", srv.URL, "-tenants", "3", "-n", "4", "-scale", "0", "-retries", "0",
 	}, &out, &errs)
 	if err == nil || !strings.Contains(err.Error(), "session limit reached") {
 		t.Fatalf("want admission refusal surfaced, got %v", err)
@@ -74,6 +77,32 @@ func TestRunBatchedThroughputMode(t *testing.T) {
 	}
 	text := out.String()
 	for _, want := range []string{"2 tenants", "200 arrivals", "latency (s): n=200", "server-reported:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output misses %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunChaosMode routes the load through the in-process fault proxy
+// with aggressive duplication and lost acks; producer stamping (on by
+// default) must keep every tenant's run exactly-once — no partial
+// accepts, no errors — and the chaos/resilience lines must report
+// what happened.
+func TestRunChaosMode(t *testing.T) {
+	srv := httptest.NewServer(serve.NewHandler(serve.NewHost(serve.Config{ShedAfter: time.Second})))
+	defer srv.Close()
+
+	var out, errs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", srv.URL, "-tenants", "2", "-n", "60", "-kind", "poisson",
+		"-algo", "oa", "-alpha", "2.2", "-scale", "0", "-batch", "16",
+		"-chaos", "duplicate=0.3,drop-response=0.15", "-chaos-seed", "7",
+	}, &out, &errs)
+	if err != nil {
+		t.Fatalf("run under chaos: %v\nstderr: %s", err, errs.String())
+	}
+	text := out.String()
+	for _, want := range []string{"2 tenants", "120 arrivals", "chaos: proxying", "resilience:"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("output misses %q:\n%s", want, text)
 		}

@@ -32,15 +32,22 @@ import (
 //     price of durability (the PR 7 claim: durable ingest keeps ≥50%
 //     of the WAL-off arrivals/sec). Checkpointing is off so the arm
 //     measures the append+fsync path, not compaction policy.
+//   - dedup: the durable path with exactly-once stamping — the request
+//     carries X-Producer-Id/X-Producer-Seq, so the whole body decodes
+//     up front, admits atomically as one stamped batch, lands in the
+//     WAL as one stamped record, and the ack waits on that batch's
+//     exact position. The dedup/durable ratio is the price of the
+//     idempotence window (the PR 10 claim: stamped ingest keeps ≥90%
+//     of the plain durable arrivals/sec).
 //   - unbatched: the pre-batching reference path — reflective
 //     json.Decoder per line, one Submit per job, one lock/replan per
 //     arrival (MaxApplyBatch 1), the ingest loop exactly as it shipped
 //     before the batched rework.
 //
-// The committed perf trajectory (BENCH_pr7.json) records all three, so
-// the batched/unbatched ratio — PR 5's ≥5× arrivals/sec claim — and
-// the durability tax are visible in one run, alongside allocs/arrival
-// through the stack.
+// The committed perf trajectory (BENCH_pr10.json) records all four, so
+// the batched/unbatched ratio — PR 5's ≥5× arrivals/sec claim — the
+// durability tax and the stamping tax are visible in one run,
+// alongside allocs/arrival through the stack.
 func BenchmarkServeIngest(b *testing.B) {
 	for _, n := range []int{100_000} {
 		in := workload.HeavyTail(workload.Config{
@@ -62,19 +69,24 @@ func BenchmarkServeIngest(b *testing.B) {
 		}
 		spec := `{"id":%q,"spec":{"name":"oa","m":1,"alpha":2}}`
 
-		for _, mode := range []string{"batched", "durable", "unbatched"} {
+		for _, mode := range []string{"batched", "durable", "dedup", "unbatched"} {
 			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
 				cfg := serve.Config{MaxSessions: 16, MaxBacklog: 4096}
 				if mode == "unbatched" {
 					cfg.MaxApplyBatch = 1
 				}
-				if mode == "durable" {
+				if mode == "durable" || mode == "dedup" {
 					st, err := wal.Open(b.TempDir(), wal.Options{FsyncInterval: 5 * time.Millisecond})
 					if err != nil {
 						b.Fatal(err)
 					}
 					defer st.Close()
 					cfg.WAL = st
+				}
+				if mode == "dedup" {
+					// A stamped batch admits atomically, so the ring must
+					// hold the whole request body.
+					cfg.MaxBacklog = n
 				}
 				host := serve.NewHost(cfg)
 				handler := serve.NewHandler(host)
@@ -85,11 +97,15 @@ func BenchmarkServeIngest(b *testing.B) {
 				defer srv.Close()
 				client := srv.Client()
 
-				do := func(method, path string, body io.Reader, want int) {
+				do := func(method, path string, body io.Reader, want int, stamped bool) {
 					b.Helper()
 					req, err := http.NewRequest(method, srv.URL+path, body)
 					if err != nil {
 						b.Fatal(err)
+					}
+					if stamped {
+						req.Header.Set("X-Producer-Id", "bench")
+						req.Header.Set("X-Producer-Seq", "1")
 					}
 					resp, err := client.Do(req)
 					if err != nil {
@@ -109,14 +125,16 @@ func BenchmarkServeIngest(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					id := fmt.Sprintf("t%d", i)
-					do("POST", "/v1/sessions", bytes.NewReader([]byte(fmt.Sprintf(spec, id))), http.StatusCreated)
+					do("POST", "/v1/sessions", bytes.NewReader([]byte(fmt.Sprintf(spec, id))), http.StatusCreated, false)
 					runtime.ReadMemStats(&m1)
 					b.StartTimer()
-					do("POST", "/v1/sessions/"+id+"/arrivals", bytes.NewReader(body), http.StatusOK)
+					// Each iteration is a fresh session, so the stamped
+					// arm's producer window restarts at seq 1.
+					do("POST", "/v1/sessions/"+id+"/arrivals", bytes.NewReader(body), http.StatusOK, mode == "dedup")
 					b.StopTimer()
 					runtime.ReadMemStats(&m2)
 					mallocs += m2.Mallocs - m1.Mallocs
-					do("DELETE", "/v1/sessions/"+id, nil, http.StatusOK)
+					do("DELETE", "/v1/sessions/"+id, nil, http.StatusOK, false)
 					b.StartTimer()
 				}
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/arrival")

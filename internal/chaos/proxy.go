@@ -1,0 +1,415 @@
+// Package chaos is a programmable in-process TCP fault proxy: it sits
+// between a client and a server and injects the network's pathologies
+// on purpose — dropped connections, delayed bytes, duplicated
+// requests, mid-stream resets, truncated writes. The e2e differential
+// drives a load generator through it against a SIGKILL-prone daemon
+// and asserts the final results are byte-identical to an offline
+// replay with zero duplicate applications; that assertion is only as
+// strong as the faults are nasty, so the proxy aims each fault at the
+// spot that historically breaks exactly-once systems (the ack path —
+// request applied, response lost).
+//
+// Faults are decided per accepted connection from a seeded PRNG, so a
+// failing run replays exactly with the same seed. The proxy is plain
+// net + goroutines: no raw sockets, no privileges, works in any test
+// environment that can dial localhost.
+package chaos
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one injected network pathology.
+type Fault int
+
+const (
+	// FaultNone passes the connection through untouched.
+	FaultNone Fault = iota
+	// FaultDropEarly resets the connection after a few request bytes —
+	// before the server can have seen a full batch.
+	FaultDropEarly
+	// FaultDropResponse proxies the full request upstream, then cuts
+	// the connection before relaying the response — the ambiguous ack
+	// loss idempotency exists for: the server applied, the client
+	// cannot know.
+	FaultDropResponse
+	// FaultDelay stalls each direction briefly mid-stream, forcing
+	// client attempt timeouts to race real progress.
+	FaultDelay
+	// FaultDuplicate relays the connection normally while recording
+	// the client's request bytes, then replays them on a second
+	// upstream connection (response discarded) — a duplicate delivery
+	// the dedup window must suppress.
+	FaultDuplicate
+	// FaultTruncate forwards only a prefix of the request and then
+	// resets — a torn write the server must refuse atomically.
+	FaultTruncate
+	faultCount
+)
+
+var faultNames = [...]string{"none", "drop-early", "drop-response", "delay", "duplicate", "truncate"}
+
+func (f Fault) String() string {
+	if f >= 0 && int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return "unknown"
+}
+
+// Config sets the per-connection fault mix. Rates are probabilities in
+// [0,1], evaluated in order (drop-early, drop-response, delay,
+// duplicate, truncate); whatever is left is a clean pass-through.
+type Config struct {
+	Seed         int64
+	DropEarly    float64
+	DropResponse float64
+	Delay        float64
+	Duplicate    float64
+	Truncate     float64
+	// DelayFor is how long FaultDelay stalls (default 50ms).
+	DelayFor time.Duration
+	// DupBuffer caps how many request bytes FaultDuplicate retains for
+	// replay (default 1 MiB; a request larger than the cap is not
+	// replayed — duplication needs the whole request to be a valid
+	// duplicate delivery).
+	DupBuffer int
+}
+
+// Stats counts injected faults, by kind.
+type Stats struct {
+	Conns     atomic.Uint64
+	Faults    [faultCount]atomic.Uint64
+	Replayed  atomic.Uint64 // duplicate requests actually re-sent
+	Truncated atomic.Uint64
+}
+
+// Proxy is a live fault-injecting TCP forwarder.
+type Proxy struct {
+	ln    net.Listener
+	stats Stats
+
+	mu     sync.Mutex
+	cfg    Config
+	target string
+	rng    *rand.Rand
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy listening on addr (use "127.0.0.1:0" for an
+// ephemeral port) forwarding to target. Faults apply per Config.
+func New(addr, target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DelayFor <= 0 {
+		cfg.DelayFor = 50 * time.Millisecond
+	}
+	if cfg.DupBuffer <= 0 {
+		cfg.DupBuffer = 1 << 20
+	}
+	p := &Proxy{ln: ln, cfg: cfg, target: target, rng: rand.New(rand.NewSource(cfg.Seed)), conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what clients dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats exposes the fault counters.
+func (p *Proxy) Stats() *Stats { return &p.stats }
+
+// SetTarget repoints the upstream (a migrated tenant's new owner, or
+// a restarted daemon on a fresh port). Existing connections keep their
+// old upstream; new accepts dial the new one.
+func (p *Proxy) SetTarget(target string) {
+	p.mu.Lock()
+	p.target = target
+	p.mu.Unlock()
+}
+
+// SetConfig swaps the fault mix (seed is kept; DelayFor/DupBuffer
+// defaults are re-applied). Use Config{} to turn all faults off, e.g.
+// for a test's clean verification phase.
+func (p *Proxy) SetConfig(cfg Config) {
+	if cfg.DelayFor <= 0 {
+		cfg.DelayFor = 50 * time.Millisecond
+	}
+	if cfg.DupBuffer <= 0 {
+		cfg.DupBuffer = 1 << 20
+	}
+	p.mu.Lock()
+	cfg.Seed = p.cfg.Seed
+	p.cfg = cfg
+	p.mu.Unlock()
+}
+
+// Close stops accepting, severs live connections (idle keep-alive
+// streams would otherwise park a relay forever) and waits for the
+// relay goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// track registers a live connection for Close to sever; it reports
+// false (and closes the conn) when the proxy is already closing.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// pick draws the connection's fault and upstream under the lock — the
+// single rng is the proxy's only shared mutable state besides config.
+func (p *Proxy) pick() (Fault, string, Config) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cfg := p.cfg
+	r := p.rng.Float64()
+	f := FaultNone
+	switch {
+	case r < cfg.DropEarly:
+		f = FaultDropEarly
+	case r < cfg.DropEarly+cfg.DropResponse:
+		f = FaultDropResponse
+	case r < cfg.DropEarly+cfg.DropResponse+cfg.Delay:
+		f = FaultDelay
+	case r < cfg.DropEarly+cfg.DropResponse+cfg.Delay+cfg.Duplicate:
+		f = FaultDuplicate
+	case r < cfg.DropEarly+cfg.DropResponse+cfg.Delay+cfg.Duplicate+cfg.Truncate:
+		f = FaultTruncate
+	}
+	return f, p.target, cfg
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		fault, target, cfg := p.pick()
+		p.stats.Conns.Add(1)
+		p.stats.Faults[fault].Add(1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.relay(conn, fault, target, cfg)
+		}()
+	}
+}
+
+// abort resets a TCP connection (RST, not FIN) so the peer sees a
+// hard failure immediately instead of a half-closed stream.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func (p *Proxy) relay(down net.Conn, fault Fault, target string, cfg Config) {
+	if !p.track(down) {
+		return
+	}
+	defer p.untrack(down)
+	defer down.Close()
+	up, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		abort(down)
+		return
+	}
+	if !p.track(up) {
+		abort(down)
+		return
+	}
+	defer p.untrack(up)
+	defer up.Close()
+
+	switch fault {
+	case FaultDropEarly:
+		// Let a sliver of the request through, then reset both sides.
+		io.CopyN(up, down, 64)
+		abort(up)
+		abort(down)
+	case FaultTruncate:
+		// Forward a prefix, then reset: the server sees a torn body.
+		io.CopyN(up, down, 512)
+		p.stats.Truncated.Add(1)
+		abort(up)
+		abort(down)
+	case FaultDropResponse:
+		// Relay request bytes upstream as the client writes them; the
+		// moment the server starts answering — proof it processed the
+		// request — cut the client off without the ack. (Waiting for
+		// client EOF would deadlock: an HTTP client holds the stream
+		// open while it waits for the response.)
+		go func() {
+			io.Copy(up, down)
+			if tc, ok := up.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+		}()
+		var first [1]byte
+		up.SetReadDeadline(time.Now().Add(10 * time.Second))
+		up.Read(first[:])
+		abort(down)
+		abort(up)
+	case FaultDelay:
+		pipeDelayed(up, down, cfg.DelayFor)
+	case FaultDuplicate:
+		p.relayDuplicating(down, up, target, cfg)
+	default:
+		pipe(up, down)
+	}
+}
+
+// pipe relays both directions until either side closes.
+func pipe(up, down net.Conn) {
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(up, down)
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(down, up)
+		if tc, ok := down.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// pipeDelayed is pipe with a one-shot stall on each direction's first
+// byte, long enough to trip per-attempt timeouts but not wedge.
+func pipeDelayed(up, down net.Conn, d time.Duration) {
+	done := make(chan struct{}, 2)
+	cp := func(dst, src net.Conn) {
+		var buf [4096]byte
+		first := true
+		for {
+			n, err := src.Read(buf[:])
+			if n > 0 {
+				if first {
+					time.Sleep(d)
+					first = false
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		if tc, ok := dst.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}
+	go cp(up, down)
+	go cp(down, up)
+	<-done
+	<-done
+}
+
+// relayDuplicating relays normally while teeing the client's request
+// bytes; once the connection finishes it replays the recorded bytes on
+// a fresh upstream connection and discards that response — a duplicate
+// delivery of the same batch, which the server's dedup window must
+// suppress for the differential to hold.
+func (p *Proxy) relayDuplicating(down, up net.Conn, target string, cfg Config) {
+	var reqMu sync.Mutex
+	var req []byte
+	overflow := false
+	done := make(chan struct{}, 2)
+	go func() {
+		var buf [4096]byte
+		for {
+			n, err := down.Read(buf[:])
+			if n > 0 {
+				reqMu.Lock()
+				if len(req)+n <= cfg.DupBuffer {
+					req = append(req, buf[:n]...)
+				} else {
+					overflow = true
+				}
+				reqMu.Unlock()
+				if _, werr := up.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(down, up)
+		if tc, ok := down.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+
+	reqMu.Lock()
+	replay := req
+	ok := !overflow && len(replay) > 0
+	reqMu.Unlock()
+	if !ok {
+		return
+	}
+	dup, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer dup.Close()
+	if _, err := dup.Write(replay); err != nil {
+		return
+	}
+	if tc, ok := dup.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	p.stats.Replayed.Add(1)
+	dup.SetReadDeadline(time.Now().Add(5 * time.Second))
+	io.Copy(io.Discard, dup)
+}

@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newUpstream starts an HTTP server that counts requests and echoes
+// the body length.
+func newUpstream(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Value) {
+	t.Helper()
+	var hits atomic.Int64
+	var lastBody atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			// Torn body: the request never completed — not a hit.
+			return
+		}
+		hits.Add(1)
+		lastBody.Store(string(b))
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits, &lastBody
+}
+
+func target(srv *httptest.Server) string { return strings.TrimPrefix(srv.URL, "http://") }
+
+func TestProxyPassThrough(t *testing.T) {
+	srv, hits, body := newUpstream(t)
+	p, err := New("127.0.0.1:0", target(srv), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := http.Post("http://"+p.Addr(), "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(out) != "ok" {
+		t.Fatalf("through proxy: %d %q", resp.StatusCode, out)
+	}
+	if hits.Load() != 1 || body.Load().(string) != "hello" {
+		t.Fatalf("upstream saw hits=%d body=%v", hits.Load(), body.Load())
+	}
+}
+
+func TestProxyDropResponse(t *testing.T) {
+	srv, hits, _ := newUpstream(t)
+	p, err := New("127.0.0.1:0", target(srv), Config{Seed: 1, DropResponse: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// The request reaches the server (it applies), but the ack never
+	// comes back — the canonical ambiguous outcome.
+	_, err = http.Post("http://"+p.Addr(), "text/plain", strings.NewReader("applied"))
+	if err == nil {
+		t.Fatal("expected the response to be dropped")
+	}
+	for deadline := time.Now().Add(5 * time.Second); hits.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached upstream")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestProxyDuplicateReplaysRequest(t *testing.T) {
+	srv, hits, _ := newUpstream(t)
+	p, err := New("127.0.0.1:0", target(srv), Config{Seed: 1, Duplicate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Use an explicit Connection: close so the recorded bytes form one
+	// complete, replayable HTTP request.
+	req, _ := http.NewRequest("POST", "http://"+p.Addr(), strings.NewReader("twice"))
+	req.Close = true
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// The original plus the replay.
+	for deadline := time.Now().Add(5 * time.Second); hits.Load() < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("upstream hits = %d, want 2 (original + replay)", hits.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p.Stats().Replayed.Load() != 1 {
+		t.Fatalf("replayed = %d, want 1", p.Stats().Replayed.Load())
+	}
+}
+
+func TestProxyTruncateTearsRequest(t *testing.T) {
+	srv, hits, _ := newUpstream(t)
+	p, err := New("127.0.0.1:0", target(srv), Config{Seed: 1, Truncate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	big := strings.Repeat("x", 64<<10)
+	_, err = http.Post("http://"+p.Addr(), "text/plain", strings.NewReader(big))
+	if err == nil {
+		t.Fatal("expected the truncated request to fail")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("upstream completed %d requests from a torn body", hits.Load())
+	}
+	if p.Stats().Truncated.Load() != 1 {
+		t.Fatalf("truncated = %d, want 1", p.Stats().Truncated.Load())
+	}
+}
+
+func TestProxySetTargetRepoints(t *testing.T) {
+	a, aHits, _ := newUpstream(t)
+	b, bHits, _ := newUpstream(t)
+	p, err := New("127.0.0.1:0", target(a), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	post := func() {
+		t.Helper()
+		req, _ := http.NewRequest("POST", "http://"+p.Addr(), strings.NewReader("x"))
+		req.Close = true // one connection per request, so SetTarget takes effect
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	post()
+	p.SetTarget(target(b))
+	post()
+	if aHits.Load() != 1 || bHits.Load() != 1 {
+		t.Fatalf("hits a=%d b=%d, want 1 each", aHits.Load(), bHits.Load())
+	}
+}
+
+func TestProxySetConfigDisablesFaults(t *testing.T) {
+	srv, _, _ := newUpstream(t)
+	p, err := New("127.0.0.1:0", target(srv), Config{Seed: 1, DropEarly: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := http.Post("http://"+p.Addr(), "text/plain", strings.NewReader("x")); err == nil {
+		t.Fatal("drop-early did not fire")
+	}
+	p.SetConfig(Config{})
+	// All clean from here.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "POST", "http://"+p.Addr(), strings.NewReader("x"))
+	req.Close = true
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("clean config still faulted: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

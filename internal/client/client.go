@@ -1,0 +1,265 @@
+// Package client is the resilient HTTP client the load generator and
+// the cluster's pull path speak through: per-attempt deadlines, capped
+// exponential backoff with jitter, Retry-After honoring, and
+// redirect-aware retry. It exists because the paper's serving story is
+// exactly-once over an unreliable network — and exactly-once is a
+// two-party contract. The server side (idempotent stamped batches,
+// dedup windows) only closes the loop if the client side retries every
+// ambiguous outcome: a connection cut mid-response, a 503 from a
+// drained node, a 307 from a tenant that migrated mid-request. This
+// client retries all of them with the SAME body bytes, which is
+// precisely what makes the server's (producer, seq) suppression safe.
+//
+// The client is deliberately dumb about payloads: it moves opaque
+// []byte bodies and returns status + body. Idempotency stamps are the
+// caller's concern (internal/load owns the producer/seq counters); the
+// client's concern is that every attempt of one Do call carries
+// identical bytes and headers, so a duplicate delivery is detectable
+// downstream.
+package client
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the retry loop. The zero value is usable: 4 retries,
+// 50ms initial backoff doubling to a 2s cap, 10s per-attempt timeout.
+type Config struct {
+	// MaxRetries is how many times a failed attempt is retried (so a
+	// Do issues at most MaxRetries+1 attempts). Negative disables
+	// retries entirely.
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff; each subsequent retry
+	// doubles it up to MaxBackoff. Full jitter is applied: the actual
+	// sleep is uniform in [0, backoff).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each individual attempt (dial + write +
+	// response). The Do ctx still bounds the whole call.
+	AttemptTimeout time.Duration
+	// HTTPClient is the transport to use; nil means a private
+	// http.Client with redirects disabled (the retry loop follows 307s
+	// itself so redirected attempts count against MaxRetries and
+	// re-send the same body).
+	HTTPClient *http.Client
+	// Rand supplies jitter; nil seeds a private source. Tests inject a
+	// fixed seed for determinism.
+	Rand *rand.Rand
+}
+
+// Stats counts what the retry loop did, for loadgen's report columns
+// and the e2e assertions. All fields are atomics: one Client is shared
+// across every tenant goroutine of a load run.
+type Stats struct {
+	// Attempts counts every HTTP attempt issued, including retries.
+	Attempts atomic.Uint64
+	// Retries counts attempts beyond each Do's first.
+	Retries atomic.Uint64
+	// RetryAfterWaits counts sleeps that honored a server Retry-After
+	// hint (shed with 429/503) instead of the backoff schedule.
+	RetryAfterWaits atomic.Uint64
+	// Redirects counts 307/308 ownership redirects followed.
+	Redirects atomic.Uint64
+	// NetErrors counts attempts that died on the wire (dial, reset,
+	// truncated response) — the ambiguous outcomes idempotency exists
+	// for.
+	NetErrors atomic.Uint64
+	// Sheds counts 429/503 answers — the server degrading gracefully
+	// under overload or drain.
+	Sheds atomic.Uint64
+}
+
+// Client issues resilient requests. Safe for concurrent use.
+type Client struct {
+	cfg   Config
+	httpc *http.Client
+	Stats Stats
+
+	mu  sync.Mutex // guards rng (rand.Rand is not concurrency-safe)
+	rng *rand.Rand
+}
+
+// New builds a Client, filling Config defaults.
+func New(cfg Config) *Client {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 10 * time.Second
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{
+			// The loop follows redirects itself so the body is re-sent
+			// from the retained bytes, not replayed from a consumed
+			// reader.
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		}
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &Client{cfg: cfg, httpc: httpc, rng: rng}
+}
+
+// Response is the terminal outcome of a Do: the final attempt's status
+// and body (already read and closed).
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// retryStatus reports whether a status is worth another attempt: the
+// shed statuses (429, 503) and transient server faults (5xx). 4xx
+// (other than 429) are the caller's bug and fail fast.
+func retryStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// Do issues method url with body, retrying transient failures with the
+// same bytes until success, a terminal status, retry exhaustion, or
+// ctx death. headers are applied to every attempt. A nil error with
+// Status >= 400 means the server answered and the answer is final —
+// callers branch on Status, not error.
+func (c *Client) Do(ctx context.Context, method, url string, body []byte, headers map[string]string) (Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.Stats.Retries.Add(1)
+		}
+		resp, err := c.attempt(ctx, method, url, body, headers)
+		if err == nil {
+			if resp.Status == http.StatusTooManyRequests || resp.Status == http.StatusServiceUnavailable {
+				c.Stats.Sheds.Add(1)
+			}
+			switch {
+			case resp.Status == http.StatusTemporaryRedirect || resp.Status == http.StatusPermanentRedirect:
+				// Ownership moved (tenant migration): chase the
+				// Location with the same body. Counts as an attempt so
+				// a redirect loop cannot spin forever.
+				if loc := resp.header; loc != "" {
+					c.Stats.Redirects.Add(1)
+					url = loc
+					if attempt >= c.cfg.MaxRetries {
+						return Response{Status: resp.Status, Body: resp.body}, nil
+					}
+					continue
+				}
+				return Response{Status: resp.Status, Body: resp.body}, nil
+			case !retryStatus(resp.Status):
+				return Response{Status: resp.Status, Body: resp.body}, nil
+			default:
+				// Shed or transient server fault: back off and retry.
+				if attempt >= c.cfg.MaxRetries {
+					return Response{Status: resp.Status, Body: resp.body}, nil
+				}
+				if err := c.sleep(ctx, attempt, resp.retryAfter); err != nil {
+					return Response{Status: resp.Status, Body: resp.body}, nil
+				}
+				continue
+			}
+		}
+		// The wire died: ambiguous — the server may or may not have
+		// applied the batch. Idempotency upstream makes the retry safe.
+		if ctx.Err() != nil {
+			return Response{}, ctx.Err()
+		}
+		c.Stats.NetErrors.Add(1)
+		lastErr = err
+		if attempt >= c.cfg.MaxRetries {
+			return Response{}, lastErr
+		}
+		if err := c.sleep(ctx, attempt, 0); err != nil {
+			return Response{}, lastErr
+		}
+	}
+}
+
+// attemptResult is one attempt's outcome before retry policy.
+type attemptResult struct {
+	Status     int
+	body       []byte
+	header     string        // Location, for redirects
+	retryAfter time.Duration // parsed Retry-After, 0 if absent
+}
+
+func (c *Client) attempt(ctx context.Context, method, url string, body []byte, headers map[string]string) (attemptResult, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, url, rd)
+	if err != nil {
+		return attemptResult{}, err
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	c.Stats.Attempts.Add(1)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return attemptResult{}, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// A truncated response is a wire fault, not an answer: the
+		// status line arrived but the ack did not. Treat as ambiguous.
+		return attemptResult{}, err
+	}
+	res := attemptResult{Status: resp.StatusCode, body: out, header: resp.Header.Get("Location")}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+			res.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return res, nil
+}
+
+// sleep parks between attempts: the server's Retry-After hint when
+// present (capped at MaxBackoff — a hinted wait is still bounded),
+// otherwise full-jitter exponential backoff. ctx death cuts it short.
+func (c *Client) sleep(ctx context.Context, attempt int, hint time.Duration) error {
+	var d time.Duration
+	if hint > 0 {
+		c.Stats.RetryAfterWaits.Add(1)
+		d = hint
+		if d > c.cfg.MaxBackoff {
+			d = c.cfg.MaxBackoff
+		}
+	} else {
+		backoff := c.cfg.BaseBackoff << uint(attempt)
+		if backoff > c.cfg.MaxBackoff || backoff <= 0 {
+			backoff = c.cfg.MaxBackoff
+		}
+		c.mu.Lock()
+		d = time.Duration(c.rng.Int63n(int64(backoff) + 1))
+		c.mu.Unlock()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

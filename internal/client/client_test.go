@@ -1,0 +1,193 @@
+package client
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastClient(retries int) *Client {
+	return New(Config{
+		MaxRetries:     retries,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		Rand:           rand.New(rand.NewSource(1)),
+	})
+}
+
+func TestDoRetriesTransientFailures(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != "payload" {
+			t.Errorf("attempt %d body = %q, want payload", hits.Load(), body)
+		}
+		switch hits.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("done"))
+		}
+	}))
+	defer srv.Close()
+
+	c := fastClient(4)
+	resp, err := c.Do(context.Background(), "POST", srv.URL, []byte("payload"), nil)
+	if err != nil || resp.Status != http.StatusOK || string(resp.Body) != "done" {
+		t.Fatalf("Do = %+v, %v", resp, err)
+	}
+	if got := c.Stats.Retries.Load(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	if got := c.Stats.Attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+func TestDoHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	// MaxBackoff 5ms caps the hinted 1s wait, keeping the test quick
+	// while still exercising the Retry-After branch.
+	c := fastClient(2)
+	resp, err := c.Do(context.Background(), "POST", srv.URL, nil, nil)
+	if err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("Do = %+v, %v", resp, err)
+	}
+	if got := c.Stats.RetryAfterWaits.Load(); got != 1 {
+		t.Fatalf("retry-after waits = %d, want 1", got)
+	}
+}
+
+func TestDoFailsFastOnClientErrors(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"seq gap"}`))
+	}))
+	defer srv.Close()
+
+	c := fastClient(5)
+	resp, err := c.Do(context.Background(), "POST", srv.URL, nil, nil)
+	if err != nil || resp.Status != http.StatusConflict {
+		t.Fatalf("Do = %+v, %v", resp, err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("4xx retried: %d attempts", hits.Load())
+	}
+}
+
+func TestDoFollowsRedirectWithSameBody(t *testing.T) {
+	var ownerBody atomic.Value
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		ownerBody.Store(string(b))
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer owner.Close()
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Location", owner.URL)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	c := fastClient(3)
+	resp, err := c.Do(context.Background(), "POST", front.URL, []byte("ndjson"), map[string]string{"X-Producer-Id": "p"})
+	if err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("Do = %+v, %v", resp, err)
+	}
+	if got, _ := ownerBody.Load().(string); got != "ndjson" {
+		t.Fatalf("owner saw body %q, want the original bytes", got)
+	}
+	if got := c.Stats.Redirects.Load(); got != 1 {
+		t.Fatalf("redirects = %d, want 1", got)
+	}
+}
+
+func TestDoRetriesConnectionFaults(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Cut the connection mid-response: the client must treat
+			// the ambiguous outcome as retryable.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := fastClient(3)
+	resp, err := c.Do(context.Background(), "POST", srv.URL, []byte("x"), nil)
+	if err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("Do = %+v, %v", resp, err)
+	}
+	if got := c.Stats.NetErrors.Load(); got == 0 {
+		t.Fatal("connection cut not counted as a net error")
+	}
+}
+
+func TestDoExhaustsRetriesAndReportsLastStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := fastClient(2)
+	resp, err := c.Do(context.Background(), "POST", srv.URL, nil, nil)
+	if err != nil || resp.Status != http.StatusServiceUnavailable {
+		t.Fatalf("Do = %+v, %v", resp, err)
+	}
+	if got := c.Stats.Attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestDoStopsOnContextDeath(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(Config{
+		MaxRetries:  100,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		Rand:        rand.New(rand.NewSource(1)),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Do(ctx, "POST", srv.URL, nil, nil)
+	if err != nil && ctx.Err() == nil {
+		t.Fatalf("Do = %v before ctx death", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Do outlived its context by far")
+	}
+}

@@ -381,6 +381,8 @@ func handleFleetMetrics(c *Controller, w http.ResponseWriter, r *http.Request) {
 	var (
 		fleet    stats.Histogram
 		arrivals uint64
+		dedup    uint64
+		shed     uint64
 		backlog  int64
 		sessions int64
 		alive    int
@@ -398,6 +400,8 @@ func handleFleetMetrics(c *Controller, w http.ResponseWriter, r *http.Request) {
 		scraped++
 		fleet.Merge(&ns.Latency)
 		arrivals += ns.Arrivals
+		dedup += ns.Dedup
+		shed += ns.Shed
 		backlog += int64(ns.Backlog)
 		sessions += ns.SessionsLive
 	}
@@ -411,6 +415,8 @@ func handleFleetMetrics(c *Controller, w http.ResponseWriter, r *http.Request) {
 	b = promtext.AppendInt(b, "schedd_fleet_sessions_live", "Live sessions across the fleet.", "gauge", sessions)
 	b = promtext.AppendInt(b, "schedd_fleet_backlog", "Queued-but-unapplied arrivals across the fleet.", "gauge", backlog)
 	b = promtext.AppendUint(b, "schedd_fleet_arrivals_total", "Arrivals applied across the fleet.", "counter", arrivals)
+	b = promtext.AppendUint(b, "schedd_fleet_dedup_suppressed_total", "Duplicate stamped batches suppressed across the fleet.", "counter", dedup)
+	b = promtext.AppendUint(b, "schedd_fleet_shed_total", "Submits shed with 429 across the fleet.", "counter", shed)
 	b = promtext.AppendHistogram(b, "schedd_fleet_arrival_latency_seconds",
 		"Fleet-wide per-arrival apply latency (exact merge of per-node histograms).", fleet)
 	p50, p99 := 0.0, 0.0

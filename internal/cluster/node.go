@@ -27,10 +27,17 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/wal"
 )
+
+// pullClient carries the migration pull path's export fetches: capped
+// backoff with jitter over a private transport, shared by every pull
+// this process serves. A 30s attempt budget covers a large tenant's
+// WAL stream.
+var pullClient = client.New(client.Config{AttemptTimeout: 30 * time.Second})
 
 // NodeStats is one worker's stat snapshot: the counters the fleet
 // view aggregates, with the latency histogram in its exact wire form
@@ -40,6 +47,8 @@ type NodeStats struct {
 	SessionsLive int64           `json:"sessionsLive"`
 	Backlog      int             `json:"backlog"`
 	Arrivals     uint64          `json:"arrivals"`
+	Dedup        uint64          `json:"dedup,omitempty"`
+	Shed         uint64          `json:"shed,omitempty"`
 	Latency      stats.Histogram `json:"latency"`
 }
 
@@ -88,6 +97,8 @@ func NewNodeHandler(name string, h *serve.Host, st *wal.Store, fence *EpochFence
 			SessionsLive: m.SessionsLive(),
 			Backlog:      h.Backlog(),
 			Arrivals:     m.Arrivals(),
+			Dedup:        m.DedupSuppressed(),
+			Shed:         m.Sheds(),
 			Latency:      m.Latency(),
 		})
 	})
@@ -152,23 +163,21 @@ func handlePull(h *serve.Host, st *wal.Store, w http.ResponseWriter, r *http.Req
 		writeNodeErr(w, http.StatusBadRequest, errors.New("missing from parameter"))
 		return
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
-		from+"/v1/node/export?tenant="+tenant, nil)
-	if err != nil {
-		writeNodeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	resp, err := http.DefaultClient.Do(req)
+	// The export fetch rides the resilient client: a reset or stalled
+	// source is retried with backoff, which is safe because export is
+	// idempotent on a detached tenant and the import's CRC framing
+	// refuses any truncated transfer atomically.
+	resp, err := pullClient.Do(r.Context(), http.MethodGet,
+		from+"/v1/node/export?tenant="+tenant, nil, nil)
 	if err != nil {
 		writeNodeErr(w, http.StatusBadGateway, fmt.Errorf("fetching export from %s: %w", from, err))
 		return
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		writeNodeErr(w, http.StatusBadGateway, fmt.Errorf("source %s refused export: status %d", from, resp.StatusCode))
+	if resp.Status != http.StatusOK {
+		writeNodeErr(w, http.StatusBadGateway, fmt.Errorf("source %s refused export: status %d", from, resp.Status))
 		return
 	}
-	if err := st.Import(tenant, resp.Body); err != nil {
+	if err := st.Import(tenant, bytes.NewReader(resp.Body)); err != nil {
 		writeNodeErr(w, http.StatusConflict, err)
 		return
 	}

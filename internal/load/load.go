@@ -27,8 +27,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/job"
 	"repro/internal/pool"
@@ -91,6 +93,15 @@ type Config struct {
 	Workers int
 	// Prefix namespaces the tenant ids (default "lg").
 	Prefix string
+	// Unstamped turns producer stamping off. By default every arrival
+	// request carries an idempotency stamp (producer = tenant id,
+	// monotone sequence), which is what makes the resilient client's
+	// retries of ambiguous outcomes exactly-once on the server.
+	Unstamped bool
+	// Retry tunes the resilient client's backoff loop; the zero value
+	// uses internal/client defaults (4 retries, 50ms base, 2s cap).
+	// The HTTPClient field is overridden by Config.Client when set.
+	Retry client.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +165,24 @@ type Report struct {
 	// anywhere in the driver stack. It counts the whole process, so
 	// treat it as a trend line, not an exact attribution.
 	AllocsPerArrival float64
+	// Retries counts HTTP attempts beyond each request's first — the
+	// resilient client riding out faults.
+	Retries uint64
+	// DupsSuppressed counts acks the server marked deduped: retried
+	// deliveries whose original had already been applied, suppressed
+	// by the idempotency window. Nonzero DupsSuppressed with correct
+	// results is exactly-once working as designed.
+	DupsSuppressed uint64
+	// Shed429 counts 429/503 answers — the server shedding load
+	// instead of stalling.
+	Shed429 uint64
+	// RetryAfterWaits counts backoff sleeps that honored a server
+	// Retry-After hint rather than the local schedule.
+	RetryAfterWaits uint64
+	// NetErrors counts attempts that died on the wire (connection cut,
+	// reset, truncated response) — the ambiguous outcomes that forced
+	// idempotent retries.
+	NetErrors uint64
 	// Results holds every tenant's outcome, in tenant index order
 	// (the numeric suffix of the ids).
 	Results []TenantResult
@@ -193,16 +222,30 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	hists := make([]stats.Histogram, cfg.Tenants)
 
 	serverBefore, serverOK := scrapeFleetArrivals(ctx, cfg, targets)
+	// One resilient client for the whole run: its stats are the
+	// report's resilience columns, and sharing the transport keeps
+	// connection reuse across tenants.
+	retry := cfg.Retry
+	if cfg.Client != http.DefaultClient {
+		retry.HTTPClient = cfg.Client
+	}
+	rc := client.New(retry)
+	var dups atomic.Uint64
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	err := pool.RunCtx(ctx, cfg.Tenants, cfg.Workers, func(i int) error {
 		id := fmt.Sprintf("%s-%d", cfg.Prefix, i)
 		results[i] = TenantResult{ID: id, Instance: instances[i]}
-		tc := &tenantClient{cfg: cfg, id: id, base: targets[i%len(targets)]}
+		tc := &tenantClient{cfg: cfg, id: id, base: targets[i%len(targets)], rc: rc, dups: &dups}
 		return tc.run(ctx, instances[i], &results[i], &hists[i])
 	})
 	rep := &Report{Tenants: cfg.Tenants, Elapsed: time.Since(start)}
+	rep.Retries = rc.Stats.Retries.Load()
+	rep.Shed429 = rc.Stats.Sheds.Load()
+	rep.RetryAfterWaits = rc.Stats.RetryAfterWaits.Load()
+	rep.NetErrors = rc.Stats.NetErrors.Load()
+	rep.DupsSuppressed = dups.Load()
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
 	for i := range results {
@@ -245,15 +288,20 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 }
 
 // tenantClient is one tenant's connection state: the NDJSON body
-// under construction and the response read buffer, both reused for
-// every request of the tenant's life — the client-side mirror of the
-// daemon's pooled decode/encode.
+// under construction (reused for every request of the tenant's life —
+// the client-side mirror of the daemon's pooled decode/encode), the
+// shared resilient client, and the tenant's producer sequence. The
+// tenant id doubles as the producer id: one session, one producer,
+// one monotone sequence — which is exactly the server's dedup-window
+// contract.
 type tenantClient struct {
 	cfg  Config
 	id   string
 	base string // this tenant's endpoint
+	rc   *client.Client
+	dups *atomic.Uint64 // run-wide deduped-ack counter
+	seq  uint64         // producer sequence; next batch is seq+1
 	body []byte
-	resp bytes.Buffer
 }
 
 // run is one tenant's whole lifecycle against the daemon.
@@ -294,29 +342,19 @@ func (tc *tenantClient) run(ctx context.Context, in *job.Instance, out *TenantRe
 	return nil
 }
 
-// do issues one request and returns the raw response body, which
-// stays valid until the tenant's next request (the read buffer is
-// reused). Non-2xx responses become errors carrying the server's
+// do issues one request through the resilient client — retries,
+// backoff, Retry-After and redirects included — and returns the final
+// response body. Non-2xx outcomes become errors carrying the server's
 // message.
-func (tc *tenantClient) do(ctx context.Context, method, path string, body io.Reader) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, method, tc.base+path, body)
+func (tc *tenantClient) do(ctx context.Context, method, path string, body []byte, headers map[string]string) ([]byte, error) {
+	resp, err := tc.rc.Do(ctx, method, tc.base+path, body, headers)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := tc.cfg.Client.Do(req)
-	if err != nil {
-		return nil, err
+	if resp.Status/100 != 2 {
+		return nil, fmt.Errorf("%s %s: status %d: %s", method, path, resp.Status, bytes.TrimSpace(resp.Body))
 	}
-	defer resp.Body.Close()
-	tc.resp.Reset()
-	if _, err := tc.resp.ReadFrom(resp.Body); err != nil {
-		return nil, err
-	}
-	raw := tc.resp.Bytes()
-	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(raw))
-	}
-	return raw, nil
+	return resp.Body, nil
 }
 
 func (tc *tenantClient) create(ctx context.Context) error {
@@ -324,30 +362,47 @@ func (tc *tenantClient) create(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	_, err = tc.do(ctx, http.MethodPost, "/v1/sessions", bytes.NewReader(body))
+	// Create is retry-safe without a stamp: the server acks a
+	// byte-identical duplicate create with 200.
+	_, err = tc.do(ctx, http.MethodPost, "/v1/sessions", body, nil)
 	return err
 }
 
 // postBatch delivers one NDJSON request of arrivals and charges each
-// its amortized share of the round trip.
+// its amortized share of the round trip. Unless Unstamped, the batch
+// carries the tenant's producer stamp, so a retried delivery (lost
+// ack, duplicated connection) is suppressed server-side and acked
+// deduped — which this client counts but treats as success.
 func (tc *tenantClient) postBatch(ctx context.Context, batch []job.Job, hist *stats.Histogram) error {
 	tc.body = tc.body[:0]
 	for _, j := range batch {
 		tc.body = job.AppendJSON(tc.body, j)
 		tc.body = append(tc.body, '\n')
 	}
+	var headers map[string]string
+	if !tc.cfg.Unstamped {
+		tc.seq++
+		headers = map[string]string{
+			"X-Producer-Id":  tc.id,
+			"X-Producer-Seq": strconv.FormatUint(tc.seq, 10),
+		}
+	}
 	t0 := time.Now()
-	raw, err := tc.do(ctx, http.MethodPost, "/v1/sessions/"+tc.id+"/arrivals", bytes.NewReader(tc.body))
+	raw, err := tc.do(ctx, http.MethodPost, "/v1/sessions/"+tc.id+"/arrivals", tc.body, headers)
 	if err != nil {
 		return err
 	}
 	hist.ObserveN(time.Since(t0).Seconds()/float64(len(batch)), uint64(len(batch)))
 	var ack struct {
 		Accepted int    `json:"accepted"`
+		Deduped  bool   `json:"deduped"`
 		Error    string `json:"error"`
 	}
 	if err := json.Unmarshal(raw, &ack); err != nil {
 		return err
+	}
+	if ack.Deduped {
+		tc.dups.Add(1)
 	}
 	if ack.Accepted != len(batch) {
 		return fmt.Errorf("batch partially accepted (%d of %d): job %d: %s",
@@ -372,7 +427,9 @@ func (tc *tenantClient) rejectedJobID(accepted int) int {
 }
 
 func (tc *tenantClient) close(ctx context.Context) (*engine.Result, error) {
-	raw, err := tc.do(ctx, http.MethodDelete, "/v1/sessions/"+tc.id, nil)
+	// Close is retry-safe: a lost DELETE ack is re-served from the
+	// daemon's closed-result cache on the retry.
+	raw, err := tc.do(ctx, http.MethodDelete, "/v1/sessions/"+tc.id, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -456,6 +513,11 @@ func (r *Report) Render(w io.Writer, verbose bool) error {
 	}
 	if _, err := fmt.Fprintf(w, "latency (s): %s\nclient allocs/arrival: %.1f\n",
 		r.Latency.String(), r.AllocsPerArrival); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"resilience: %d retries, %d duplicates suppressed, %d shed (429/503), %d retry-after waits, %d net errors\n",
+		r.Retries, r.DupsSuppressed, r.Shed429, r.RetryAfterWaits, r.NetErrors); err != nil {
 		return err
 	}
 	for _, nr := range r.PerNode {

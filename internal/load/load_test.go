@@ -12,11 +12,24 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/job"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// newTestTenant builds a tenantClient over an httptest server with the
+// shared resilient client wired in, as Run would.
+func newTestTenant(srv *httptest.Server) *tenantClient {
+	cfg := Config{BaseURL: srv.URL, Client: srv.Client()}.withDefaults()
+	var dups atomic.Uint64
+	return &tenantClient{
+		cfg: cfg, id: "t-0", base: srv.URL,
+		rc:   client.New(client.Config{HTTPClient: cfg.Client}),
+		dups: &dups,
+	}
+}
 
 func TestGeneratorKinds(t *testing.T) {
 	for _, kind := range []string{"uniform", "poisson", "diurnal", "bursty", "heavytail"} {
@@ -66,7 +79,7 @@ func TestPostBatchBody(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	tc := &tenantClient{cfg: Config{BaseURL: srv.URL, Client: srv.Client()}.withDefaults(), id: "t-0", base: srv.URL}
+	tc := newTestTenant(srv)
 	batch := []job.Job{
 		{ID: 7, Release: 0.5, Deadline: 1.5, Work: 0.25},
 		{ID: 8, Release: 0.75, Deadline: 2, Work: 0.5},
@@ -97,7 +110,7 @@ func TestPostBatchRejectionAttribution(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	tc := &tenantClient{cfg: Config{BaseURL: srv.URL, Client: srv.Client()}.withDefaults(), id: "t-0", base: srv.URL}
+	tc := newTestTenant(srv)
 	batch := []job.Job{
 		{ID: 41, Release: 0, Deadline: 1, Work: 0.1},
 		{ID: 42, Release: 1, Deadline: 2, Work: 0.1},

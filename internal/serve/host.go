@@ -32,11 +32,14 @@ import (
 
 // Sentinel errors the HTTP layer maps onto status codes.
 var (
-	ErrDraining  = errors.New("serve: host is draining")
-	ErrNotFound  = errors.New("serve: no such session")
-	ErrDuplicate = errors.New("serve: session already exists")
-	ErrAdmission = errors.New("serve: session limit reached")
-	ErrClosing   = errors.New("serve: session is closing")
+	ErrDraining   = errors.New("serve: host is draining")
+	ErrNotFound   = errors.New("serve: no such session")
+	ErrDuplicate  = errors.New("serve: session already exists")
+	ErrAdmission  = errors.New("serve: session limit reached")
+	ErrClosing    = errors.New("serve: session is closing")
+	ErrOverloaded = errors.New("serve: overloaded")
+	ErrSeqGap     = errors.New("serve: producer sequence gap")
+	ErrTooLarge   = errors.New("serve: stamped batch exceeds the backlog bound")
 )
 
 // Config sizes the host. The zero value gets sensible defaults.
@@ -69,6 +72,24 @@ type Config struct {
 	// refused an arrival is never checkpointed again, so the full log
 	// stays replayable into the exact error state.
 	CheckpointEvery int
+	// ShedAfter bounds how long a submit may park on a full queue
+	// before the host sheds it with ErrOverloaded (429 + Retry-After at
+	// the HTTP layer) instead of stalling the client forever. 0 (the
+	// default) keeps the legacy behavior: park until space, ctx death
+	// or close. Per-tenant fair by construction — each session parks on
+	// its own queue, so one tenant's saturation sheds only that
+	// tenant's submits.
+	ShedAfter time.Duration
+	// MaxProducers bounds each session's dedup window: distinct
+	// producer ids tracked per tenant (default 256). A saturated window
+	// sheds new producers with ErrOverloaded rather than growing
+	// without bound.
+	MaxProducers int
+	// ClosedResults sizes the host's cache of final Results for closed
+	// sessions (default 128), which makes DELETE idempotent: a client
+	// whose close ack was lost on the wire retries and receives the
+	// same verified Result instead of a 404. Negative disables.
+	ClosedResults int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +107,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBacklog <= 0 {
 		c.MaxBacklog = 256
+	}
+	if c.MaxProducers <= 0 {
+		c.MaxProducers = 256
+	}
+	if c.ClosedResults == 0 {
+		c.ClosedResults = 128
 	}
 	if c.Registry == nil {
 		c.Registry = engine.DefaultRegistry()
@@ -121,6 +148,13 @@ type Host struct {
 	// draining, so no session can slip past the drain snapshot.
 	creating sync.WaitGroup
 
+	// closed is the bounded FIFO cache of final Results, keyed by
+	// tenant id: the idempotent-close window. A DELETE retried after a
+	// lost ack finds its Result here instead of a 404.
+	closedMu    sync.Mutex
+	closedRes   map[string]*engine.Result
+	closedOrder []string
+
 	nextID atomic.Uint64
 }
 
@@ -136,7 +170,41 @@ func NewHost(cfg Config) *Host {
 	for i := range h.shards {
 		h.shards[i].sessions = make(map[string]*Session)
 	}
+	if cfg.ClosedResults > 0 {
+		h.closedRes = make(map[string]*engine.Result)
+	}
 	return h
+}
+
+// cacheClosed remembers a closed session's final Result (bounded FIFO)
+// so a retried DELETE can be answered idempotently.
+func (h *Host) cacheClosed(id string, res *engine.Result) {
+	if h.closedRes == nil || res == nil {
+		return
+	}
+	h.closedMu.Lock()
+	if _, dup := h.closedRes[id]; !dup {
+		h.closedOrder = append(h.closedOrder, id)
+		if len(h.closedOrder) > h.cfg.ClosedResults {
+			evict := h.closedOrder[0]
+			h.closedOrder = h.closedOrder[1:]
+			delete(h.closedRes, evict)
+		}
+	}
+	h.closedRes[id] = res
+	h.closedMu.Unlock()
+}
+
+// ClosedResult returns the cached final Result of a recently closed
+// session, if the idempotent-close window still holds it.
+func (h *Host) ClosedResult(id string) (*engine.Result, bool) {
+	if h.closedRes == nil {
+		return nil, false
+	}
+	h.closedMu.Lock()
+	res, ok := h.closedRes[id]
+	h.closedMu.Unlock()
+	return res, ok
 }
 
 // Metrics returns the host's metrics core.
@@ -190,11 +258,44 @@ type Session struct {
 	wlog *wal.Log
 	base uint64
 
+	// producers is the handler-side dedup window: per producer id, the
+	// highest *submitted* sequence with its accepted count and
+	// durable-ack log position. A retry whose seq is at or below the
+	// window is acked from it without re-applying. Guarded by pmu; each
+	// producer entry then serializes its own requests through its own
+	// lock (a producer's batches are logically serial — one in flight —
+	// so a timed-out original and its retry never race the window).
+	pmu       sync.Mutex //schedlint:nocallout dedup window: map get/insert only
+	producers map[string]*producer
+
+	// logged is the applier-side dedup window: per producer, the highest
+	// sequence actually written to the WAL. Only the applier goroutine
+	// touches it (attach seeds it before the goroutine starts), so the
+	// checkpoint — which also runs on the applier — records windows that
+	// exactly match the logged history at the cut, never a submitted-
+	// but-unlogged batch a crash would lose.
+	logged map[string]walWindow
+
 	// err is guarded separately from the run: the applier holds mu for
 	// the whole of a (possibly slow) batch apply, and Submit must be
 	// able to fail fast on a recorded error without waiting for it.
 	errMu sync.Mutex
 	err   error // first refused arrival; later submits fail fast with it
+}
+
+// producer is one producer's slot in the handler-side dedup window.
+type producer struct {
+	mu       sync.Mutex // serializes same-producer submits (incl. retries of an in-flight batch)
+	seq      uint64     // highest submitted sequence; 0 = none yet
+	accepted int        // line count of that batch, replayed in duplicate acks
+	pos      uint64     // absolute log position of its last job — the durable-ack gate
+}
+
+// walWindow is the durable half of a producer's window: what the WAL
+// (and so recovery) knows.
+type walWindow struct {
+	Seq      uint64
+	Accepted int
 }
 
 // Create opens a session for the tenant id (a fresh "s-<n>" id when
@@ -247,12 +348,14 @@ func (h *Host) Create(id string, spec engine.Spec) (*Session, error) {
 	stripe := stripeOf(id)
 	s := &Session{
 		ID: id, Spec: spec, host: h,
-		queue:   newArrq(h.cfg.MaxBacklog, h.backlog.Cell(stripe)),
-		done:    make(chan struct{}),
-		closeCh: make(chan struct{}),
-		stripe:  stripe,
-		run:     run,
-		wlog:    wlog,
+		queue:     newArrq(h.cfg.MaxBacklog, h.backlog.Cell(stripe)),
+		done:      make(chan struct{}),
+		closeCh:   make(chan struct{}),
+		stripe:    stripe,
+		run:       run,
+		wlog:      wlog,
+		producers: make(map[string]*producer),
+		logged:    make(map[string]walWindow),
 	}
 	sh := h.shardOf(id)
 	sh.mu.Lock()
@@ -318,7 +421,13 @@ func (h *Host) CloseCtx(ctx context.Context, id string) (*engine.Result, error) 
 		// A concurrent Close won the race to unregister.
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
-	return s.finish(ctx)
+	res, err := s.finish(ctx)
+	if err == nil {
+		// The idempotent-close window: a retried DELETE whose ack was
+		// lost on the wire replays the same verified Result.
+		h.cacheClosed(id, res)
+	}
+	return res, err
 }
 
 // Detach seals a session for migration: the tenant is unregistered
@@ -446,20 +555,29 @@ func (s *Session) apply() {
 	max := s.host.cfg.MaxApplyBatch
 	scratch := make([]job.Job, 0, s.host.cfg.MaxBacklog)
 	for {
-		batch, done := s.queue.drainTo(scratch[:0], max)
+		batch, st, done := s.queue.drainTo(scratch[:0], max)
 		if len(batch) > 0 {
 			if s.wlog != nil {
 				// Log the raw drained batch — refusals included, so replay
-				// reproduces them — before the engine sees it. The append
-				// hits the page cache only; durability is the group
-				// fsync's job, and acks wait on it, not here. A dead log
-				// fails the batch without applying it: state the WAL
-				// never saw must not exist in memory either.
-				if _, err := s.wlog.AppendBatch(batch); err != nil {
+				// reproduces them — before the engine sees it. A stamped
+				// batch drains whole and is journaled with its (producer,
+				// seq), so recovery rebuilds the dedup window from the
+				// same record that rebuilds the session. The append hits
+				// the page cache only; durability is the group fsync's
+				// job, and acks wait on it, not here. A dead log fails
+				// the batch without applying it: state the WAL never saw
+				// must not exist in memory either.
+				if _, err := s.wlog.AppendStamped(st.producer, st.seq, batch); err != nil {
 					s.recordErr(err)
 					s.host.metrics.arrivalsFailed(len(batch))
 					continue
 				}
+			}
+			if st.producer != "" {
+				// Applier-owned: the durable window the next checkpoint
+				// meta records. Tracks logged state only, never a
+				// submitted batch still in the ring.
+				s.logged[st.producer] = walWindow{Seq: st.seq, Accepted: len(batch)}
 			}
 			s.mu.Lock()
 			start := time.Now()
@@ -512,6 +630,8 @@ func (s *Session) Submit(ctx context.Context, j job.Job) error {
 // O(1/batch) instead of O(1).
 func (s *Session) SubmitBatch(ctx context.Context, js []job.Job) (int, error) {
 	queued := 0
+	var shed <-chan time.Time
+	var shedTimer *time.Timer
 	for {
 		if err := s.firstErr(); err != nil {
 			return queued, err
@@ -523,17 +643,146 @@ func (s *Session) SubmitBatch(ctx context.Context, js []job.Job) (int, error) {
 		queued += k
 		js = js[k:]
 		if len(js) == 0 {
+			if shedTimer != nil {
+				shedTimer.Stop()
+			}
 			return queued, nil
 		}
 		// Full: park until the applier frees space, the caller gives
-		// up, or the session starts closing (closeCh releases parked
-		// submitters even when a stuck policy never frees space).
+		// up, the session starts closing (closeCh releases parked
+		// submitters even when a stuck policy never frees space), or —
+		// with ShedAfter set — the shed deadline passes and the host
+		// degrades gracefully with 429 instead of an unbounded stall.
+		if shed == nil && s.host.cfg.ShedAfter > 0 {
+			shedTimer = time.NewTimer(s.host.cfg.ShedAfter)
+			shed = shedTimer.C
+		}
 		select {
 		case <-s.queue.space:
 		case <-ctx.Done():
+			if shedTimer != nil {
+				shedTimer.Stop()
+			}
 			return queued, ctx.Err()
 		case <-s.closeCh:
+			if shedTimer != nil {
+				shedTimer.Stop()
+			}
 			return queued, fmt.Errorf("%w: %q", ErrClosing, s.ID)
+		case <-shed:
+			s.host.metrics.shedRecorded(s.stripe)
+			return queued, fmt.Errorf("%w: %q backlog full for %v", ErrOverloaded, s.ID, s.host.cfg.ShedAfter)
+		}
+	}
+}
+
+// lookupProducer reads the dedup window — the per-request cost of an
+// idempotent submit. A map read on a string the HTTP layer already
+// holds: no allocation, no new lock beyond pmu.
+//
+//schedlint:hotpath
+func (s *Session) lookupProducer(prod string) *producer {
+	s.pmu.Lock()
+	p := s.producers[prod]
+	s.pmu.Unlock()
+	return p
+}
+
+// newProducer admits a producer into the dedup window, shedding when
+// the window is saturated. Once per producer lifetime — cold.
+//
+//schedlint:coldpath
+func (s *Session) newProducer(prod string) (*producer, error) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if p := s.producers[prod]; p != nil {
+		return p, nil
+	}
+	if len(s.producers) >= s.host.cfg.MaxProducers {
+		s.host.metrics.shedRecorded(s.stripe)
+		return nil, fmt.Errorf("%w: %q dedup window full (%d producers)", ErrOverloaded, s.ID, s.host.cfg.MaxProducers)
+	}
+	p := &producer{}
+	s.producers[prod] = p
+	return p, nil
+}
+
+// SubmitStamped queues one producer-stamped batch exactly-once: a
+// sequence at or below the producer's window is a duplicate delivery
+// (client retry, redirect body replay, post-crash resend) and is acked
+// from the window — accepted count and durable position of the
+// original — without touching the queue; the next sequence is admitted
+// atomically (whole batch, one WAL record downstream) and advances the
+// window; anything further ahead is a client bug, refused with
+// ErrSeqGap. dup reports the suppressed case; pos is the log position
+// the caller must WaitDurable on before acking.
+func (s *Session) SubmitStamped(ctx context.Context, prod string, seq uint64, js []job.Job) (accepted int, pos uint64, dup bool, err error) {
+	if seq == 0 {
+		return 0, 0, false, fmt.Errorf("%w: producer %q sequence must start at 1", ErrSeqGap, prod)
+	}
+	p := s.lookupProducer(prod)
+	if p == nil {
+		if p, err = s.newProducer(prod); err != nil {
+			return 0, 0, false, err
+		}
+	}
+	// One producer, one lock: a retry racing its still-in-flight
+	// original parks here and then reads the settled window.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if seq <= p.seq {
+		s.host.metrics.dedupSuppressed(s.stripe)
+		return p.accepted, p.pos, true, nil
+	}
+	if seq != p.seq+1 {
+		return 0, 0, false, fmt.Errorf("%w: producer %q sent seq %d after %d", ErrSeqGap, prod, seq, p.seq)
+	}
+	if len(js) == 0 {
+		// An empty batch is a no-op: advance the window (the retry acks
+		// as a duplicate) without queueing. Nothing reaches the WAL, so
+		// a crash forgets it — and replaying a no-op is still a no-op.
+		p.seq, p.accepted = seq, 0
+		return 0, p.pos, false, nil
+	}
+	var shed <-chan time.Time
+	var shedTimer *time.Timer
+	for {
+		if err := s.firstErr(); err != nil {
+			return 0, 0, false, err
+		}
+		qpos, ok, closed, tooBig := s.queue.pushAll(js, prod, seq)
+		if closed {
+			return 0, 0, false, fmt.Errorf("%w: %q", ErrClosing, s.ID)
+		}
+		if tooBig {
+			return 0, 0, false, fmt.Errorf("%w: %d jobs > backlog %d", ErrTooLarge, len(js), s.host.cfg.MaxBacklog)
+		}
+		if ok {
+			if shedTimer != nil {
+				shedTimer.Stop()
+			}
+			p.seq, p.accepted, p.pos = seq, len(js), s.base+qpos
+			return len(js), p.pos, false, nil
+		}
+		if shed == nil && s.host.cfg.ShedAfter > 0 {
+			shedTimer = time.NewTimer(s.host.cfg.ShedAfter)
+			shed = shedTimer.C
+		}
+		select {
+		case <-s.queue.space:
+		case <-ctx.Done():
+			if shedTimer != nil {
+				shedTimer.Stop()
+			}
+			return 0, 0, false, ctx.Err()
+		case <-s.closeCh:
+			if shedTimer != nil {
+				shedTimer.Stop()
+			}
+			return 0, 0, false, fmt.Errorf("%w: %q", ErrClosing, s.ID)
+		case <-shed:
+			s.host.metrics.shedRecorded(s.stripe)
+			return 0, 0, false, fmt.Errorf("%w: %q backlog full for %v", ErrOverloaded, s.ID, s.host.cfg.ShedAfter)
 		}
 	}
 }

@@ -74,14 +74,24 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrDuplicate), errors.Is(err, ErrClosing):
+	case errors.Is(err, ErrDuplicate), errors.Is(err, ErrClosing), errors.Is(err, ErrSeqGap):
 		return http.StatusConflict
-	case errors.Is(err, ErrAdmission):
+	case errors.Is(err, ErrAdmission), errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
 	default:
 		return http.StatusBadRequest
+	}
+}
+
+// retryAfter stamps shedding responses (429/503) with the standard
+// back-off hint the resilient client honors.
+func retryAfter(w http.ResponseWriter, status int) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
 	}
 }
 
@@ -96,7 +106,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, statusOf(err), map[string]string{"error": err.Error()})
+	status := statusOf(err)
+	retryAfter(w, status)
+	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 // --- pooled hand-rolled responses (hot path) ---
@@ -145,6 +157,16 @@ func handleCreate(h *Host, w http.ResponseWriter, r *http.Request) {
 	}
 	s, err := h.Create(req.ID, req.Spec)
 	if err != nil {
+		// Idempotent create: a retried POST whose first response was
+		// lost hits ErrDuplicate. If the live session's spec matches the
+		// request byte-for-byte it is the same create, acked 200.
+		if errors.Is(err, ErrDuplicate) && req.ID != "" {
+			if live, gerr := h.Get(req.ID); gerr == nil &&
+				string(live.Spec.AppendJSON(nil)) == string(req.Spec.AppendJSON(nil)) {
+				writeJSON(w, http.StatusOK, createResponse{ID: live.ID, Policy: live.Spec.Name})
+				return
+			}
+		}
 		writeError(w, err)
 		return
 	}
@@ -155,17 +177,23 @@ func handleCreate(h *Host, w http.ResponseWriter, r *http.Request) {
 type arrivalsResponse struct {
 	ID       string `json:"id"`
 	Accepted int    `json:"accepted"`
+	Deduped  bool   `json:"deduped,omitempty"`
 	Error    string `json:"error,omitempty"`
 }
 
 // writeArrivals renders the acknowledgement by hand into a pooled
 // buffer — the per-request response cost of the ingest hot path.
-func writeArrivals(w http.ResponseWriter, status int, id string, accepted int, errMsg string) {
+// deduped marks a replayed stamped batch acked from the window.
+func writeArrivals(w http.ResponseWriter, status int, id string, accepted int, deduped bool, errMsg string) {
+	retryAfter(w, status)
 	bp := respPool.Get().(*[]byte)
 	b := append((*bp)[:0], `{"id":`...)
 	b = appendJSONString(b, id)
 	b = append(b, `,"accepted":`...)
 	b = strconv.AppendInt(b, int64(accepted), 10)
+	if deduped {
+		b = append(b, `,"deduped":true`...)
+	}
 	if errMsg != "" {
 		b = append(b, `,"error":`...)
 		b = appendJSONString(b, errMsg)
@@ -200,6 +228,10 @@ func handleArrivals(h *Host, w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if prod := r.Header.Get("X-Producer-Id"); prod != "" {
+		handleStamped(s, w, r, prod)
+		return
+	}
 	dec := job.GetDecoder(r.Body)
 	defer job.PutDecoder(dec)
 	bp := batchPool.Get().(*[]job.Job)
@@ -231,34 +263,95 @@ func handleArrivals(h *Host, w http.ResponseWriter, r *http.Request) {
 			// report it; a submit failure takes precedence (it carries
 			// the session's state, e.g. closing).
 			if serr := flush(); serr != nil {
-				writeArrivals(w, statusOf(serr), s.ID, accepted, serr.Error())
+				writeArrivals(w, statusOf(serr), s.ID, accepted, false, serr.Error())
 				return
 			}
-			writeArrivals(w, http.StatusBadRequest, s.ID, accepted,
+			writeArrivals(w, http.StatusBadRequest, s.ID, accepted, false,
 				fmt.Sprintf("decoding arrival %d: %v", accepted, err))
 			return
 		}
 		if len(batch) == cap(batch) {
 			if serr := flush(); serr != nil {
-				writeArrivals(w, statusOf(serr), s.ID, accepted, serr.Error())
+				writeArrivals(w, statusOf(serr), s.ID, accepted, false, serr.Error())
 				return
 			}
 		}
 	}
 	if serr := flush(); serr != nil {
-		writeArrivals(w, statusOf(serr), s.ID, accepted, serr.Error())
+		writeArrivals(w, statusOf(serr), s.ID, accepted, false, serr.Error())
 		return
 	}
 	// Durable ack: on a WAL-backed host the 200 means "on disk", so
 	// park until the group fsync covers everything this stream queued.
 	if accepted > 0 {
 		if derr := s.waitDurable(r.Context()); derr != nil {
-			writeArrivals(w, http.StatusInternalServerError, s.ID, accepted,
+			writeArrivals(w, http.StatusInternalServerError, s.ID, accepted, false,
 				fmt.Sprintf("durability not confirmed: %v", derr))
 			return
 		}
 	}
-	writeArrivals(w, http.StatusOK, s.ID, accepted, "")
+	writeArrivals(w, http.StatusOK, s.ID, accepted, false, "")
+}
+
+// handleStamped consumes one producer-stamped NDJSON batch
+// (X-Producer-Id / X-Producer-Seq). Unlike the streaming path, the
+// whole body is decoded before anything is submitted: the batch is
+// the unit of idempotency, so a truncated or malformed body must
+// consume no sequence number and apply nothing — the client then
+// retries the entire batch under the same (producer, seq) and the
+// dedup window guarantees at-most-once application.
+func handleStamped(s *Session, w http.ResponseWriter, r *http.Request, prod string) {
+	seq, err := strconv.ParseUint(r.Header.Get("X-Producer-Seq"), 10, 64)
+	if err != nil {
+		writeArrivals(w, http.StatusBadRequest, s.ID, 0, false,
+			fmt.Sprintf("bad X-Producer-Seq: %v", err))
+		return
+	}
+	dec := job.GetDecoder(r.Body)
+	defer job.PutDecoder(dec)
+	bp := batchPool.Get().(*[]job.Job)
+	batch := (*bp)[:0]
+	defer func() {
+		*bp = batch[:0]
+		batchPool.Put(bp)
+	}()
+	maxJobs := s.host.cfg.MaxBacklog
+	for {
+		if len(batch) > maxJobs {
+			// Larger than the ring can ever admit: refuse before reading
+			// further (SubmitStamped would refuse it anyway; stopping here
+			// bounds the handler's buffering).
+			writeArrivals(w, http.StatusRequestEntityTooLarge, s.ID, 0, false,
+				fmt.Sprintf("stamped batch exceeds backlog bound %d", maxJobs))
+			return
+		}
+		batch = append(batch, job.Job{})
+		if err := dec.Next(&batch[len(batch)-1]); err != nil {
+			batch = batch[:len(batch)-1]
+			if err == io.EOF {
+				break
+			}
+			writeArrivals(w, http.StatusBadRequest, s.ID, 0, false,
+				fmt.Sprintf("decoding arrival %d: %v", len(batch), err))
+			return
+		}
+	}
+	accepted, pos, dup, err := s.SubmitStamped(r.Context(), prod, seq, batch)
+	if err != nil {
+		writeArrivals(w, statusOf(err), s.ID, 0, false, err.Error())
+		return
+	}
+	// Durable ack: a duplicate waits on the original's position, so a
+	// retry of a batch whose first ack was cut off still means "on
+	// disk" when the 200 lands.
+	if pos > 0 {
+		if derr := s.waitDurablePos(r.Context(), pos); derr != nil {
+			writeArrivals(w, http.StatusInternalServerError, s.ID, accepted, dup,
+				fmt.Sprintf("durability not confirmed: %v", derr))
+			return
+		}
+	}
+	writeArrivals(w, http.StatusOK, s.ID, accepted, dup, "")
 }
 
 func handleSnapshot(h *Host, w http.ResponseWriter, r *http.Request) {
@@ -303,6 +396,15 @@ func handleClose(h *Host, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	res, err := h.Close(id)
 	if err != nil {
+		// Idempotent close: a retried DELETE whose first response was
+		// lost finds the session gone — ack it again from the host's
+		// closed-result cache instead of 404ing the retry.
+		if errors.Is(err, ErrNotFound) {
+			if cached, ok := h.ClosedResult(id); ok {
+				writeJSON(w, http.StatusOK, closeResponse{ID: id, Result: cached})
+				return
+			}
+		}
 		writeError(w, err)
 		return
 	}

@@ -94,9 +94,18 @@ func TestHTTPWalkthrough(t *testing.T) {
 	if created.ID != "acme" || created.Policy != "oa" {
 		t.Fatalf("created = %+v", created)
 	}
-	// A duplicate tenant id conflicts.
+	// A byte-identical duplicate create is a retried request: acked 200
+	// (idempotent), not conflicted.
+	var recreated createResponse
 	a.do("POST", "/v1/sessions",
 		strings.NewReader(`{"id":"acme","spec":{"name":"oa","m":1,"alpha":2.2}}`),
+		http.StatusOK, &recreated)
+	if recreated.ID != "acme" || recreated.Policy != "oa" {
+		t.Fatalf("recreated = %+v", recreated)
+	}
+	// A duplicate tenant id with a different spec conflicts.
+	a.do("POST", "/v1/sessions",
+		strings.NewReader(`{"id":"acme","spec":{"name":"oa","m":1,"alpha":3.3}}`),
 		http.StatusConflict, nil)
 
 	// Stream all arrivals as NDJSON.
@@ -167,9 +176,17 @@ func TestHTTPWalkthrough(t *testing.T) {
 		t.Fatalf("HTTP-served result differs from batch replay:\n%s\nvs\n%s", aj, bj)
 	}
 
-	// Gone afterwards.
+	// Gone afterwards — but a retried DELETE is idempotent: the cached
+	// final result is re-served byte-identically instead of a 404.
 	a.do("GET", "/v1/sessions/acme/snapshot", nil, http.StatusNotFound, nil)
-	a.do("DELETE", "/v1/sessions/acme", nil, http.StatusNotFound, nil)
+	var reclosed closeResponse
+	a.do("DELETE", "/v1/sessions/acme", nil, http.StatusOK, &reclosed)
+	cj, _ := json.Marshal(maskTimes(reclosed.Result))
+	if !bytes.Equal(bj, cj) {
+		t.Fatalf("re-closed result differs from original:\n%s\nvs\n%s", bj, cj)
+	}
+	// A tenant that never existed is still a 404.
+	a.do("DELETE", "/v1/sessions/nope", nil, http.StatusNotFound, nil)
 }
 
 func TestHTTPErrorMapping(t *testing.T) {

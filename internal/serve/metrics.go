@@ -41,9 +41,21 @@ type Metrics struct {
 	// the applied-arrivals counter — every applied arrival is observed
 	// exactly once — so there is no separate (contended) arrivals atomic.
 	latency stats.StripedHistogram
+	// dedup counts batches the idempotent-producer window suppressed
+	// (duplicate deliveries acked from the watermark); shed counts
+	// submits degraded with 429 instead of stalling. Both are striped
+	// like the backlog gauge: concurrent tenants write their own cells.
+	dedup *stats.ShardedInt64
+	shed  *stats.ShardedInt64
 }
 
-func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+func newMetrics() *Metrics {
+	return &Metrics{
+		start: time.Now(),
+		dedup: stats.NewShardedInt64(stats.HistStripes),
+		shed:  stats.NewShardedInt64(stats.HistStripes),
+	}
+}
 
 func (m *Metrics) sessionOpened() {
 	m.sessionsLive.Add(1)
@@ -76,6 +88,34 @@ func (m *Metrics) arrivalsFailed(n int) {
 	if n > 0 {
 		m.arrivalErrors.Add(uint64(n))
 	}
+}
+
+// dedupSuppressed records one duplicate batch acked from the window
+// without re-applying.
+//
+//schedlint:hotpath
+func (m *Metrics) dedupSuppressed(stripe int) { m.dedup.Cell(stripe).Add(1) }
+
+// shedRecorded records one submit degraded to 429 (full backlog past
+// the shed deadline, or a saturated dedup window).
+//
+//schedlint:hotpath
+func (m *Metrics) shedRecorded(stripe int) { m.shed.Cell(stripe).Add(1) }
+
+// DedupSuppressed returns the duplicate-batches-suppressed counter.
+func (m *Metrics) DedupSuppressed() uint64 {
+	if n := m.dedup.Load(); n > 0 {
+		return uint64(n)
+	}
+	return 0
+}
+
+// Sheds returns the shed-submits counter.
+func (m *Metrics) Sheds() uint64 {
+	if n := m.shed.Load(); n > 0 {
+		return uint64(n)
+	}
+	return 0
 }
 
 // SessionsLive returns the live-session gauge.
@@ -134,6 +174,8 @@ func (m *Metrics) appendPrometheus(b []byte, backlog int) []byte {
 	b = promtext.AppendUint(b, "schedd_admission_refused_total", "Session creations refused by admission control.", "counter", refused)
 	b = promtext.AppendUint(b, "schedd_arrivals_total", "Arrivals applied to live sessions.", "counter", arrivals)
 	b = promtext.AppendUint(b, "schedd_arrival_errors_total", "Arrivals the policy or validator refused.", "counter", arrErrs)
+	b = promtext.AppendUint(b, "schedd_dedup_suppressed_total", "Duplicate stamped batches acked from the dedup window without re-applying.", "counter", m.DedupSuppressed())
+	b = promtext.AppendUint(b, "schedd_shed_total", "Submits shed with 429 under overload instead of stalling.", "counter", m.Sheds())
 	b = promtext.AppendInt(b, "schedd_backlog", "Arrivals queued but not yet applied, across all sessions.", "gauge", int64(backlog))
 	b = promtext.AppendFloat(b, "schedd_arrivals_per_second", "Applied arrival rate over the process lifetime.", "gauge", rate)
 	b = promtext.AppendFloat(b, "schedd_uptime_seconds", "Seconds since the host started.", "gauge", uptime)

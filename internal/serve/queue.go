@@ -21,6 +21,25 @@ import (
 	"repro/internal/stats"
 )
 
+// mark delimits one producer-stamped batch inside the ring: jobs
+// [start, start+count) of the admission order belong to (producer,
+// seq) and must drain — and hit the WAL — as one record, or a crash
+// between its halves would split an idempotent batch and break
+// exactly-once replay.
+type mark struct {
+	start    uint64 // enq position of the batch's first job
+	count    int
+	producer string
+	seq      uint64
+}
+
+// stamp is drainTo's per-batch verdict: which producer the drained
+// slice belongs to (empty for unstamped runs).
+type stamp struct {
+	producer string
+	seq      uint64
+}
+
 // arrq is the bounded multi-producer single-consumer arrival ring.
 type arrq struct {
 	mu     sync.Mutex //schedlint:nocallout
@@ -32,6 +51,13 @@ type arrq struct {
 	// WAL logs) in admission order, so enq is also the log position of
 	// the last admitted job — the durable-ack wait point.
 	enq uint64
+	// deq counts every job ever drained; marks are consumed when deq
+	// crosses them.
+	deq uint64
+	// marks is the FIFO of stamped-batch boundaries; mhead indexes the
+	// next live mark (compacted when the FIFO empties).
+	marks []mark
+	mhead int
 
 	// qlen mirrors n for lock-free Backlog reads; gauge — the session's
 	// cell of the host's sharded backlog counter — feeds the lock-free
@@ -107,16 +133,90 @@ func (q *arrq) push(js []job.Job) (int, bool) {
 	return k, false
 }
 
+// pushAll enqueues the whole batch atomically as one stamped unit, or
+// nothing: the applier must see every job of a stamped batch before it
+// can log the batch as a single WAL record, so partial admission is
+// refused (ok=false; the caller parks on space and retries). tooBig
+// reports a batch that can never fit the ring. pos is the admission
+// position of the batch's last job — the durable-ack point. Runs once
+// per stamped batch, not per job, so it stays off the hot path.
+func (q *arrq) pushAll(js []job.Job, producer string, seq uint64) (pos uint64, ok, closed, tooBig bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, false, true, false
+	}
+	if len(js) > len(q.buf) {
+		q.mu.Unlock()
+		return 0, false, false, true
+	}
+	if len(q.buf)-q.n < len(js) {
+		q.mu.Unlock()
+		return 0, false, false, false
+	}
+	at := q.head + q.n
+	for i := range js {
+		p := at + i
+		if p >= len(q.buf) {
+			p -= len(q.buf)
+		}
+		q.buf[p] = js[i]
+	}
+	q.marks = append(q.marks, mark{start: q.enq, count: len(js), producer: producer, seq: seq})
+	q.n += len(js)
+	q.enq += uint64(len(js))
+	pos = q.enq
+	q.qlen.Store(int64(q.n))
+	select {
+	case q.data <- struct{}{}:
+	default:
+	}
+	if q.n < len(q.buf) {
+		select {
+		case q.space <- struct{}{}:
+		default:
+		}
+	}
+	q.mu.Unlock()
+	if q.gauge != nil {
+		q.gauge.Add(int64(len(js)))
+	}
+	return pos, true, false, false
+}
+
 // drainTo moves up to max queued jobs (everything when max <= 0) into
-// dst without blocking. done reports closed-and-empty — the applier's
-// exit condition.
+// dst without blocking, stopping at stamped-batch boundaries: an
+// unstamped run never crosses into a mark, and a stamped batch drains
+// whole (its atomic push guarantees it is fully present) with its
+// stamp returned — max does not split it, because the batch must land
+// in the WAL as exactly one record. done reports closed-and-empty —
+// the applier's exit condition.
 //
 //schedlint:hotpath
-func (q *arrq) drainTo(dst []job.Job, max int) (out []job.Job, done bool) {
+func (q *arrq) drainTo(dst []job.Job, max int) (out []job.Job, st stamp, done bool) {
 	q.mu.Lock()
 	k := q.n
 	if max > 0 && k > max {
 		k = max
+	}
+	if q.mhead < len(q.marks) {
+		m := &q.marks[q.mhead]
+		if q.deq < m.start {
+			// Unstamped run first: stop short of the mark.
+			if gap := int(m.start - q.deq); k > gap {
+				k = gap
+			}
+		} else {
+			// The mark is next: drain exactly its batch, whole.
+			k = m.count
+			st.producer = m.producer
+			st.seq = m.seq
+			q.mhead++
+			if q.mhead == len(q.marks) {
+				q.marks = q.marks[:0]
+				q.mhead = 0
+			}
+		}
 	}
 	for i := 0; i < k; i++ {
 		p := q.head + i
@@ -131,6 +231,7 @@ func (q *arrq) drainTo(dst []job.Job, max int) (out []job.Job, done bool) {
 			q.head -= len(q.buf)
 		}
 		q.n -= k
+		q.deq += uint64(k)
 		q.qlen.Store(int64(q.n))
 		select {
 		case q.space <- struct{}{}:
@@ -142,7 +243,7 @@ func (q *arrq) drainTo(dst []job.Job, max int) (out []job.Job, done bool) {
 	if k > 0 && q.gauge != nil {
 		q.gauge.Add(int64(-k))
 	}
-	return dst, done
+	return dst, st, done
 }
 
 // waitData parks the consumer until a push signals or the queue

@@ -24,6 +24,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 
 	"repro/internal/engine"
 	"repro/internal/job"
@@ -40,9 +42,20 @@ type walOpen struct {
 // walCkptMeta mirrors a checkpoint's meta payload for decoding.
 // Snapshot stays raw: it is compared byte-for-byte, never re-encoded.
 type walCkptMeta struct {
-	ID       string          `json:"id"`
-	Spec     engine.Spec     `json:"spec"`
-	Snapshot json.RawMessage `json:"snapshot"`
+	ID        string          `json:"id"`
+	Spec      engine.Spec     `json:"spec"`
+	Snapshot  json.RawMessage `json:"snapshot"`
+	Producers []ckptProducer  `json:"producers,omitempty"`
+}
+
+// ckptProducer is one producer's dedup-window entry in a checkpoint's
+// meta: compaction folds stamped records into plain history batches,
+// so the window they carried must survive in the meta or a replayed
+// duplicate would re-apply after a post-checkpoint crash.
+type ckptProducer struct {
+	ID       string `json:"id"`
+	Seq      uint64 `json:"seq"`
+	Accepted int    `json:"accepted"`
 }
 
 // appendOpenJSON renders the session-open payload.
@@ -54,14 +67,38 @@ func appendOpenJSON(dst []byte, id string, spec engine.Spec) []byte {
 	return append(dst, '}')
 }
 
-// appendCkptMeta renders a checkpoint's meta payload.
-func appendCkptMeta(dst []byte, id string, spec engine.Spec, snap engine.Snapshot) []byte {
+// appendCkptMeta renders a checkpoint's meta payload. Producer windows
+// are sorted by id so the meta bytes are deterministic; an empty
+// window keeps the pre-dedup byte shape.
+func appendCkptMeta(dst []byte, id string, spec engine.Spec, snap engine.Snapshot, wins map[string]walWindow) []byte {
 	dst = append(dst, `{"id":`...)
 	dst = job.AppendString(dst, id)
 	dst = append(dst, `,"spec":`...)
 	dst = spec.AppendJSON(dst)
 	dst = append(dst, `,"snapshot":`...)
 	dst = snap.AppendJSON(dst)
+	if len(wins) > 0 {
+		ids := make([]string, 0, len(wins))
+		for p := range wins {
+			ids = append(ids, p)
+		}
+		sort.Strings(ids)
+		dst = append(dst, `,"producers":[`...)
+		for i, p := range ids {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			w := wins[p]
+			dst = append(dst, `{"id":`...)
+			dst = job.AppendString(dst, p)
+			dst = append(dst, `,"seq":`...)
+			dst = strconv.AppendUint(dst, w.Seq, 10)
+			dst = append(dst, `,"accepted":`...)
+			dst = strconv.AppendInt(dst, int64(w.Accepted), 10)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
 	return append(dst, '}')
 }
 
@@ -82,7 +119,11 @@ func (s *Session) maybeCheckpoint() {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	meta := appendCkptMeta(nil, s.ID, s.Spec, s.run.Snapshot())
+	// s.logged is applier-owned and maybeCheckpoint runs on the
+	// applier, so the windows written here exactly cover the logged
+	// history the checkpoint compacts — never a submitted batch still
+	// in the ring, which a crash is allowed to forget.
+	meta := appendCkptMeta(nil, s.ID, s.Spec, s.run.Snapshot(), s.logged)
 	if err := s.wlog.Checkpoint(meta, s.run.History()); err != nil {
 		s.recordErr(fmt.Errorf("checkpoint: %w", err))
 	}
@@ -99,6 +140,17 @@ func (s *Session) waitDurable(ctx context.Context) error {
 		return nil
 	}
 	return s.wlog.WaitDurable(ctx, s.base+s.queue.enqueued())
+}
+
+// waitDurablePos parks until the given absolute log position is
+// durable — the stamped path's ack gate, where the position of the
+// producer's batch is known exactly (a duplicate's position is the
+// original's, already durable or about to be).
+func (s *Session) waitDurablePos(ctx context.Context, pos uint64) error {
+	if s.wlog == nil {
+		return nil
+	}
+	return s.wlog.WaitDurable(ctx, pos)
 }
 
 // Recover rebuilds every session the WAL's data directory survives
@@ -134,12 +186,18 @@ func (h *Host) recoverOne(r *wal.Recovered) error {
 	var id string
 	var spec engine.Spec
 	var wantSnap []byte
+	wins := make(map[string]walWindow)
 	if r.CkptMeta != nil {
 		var m walCkptMeta
 		if err := json.Unmarshal(r.CkptMeta, &m); err != nil {
 			return fmt.Errorf("serve: recovering %q: checkpoint meta: %w", r.Tenant, err)
 		}
 		id, spec, wantSnap = m.ID, m.Spec, m.Snapshot
+		// The dedup window at the cut: compaction folded the stamped
+		// records into plain history batches, so the meta carries it.
+		for _, p := range m.Producers {
+			wins[p.ID] = walWindow{Seq: p.Seq, Accepted: p.Accepted}
+		}
 	} else {
 		var m walOpen
 		if err := json.Unmarshal(r.Open, &m); err != nil {
@@ -179,14 +237,21 @@ func (h *Host) recoverOne(r *wal.Recovered) error {
 			return fmt.Errorf("serve: recovering %q: checkpoint integrity check failed: replayed snapshot %s != stored %s", id, got, wantSnap)
 		}
 	}
-	if err := r.ReplayTail(apply); err != nil {
+	if err := r.ReplayTail(func(js []job.Job, st wal.Stamp) error {
+		if st.Producer != "" {
+			// Tail stamps advance the window past the checkpoint's cut —
+			// the same admission order the original run journaled.
+			wins[st.Producer] = walWindow{Seq: st.Seq, Accepted: len(js)}
+		}
+		return apply(js)
+	}); err != nil {
 		return err
 	}
 	l, err := r.Resume()
 	if err != nil {
 		return err
 	}
-	if _, err := h.attach(id, spec, run, l, firstErr); err != nil {
+	if _, err := h.attach(id, spec, run, l, firstErr, wins); err != nil {
 		// Leave the log closed, not registered: at boot the daemon exits
 		// on this error; on an Adopt the tenant's files stay importable
 		// for a retry instead of being pinned by a zombie open log.
@@ -198,8 +263,10 @@ func (h *Host) recoverOne(r *wal.Recovered) error {
 
 // attach registers a recovered session: the same admission,
 // registration and applier startup as Create, around a run and log
-// that already exist.
-func (h *Host) attach(id string, spec engine.Spec, run *engine.Live, wlog *wal.Log, err0 error) (*Session, error) {
+// that already exist. wins seeds both halves of the dedup window —
+// everything replayed is durable, so every recovered producer's ack
+// position is the already-durable base.
+func (h *Host) attach(id string, spec engine.Spec, run *engine.Live, wlog *wal.Log, err0 error, wins map[string]walWindow) (*Session, error) {
 	h.mu.Lock()
 	if h.draining {
 		h.mu.Unlock()
@@ -216,16 +283,25 @@ func (h *Host) attach(id string, spec engine.Spec, run *engine.Live, wlog *wal.L
 	defer h.creating.Done()
 
 	stripe := stripeOf(id)
+	base := wlog.Arrivals()
+	producers := make(map[string]*producer, len(wins))
+	logged := make(map[string]walWindow, len(wins))
+	for p, w := range wins {
+		producers[p] = &producer{seq: w.Seq, accepted: w.Accepted, pos: base}
+		logged[p] = w
+	}
 	s := &Session{
 		ID: id, Spec: spec, host: h,
-		queue:   newArrq(h.cfg.MaxBacklog, h.backlog.Cell(stripe)),
-		done:    make(chan struct{}),
-		closeCh: make(chan struct{}),
-		stripe:  stripe,
-		run:     run,
-		wlog:    wlog,
-		base:    wlog.Arrivals(),
-		err:     err0,
+		queue:     newArrq(h.cfg.MaxBacklog, h.backlog.Cell(stripe)),
+		done:      make(chan struct{}),
+		closeCh:   make(chan struct{}),
+		stripe:    stripe,
+		run:       run,
+		wlog:      wlog,
+		base:      base,
+		err:       err0,
+		producers: producers,
+		logged:    logged,
 	}
 	sh := h.shardOf(id)
 	sh.mu.Lock()

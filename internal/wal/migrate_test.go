@@ -144,7 +144,7 @@ func TestExportImportOverNetwork(t *testing.T) {
 		if err := r.ReplayCheckpoint(collect); err != nil {
 			return err
 		}
-		if err := r.ReplayTail(collect); err != nil {
+		if err := r.ReplayTail(func(js []job.Job, _ Stamp) error { return collect(js) }); err != nil {
 			return err
 		}
 		var err error

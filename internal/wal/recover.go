@@ -164,10 +164,36 @@ func (r *Recovered) ReplayCheckpoint(fn func(js []job.Job) error) error {
 	return nil
 }
 
+// Stamp is the producer identity a stamped batch record carries. The
+// zero value means the batch was appended unstamped.
+type Stamp struct {
+	Producer string
+	Seq      uint64
+}
+
+// splitStamped decodes a recStamped payload into its stamp and the
+// NDJSON jobs that follow it.
+func splitStamped(payload []byte) (Stamp, []byte, error) {
+	if len(payload) < 10 {
+		return Stamp{}, nil, fmt.Errorf("stamped record shorter than its header")
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	if n == 0 || len(payload) < 2+n+8 {
+		return Stamp{}, nil, fmt.Errorf("stamped record producer length %d out of range", n)
+	}
+	st := Stamp{
+		Producer: string(payload[2 : 2+n]),
+		Seq:      binary.LittleEndian.Uint64(payload[2+n:]),
+	}
+	return st, payload[2+n+8:], nil
+}
+
 // ReplayTail streams the tail segments' batch records, oldest first,
-// into fn, validating every frame on the way. Frame damage before the
+// into fn, validating every frame on the way. Producer-stamped batches
+// hand their Stamp to fn (zero Stamp otherwise) so the caller can
+// rebuild its dedup window from the same walk. Frame damage before the
 // final segment's tail refuses recovery.
-func (r *Recovered) ReplayTail(fn func(js []job.Job) error) error {
+func (r *Recovered) ReplayTail(fn func(js []job.Job, st Stamp) error) error {
 	if r.stage != stageCkpt {
 		return fmt.Errorf("wal: ReplayTail must follow ReplayCheckpoint")
 	}
@@ -201,7 +227,14 @@ func (r *Recovered) ReplayTail(fn func(js []job.Job) error) error {
 				return nil
 			case recClose:
 				return nil // prescan verified it is final; tenant was not swept only on prescan damage, unreachable here
-			case recBatch:
+			case recBatch, recStamped:
+				var st Stamp
+				if typ == recStamped {
+					var serr error
+					if st, payload, serr = splitStamped(payload); serr != nil {
+						return fmt.Errorf("segment %d record %d: %w", seg.n, rec, serr)
+					}
+				}
 				js, err := job.DecodeAll(buf[:0], payload)
 				if err != nil {
 					return fmt.Errorf("segment %d record %d: %w", seg.n, rec, err)
@@ -209,7 +242,7 @@ func (r *Recovered) ReplayTail(fn func(js []job.Job) error) error {
 				buf = js
 				r.tailArrivals += uint64(len(js))
 				r.batches++
-				return fn(js)
+				return fn(js, st)
 			default:
 				return fmt.Errorf("unexpected record type %d in segment %d", typ, seg.n)
 			}
@@ -449,7 +482,7 @@ func (s *Store) scanTenant(tenant, dir string) (*Recovered, bool, error) {
 				return fmt.Errorf("record after close record in segment %d", last.n)
 			}
 			switch typ {
-			case recOpen, recBatch:
+			case recOpen, recBatch, recStamped:
 			case recClose:
 				sawClose = true
 			default:

@@ -55,9 +55,9 @@ import (
 	"repro/internal/stats"
 )
 
-// Record types. recOpen/recBatch/recClose live in segments;
-// recCkpt/recCkptEnd frame the checkpoint file; recFile/recExportEnd
-// frame an Export stream.
+// Record types. recOpen/recBatch/recStamped/recClose live in
+// segments; recCkpt/recCkptEnd frame the checkpoint file;
+// recFile/recExportEnd frame an Export stream.
 const (
 	recOpen      = 1
 	recBatch     = 2
@@ -66,17 +66,19 @@ const (
 	recCkptEnd   = 5
 	recFile      = 6
 	recExportEnd = 7
+	recStamped   = 8 // producer-stamped batch: [u16 producer len][producer][u64 seq][NDJSON]
 )
 
 const (
-	segMagic   = "SWAL0001"
-	ckptMagic  = "SCKP0001"
-	expMagic   = "SEXP0001"
-	frameSize  = 9       // length u32 + crc u32 + type u8
-	maxRecord  = 1 << 30 // sanity bound on one record's length field
-	maxTenant  = 100     // id bytes; hex doubles it, filenames cap at 255
-	ckptChunk  = 4096    // jobs per checkpoint batch record
-	defSegSize = 4 << 20
+	segMagic    = "SWAL0001"
+	ckptMagic   = "SCKP0001"
+	expMagic    = "SEXP0001"
+	frameSize   = 9       // length u32 + crc u32 + type u8
+	maxRecord   = 1 << 30 // sanity bound on one record's length field
+	maxTenant   = 100     // id bytes; hex doubles it, filenames cap at 255
+	maxProducer = 1 << 16 // producer id bytes a stamped record can carry
+	ckptChunk   = 4096    // jobs per checkpoint batch record
+	defSegSize  = 4 << 20
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -478,6 +480,26 @@ func appendBatchFrame(dst []byte, js []job.Job) []byte {
 	return dst
 }
 
+// appendStampedFrame builds a stamped batch record: the producer id
+// and sequence ride in front of the jobs' NDJSON encoding, so replay
+// rebuilds the dedup window from the same bytes that rebuild the
+// session.
+//
+//schedlint:hotpath
+func appendStampedFrame(dst []byte, producer string, seq uint64, js []job.Job) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // length backfilled
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // crc backfilled
+	at := len(dst)
+	dst = append(dst, recStamped)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(producer)))
+	dst = append(dst, producer...)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = job.AppendNDJSON(dst, js)
+	binary.LittleEndian.PutUint32(dst[at-8:at-4], uint32(len(dst)-at))
+	binary.LittleEndian.PutUint32(dst[at-4:at], crc32.Checksum(dst[at:], castagnoli))
+	return dst
+}
+
 // AppendBatch logs one drained arrival batch with a single write
 // syscall and returns the log position after it (cumulative arrival
 // count). The position is NOT yet durable: callers that promised
@@ -487,15 +509,32 @@ func appendBatchFrame(dst []byte, js []job.Job) []byte {
 //
 //schedlint:hotpath
 func (l *Log) AppendBatch(js []job.Job) (uint64, error) {
+	return l.AppendStamped("", 0, js)
+}
+
+// AppendStamped is AppendBatch for a producer-stamped batch: the
+// (producer, seq) stamp is journaled with the jobs so recovery can
+// rebuild the dedup window byte-identically. An empty producer writes
+// a plain batch record — the unstamped path is the same code.
+//
+//schedlint:hotpath
+func (l *Log) AppendStamped(producer string, seq uint64, js []job.Job) (uint64, error) {
 	if len(js) == 0 {
 		return l.Arrivals(), nil
+	}
+	if len(producer) >= maxProducer {
+		return 0, fmt.Errorf("wal: producer id longer than %d bytes", maxProducer-1) //schedlint:allowalloc rejected-input path, never steady state
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.usableLocked(); err != nil {
 		return 0, err
 	}
-	l.scratch = appendBatchFrame(l.scratch[:0], js)
+	if producer == "" {
+		l.scratch = appendBatchFrame(l.scratch[:0], js)
+	} else {
+		l.scratch = appendStampedFrame(l.scratch[:0], producer, seq, js)
+	}
 	if l.size > int64(len(segMagic)) && l.size+int64(len(l.scratch)) > l.store.opt.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.sticky = err

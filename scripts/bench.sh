@@ -12,7 +12,7 @@
 # (e.g. 1x for a CI smoke run, 1s for a real measurement).
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 bench="${BENCH:-BenchmarkSessionPerArrival|BenchmarkServeIngest|BenchmarkClusterIngest}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"

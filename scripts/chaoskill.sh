@@ -7,6 +7,7 @@
 #
 #   ./scripts/chaoskill.sh [rounds] [data-dir]
 #   ./scripts/chaoskill.sh cluster
+#   ./scripts/chaoskill.sh netchaos
 #
 # Each round: boot schedd on a random port against the same data dir,
 # start a loadgen stream against it, sleep a random 1-3s slice of the
@@ -15,6 +16,15 @@
 # refuses recovery (corruption beyond a torn tail) exits this script
 # non-zero with the daemon's complaint. The final round drains
 # cleanly and expects the last boot to find zero sessions.
+#
+# Netchaos mode shakes the ingest wire: one durable worker on a fixed
+# port, loadgen routed through its in-process fault proxy (-chaos:
+# duplicated connections, dropped responses, stalls, truncations),
+# and the worker SIGKILLed mid-stream and rebooted on the same
+# address. Producer stamping (loadgen's default) makes every retry
+# idempotent, so health is loadgen exiting zero — every tenant's
+# result verified despite the faults and the kill — and a final boot
+# finding nothing left to recover.
 #
 # Cluster mode shakes the control plane instead: a primary controller
 # with a hot standby and two durable workers, loadgen streaming at the
@@ -42,6 +52,57 @@ wait_line() {
   done
   return 1
 }
+
+if [ "$mode" = "netchaos" ]; then
+  port=$((20000 + $$ % 20000))
+  root="$(mktemp -d)"
+  log="$root/schedd.log"
+  trap 'kill -9 $(jobs -p) 2>/dev/null || true' EXIT
+
+  # A fixed port, not :0 — loadgen's fault proxy resolves the target
+  # once, and the rebooted worker must come back where the proxy
+  # points.
+  boot() {
+    : > "$log"
+    /tmp/schedd.chaos -addr "127.0.0.1:$port" -data-dir "$root/data" \
+      -checkpoint-every 500 -shed-after 2s -drain-timeout 10s > "$log" 2>&1 &
+    pid=$!
+    wait_line "$log" '^schedd: listening on ' \
+      || { echo "chaoskill[netchaos]: worker never listened" >&2; cat "$log" >&2; exit 1; }
+    sed -n 's/^schedd: \(recovered .*\)$/chaoskill[netchaos]: \1/p' "$log" >&2
+  }
+  boot
+  echo "chaoskill[netchaos]: worker on :$port, faults on the wire" >&2
+
+  /tmp/loadgen.chaos -url "http://127.0.0.1:$port" -prefix nc \
+    -tenants 4 -n 3000 -scale 2ms -batch 8 -retries 16 \
+    -chaos 'duplicate=0.15,drop-response=0.1,delay=0.05,truncate=0.03' \
+    -chaos-seed "$$" > "$root/loadgen.out" 2>&1 &
+  lpid=$!
+  sleep 2
+
+  kill -9 "$pid"
+  wait "$pid" 2>/dev/null || true
+  echo "chaoskill[netchaos]: worker SIGKILLed mid-stream" >&2
+  boot
+
+  # The stamped retries must ride out every fault and the reboot:
+  # loadgen exits non-zero on any unverified tenant.
+  wait "$lpid" \
+    || { echo "chaoskill[netchaos]: loadgen failed across the chaos:" >&2; cat "$root/loadgen.out" >&2; exit 1; }
+  sed -n '/^resilience:/p;/^chaos:/p' "$root/loadgen.out" >&2
+
+  kill -TERM "$pid"
+  wait "$pid" || { echo "chaoskill[netchaos]: clean drain failed:" >&2; cat "$log" >&2; exit 1; }
+
+  # Every tenant closed, so the next boot starts from a clean slate.
+  boot
+  grep -q '^schedd: recovered 0 sessions' "$log" \
+    || { echo "chaoskill[netchaos]: post-run boot still recovered state:" >&2; cat "$log" >&2; exit 1; }
+  kill -TERM "$pid" && wait "$pid" || true
+  echo "chaoskill[netchaos]: exactly-once survived the wire and the kill" >&2
+  exit 0
+fi
 
 if [ "$mode" = "cluster" ]; then
   base=$((20000 + $$ % 20000))
